@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one paper table/figure: it builds
+the experiment's inputs once (session-scoped), asserts the paper's shape on
+the outputs, and wall-clock-benchmarks the kernel operation that the
+experiment's numbers come from.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+
+NUM_ADS = 4_000
+NUM_DISTINCT = 500
+TOTAL_FREQUENCY = 15_000
+TRACE_LENGTH = 1_000
+
+
+@pytest.fixture(scope="session")
+def generated():
+    return generate_corpus(CorpusConfig(num_ads=NUM_ADS, seed=0))
+
+
+@pytest.fixture(scope="session")
+def corpus(generated):
+    return generated.corpus
+
+
+@pytest.fixture(scope="session")
+def workload(generated):
+    return generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=NUM_DISTINCT,
+            total_frequency=TOTAL_FREQUENCY,
+            seed=100,
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def trace(workload):
+    return workload.sample_stream(TRACE_LENGTH, seed=9)

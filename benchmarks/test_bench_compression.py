@@ -1,0 +1,65 @@
+"""Section VI bench: compressed-lookup build and probe kernels."""
+
+import pytest
+
+from repro.compress.compressed_hash import CompressedWordSetIndex
+from repro.compress.sizing import worked_example
+from repro.core.queries import Query
+from repro.optimize.remap import build_index
+
+
+@pytest.fixture(scope="module")
+def plain_index(corpus):
+    return build_index(corpus, None)
+
+
+def test_bench_compressed_build(benchmark, plain_index):
+    compressed = benchmark.pedantic(
+        CompressedWordSetIndex.from_index,
+        args=(plain_index,),
+        kwargs={"suffix_bits": 16},
+        rounds=3,
+        iterations=1,
+    )
+    assert compressed.entropy_bits() < compressed.structure_bits()
+
+
+def test_bench_compressed_query(benchmark, plain_index, trace):
+    compressed = CompressedWordSetIndex.from_index(plain_index, suffix_bits=16)
+
+    def replay():
+        total = 0
+        for query in trace[:300]:
+            total += len(compressed.query_broad(query))
+        return total
+
+    compressed_total = benchmark(replay)
+    plain_total = sum(
+        len(plain_index.query_broad(q)) for q in trace[:300]
+    )
+    assert compressed_total == plain_total
+
+
+def test_bench_worked_example(benchmark):
+    example = benchmark(worked_example)
+    assert 6.0 <= example.ratio <= 10.0
+
+
+def test_bench_lookup_kernel(benchmark, plain_index):
+    compressed = CompressedWordSetIndex.from_index(plain_index, suffix_bits=16)
+    locators = [n.locator for n in plain_index.nodes.values()][:200]
+
+    def lookups():
+        hits = 0
+        for locator in locators:
+            if compressed.lookup(locator) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(lookups)
+    assert hits == len(locators)
+
+
+def test_compressed_handles_misses(plain_index):
+    compressed = CompressedWordSetIndex.from_index(plain_index, suffix_bits=20)
+    assert compressed.query_broad(Query.from_text("zz yy xx")) == []

@@ -1,0 +1,25 @@
+"""Fig 1 bench: regenerating the bid-length histogram."""
+
+import pytest
+
+from repro.datagen.corpus import (
+    CorpusConfig,
+    generate_corpus,
+    length_cumulative_fractions,
+)
+
+
+def test_bench_fig1_histogram(benchmark, corpus):
+    histogram = benchmark(corpus.length_histogram)
+    assert max(histogram, key=histogram.get) == 3
+
+
+def test_bench_fig1_generation(benchmark):
+    generated = benchmark.pedantic(
+        lambda: generate_corpus(CorpusConfig(num_ads=2_000, seed=1)),
+        rounds=3,
+        iterations=1,
+    )
+    cumulative = length_cumulative_fractions(generated.corpus)
+    assert cumulative[3] == pytest.approx(0.62, abs=0.05)
+    assert cumulative[5] == pytest.approx(0.96, abs=0.03)

@@ -1,0 +1,39 @@
+"""Fig 10 bench: mapping optimization and analytic workload-cost kernels."""
+
+from repro.cost.workload_cost import total_cost
+from repro.experiments.common import MODEL, Scale
+from repro.experiments import fig10_remapping
+from repro.optimize.mapping import OptimizerConfig, optimize_mapping
+from repro.optimize.remap import build_index
+
+SCALE = Scale(
+    name="bench-fig10",
+    num_ads=2_000,
+    num_distinct_queries=400,
+    total_query_frequency=8_000,
+    trace_length=800,
+)
+
+
+def test_bench_fig10_experiment(benchmark):
+    result = benchmark.pedantic(
+        fig10_remapping.run, args=(SCALE,), kwargs={"seed": 0},
+        rounds=2, iterations=1,
+    )
+    relative = result.relative
+    assert relative["long phrases only"] < 1.0
+    assert relative["full re-mapping"] <= relative["long phrases only"] + 1e-9
+
+
+def test_bench_fig10_optimizer_kernel(benchmark, corpus, workload):
+    mapping = benchmark.pedantic(
+        optimize_mapping,
+        args=(corpus, workload, MODEL, OptimizerConfig(max_words=10)),
+        rounds=2,
+        iterations=1,
+    )
+    index = build_index(corpus, mapping)
+    identity = build_index(corpus, None)
+    assert total_cost(index, workload, MODEL) <= total_cost(
+        identity, workload, MODEL
+    ) + 1e-6

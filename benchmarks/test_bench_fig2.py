@@ -1,0 +1,10 @@
+"""Fig 2 bench: the Zipf word-set frequency series."""
+
+from repro.datagen.zipf import fit_power_law_slope
+
+
+def test_bench_fig2_ranked_frequencies(benchmark, corpus):
+    ranked = benchmark(corpus.wordset_frequencies_ranked)
+    assert ranked == sorted(ranked, reverse=True)
+    slope = fit_power_law_slope(ranked[:2000])
+    assert -1.8 < slope < -0.3

@@ -1,0 +1,9 @@
+"""Fig 3 bench: MT rule-length histogram vs bid lengths."""
+
+from repro.datagen.mtgen import drop_off_ratio, mt_length_histogram
+
+
+def test_bench_fig3_mt_histogram(benchmark, corpus):
+    mt = benchmark(mt_length_histogram, 20_000, 3)
+    assert max(mt, key=mt.get) == 3
+    assert drop_off_ratio(mt) < drop_off_ratio(corpus.length_histogram())

@@ -1,0 +1,19 @@
+"""Fig 7 bench: keyword vs word-set bucket-size series."""
+
+from repro.invindex.counting import CountingInvertedIndex
+from repro.optimize.remap import build_index
+
+
+def test_bench_fig7_bucket_series(benchmark, corpus):
+    def series():
+        inverted = CountingInvertedIndex.from_corpus(corpus)
+        index = build_index(corpus, None)
+        keywords = sorted((len(p) for p in inverted.lists.values()), reverse=True)
+        wordsets = sorted((len(n) for n in index.nodes.values()), reverse=True)
+        return keywords, wordsets
+
+    keywords, wordsets = benchmark.pedantic(series, rounds=3, iterations=1)
+    top = max(1, len(keywords) // 100)
+    top_sets = max(1, len(wordsets) // 100)
+    # The paper's ~3000 -> ~100 popular-bucket reduction, as a ratio.
+    assert sum(keywords[:top]) / top > 2 * (sum(wordsets[:top_sets]) / top_sets)

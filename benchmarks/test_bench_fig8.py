@@ -1,0 +1,67 @@
+"""Fig 8 bench: bytes processed per structure while replaying the trace.
+
+Wall-clock benches of the replay kernels, plus the paper's shape check:
+the counting inverted index reads the most bytes, and the byte ratio
+grows with corpus size.
+"""
+
+import pytest
+
+from repro.cost.accounting import AccessTracker
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.invindex.counting import CountingInvertedIndex
+from repro.invindex.nonredundant import NonRedundantInvertedIndex
+from repro.optimize.remap import build_index
+
+
+def replay_bytes(structure, tracker, queries):
+    for query in queries:
+        structure.query_broad(query)
+    return tracker.reset().bytes_scanned
+
+
+@pytest.fixture(scope="module")
+def structures(corpus):
+    ws_tracker, nr_tracker, cnt_tracker = (
+        AccessTracker(), AccessTracker(), AccessTracker(),
+    )
+    return {
+        "wordset": (build_index(corpus, None, tracker=ws_tracker), ws_tracker),
+        "nonredundant": (
+            NonRedundantInvertedIndex.from_corpus(corpus, tracker=nr_tracker),
+            nr_tracker,
+        ),
+        "counting": (
+            CountingInvertedIndex.from_corpus(corpus, tracker=cnt_tracker),
+            cnt_tracker,
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["wordset", "nonredundant", "counting"])
+def test_bench_fig8_replay(benchmark, structures, trace, name):
+    structure, tracker = structures[name]
+    benchmark.pedantic(
+        replay_bytes, args=(structure, tracker, trace[:300]), rounds=3,
+        iterations=1,
+    )
+
+
+def test_fig8_ratio_grows_with_corpus(trace):
+    ratios = []
+    for size in (1_000, 4_000):
+        generated = generate_corpus(CorpusConfig(num_ads=size, seed=0))
+        workload = generate_workload(
+            generated,
+            QueryConfig(num_distinct=300, total_frequency=3_000, seed=100),
+        )
+        queries = workload.sample_stream(400, seed=9)
+        corpus = generated.corpus
+        ws_t, cnt_t = AccessTracker(), AccessTracker()
+        ws = build_index(corpus, None, tracker=ws_t)
+        cnt = CountingInvertedIndex.from_corpus(corpus, tracker=cnt_t)
+        ws_bytes = replay_bytes(ws, ws_t, queries)
+        cnt_bytes = replay_bytes(cnt, cnt_t, queries)
+        ratios.append(cnt_bytes / max(1, ws_bytes))
+    assert ratios[1] > ratios[0] > 1.0

@@ -1,0 +1,25 @@
+"""Fig 9 bench: the two-server latency-distribution simulation."""
+
+from repro.experiments.common import Scale
+from repro.experiments import fig9_latency_dist
+
+SCALE = Scale(
+    name="bench-fig9",
+    num_ads=2_000,
+    num_distinct_queries=300,
+    total_query_frequency=5_000,
+    trace_length=800,
+)
+
+
+def test_bench_fig9_simulation(benchmark):
+    result = benchmark.pedantic(
+        fig9_latency_dist.run, args=(SCALE,), kwargs={"seed": 0},
+        rounds=2, iterations=1,
+    )
+    ws10, inv10 = result.within_10ms()
+    # The paper's Fig 9 ordering: the word-set index answers far more
+    # requests within 10 ms than the inverted index at the same load.
+    assert ws10 > inv10
+    histogram = result.inverted.latency_histogram()
+    assert len(histogram) >= 2  # the inverted curve spreads across buckets

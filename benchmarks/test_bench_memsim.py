@@ -1,0 +1,22 @@
+"""Section VII-C bench: the trace-driven hardware-counter replay."""
+
+from repro.memsim.cache import Cache
+from repro.memsim.counters import run_traced_workload
+from repro.memsim.layout import IndexLayout
+from repro.memsim.tlb import Tlb
+from repro.optimize.remap import build_index
+
+
+def test_bench_traced_replay(benchmark, corpus, trace):
+    layout = IndexLayout(build_index(corpus, None))
+    counters = benchmark.pedantic(
+        run_traced_workload,
+        args=(layout, trace[:400]),
+        kwargs={"tlb": Tlb(entries=8), "cache": Cache(size_bytes=16 * 1024,
+                                                      associativity=4)},
+        rounds=2,
+        iterations=1,
+    )
+    assert counters.memory_accesses > 0
+    assert counters.dtlb_misses > 0
+    assert counters.branch_predictions > counters.branch_mispredictions

@@ -1,0 +1,24 @@
+"""Section VII-B bench: the two-server saturation experiment."""
+
+from repro.experiments.common import Scale
+from repro.experiments import tab_multiserver
+
+SCALE = Scale(
+    name="bench-msrv",
+    num_ads=2_000,
+    num_distinct_queries=300,
+    total_query_frequency=5_000,
+    trace_length=800,
+)
+
+
+def test_bench_multiserver_saturation(benchmark):
+    result = benchmark.pedantic(
+        tab_multiserver.run, args=(SCALE,), kwargs={"seed": 0},
+        rounds=2, iterations=1,
+    )
+    # Paper shape: higher saturation RPS, lower CPU at the common rate.
+    assert result.wordset_saturation_rps > result.inverted_saturation_rps
+    assert (
+        result.wordset_cpu_at_common_rate < result.inverted_cpu_at_common_rate
+    )

@@ -1,0 +1,69 @@
+"""Benches for the serving layer: pipeline throughput, cache, persistence,
+sharded scatter-gather."""
+
+import pytest
+
+from repro.core.sharded import ShardedWordSetIndex
+from repro.optimize.remap import build_index
+from repro.persist import load_index, save_index
+from repro.serving.result_cache import CachedIndex
+from repro.serving.server import AdServer
+
+
+@pytest.fixture(scope="module")
+def plain_index(corpus):
+    return build_index(corpus, None)
+
+
+def test_bench_adserver_pipeline(benchmark, plain_index, trace):
+    server = AdServer(plain_index, slots=4, reserve_micros=1_000)
+
+    def serve_batch():
+        for query in trace[:300]:
+            server.serve(query)
+        return server.stats.impressions
+
+    impressions = benchmark(serve_batch)
+    assert impressions > 0
+
+
+def test_bench_cached_index(benchmark, plain_index, trace):
+    cached = CachedIndex(plain_index, capacity=256)
+
+    def replay():
+        for query in trace[:500]:
+            cached.query_broad(query)
+        return cached.stats.hit_rate()
+
+    benchmark(replay)
+    # The Zipf head must make the cache worthwhile.
+    assert cached.stats.hit_rate() > 0.3
+
+
+def test_bench_sharded_query(benchmark, corpus, trace):
+    sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=4)
+
+    def replay():
+        total = 0
+        for query in trace[:300]:
+            total += len(sharded.query_broad(query))
+        return total
+
+    sharded_total = benchmark(replay)
+    assert sharded_total >= 0
+
+
+def test_bench_persist_save(benchmark, corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("bench-persist")
+
+    def save():
+        save_index(directory / "index.jsonl", corpus)
+
+    benchmark.pedantic(save, rounds=3, iterations=1)
+
+
+def test_bench_persist_load(benchmark, corpus, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-persist") / "index.jsonl"
+    save_index(path, corpus)
+    loaded = benchmark.pedantic(load_index, args=(path,), rounds=3, iterations=1)
+    assert len(loaded.corpus) == len(corpus)

@@ -1,0 +1,72 @@
+"""A full serving day: GSP auctions, budgets, and frequency caps.
+
+Simulates a day of traffic against the AdServer: advertisers have daily
+budgets, clicks arrive with position-dependent probability, campaigns fall
+out of rotation as budgets exhaust, and the report shows revenue, fill
+rate, and which campaigns hit their caps — the "bidding is the challenge"
+world the paper's introduction describes.
+
+Run with::
+
+    python examples/auction_budgets.py
+"""
+
+import random
+
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.serving.server import AdServer
+
+#: Click-through rate by slot position (top slot clicked most).
+SLOT_CTR = [0.08, 0.05, 0.03, 0.02]
+
+
+def main() -> None:
+    rng = random.Random(17)
+    generated = generate_corpus(CorpusConfig(num_ads=3_000, seed=2))
+    workload = generate_workload(
+        generated, QueryConfig(num_distinct=600, total_frequency=30_000, seed=6)
+    )
+    corpus = generated.corpus
+
+    # Every campaign gets a daily budget proportional to its total bids.
+    budgets: dict[int, int] = {}
+    for ad in corpus:
+        budgets[ad.info.campaign_id] = (
+            budgets.get(ad.info.campaign_id, 0) + ad.info.bid_price_micros * 3
+        )
+
+    server = AdServer(
+        WordSetIndex.from_corpus(corpus),
+        slots=len(SLOT_CTR),
+        reserve_micros=1_000,
+        campaign_budgets_micros=budgets,
+        frequency_cap=3,
+    )
+
+    trace = workload.sample_stream(10_000, seed=4)
+    users = [f"user{i}" for i in range(500)]
+    for query in trace:
+        result = server.serve(query, user_id=rng.choice(users))
+        for slot, _award in enumerate(result.outcome.awards):
+            if rng.random() < SLOT_CTR[slot]:
+                server.record_click(result, slot)
+
+    stats = server.stats
+    print(f"queries:              {stats.queries:,}")
+    print(f"candidates retrieved: {stats.candidates:,}")
+    print(f"impressions:          {stats.impressions:,} "
+          f"(fill rate {stats.fill_rate():.2f}/query)")
+    print(f"clicks:               {stats.clicks:,}")
+    print(f"revenue:              {stats.revenue_micros / 1e6:,.2f} units")
+    print(f"filtered (exclusion): {stats.filtered_exclusion:,}")
+    print(f"filtered (budget):    {stats.filtered_budget:,}")
+    print(f"filtered (freq cap):  {stats.filtered_frequency_cap:,}")
+    print(f"exhausted campaigns:  {len(server.exhausted_campaigns()):,} "
+          f"of {len(budgets):,}")
+
+
+if __name__ == "__main__":
+    main()

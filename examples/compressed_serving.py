@@ -1,0 +1,80 @@
+"""Serving from the compressed lookup structure of Section VI.
+
+Builds the ``B^sig``/``B^off`` rank-select replacement for the hash table,
+sweeps the suffix size ``s`` to expose the size/speed trade-off, verifies
+results match the uncompressed index, and reports the data-node
+compression (front-coded phrases, delta-coded prices).
+
+Run with::
+
+    python examples/compressed_serving.py
+"""
+
+from repro.compress.compressed_hash import CompressedWordSetIndex
+from repro.compress.deltas import delta_encode_prices
+from repro.compress.frontcoding import (
+    encoded_size_bytes,
+    node_phrase_order,
+    plain_size_bytes,
+)
+from repro.compress.suffix_opt import choose_suffix_bits, evaluate_suffix_sizes
+from repro.cost.model import CostModel
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.optimize.remap import build_index
+
+
+def main() -> None:
+    model = CostModel()
+    generated = generate_corpus(CorpusConfig(num_ads=4_000, seed=13))
+    workload = generate_workload(
+        generated, QueryConfig(num_distinct=500, total_frequency=10_000, seed=2)
+    )
+    corpus = generated.corpus
+    index = build_index(corpus, None)
+    print(f"{len(corpus):,} ads, {index.stats().num_nodes:,} data nodes, "
+          f"hash table {index.hash_table_bytes():,} bytes")
+
+    # 1. The size/speed trade-off over suffix sizes.
+    print("\nsuffix-size sweep (Section VI trade-off):")
+    print(f"{'s':>4} {'nodes':>7} {'entropy KiB':>12} {'access ms':>10}")
+    for point in evaluate_suffix_sizes(index, workload, model, [8, 12, 16, 20]):
+        print(f"{point.suffix_bits:>4} {point.num_nodes:>7} "
+              f"{point.entropy_bits / 8192:>12.1f} "
+              f"{point.access_ns / 1e6:>10.2f}")
+
+    best = choose_suffix_bits(
+        index, workload, model, [8, 12, 16, 20],
+        space_weight_ns_per_bit=0.001,
+    )
+    print(f"chosen s = {best.suffix_bits} under a mild space penalty")
+
+    # 2. Serve through the compressed structure; results must be identical.
+    compressed = CompressedWordSetIndex.from_index(
+        index, suffix_bits=best.suffix_bits
+    )
+    checked = 0
+    for query, _ in list(workload)[:300]:
+        a = sorted(x.info.listing_id for x in compressed.query_broad(query))
+        b = sorted(x.info.listing_id for x in index.query_broad(query))
+        assert a == b, "compressed lookup must be exact"
+        checked += 1
+    print(f"\nverified {checked} queries identical on compressed vs plain")
+
+    # 3. Data-node compression.
+    plain = coded = price_plain = price_coded = 0
+    for node in index.nodes.values():
+        phrases = node_phrase_order([e.ad.phrase for e in node.entries])
+        plain += plain_size_bytes(phrases)
+        coded += encoded_size_bytes(phrases)
+        prices = [e.ad.info.bid_price_micros for e in node.entries]
+        price_plain += 8 * len(prices)
+        price_coded += len(delta_encode_prices(prices))
+    print(f"front-coded phrases: {plain:,} -> {coded:,} bytes "
+          f"({plain / coded:.2f}x)")
+    print(f"delta-coded prices:  {price_plain:,} -> {price_coded:,} bytes "
+          f"({price_plain / price_coded:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Online maintenance under churn (Section VI of the paper).
+
+Runs a campaign lifecycle against a :class:`MaintainedIndex`: advertisers
+continuously launch (insert) and retire (delete) ads while queries keep
+being served; placements use the fast local heuristic, and the full
+set-cover optimization re-runs periodically.  A naive scan oracle checks
+every answer.
+
+Run with::
+
+    python examples/online_maintenance.py
+"""
+
+import random
+
+from repro.core.ads import AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.cost.model import CostModel
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.optimize.mapping import OptimizerConfig
+from repro.optimize.online import MaintainedIndex
+
+
+def main() -> None:
+    rng = random.Random(0)
+    generated = generate_corpus(CorpusConfig(num_ads=1_500, seed=21))
+    workload = generate_workload(
+        generated, QueryConfig(num_distinct=300, total_frequency=5_000, seed=4)
+    )
+    maintained = MaintainedIndex(
+        generated.corpus,
+        workload,
+        CostModel(),
+        config=OptimizerConfig(max_words=8),
+        reopt_threshold=400,
+    )
+    live = list(generated.corpus)
+    vocabulary = generated.vocabulary
+    queries = workload.sample_stream(600, seed=8)
+
+    print(f"start: {len(live):,} ads, "
+          f"{maintained.index.stats().num_nodes:,} nodes")
+    next_listing = 10_000_000
+    for step in range(1_000):
+        roll = rng.random()
+        if roll < 0.45:  # campaign launch
+            words = " ".join(
+                rng.choice(vocabulary) for _ in range(rng.randint(1, 9))
+            )
+            ad = Advertisement.from_text(
+                words, AdInfo(listing_id=next_listing,
+                              bid_price_micros=rng.randint(10_000, 900_000))
+            )
+            next_listing += 1
+            maintained.insert(ad)
+            live.append(ad)
+        elif roll < 0.65 and live:  # campaign retirement
+            victim = live.pop(rng.randrange(len(live)))
+            assert maintained.delete(victim)
+        else:  # serve a query, oracle-checked
+            query = rng.choice(queries)
+            got = sorted(a.info.listing_id
+                         for a in maintained.query_broad(query))
+            want = sorted(a.info.listing_id
+                          for a in naive_broad_match(live, query))
+            assert got == want, f"divergence at step {step}"
+
+    maintained.index.check_invariants()
+    print(f"end:   {len(live):,} ads, "
+          f"{maintained.index.stats().num_nodes:,} nodes, "
+          f"{maintained.reopt_count} periodic re-optimizations, "
+          "all answers oracle-verified")
+
+
+if __name__ == "__main__":
+    main()

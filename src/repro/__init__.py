@@ -1,0 +1,52 @@
+"""repro — reproduction of "A Data Structure for Sponsored Search" (ICDE 2009).
+
+Public API highlights:
+
+* :class:`repro.core.WordSetIndex` — the paper's hash-of-word-sets broad-match
+  index, with data nodes, early termination, and re-mapping support.
+* :mod:`repro.invindex` — the inverted-index baselines the paper compares
+  against (non-redundant rarest-word, counting, fully redundant).
+* :mod:`repro.optimize` — long-phrase re-mapping and the workload-driven
+  weighted-set-cover mapping optimizer.
+* :mod:`repro.compress` — front-coding, delta coding, and the rank/select
+  compressed hash replacement of Section VI.
+* :mod:`repro.cost` — the main-memory cost model and access accounting.
+* :mod:`repro.datagen` — synthetic corpus/workload generators calibrated to
+  the paper's published distributions.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core import (
+    AdCorpus,
+    AdInfo,
+    Advertisement,
+    MatchType,
+    Query,
+    ShardedWordSetIndex,
+    TrieWordSetIndex,
+    Workload,
+    WordSetIndex,
+    explain_broad_match,
+)
+from repro.cost import AccessTracker, CostModel
+from repro.persist import load_index, save_index
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdCorpus",
+    "AdInfo",
+    "Advertisement",
+    "AccessTracker",
+    "CostModel",
+    "MatchType",
+    "Query",
+    "ShardedWordSetIndex",
+    "TrieWordSetIndex",
+    "Workload",
+    "WordSetIndex",
+    "__version__",
+    "explain_broad_match",
+    "load_index",
+    "save_index",
+]

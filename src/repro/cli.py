@@ -1,0 +1,173 @@
+"""Operational command-line interface.
+
+Everything an operator needs without writing Python::
+
+    python -m repro.cli build --ads ads.csv --out index.jsonl \
+        [--workload trace.tsv --optimize --max-words 10]
+    python -m repro.cli query index.jsonl "cheap used books" \
+        [--match broad|phrase|exact] [--top 5]
+    python -m repro.cli explain index.jsonl "cheap used books"
+    python -m repro.cli stats index.jsonl
+
+``build`` imports a corpus (CSV; see :mod:`repro.datagen.importers`),
+optionally optimizes the mapping against an imported workload, and writes
+a snapshot.  ``query``/``explain``/``stats`` operate on snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.explain import explain_broad_match
+from repro.core.matching import MatchType
+from repro.core.queries import Query
+from repro.cost.model import CostModel
+from repro.datagen.importers import load_corpus_csv, load_workload_tsv
+from repro.datagen.stats import profile_corpus, profile_workload
+from repro.optimize.mapping import Mapping, OptimizerConfig, optimize_mapping
+from repro.optimize.remap import long_phrase_mapping
+from repro.persist import load_index, save_index
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    corpus = load_corpus_csv(args.ads, delimiter=args.delimiter)
+    print(f"imported {len(corpus):,} ads from {args.ads}")
+    mapping: Mapping
+    if args.optimize:
+        if not args.workload:
+            print("error: --optimize requires --workload", file=sys.stderr)
+            return 2
+        workload = load_workload_tsv(args.workload)
+        print(
+            f"optimizing against {len(workload):,} distinct queries "
+            f"({workload.total_frequency:,} total) ..."
+        )
+        mapping = optimize_mapping(
+            corpus,
+            workload,
+            CostModel(),
+            OptimizerConfig(max_words=args.max_words),
+        )
+        print(
+            f"mapping: {mapping.remapped_count():,} groups re-mapped to "
+            f"{mapping.num_locators():,} locators"
+        )
+    elif args.max_words is not None:
+        mapping = long_phrase_mapping(corpus, args.max_words)
+    else:
+        mapping = Mapping({})
+    save_index(args.out, corpus, mapping)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def _match_type(name: str) -> MatchType:
+    return {
+        "broad": MatchType.BROAD,
+        "phrase": MatchType.PHRASE,
+        "exact": MatchType.EXACT,
+    }[name]
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    loaded = load_index(args.index)
+    query = Query.from_text(args.query)
+    results = loaded.index.query(query, _match_type(args.match))
+    results.sort(key=lambda ad: -ad.info.bid_price_micros)
+    for ad in results[: args.top]:
+        print(
+            f"listing {ad.info.listing_id}  "
+            f"bid {ad.info.bid_price_micros}  "
+            f"phrase {' '.join(ad.phrase)!r}"
+        )
+    print(f"({len(results)} {args.match}-match result(s))")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    loaded = load_index(args.index)
+    explanation = explain_broad_match(
+        loaded.index, Query.from_text(args.query)
+    )
+    print(explanation.summary())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    loaded = load_index(args.index)
+    stats = loaded.index.stats()
+    print(f"ads:                 {stats.num_ads:,}")
+    print(f"distinct word-sets:  {stats.num_distinct_wordsets:,}")
+    print(f"data nodes:          {stats.num_nodes:,}")
+    print(f"re-mapped groups:    {loaded.mapping.remapped_count():,}")
+    print(f"hash table bytes:    {stats.hash_table_bytes:,}")
+    print(f"node bytes:          {stats.node_bytes:,}")
+    print(f"largest node:        {stats.max_node_entries:,} entries")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    corpus = load_corpus_csv(args.ads, delimiter=args.delimiter)
+    print("== corpus ==")
+    print(profile_corpus(corpus).summary())
+    if args.workload:
+        print("== workload ==")
+        print(profile_workload(load_workload_tsv(args.workload)).summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="Broad-match index operations."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    build = sub.add_parser("build", help="import ads and write a snapshot")
+    build.add_argument("--ads", required=True, help="ad corpus CSV")
+    build.add_argument("--out", required=True, help="snapshot path")
+    build.add_argument("--delimiter", default=",")
+    build.add_argument("--workload", help="query trace TSV for --optimize")
+    build.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the set-cover mapping optimizer against --workload",
+    )
+    build.add_argument("--max-words", type=int, default=None)
+    build.set_defaults(handler=_cmd_build)
+
+    query = sub.add_parser("query", help="run one query against a snapshot")
+    query.add_argument("index")
+    query.add_argument("query")
+    query.add_argument(
+        "--match", choices=("broad", "phrase", "exact"), default="broad"
+    )
+    query.add_argument("--top", type=int, default=10)
+    query.set_defaults(handler=_cmd_query)
+
+    explain = sub.add_parser("explain", help="profile one broad-match query")
+    explain.add_argument("index")
+    explain.add_argument("query")
+    explain.set_defaults(handler=_cmd_explain)
+
+    stats = sub.add_parser("stats", help="snapshot statistics")
+    stats.add_argument("index")
+    stats.set_defaults(handler=_cmd_stats)
+
+    profile = sub.add_parser(
+        "profile", help="Section I-B diagnostics for a corpus/workload"
+    )
+    profile.add_argument("--ads", required=True)
+    profile.add_argument("--delimiter", default=",")
+    profile.add_argument("--workload")
+    profile.set_defaults(handler=_cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

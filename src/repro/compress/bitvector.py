@@ -1,0 +1,172 @@
+"""Bit vectors with O(1) rank and sampled select.
+
+Section VI of the paper encodes the hash table as two compressed binary
+sequences supporting ``B[i]``, ``rank_b(B, i)`` and ``select_b(B, j)``.
+This module implements the plain (uncompressed) broadword variant the paper
+points to as the practical choice [Vigna'08]: 64-bit words, a two-level
+rank directory (superblock cumulative counts + in-word popcount), and
+position-sampled select with local scan.
+
+Space beyond the raw bits is the directory: one 64-bit cumulative count per
+512-bit superblock plus one sampled position per ``SELECT_SAMPLE`` ones —
+a few percent overhead, reported by :meth:`BitVector.size_bits`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+WORD_BITS = 64
+SUPERBLOCK_WORDS = 8  # 512-bit superblocks
+SELECT_SAMPLE = 512  # sample every 512th one-bit
+
+
+class BitVector:
+    """Immutable bit array with rank/select support."""
+
+    __slots__ = ("_n", "_words", "_super_ranks", "_select1_samples", "_ones")
+
+    def __init__(self, bits: Iterable[bool | int]) -> None:
+        words: list[int] = []
+        current = 0
+        offset = 0
+        n = 0
+        for bit in bits:
+            if bit:
+                current |= 1 << offset
+            offset += 1
+            n += 1
+            if offset == WORD_BITS:
+                words.append(current)
+                current = 0
+                offset = 0
+        if offset:
+            words.append(current)
+        self._n = n
+        self._words = words
+        self._build_directories()
+
+    @classmethod
+    def from_positions(cls, length: int, one_positions: Iterable[int]) -> BitVector:
+        """Build a length-``length`` vector with ones at given positions."""
+        positions = sorted(set(one_positions))
+        if positions and (positions[0] < 0 or positions[-1] >= length):
+            raise ValueError("position out of range")
+        vec = cls.__new__(cls)
+        words = [0] * ((length + WORD_BITS - 1) // WORD_BITS)
+        for pos in positions:
+            words[pos // WORD_BITS] |= 1 << (pos % WORD_BITS)
+        vec._n = length
+        vec._words = words
+        vec._build_directories()
+        return vec
+
+    def _build_directories(self) -> None:
+        super_ranks = [0]
+        running = 0
+        for i, word in enumerate(self._words):
+            running += word.bit_count()
+            if (i + 1) % SUPERBLOCK_WORDS == 0:
+                super_ranks.append(running)
+        self._super_ranks = super_ranks
+        self._ones = running
+        samples = []
+        seen = 0
+        for i, word in enumerate(self._words):
+            count = word.bit_count()
+            if seen // SELECT_SAMPLE != (seen + count) // SELECT_SAMPLE or not samples:
+                samples.append((seen, i))
+            seen += count
+        self._select1_samples = samples
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        return (self._words[i // WORD_BITS] >> (i % WORD_BITS)) & 1
+
+    @property
+    def ones(self) -> int:
+        """Total number of 1-bits."""
+        return self._ones
+
+    def rank1(self, i: int) -> int:
+        """Number of 1-bits in the prefix ``B[0:i]`` (exclusive of ``i``)."""
+        if not 0 <= i <= self._n:
+            raise IndexError(i)
+        word_index, bit_index = divmod(i, WORD_BITS)
+        rank = self._super_ranks[word_index // SUPERBLOCK_WORDS]
+        for w in range(
+            (word_index // SUPERBLOCK_WORDS) * SUPERBLOCK_WORDS, word_index
+        ):
+            rank += self._words[w].bit_count()
+        if bit_index:
+            mask = (1 << bit_index) - 1
+            rank += (self._words[word_index] & mask).bit_count()
+        return rank
+
+    def rank0(self, i: int) -> int:
+        """Number of 0-bits in the prefix ``B[0:i]``."""
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th (1-based) 1-bit."""
+        if not 1 <= j <= self._ones:
+            raise ValueError(f"select1({j}) out of range (ones={self._ones})")
+        # Locate the starting word via the samples, then scan.
+        start_word = 0
+        for seen, word_index in self._select1_samples:
+            if seen < j:
+                start_word = word_index
+            else:
+                break
+        seen = self._rank_at_word(start_word)
+        for w in range(start_word, len(self._words)):
+            count = self._words[w].bit_count()
+            if seen + count >= j:
+                word = self._words[w]
+                need = j - seen
+                for bit in range(WORD_BITS):
+                    if (word >> bit) & 1:
+                        need -= 1
+                        if need == 0:
+                            return w * WORD_BITS + bit
+            seen += count
+        raise AssertionError("unreachable: select beyond counted ones")
+
+    def select0(self, j: int) -> int:
+        """Position of the ``j``-th (1-based) 0-bit.  Linear scan per word."""
+        zeros = self._n - self._ones
+        if not 1 <= j <= zeros:
+            raise ValueError(f"select0({j}) out of range (zeros={zeros})")
+        seen = 0
+        for w, word in enumerate(self._words):
+            width = min(WORD_BITS, self._n - w * WORD_BITS)
+            count = width - (word & ((1 << width) - 1)).bit_count()
+            if seen + count >= j:
+                need = j - seen
+                for bit in range(width):
+                    if not (word >> bit) & 1:
+                        need -= 1
+                        if need == 0:
+                            return w * WORD_BITS + bit
+            seen += count
+        raise AssertionError("unreachable: select0 beyond counted zeros")
+
+    def _rank_at_word(self, word_index: int) -> int:
+        rank = self._super_ranks[word_index // SUPERBLOCK_WORDS]
+        for w in range(
+            (word_index // SUPERBLOCK_WORDS) * SUPERBLOCK_WORDS, word_index
+        ):
+            rank += self._words[w].bit_count()
+        return rank
+
+    def size_bits(self) -> int:
+        """Raw bits plus directory overhead (what this structure costs)."""
+        raw = len(self._words) * WORD_BITS
+        directory = len(self._super_ranks) * 64 + len(self._select1_samples) * 128
+        return raw + directory

@@ -1,0 +1,92 @@
+"""Front-coding of phrases within a data node (Section VI).
+
+Re-mapping co-locates phrases sharing words and data nodes are always read
+sequentially, so each phrase can be stored relative to its predecessor: a
+count of shared leading tokens plus the remaining suffix tokens.  Because
+broad match is order-insensitive, we are free to store each phrase's tokens
+in sorted order for coding purposes while keeping the original order
+separately when phrase/exact match support is needed; this module codes a
+given token sequence as-is and leaves ordering policy to the caller.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class FrontCodedPhrase:
+    """One phrase coded relative to its predecessor."""
+
+    shared_tokens: int
+    suffix: tuple[str, ...]
+
+    def encoded_bytes(self) -> int:
+        """1 byte for the shared count + suffix text with separators."""
+        return 1 + sum(len(t.encode("utf-8")) + 1 for t in self.suffix)
+
+
+def _shared_prefix_len(a: Sequence[str], b: Sequence[str]) -> int:
+    n = 0
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        n += 1
+    return n
+
+
+def front_encode(phrases: Sequence[tuple[str, ...]]) -> list[FrontCodedPhrase]:
+    """Code each phrase against its predecessor (first phrase verbatim)."""
+    coded: list[FrontCodedPhrase] = []
+    previous: tuple[str, ...] = ()
+    for phrase in phrases:
+        shared = _shared_prefix_len(previous, phrase)
+        coded.append(
+            FrontCodedPhrase(shared_tokens=shared, suffix=tuple(phrase[shared:]))
+        )
+        previous = phrase
+    return coded
+
+
+def front_decode(coded: Sequence[FrontCodedPhrase]) -> list[tuple[str, ...]]:
+    """Inverse of :func:`front_encode`."""
+    phrases: list[tuple[str, ...]] = []
+    previous: tuple[str, ...] = ()
+    for item in coded:
+        if item.shared_tokens > len(previous):
+            raise ValueError("corrupt front coding: prefix longer than previous")
+        phrase = previous[: item.shared_tokens] + item.suffix
+        phrases.append(phrase)
+        previous = phrase
+    return phrases
+
+
+def plain_size_bytes(phrases: Sequence[tuple[str, ...]]) -> int:
+    """Uncoded size: every token spelled out with a separator."""
+    return sum(
+        sum(len(t.encode("utf-8")) + 1 for t in phrase) for phrase in phrases
+    )
+
+
+def encoded_size_bytes(phrases: Sequence[tuple[str, ...]]) -> int:
+    """Size after front-coding."""
+    return sum(item.encoded_bytes() for item in front_encode(phrases))
+
+
+def node_phrase_order(phrases: Sequence[tuple[str, ...]]) -> list[tuple[str, ...]]:
+    """Order phrases for maximal prefix sharing without breaking the data
+    node's word-count ordering: sort lexicographically *within* each word
+    count (early termination needs the count order across groups only)."""
+    return sorted(phrases, key=lambda p: (len(set(p)), tuple(sorted(p)), p))
+
+
+def compression_ratio(phrases: Sequence[tuple[str, ...]]) -> float:
+    """plain / coded size for the node-optimal ordering (>= 1.0 when the
+    coding helps; 1.0 for empty input)."""
+    ordered = node_phrase_order(phrases)
+    plain = plain_size_bytes(ordered)
+    coded = encoded_size_bytes(ordered)
+    if coded == 0:
+        return 1.0
+    return plain / coded

@@ -1,0 +1,236 @@
+"""RRR-style compressed bit vector: ``nH0(B) + o(n)`` bits with rank/select.
+
+Section VI builds its lookup on "compressed binary sequences ... studied in
+the context of compressed full-text indexes" [Navarro & Mäkinen] whose
+space is ``nH0(B) + o(k) + O(log log n)``.  This module implements the
+classical RRR construction [Raman, Raman, Rao]:
+
+* the bit string is split into blocks of ``BLOCK_BITS`` bits;
+* each block is stored as a *class* (its popcount, ``ceil(log2(b+1))``
+  bits) plus an *offset* (the block's index in the enumeration of all
+  blocks of that class, ``ceil(log2 C(b, c))`` bits — 0 bits for the
+  all-zero and all-one classes);
+* superblocks store cumulative rank and the cumulative bit position of
+  their first block's offset, giving O(superblock) rank and
+  binary-search select.
+
+For the sparse bit arrays of the compressed hash (``B^sig``, ``B^off``)
+the measured size tracks the ``H0`` entropy closely — the property the
+paper's 9:1 example relies on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Iterable
+from math import comb
+
+BLOCK_BITS = 15
+SUPERBLOCK_BLOCKS = 32
+
+_CLASS_BITS = (BLOCK_BITS + 1).bit_length()  # bits to store a popcount 0..15
+
+#: offset widths per class: ceil(log2 C(15, c)) bits.
+_OFFSET_BITS = [
+    max(0, (comb(BLOCK_BITS, c) - 1).bit_length()) for c in range(BLOCK_BITS + 1)
+]
+
+
+def _block_offset(block: int, cls: int) -> int:
+    """Enumerative (combinatorial) index of ``block`` among all
+    ``BLOCK_BITS``-bit values with popcount ``cls``."""
+    offset = 0
+    remaining = cls
+    for bit in range(BLOCK_BITS - 1, -1, -1):
+        if remaining == 0:
+            break
+        if block & (1 << bit):
+            # All values with a 0 at this bit and `remaining` ones in the
+            # lower bits come first.
+            offset += comb(bit, remaining)
+            remaining -= 1
+    return offset
+
+
+def _block_from_offset(offset: int, cls: int) -> int:
+    """Inverse of :func:`_block_offset`."""
+    block = 0
+    remaining = cls
+    for bit in range(BLOCK_BITS - 1, -1, -1):
+        if remaining == 0:
+            break
+        zero_count = comb(bit, remaining)
+        if offset >= zero_count:
+            offset -= zero_count
+            block |= 1 << bit
+            remaining -= 1
+    return block
+
+
+class _BitWriter:
+    def __init__(self) -> None:
+        self._value = 0
+        self._bits = 0
+
+    def write(self, value: int, width: int) -> None:
+        if width:
+            self._value |= value << self._bits
+            self._bits += width
+
+    def read(self, position: int, width: int) -> int:
+        if not width:
+            return 0
+        return (self._value >> position) & ((1 << width) - 1)
+
+    @property
+    def bit_length(self) -> int:
+        return self._bits
+
+
+class RRRBitVector:
+    """Compressed bit vector with rank/select; immutable after build."""
+
+    def __init__(self, bits: Iterable[bool | int]) -> None:
+        blocks: list[int] = []
+        current = 0
+        offset = 0
+        n = 0
+        for bit in bits:
+            if bit:
+                current |= 1 << offset
+            offset += 1
+            n += 1
+            if offset == BLOCK_BITS:
+                blocks.append(current)
+                current = 0
+                offset = 0
+        if offset:
+            blocks.append(current)
+        self._n = n
+        self._num_blocks = len(blocks)
+        self._classes: list[int] = []
+        self._offsets = _BitWriter()
+        #: per-superblock: (cumulative rank, cumulative offset-bit position)
+        self._super: list[tuple[int, int]] = []
+        rank = 0
+        for i, block in enumerate(blocks):
+            if i % SUPERBLOCK_BLOCKS == 0:
+                self._super.append((rank, self._offsets.bit_length))
+            cls = block.bit_count()
+            self._classes.append(cls)
+            self._offsets.write(_block_offset(block, cls), _OFFSET_BITS[cls])
+            rank += cls
+        self._ones = rank
+        # Select samples: superblock index of every SUPERBLOCK_BLOCKS-th one.
+        self._super_ranks = [s[0] for s in self._super]
+
+    @classmethod
+    def from_positions(cls, length: int, one_positions: Iterable[int]) -> RRRBitVector:
+        """Build from sparse 1-bit positions without touching every bit.
+
+        Equivalent to the bit-iterable constructor but O(blocks + ones):
+        essential for the compressed hash's ``B^sig`` (length ``2^s``).
+        """
+        positions = sorted(set(one_positions))
+        if positions and (positions[0] < 0 or positions[-1] >= length):
+            raise ValueError("position out of range")
+        num_blocks = (length + BLOCK_BITS - 1) // BLOCK_BITS
+        blocks: dict[int, int] = {}
+        for pos in positions:
+            blocks[pos // BLOCK_BITS] = blocks.get(pos // BLOCK_BITS, 0) | (
+                1 << (pos % BLOCK_BITS)
+            )
+        vec = cls.__new__(cls)
+        vec._n = length
+        vec._num_blocks = num_blocks
+        vec._classes = []
+        vec._offsets = _BitWriter()
+        vec._super = []
+        rank = 0
+        for i in range(num_blocks):
+            if i % SUPERBLOCK_BLOCKS == 0:
+                vec._super.append((rank, vec._offsets.bit_length))
+            block = blocks.get(i, 0)
+            block_cls = block.bit_count()
+            vec._classes.append(block_cls)
+            vec._offsets.write(
+                _block_offset(block, block_cls), _OFFSET_BITS[block_cls]
+            )
+            rank += block_cls
+        vec._ones = rank
+        vec._super_ranks = [s[0] for s in vec._super]
+        return vec
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def ones(self) -> int:
+        return self._ones
+
+    def _decode_block(self, index: int) -> int:
+        sb = index // SUPERBLOCK_BLOCKS
+        _, bitpos = self._super[sb]
+        for i in range(sb * SUPERBLOCK_BLOCKS, index):
+            bitpos += _OFFSET_BITS[self._classes[i]]
+        cls = self._classes[index]
+        offset = self._offsets.read(bitpos, _OFFSET_BITS[cls])
+        return _block_from_offset(offset, cls)
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        block = self._decode_block(i // BLOCK_BITS)
+        return (block >> (i % BLOCK_BITS)) & 1
+
+    def rank1(self, i: int) -> int:
+        """Number of 1-bits in ``B[0:i]``."""
+        if not 0 <= i <= self._n:
+            raise IndexError(i)
+        block_index, bit_index = divmod(i, BLOCK_BITS)
+        sb = block_index // SUPERBLOCK_BLOCKS
+        rank, bitpos = self._super[sb] if self._super else (0, 0)
+        for b in range(sb * SUPERBLOCK_BLOCKS, block_index):
+            rank += self._classes[b]
+            bitpos += _OFFSET_BITS[self._classes[b]]
+        if bit_index and block_index < self._num_blocks:
+            cls = self._classes[block_index]
+            offset = self._offsets.read(bitpos, _OFFSET_BITS[cls])
+            block = _block_from_offset(offset, cls)
+            rank += (block & ((1 << bit_index) - 1)).bit_count()
+        return rank
+
+    def rank0(self, i: int) -> int:
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th (1-based) 1-bit."""
+        if not 1 <= j <= self._ones:
+            raise ValueError(f"select1({j}) out of range")
+        # Binary search superblocks on cumulative rank, then scan blocks.
+        sb = bisect_right(self._super_ranks, j - 1) - 1
+        rank, bitpos = self._super[sb]
+        for b in range(sb * SUPERBLOCK_BLOCKS, self._num_blocks):
+            cls = self._classes[b]
+            if rank + cls >= j:
+                offset = self._offsets.read(bitpos, _OFFSET_BITS[cls])
+                block = _block_from_offset(offset, cls)
+                need = j - rank
+                for bit in range(BLOCK_BITS):
+                    if (block >> bit) & 1:
+                        need -= 1
+                        if need == 0:
+                            return b * BLOCK_BITS + bit
+            rank += cls
+            bitpos += _OFFSET_BITS[cls]
+        raise AssertionError("unreachable: select beyond counted ones")
+
+    def size_bits(self) -> int:
+        """Actual storage: class stream + offset stream + directories."""
+        class_bits = self._num_blocks * _CLASS_BITS
+        offset_bits = self._offsets.bit_length
+        # One (rank, offset-position) pair per superblock, 32 bits each.
+        directory_bits = len(self._super) * 64
+        return class_bits + offset_bits + directory_bits

@@ -1,0 +1,134 @@
+"""Data nodes: the variable-length records holding co-mapped ads.
+
+A data node (Fig 4/5 of the paper) stores every advertisement mapped to one
+node locator.  Entries are kept **ordered by the number of words in their
+phrase**; during a broad-match probe with query ``Q``, scanning stops at the
+first entry whose phrase has more than ``|Q|`` words, because no later entry
+can satisfy ``words(A) ⊆ Q``.  Ads sharing an identical word-set are stored
+contiguously (the paper's condition IV), which keeps groups atomic for the
+set-cover optimizer.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.ads import Advertisement
+
+#: Fixed per-entry header charged by the size model: a 1-byte word count and
+#: a 2-byte phrase length, mirroring a compact binary record layout.
+ENTRY_HEADER_BYTES = 3
+
+#: Per-node header: entry count (4 bytes).
+NODE_HEADER_BYTES = 4
+
+
+@dataclass(slots=True)
+class NodeEntry:
+    """One advertisement inside a data node, with its scan footprint."""
+
+    ad: Advertisement
+    word_count: int = field(init=False)
+    size_bytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.word_count = len(self.ad.words)
+        self.size_bytes = ENTRY_HEADER_BYTES + self.ad.size_bytes()
+
+
+class DataNode:
+    """All ads mapped to a single node locator, scan-ordered by word count."""
+
+    __slots__ = ("locator", "entries")
+
+    def __init__(self, locator: frozenset[str]) -> None:
+        #: The word-set whose hash addresses this node.  Under the paper's
+        #: mapping constraints every entry's word-set is a superset of it.
+        self.locator = locator
+        self.entries: list[NodeEntry] = []
+
+    def add(self, ad: Advertisement) -> None:
+        """Insert an ad, keeping word-count order and keeping ads that share
+        a word-set contiguous.
+
+        ``insort`` with a ``word_count`` key places the new entry after
+        existing entries of the same word count; because all ads of one
+        word-set arrive with the same count and sets of equal count but
+        different content never interleave a group (groups are contiguous
+        runs we never split), contiguity per word-set is preserved for
+        same-set ads inserted consecutively.  For arbitrary insertion order
+        we place the entry directly after the last entry with the same
+        word-set when one exists.
+        """
+        entry = NodeEntry(ad)
+        for i in range(len(self.entries) - 1, -1, -1):
+            existing = self.entries[i]
+            if existing.word_count < entry.word_count:
+                break
+            if existing.ad.words == ad.words:
+                self.entries.insert(i + 1, entry)
+                return
+        insort(self.entries, entry, key=lambda e: e.word_count)
+
+    def remove(self, ad: Advertisement) -> bool:
+        """Remove one occurrence of ``ad``; returns False if absent."""
+        for i, entry in enumerate(self.entries):
+            if entry.ad == ad:
+                del self.entries[i]
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[NodeEntry]:
+        return iter(self.entries)
+
+    def scan(self, query_words: frozenset[str]) -> tuple[list[Advertisement], int]:
+        """Broad-match probe: return (matches, bytes scanned).
+
+        Scans entries in word-count order, stopping at the first entry whose
+        phrase exceeds ``|query_words|`` words (the early-termination
+        optimization the ordering exists for).  Bytes scanned cover every
+        entry *touched*, matching or not — that is the sequential-read cost
+        the optimizer's ``weight(S)`` charges.
+        """
+        query_len = len(query_words)
+        matched: list[Advertisement] = []
+        scanned = NODE_HEADER_BYTES
+        for entry in self.entries:
+            if entry.word_count > query_len:
+                break
+            scanned += entry.size_bytes
+            if entry.ad.words <= query_words:
+                matched.append(entry.ad)
+        return matched, scanned
+
+    def scan_bytes_for_query_len(self, query_len: int) -> int:
+        """Bytes a probe with a ``query_len``-word query would read."""
+        scanned = NODE_HEADER_BYTES
+        for entry in self.entries:
+            if entry.word_count > query_len:
+                break
+            scanned += entry.size_bytes
+        return scanned
+
+    def size_bytes(self) -> int:
+        """Total encoded size of the node."""
+        return NODE_HEADER_BYTES + sum(e.size_bytes for e in self.entries)
+
+    def distinct_wordsets(self) -> list[frozenset[str]]:
+        """Word-sets present, in scan order, deduplicated."""
+        seen: list[frozenset[str]] = []
+        for entry in self.entries:
+            if not seen or seen[-1] != entry.ad.words:
+                if entry.ad.words not in seen:
+                    seen.append(entry.ad.words)
+        return seen
+
+    def is_ordered(self) -> bool:
+        """Invariant check: entries are non-decreasing in word count."""
+        counts = [e.word_count for e in self.entries]
+        return all(a <= b for a, b in zip(counts, counts[1:]))

@@ -1,0 +1,80 @@
+"""Match semantics: broad, phrase, and exact match, plus a naive oracle.
+
+Definitions follow Section III of the paper:
+
+* **broad match** — ``words(A) ⊆ Q`` (all bid words appear in the query);
+* **phrase match** — the bid's tokens appear in the query *in order and
+  contiguously*;
+* **exact match** — bid tokens equal query tokens exactly.
+
+``naive_broad_match`` scans the whole corpus; it is the correctness oracle
+every index implementation is tested against.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Sequence
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.queries import Query
+
+
+class MatchType(enum.Enum):
+    """The three matching algorithms used in sponsored search."""
+
+    BROAD = "broad"
+    PHRASE = "phrase"
+    EXACT = "exact"
+
+
+def broad_match(ad_words: frozenset[str], query_words: frozenset[str]) -> bool:
+    """``words(A) ⊆ Q``."""
+    return ad_words <= query_words
+
+
+def phrase_match(ad_phrase: Sequence[str], query_tokens: Sequence[str]) -> bool:
+    """True iff ``ad_phrase`` occurs contiguously, in order, in the query."""
+    n, m = len(ad_phrase), len(query_tokens)
+    if n == 0 or n > m:
+        return n == 0
+    phrase = tuple(ad_phrase)
+    return any(tuple(query_tokens[i : i + n]) == phrase for i in range(m - n + 1))
+
+
+def exact_match(ad_phrase: Sequence[str], query_tokens: Sequence[str]) -> bool:
+    """True iff bid and query are token-for-token identical."""
+    return tuple(ad_phrase) == tuple(query_tokens)
+
+
+def matches(ad: Advertisement, query: Query, match_type: MatchType) -> bool:
+    """Apply the requested match semantics to one (ad, query) pair."""
+    if match_type is MatchType.BROAD:
+        return broad_match(ad.words, query.words)
+    if match_type is MatchType.PHRASE:
+        return phrase_match(ad.phrase, query.tokens)
+    return exact_match(ad.phrase, query.tokens)
+
+
+def passes_exclusions(ad: Advertisement, query: Query) -> bool:
+    """Secondary filter: an ad is excluded if any of its exclusion phrases is
+    fully contained in the query (Section I-B's keyword-exclusion)."""
+    from repro.core.tokens import word_set
+
+    return all(not word_set(p) <= query.words for p in ad.info.exclusion_phrases)
+
+
+def naive_broad_match(
+    corpus_or_ads: AdCorpus | Iterable[Advertisement], query: Query
+) -> list[Advertisement]:
+    """Reference broad-match: scan every ad.  O(n); test oracle only."""
+    return [ad for ad in corpus_or_ads if broad_match(ad.words, query.words)]
+
+
+def naive_match(
+    corpus_or_ads: AdCorpus | Iterable[Advertisement],
+    query: Query,
+    match_type: MatchType,
+) -> list[Advertisement]:
+    """Reference matcher for any match type.  O(n); test oracle only."""
+    return [ad for ad in corpus_or_ads if matches(ad, query, match_type)]

@@ -1,0 +1,104 @@
+"""Queries and query workloads.
+
+The paper models a search query as a set of words (order is irrelevant for
+broad match) and a workload ``WL = {Q_1, ..., Q_h}`` with a frequency
+function ``frq``.  Workloads drive both the set-cover optimization
+(Section V) and the experimental throughput measurements (Section VII).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+
+from repro.core.tokens import phrase_tokens
+
+
+@dataclass(frozen=True, slots=True)
+class Query:
+    """A search query: an ordered token tuple plus its folded word-set."""
+
+    tokens: tuple[str, ...]
+
+    @classmethod
+    def from_text(cls, text: str) -> Query:
+        return cls(tokens=phrase_tokens(text))
+
+    @property
+    def words(self) -> frozenset[str]:
+        return frozenset(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+class Workload:
+    """A weighted set of queries with frequencies (``frq`` in the paper)."""
+
+    def __init__(self, weighted_queries: Iterable[tuple[Query, int]] = ()) -> None:
+        self._freq: Counter[Query] = Counter()
+        for query, frequency in weighted_queries:
+            self.add(query, frequency)
+
+    @classmethod
+    def from_trace(cls, queries: Iterable[Query]) -> Workload:
+        """Aggregate a raw query stream into (query, frequency) pairs."""
+        workload = cls()
+        for query in queries:
+            workload.add(query, 1)
+        return workload
+
+    def add(self, query: Query, frequency: int = 1) -> None:
+        if frequency <= 0:
+            raise ValueError("frequency must be positive")
+        self._freq[query] += frequency
+
+    def frq(self, query: Query) -> int:
+        """The paper's ``frq(Q_i)``; 0 for unseen queries."""
+        return self._freq[query]
+
+    def __len__(self) -> int:
+        """Number of *distinct* queries."""
+        return len(self._freq)
+
+    def __iter__(self) -> Iterator[tuple[Query, int]]:
+        return iter(self._freq.items())
+
+    @property
+    def total_frequency(self) -> int:
+        return sum(self._freq.values())
+
+    def distinct_queries(self) -> list[Query]:
+        return list(self._freq)
+
+    def top(self, n: int) -> list[tuple[Query, int]]:
+        """The ``n`` most frequent queries — the head that dominates the
+        power-law workload and matters most for re-mapping decisions."""
+        return self._freq.most_common(n)
+
+    def sample_stream(self, n: int, seed: int = 0) -> list[Query]:
+        """Draw an i.i.d. query stream of length ``n`` from the workload.
+
+        Used to replay a trace against a structure: the workload is the
+        aggregate, the stream is what a server actually sees.
+        """
+        rng = random.Random(seed)
+        queries = list(self._freq)
+        weights = [self._freq[q] for q in queries]
+        return rng.choices(queries, weights=weights, k=n)
+
+    def subsample(self, fraction: float, seed: int = 0) -> Workload:
+        """Binomially subsample the workload (observing a stream for a
+        shorter interval, Section V 'Characterization of the Query
+        Workload')."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        rng = random.Random(seed)
+        sampled = Workload()
+        for query, frequency in self._freq.items():
+            kept = sum(1 for _ in range(frequency) if rng.random() < fraction)
+            if kept:
+                sampled.add(query, kept)
+        return sampled

@@ -1,0 +1,119 @@
+"""Sharded broad-match serving (the Section VII-B setting, generalized).
+
+When the corpus outgrows one machine, the paper splits data across
+servers.  Broad match admits no query-side routing — a match can live in
+any shard, because a query cannot know which subsets other shards index —
+so the standard deployment is **scatter-gather**: ads are partitioned by
+the hash of their word-set (re-mapped groups stay whole, since the mapping
+is applied within the owning shard), every query fans out to all shards,
+and results are unioned.
+
+``ShardedWordSetIndex`` wraps N independent :class:`WordSetIndex` shards
+behind the usual interface; per-shard trackers let the distsim experiments
+price each shard's work separately.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.matching import MatchType
+from repro.core.queries import Query
+from repro.core.wordhash import wordhash
+from repro.core.wordset_index import IndexStats, WordSetIndex
+from repro.cost.accounting import AccessTracker
+
+
+class ShardedWordSetIndex:
+    """Scatter-gather over hash-partitioned WordSetIndex shards."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        max_words: int | None = None,
+        max_query_words: int = 16,
+        trackers: list[AccessTracker] | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if trackers is not None and len(trackers) != num_shards:
+            raise ValueError("need one tracker per shard")
+        self.num_shards = num_shards
+        self.shards = [
+            WordSetIndex(
+                max_words=max_words,
+                max_query_words=max_query_words,
+                tracker=trackers[i] if trackers else None,
+            )
+            for i in range(num_shards)
+        ]
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: AdCorpus | Iterable[Advertisement],
+        num_shards: int,
+        mapping: Mapping[frozenset[str], frozenset[str]] | None = None,
+        max_words: int | None = None,
+        trackers: list[AccessTracker] | None = None,
+    ) -> ShardedWordSetIndex:
+        sharded = cls(
+            num_shards, max_words=max_words, trackers=trackers
+        )
+        for ad in corpus:
+            locator = mapping.get(ad.words) if mapping is not None else None
+            sharded.insert(ad, locator=locator)
+        return sharded
+
+    def shard_of(self, words: frozenset[str]) -> int:
+        """Owning shard: hash of the ad's *word-set* (not its locator), so
+        re-mapping never moves ads between shards."""
+        return wordhash(words) % self.num_shards
+
+    def insert(
+        self, ad: Advertisement, locator: frozenset[str] | None = None
+    ) -> None:
+        self.shards[self.shard_of(ad.words)].insert(ad, locator=locator)
+
+    def delete(self, ad: Advertisement) -> bool:
+        return self.shards[self.shard_of(ad.words)].delete(ad)
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """Scatter to every shard, gather the union (disjoint by
+        construction — each ad lives in exactly one shard)."""
+        results: list[Advertisement] = []
+        for shard in self.shards:
+            results.extend(shard.query_broad(query))
+        return results
+
+    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        results: list[Advertisement] = []
+        for shard in self.shards:
+            results.extend(shard.query(query, match_type))
+        return results
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [len(shard) for shard in self.shards]
+
+    def stats(self) -> list[IndexStats]:
+        return [shard.stats() for shard in self.shards]
+
+    def check_invariants(self) -> None:
+        for i, shard in enumerate(self.shards):
+            shard.check_invariants()
+            for words in shard.placement():
+                assert self.shard_of(words) == i, (
+                    "ad stored in the wrong shard"
+                )
+
+    def balance_factor(self) -> float:
+        """max/mean shard size; 1.0 is perfectly balanced."""
+        sizes = self.shard_sizes()
+        mean = sum(sizes) / len(sizes)
+        if mean == 0:
+            return 1.0
+        return max(sizes) / mean

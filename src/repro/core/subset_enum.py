@@ -1,0 +1,70 @@
+"""Subset enumeration for broad-match query processing.
+
+A query ``Q`` must probe the hash table at every word subset that could be a
+node locator.  Without re-mapping that is all ``2^|Q| - 1`` non-empty
+subsets; once all long phrases are re-mapped to locators of at most
+``max_words`` words, only subsets of size ``<= max_words`` need probing —
+``Σ_{i=1..max_words} C(|Q|, i)`` of them (Section IV-B).
+
+For extremely long queries even the bounded count is prohibitive, so the
+paper applies a heuristic cutoff; we implement it as a hard cap on the
+number of query words considered (keeping the rarest words, which are the
+most selective locator members).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+from collections.abc import Callable, Iterator
+
+
+def lookup_count(query_len: int) -> int:
+    """Number of hash probes without re-mapping: ``2^q - 1``."""
+    return (1 << query_len) - 1
+
+
+def lookup_count_bounded(query_len: int, max_words: int) -> int:
+    """Probes with long-phrase re-mapping: ``Σ_{i=1..max_words} C(q, i)``.
+
+    Equals ``2^q - 1`` whenever ``max_words >= q``.
+    """
+    bound = min(max_words, query_len)
+    return sum(comb(query_len, i) for i in range(1, bound + 1))
+
+
+def bounded_subsets(
+    words: frozenset[str], max_size: int
+) -> Iterator[frozenset[str]]:
+    """Yield all non-empty subsets of ``words`` with ``<= max_size`` elements.
+
+    Subsets are yielded smallest-first; within a size the order is
+    deterministic (sorted words) so traces and costs are reproducible.
+    """
+    ordered = sorted(words)
+    bound = min(max_size, len(ordered))
+    for size in range(1, bound + 1):
+        for combo in combinations(ordered, size):
+            yield frozenset(combo)
+
+
+def truncate_query(
+    words: frozenset[str],
+    max_query_words: int,
+    selectivity: Callable[[str], int] | None = None,
+) -> frozenset[str]:
+    """Heuristic cutoff for extremely long queries (Section IV-B).
+
+    Keeps the ``max_query_words`` most selective words — by corpus document
+    frequency when ``selectivity`` is given (lower = rarer = kept first),
+    else lexicographically (deterministic fallback).  Dropping words can
+    only lose matches whose bid contains a dropped word, which is the
+    recall/latency trade-off the paper accepts for outlier queries.
+    """
+    if len(words) <= max_query_words:
+        return words
+    if selectivity is None:
+        kept = sorted(words)[:max_query_words]
+    else:
+        kept = sorted(words, key=lambda w: (selectivity(w), w))[:max_query_words]
+    return frozenset(kept)

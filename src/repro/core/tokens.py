@@ -1,0 +1,92 @@
+"""Tokenization and normalization of bid phrases and queries.
+
+The paper (Section III-B) defines broad-match over *sets* of words, with one
+special case: repeated words carry meaning ("Talk Talk" is a band, not the
+word "talk" twice), so the correct semantics is that a word occurring k times
+in a bid must occur exactly k times in the query.  The paper handles this by
+folding the i-th occurrence of a word into a distinct synthetic token; we do
+the same, rewriting the i-th occurrence (i >= 2) of word ``w`` as ``w__i``.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+# Unicode word characters except underscore (reserved for duplicate
+# folding), allowing internal apostrophes ("rock'n'roll").  Keeping
+# underscore out of the alphabet also means folded tokens like "talk__2"
+# can never be forged from raw input text.
+_TOKEN_RE = re.compile(r"[^\W_]+(?:'[^\W_]+)*")
+
+#: Separator used to mark folded duplicate occurrences.  Double underscore is
+#: not produced by :func:`tokenize`, so folded tokens cannot collide with
+#: ordinary words.
+DUPLICATE_SEP = "__"
+
+
+def tokenize(text: str) -> list[str]:
+    """Split raw text into lowercase word tokens (unicode-aware).
+
+    Punctuation is discarded; apostrophes inside words are kept so that
+    contractions ("rock'n'roll") survive as a single token; non-Latin
+    scripts tokenize as whitespace-separated words.
+
+    >>> tokenize("Cheap USED Books!")
+    ['cheap', 'used', 'books']
+    >>> tokenize("günstige Bücher")
+    ['günstige', 'bücher']
+    """
+    return _TOKEN_RE.findall(text.lower())
+
+
+def fold_duplicates(words: Sequence[str]) -> list[str]:
+    """Rewrite repeated words as positional tokens, preserving order.
+
+    The first occurrence of a word is unchanged; the i-th occurrence becomes
+    ``word__i``.  Applying this to both bids and queries makes plain
+    subset-of-sets semantics implement the paper's duplicate-word rule.
+
+    >>> fold_duplicates(["talk", "talk"])
+    ['talk', 'talk__2']
+    """
+    seen: Counter[str] = Counter()
+    folded = []
+    for word in words:
+        seen[word] += 1
+        if seen[word] == 1:
+            folded.append(word)
+        else:
+            folded.append(f"{word}{DUPLICATE_SEP}{seen[word]}")
+    return folded
+
+
+def unfold_token(token: str) -> str:
+    """Return the underlying word of a (possibly folded) token.
+
+    >>> unfold_token("talk__2")
+    'talk'
+    >>> unfold_token("talk")
+    'talk'
+    """
+    base, sep, suffix = token.rpartition(DUPLICATE_SEP)
+    if sep and suffix.isdigit():
+        return base
+    return token
+
+
+def phrase_tokens(text: str) -> tuple[str, ...]:
+    """Tokenize ``text`` and fold duplicates; the canonical phrase form.
+
+    The returned tuple preserves word order (needed for phrase-match and
+    exact-match) while its ``frozenset`` is the broad-match word-set.
+    """
+    return tuple(fold_duplicates(tokenize(text)))
+
+
+def word_set(text_or_tokens: str | Iterable[str]) -> frozenset[str]:
+    """Return the folded word-set for a phrase or pre-tokenized sequence."""
+    if isinstance(text_or_tokens, str):
+        return frozenset(phrase_tokens(text_or_tokens))
+    return frozenset(fold_duplicates(list(text_or_tokens)))

@@ -1,0 +1,217 @@
+"""Tree-structured lookup table (Section III-B, "Tree-structured lookup
+tables").
+
+The paper notes the re-mapping scheme also works when the associative
+structure is a tree rather than a hash table.  This module implements that
+variant as a **trie over sorted node-locator words**: the locator
+``{books, used}`` is stored on the path ``books -> used``.
+
+Query processing becomes a DFS: starting at the root, descend only along
+edges labeled with query words that sort *after* the edge already taken.
+This enumerates exactly the locators that (a) exist and (b) are subsets of
+the query — never the ``2^|Q| - 1`` candidate subsets a hash table must
+probe.  The trade-off mirrors the classic hash-vs-tree one: per-step
+pointer chasing and a traversal whose size depends on the corpus rather
+than constant-time direct probes.
+
+The query interface, re-mapping constraints, deletion behaviour, and
+tracker accounting all match :class:`~repro.core.wordset_index.WordSetIndex`,
+so the two structures are drop-in interchangeable (and cross-checked by the
+test suite and the ablation benchmarks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.data_node import DataNode
+from repro.core.matching import MatchType, exact_match, phrase_match
+from repro.core.queries import Query
+from repro.core.subset_enum import truncate_query
+from repro.cost.accounting import AccessTracker
+
+#: Modeled bytes read when following one trie edge (hashed child lookup:
+#: key reference + child pointer).
+TRIE_EDGE_BYTES = 16
+
+
+class _TrieNode:
+    __slots__ = ("children", "data")
+
+    def __init__(self) -> None:
+        self.children: dict[str, _TrieNode] = {}
+        self.data: DataNode | None = None
+
+
+class TrieWordSetIndex:
+    """Broad-match index backed by a word trie instead of a hash table."""
+
+    def __init__(
+        self,
+        max_words: int | None = None,
+        max_query_words: int = 24,
+        tracker: AccessTracker | None = None,
+    ) -> None:
+        if max_words is not None and max_words < 1:
+            raise ValueError("max_words must be >= 1")
+        self.max_words = max_words
+        self.max_query_words = max_query_words
+        self.tracker = tracker
+        self._root = _TrieNode()
+        self._placement: dict[frozenset[str], frozenset[str]] = {}
+        self._num_ads = 0
+        self._num_data_nodes = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: AdCorpus | Iterable[Advertisement],
+        mapping: Mapping[frozenset[str], frozenset[str]] | None = None,
+        max_words: int | None = None,
+        tracker: AccessTracker | None = None,
+    ) -> TrieWordSetIndex:
+        index = cls(max_words=max_words, tracker=tracker)
+        for ad in corpus:
+            locator = mapping.get(ad.words) if mapping is not None else None
+            index.insert(ad, locator=locator)
+        return index
+
+    def insert(
+        self, ad: Advertisement, locator: frozenset[str] | None = None
+    ) -> None:
+        """Same placement semantics as the hash index (conditions I-IV)."""
+        established = self._placement.get(ad.words)
+        if established is not None:
+            locator = established
+        elif locator is None:
+            locator = ad.words
+        if not locator:
+            raise ValueError("node locator must be non-empty")
+        if not locator <= ad.words:
+            raise ValueError("locator must be a subset of the ad's words")
+        if self.max_words is not None and len(locator) > self.max_words:
+            raise ValueError("locator exceeds max_words")
+        node = self._root
+        for word in sorted(locator):
+            child = node.children.get(word)
+            if child is None:
+                child = _TrieNode()
+                node.children[word] = child
+            node = child
+        if node.data is None:
+            node.data = DataNode(locator)
+            self._num_data_nodes += 1
+        node.data.add(ad)
+        self._placement[ad.words] = locator
+        self._num_ads += 1
+
+    def delete(self, ad: Advertisement) -> bool:
+        """Remove ``ad``; prunes empty trie branches."""
+        locator = self._placement.get(ad.words)
+        if locator is None:
+            return False
+        path: list[tuple[_TrieNode, str]] = []
+        node = self._root
+        for word in sorted(locator):
+            child = node.children.get(word)
+            if child is None:
+                return False
+            path.append((node, word))
+            node = child
+        if node.data is None or not node.data.remove(ad):
+            return False
+        self._num_ads -= 1
+        if not any(e.ad.words == ad.words for e in node.data.entries):
+            del self._placement[ad.words]
+        if not node.data.entries:
+            node.data = None
+            self._num_data_nodes -= 1
+            # Prune now-empty suffix of the path.
+            for parent, word in reversed(path):
+                child = parent.children[word]
+                if child.data is None and not child.children:
+                    del parent.children[word]
+                else:
+                    break
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        return self._query(query, MatchType.BROAD)
+
+    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        return self._query(query, match_type)
+
+    def _query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        words = truncate_query(query.words, self.max_query_words)
+        ordered = sorted(words)
+        results: list[Advertisement] = []
+        tracker = self.tracker
+        max_depth = (
+            len(ordered) if self.max_words is None
+            else min(len(ordered), self.max_words)
+        )
+
+        # Iterative DFS: (trie node, index of the next candidate word,
+        # depth).  Descending on ordered[i] keeps word order canonical, so
+        # every existing subset-locator is visited exactly once.
+        stack: list[tuple[_TrieNode, int, int]] = [(self._root, 0, 0)]
+        while stack:
+            node, start, depth = stack.pop()
+            if node.data is not None and depth > 0:
+                matched, scanned = node.data.scan(words)
+                if tracker is not None:
+                    tracker.random_access(scanned)
+                    tracker.candidate(
+                        sum(
+                            1
+                            for e in node.data.entries
+                            if e.word_count <= len(words)
+                        )
+                    )
+                results.extend(matched)
+            if depth >= max_depth:
+                continue
+            for i in range(start, len(ordered)):
+                child = node.children.get(ordered[i])
+                if tracker is not None:
+                    # One edge-lookup per candidate word tried.
+                    tracker.random_access(TRIE_EDGE_BYTES)
+                if child is not None:
+                    stack.append((child, i + 1, depth + 1))
+        if tracker is not None:
+            tracker.query_done()
+        if match_type is MatchType.BROAD:
+            return results
+        if match_type is MatchType.PHRASE:
+            return [a for a in results if phrase_match(a.phrase, query.tokens)]
+        return [a for a in results if exact_match(a.phrase, query.tokens)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def __len__(self) -> int:
+        return self._num_ads
+
+    @property
+    def num_data_nodes(self) -> int:
+        return self._num_data_nodes
+
+    def placement(self) -> dict[frozenset[str], frozenset[str]]:
+        return dict(self._placement)
+
+    def trie_size(self) -> int:
+        """Total number of trie nodes (including the root)."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count

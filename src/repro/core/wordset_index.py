@@ -1,0 +1,323 @@
+"""The paper's broad-match index: a hash table over word-sets (Section III).
+
+Every advertisement lives in exactly one *data node*; the node is addressed
+by ``wordhash`` of its *node locator* — by default the ad's own word-set,
+or, after re-mapping, any subset of it.  A broad-match query probes the hash
+table at every candidate subset of its words and scans the hit nodes.
+
+Hash collisions between distinct word-sets are tolerated exactly as in the
+paper: colliding sets share a node, and every probe verifies the stored
+phrases, so results are always exact.
+
+The index reports its memory operations to an optional
+:class:`~repro.cost.accounting.AccessTracker`, which is how all experiments
+measure and compare structures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.data_node import DataNode
+from repro.core.matching import MatchType, exact_match, phrase_match
+from repro.core.queries import Query
+from repro.core.subset_enum import bounded_subsets, truncate_query
+from repro.core.wordhash import wordhash
+from repro.cost.accounting import AccessTracker
+
+#: Default cap on query words considered during subset enumeration — the
+#: paper's "heuristic cutoff for extremely long queries" (Section IV-B).
+DEFAULT_MAX_QUERY_WORDS = 16
+
+#: Hash-table space blow-up assumed by the paper's sizing example (4/3).
+HASH_TABLE_BLOWUP = 4 / 3
+
+#: Bytes per hash-table bucket entry: 8-byte stored signature + 8-byte
+#: pointer/offset to the data node.
+HASH_BUCKET_BYTES = 16
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Structural statistics of a built index."""
+
+    num_ads: int
+    num_nodes: int
+    num_distinct_wordsets: int
+    hash_table_bytes: int
+    node_bytes: int
+    max_node_entries: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.hash_table_bytes + self.node_bytes
+
+
+class WordSetIndex:
+    """Hash-of-word-sets broad-match index with optional re-mapping.
+
+    Parameters
+    ----------
+    max_words:
+        If set, node locators longer than this are disallowed; ads with
+        longer word-sets must be placed via an explicit mapping (see
+        :mod:`repro.optimize.remap`).  ``None`` means identity placement for
+        every ad (the "no re-mapping" configuration of Fig 10 variant (a)).
+    max_query_words:
+        Heuristic cutoff: queries longer than this are truncated to their
+        rarest words before subset enumeration.
+    tracker:
+        Optional :class:`AccessTracker` receiving the memory operations of
+        every query.
+    """
+
+    def __init__(
+        self,
+        max_words: int | None = None,
+        max_query_words: int = DEFAULT_MAX_QUERY_WORDS,
+        tracker: AccessTracker | None = None,
+    ) -> None:
+        if max_words is not None and max_words < 1:
+            raise ValueError("max_words must be >= 1")
+        if max_query_words < 1:
+            raise ValueError("max_query_words must be >= 1")
+        self.max_words = max_words
+        self.max_query_words = max_query_words
+        self.tracker = tracker
+        self._nodes: dict[int, DataNode] = {}
+        #: word-set -> locator it is currently mapped to (identity unless
+        #: a mapping re-mapped it).  Needed for deletion and invariants.
+        self._placement: dict[frozenset[str], frozenset[str]] = {}
+        self._num_ads = 0
+        self._word_freq_fn = None  # selectivity for query truncation
+
+    # ------------------------------------------------------------------ #
+    # Construction
+
+    @classmethod
+    def from_corpus(
+        cls,
+        corpus: AdCorpus | Iterable[Advertisement],
+        mapping: Mapping[frozenset[str], frozenset[str]] | None = None,
+        max_words: int | None = None,
+        max_query_words: int = DEFAULT_MAX_QUERY_WORDS,
+        tracker: AccessTracker | None = None,
+    ) -> WordSetIndex:
+        """Build an index, optionally under a re-mapping.
+
+        ``mapping`` maps a bid word-set to the locator its ads should live
+        at; word-sets absent from the mapping are placed at themselves.
+        """
+        index = cls(
+            max_words=max_words, max_query_words=max_query_words, tracker=tracker
+        )
+        if isinstance(corpus, AdCorpus):
+            index._word_freq_fn = corpus.word_frequency
+        for ad in corpus:
+            locator = None
+            if mapping is not None:
+                locator = mapping.get(ad.words)
+            index.insert(ad, locator=locator)
+        return index
+
+    def insert(
+        self, ad: Advertisement, locator: frozenset[str] | None = None
+    ) -> None:
+        """Place ``ad`` at ``locator`` (default: its own word-set).
+
+        Enforces the paper's mapping constraints: the locator must be a
+        non-empty subset of the ad's words, within ``max_words``, and all
+        ads sharing a word-set must share a node (condition IV) — a second
+        ad of an already-placed word-set follows its group regardless of
+        the ``locator`` argument.
+        """
+        established = self._placement.get(ad.words)
+        if established is not None:
+            locator = established
+        elif locator is None:
+            locator = ad.words
+        self._check_locator(ad, locator)
+        key = wordhash(locator)
+        node = self._nodes.get(key)
+        if node is None:
+            node = DataNode(locator)
+            self._nodes[key] = node
+        node.add(ad)
+        self._placement[ad.words] = locator
+        self._num_ads += 1
+
+    def _check_locator(self, ad: Advertisement, locator: frozenset[str]) -> None:
+        if not locator:
+            raise ValueError("node locator must be non-empty")
+        if not locator <= ad.words:
+            raise ValueError(
+                f"locator {set(locator)!r} is not a subset of the ad words "
+                f"{set(ad.words)!r}"
+            )
+        if self.max_words is not None and len(locator) > self.max_words:
+            raise ValueError(
+                f"locator has {len(locator)} words, exceeding max_words="
+                f"{self.max_words}"
+            )
+
+    def delete(self, ad: Advertisement) -> bool:
+        """Remove ``ad``; returns False if it was not indexed.
+
+        As the paper notes, deletion under re-mapping must locate the node
+        via the placement of the ad's word-set (equivalent to a broad-match
+        probe); empty nodes are dropped from the hash table.
+        """
+        locator = self._placement.get(ad.words)
+        if locator is None:
+            return False
+        key = wordhash(locator)
+        node = self._nodes.get(key)
+        if node is None or not node.remove(ad):
+            return False
+        self._num_ads -= 1
+        if not any(e.ad.words == ad.words for e in node.entries):
+            del self._placement[ad.words]
+        if not node.entries:
+            del self._nodes[key]
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """All ads whose word-set is a subset of the query's words."""
+        return self._probe(query, MatchType.BROAD)
+
+    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        """Process a query under any of the three match semantics.
+
+        Phrase- and exact-match reuse the same probes; only the final
+        verification against the stored phrase changes (Section III-B).
+        """
+        return self._probe(query, match_type)
+
+    def _probe(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        words = truncate_query(
+            query.words, self.max_query_words, self._word_freq_fn
+        )
+        probe_bound = len(words)
+        if self.max_words is not None:
+            probe_bound = min(probe_bound, self.max_words)
+        tracker = self.tracker
+        results: list[Advertisement] = []
+        visited: set[int] = set()
+        for subset in bounded_subsets(words, probe_bound):
+            key = wordhash(subset)
+            if tracker is not None:
+                tracker.hash_probe(HASH_BUCKET_BYTES)
+            if key in visited:
+                # Two probed subsets collided to the same bucket; scanning
+                # the node again would duplicate results.
+                continue
+            visited.add(key)
+            node = self._nodes.get(key)
+            if node is None or node.locator != subset:
+                # Either an empty bucket, or a bucket created by a different
+                # (hash-colliding) word-set: a real implementation detects
+                # the latter by comparing stored signatures/phrases; we only
+                # probe on, never report, so results stay exact either way.
+                if node is not None:
+                    results.extend(
+                        self._scan_node(node, query, words, match_type)
+                    )
+                continue
+            results.extend(self._scan_node(node, query, words, match_type))
+        if tracker is not None:
+            tracker.query_done()
+        return results
+
+    def _scan_node(
+        self,
+        node: DataNode,
+        query: Query,
+        probe_words: frozenset[str],
+        match_type: MatchType,
+    ) -> list[Advertisement]:
+        tracker = self.tracker
+        matched, scanned = node.scan(probe_words)
+        if tracker is not None:
+            tracker.random_access(scanned)
+            tracker.candidate(
+                sum(1 for e in node.entries if e.word_count <= len(probe_words))
+            )
+        if match_type is MatchType.BROAD:
+            return matched
+        if match_type is MatchType.PHRASE:
+            return [
+                ad for ad in matched if phrase_match(ad.phrase, query.tokens)
+            ]
+        return [ad for ad in matched if exact_match(ad.phrase, query.tokens)]
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def __len__(self) -> int:
+        return self._num_ads
+
+    @property
+    def nodes(self) -> dict[int, DataNode]:
+        """The hash table, keyed by ``wordhash`` of the node locator."""
+        return self._nodes
+
+    def placement(self) -> dict[frozenset[str], frozenset[str]]:
+        """Current word-set -> locator mapping (identity if never remapped)."""
+        return dict(self._placement)
+
+    def node_for(self, words: frozenset[str]) -> DataNode | None:
+        """The node currently holding ads with word-set ``words``."""
+        locator = self._placement.get(words)
+        if locator is None:
+            return None
+        return self._nodes.get(wordhash(locator))
+
+    def hash_table_bytes(self) -> int:
+        """Modeled size of the hash table (buckets x blow-up)."""
+        return int(len(self._nodes) * HASH_BUCKET_BYTES * HASH_TABLE_BLOWUP)
+
+    def stats(self) -> IndexStats:
+        """Structural statistics (node counts, modeled byte sizes)."""
+        node_bytes = sum(n.size_bytes() for n in self._nodes.values())
+        return IndexStats(
+            num_ads=self._num_ads,
+            num_nodes=len(self._nodes),
+            num_distinct_wordsets=len(self._placement),
+            hash_table_bytes=self.hash_table_bytes(),
+            node_bytes=node_bytes,
+            max_node_entries=max(
+                (len(n) for n in self._nodes.values()), default=0
+            ),
+        )
+
+    def check_invariants(self) -> None:
+        """Validate the paper's mapping conditions I-IV plus node ordering.
+
+        Raises ``AssertionError`` on violation; used by tests and after
+        online maintenance operations.
+        """
+        seen_sets: set[frozenset[str]] = set()
+        total = 0
+        for key, node in self._nodes.items():
+            assert node.entries, f"empty node left in table (key {key})"
+            assert node.is_ordered(), "node entries not ordered by word count"
+            for entry in node.entries:
+                total += 1
+                words = entry.ad.words
+                assert node.locator <= words, "locator not a subset of ad words"
+                assert self._placement.get(words) is not None, (
+                    "indexed ad missing from placement map"
+                )
+                assert wordhash(self._placement[words]) == key, (
+                    "condition IV violated: word-set split across nodes"
+                )
+                seen_sets.add(words)
+            if self.max_words is not None:
+                assert len(node.locator) <= self.max_words
+        assert total == self._num_ads, "ad count mismatch (conditions I/II)"
+        assert seen_sets == set(self._placement), "placement map out of sync"

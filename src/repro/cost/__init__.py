@@ -1,0 +1,25 @@
+"""Main-memory cost modeling (Section IV of the paper).
+
+``CostModel`` prices random accesses and sequential scans; ``AccessTracker``
+counts what a structure actually did; ``workload_cost`` evaluates the
+analytic ``Cost(WL, M)`` of Section V-A used by the optimizer.
+"""
+
+from repro.cost.accounting import AccessStats, AccessTracker
+from repro.cost.model import CostModel
+from repro.cost.workload_cost import (
+    cost_hash,
+    cost_node,
+    cost_node_single,
+    total_cost,
+)
+
+__all__ = [
+    "AccessStats",
+    "AccessTracker",
+    "CostModel",
+    "cost_hash",
+    "cost_node",
+    "cost_node_single",
+    "total_cost",
+]

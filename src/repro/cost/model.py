@@ -1,0 +1,70 @@
+"""The paper's cost model for main-memory access (Section IV-A).
+
+A random access costs ``Cost_Random`` (TLB miss, possible page walk, no DRAM
+burst); a sequential read of ``m`` bytes after a random positioning costs
+``Cost_Scan(m)``.  The paper only requires ``Cost_Scan`` to be positive and
+monotonically increasing; we use a linear model ``m / bandwidth`` with
+defaults calibrated to commodity-DRAM figures (≈100 ns random latency,
+≈10 GB/s effective sequential bandwidth), which reproduces the paper's key
+ratio: sequential bytes are orders of magnitude cheaper than random hops,
+but far less extreme than on disk — which is what bounds node size ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Prices memory operations in nanoseconds.
+
+    Parameters
+    ----------
+    cost_random_ns:
+        ``Cost_Random`` — latency of one random main-memory access.
+    scan_ns_per_byte:
+        Slope of ``Cost_Scan(m) = m * scan_ns_per_byte``; the reciprocal of
+        sequential bandwidth.
+    mem_hash_bytes:
+        Bytes read per hash-table probe (``mem_hash`` in ``Cost_Hash``):
+        one bucket entry (stored signature + pointer/offset).
+    """
+
+    cost_random_ns: float = 100.0
+    scan_ns_per_byte: float = 0.1
+    mem_hash_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.cost_random_ns <= 0 or self.scan_ns_per_byte <= 0:
+            raise ValueError("costs must be positive")
+        if self.mem_hash_bytes <= 0:
+            raise ValueError("mem_hash_bytes must be positive")
+
+    def cost_random(self) -> float:
+        """``Cost_Random`` in ns."""
+        return self.cost_random_ns
+
+    def cost_scan(self, nbytes: int) -> float:
+        """``Cost_Scan(m)``: monotone increasing, positive for m >= 0."""
+        if nbytes < 0:
+            raise ValueError("cannot scan a negative number of bytes")
+        return nbytes * self.scan_ns_per_byte
+
+    def hash_probe_cost(self) -> float:
+        """One probe: a random access plus scanning ``mem_hash`` bytes."""
+        return self.cost_random_ns + self.cost_scan(self.mem_hash_bytes)
+
+    def break_even_bytes(self) -> int:
+        """Bytes of sequential scanning worth one random access.
+
+        This is the quantity that bounds data-node size in Section V-B: once
+        the wasted scan past a random access's worth of bytes, splitting the
+        node wins.  With the defaults this is 1000 bytes — a small number of
+        ads, exactly the paper's ``k`` argument.
+        """
+        return int(self.cost_random_ns / self.scan_ns_per_byte)
+
+
+#: Default model used across experiments; matches DESIGN.md calibration.
+DEFAULT_COST_MODEL = CostModel()

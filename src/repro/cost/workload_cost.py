@@ -1,0 +1,105 @@
+"""Analytic workload cost ``Cost(WL, M)`` (Section V-A of the paper).
+
+These functions evaluate the closed-form cost the optimizer minimizes,
+without executing any query:
+
+* ``cost_hash`` — probing the hash table: every query pays one random access
+  plus a ``mem_hash``-byte read per candidate subset, with the number of
+  probes ``min(2^|Q| - 1, Σ_{i<=max_words} C(|Q|, i))``;
+* ``cost_node`` — visiting data nodes: for every occupied node whose locator
+  is a subset of the query, one random access plus sequentially reading
+  every entry whose phrase has at most ``|Q|`` words (entries beyond that
+  are never touched thanks to the word-count ordering);
+* ``total_cost`` — their sum.
+
+``cost_node_single`` is the per-node contribution — exactly the
+``weight(S)`` of equation (2) that the set-cover reduction assigns to a
+candidate node content ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.subset_enum import lookup_count, lookup_count_bounded
+from repro.cost.model import CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycle
+    from repro.core.data_node import DataNode
+    from repro.core.queries import Query, Workload
+    from repro.core.wordset_index import WordSetIndex
+
+
+def query_lookup_count(query_len: int, max_words: int | None) -> int:
+    """Hash probes required by a query of ``query_len`` words."""
+    if max_words is None:
+        return lookup_count(query_len)
+    return min(lookup_count(query_len), lookup_count_bounded(query_len, max_words))
+
+
+def cost_hash(
+    workload: Workload, model: CostModel, max_words: int | None
+) -> float:
+    """``Cost_Hash(WL, M)``: probe count priced at random + mem_hash scan.
+
+    Independent of the mapping ``M`` (only ``max_words`` matters), which is
+    why the optimizer drops it from the objective.
+    """
+    total = 0.0
+    probe_cost = model.cost_random() + model.cost_scan(model.mem_hash_bytes)
+    for query, frequency in workload:
+        probes = query_lookup_count(len(query.words), max_words)
+        total += frequency * probes * probe_cost
+    return total
+
+
+def _node_scan_cost(node: DataNode, query_len: int, model: CostModel) -> float:
+    """Sequential cost of one probe into ``node`` for a ``query_len`` query."""
+    return model.cost_scan(node.scan_bytes_for_query_len(query_len))
+
+
+def cost_node_single(
+    node: DataNode, workload: Workload, model: CostModel
+) -> float:
+    """``weight(S)`` of equation (2) for the node content ``S``.
+
+    Sums, over every workload query whose word-set contains the node
+    locator, one random access plus the sequential read of all entries not
+    cut off by early termination.
+    """
+    locator = node.locator
+    total = 0.0
+    for query, frequency in workload:
+        if locator <= query.words:
+            total += frequency * (
+                model.cost_random() + _node_scan_cost(node, len(query.words), model)
+            )
+    return total
+
+
+def cost_node(
+    index: WordSetIndex, workload: Workload, model: CostModel
+) -> float:
+    """``Cost_Node(WL, M)`` for the mapping realized by ``index``."""
+    # Group nodes by locator size first so each query only considers nodes
+    # whose locator could fit inside it.
+    nodes = list(index.nodes.values())
+    total = 0.0
+    for query, frequency in workload:
+        words = query.words
+        query_len = len(words)
+        for node in nodes:
+            if len(node.locator) <= query_len and node.locator <= words:
+                total += frequency * (
+                    model.cost_random() + _node_scan_cost(node, query_len, model)
+                )
+    return total
+
+
+def total_cost(
+    index: WordSetIndex, workload: Workload, model: CostModel
+) -> float:
+    """``Cost(WL, M) = Cost_Hash + Cost_Node``."""
+    return cost_hash(workload, model, index.max_words) + cost_node(
+        index, workload, model
+    )

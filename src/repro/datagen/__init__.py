@@ -1,0 +1,52 @@
+"""Synthetic data generation calibrated to the paper's published
+distributions (substituting for its proprietary corpora and traces)."""
+
+from repro.datagen.corpus import (
+    BID_LENGTH_PROBS,
+    CorpusConfig,
+    GeneratedCorpus,
+    generate_corpus,
+    length_cumulative_fractions,
+)
+from repro.datagen.importers import (
+    ImportFormatError,
+    load_corpus_csv,
+    load_workload_tsv,
+)
+from repro.datagen.mtgen import (
+    MT_LENGTH_PROBS,
+    drop_off_ratio,
+    mt_length_histogram,
+)
+from repro.datagen.querygen import QueryConfig, generate_workload, sample_trace
+from repro.datagen.stats import (
+    CorpusProfile,
+    WorkloadProfile,
+    profile_corpus,
+    profile_workload,
+)
+from repro.datagen.zipf import ZipfSampler, fit_power_law_slope, zipf_frequencies
+
+__all__ = [
+    "BID_LENGTH_PROBS",
+    "CorpusConfig",
+    "CorpusProfile",
+    "GeneratedCorpus",
+    "ImportFormatError",
+    "MT_LENGTH_PROBS",
+    "QueryConfig",
+    "WorkloadProfile",
+    "ZipfSampler",
+    "drop_off_ratio",
+    "fit_power_law_slope",
+    "generate_corpus",
+    "generate_workload",
+    "length_cumulative_fractions",
+    "load_corpus_csv",
+    "load_workload_tsv",
+    "mt_length_histogram",
+    "profile_corpus",
+    "profile_workload",
+    "sample_trace",
+    "zipf_frequencies",
+]

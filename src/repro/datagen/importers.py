@@ -1,0 +1,133 @@
+"""Corpus importers: load real advertiser data from delimited files.
+
+A downstream adopter has bids in a spreadsheet export, not a synthetic
+generator.  ``load_corpus_csv`` reads a delimited file with columns
+
+    bid_phrase, listing_id[, campaign_id][, bid_price_micros][, exclusions]
+
+(``exclusions`` is ``|``-separated).  Column order is taken from the
+header; missing optional columns default sensibly.  Malformed rows raise
+:class:`ImportFormatError` with the offending line number — silent row
+dropping turns into silently missing ads at serving time.
+
+``load_workload_tsv`` reads a query trace: one query per line, optionally
+``query<TAB>frequency``.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query, Workload
+
+
+class ImportFormatError(ValueError):
+    """Raised for malformed import files, with the line number."""
+
+
+REQUIRED_COLUMNS = ("bid_phrase", "listing_id")
+OPTIONAL_COLUMNS = ("campaign_id", "bid_price_micros", "exclusions")
+
+
+def load_corpus_csv(path: str | Path, delimiter: str = ",") -> AdCorpus:
+    """Read an ad corpus from a delimited file with a header row."""
+    path = Path(path)
+    corpus = AdCorpus()
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle, delimiter=delimiter)
+        if reader.fieldnames is None:
+            raise ImportFormatError(f"{path}: empty file")
+        missing = [c for c in REQUIRED_COLUMNS if c not in reader.fieldnames]
+        if missing:
+            raise ImportFormatError(
+                f"{path}: missing required column(s) {missing}"
+            )
+        unknown = [
+            c
+            for c in reader.fieldnames
+            if c not in REQUIRED_COLUMNS + OPTIONAL_COLUMNS
+        ]
+        if unknown:
+            raise ImportFormatError(f"{path}: unknown column(s) {unknown}")
+        for line, row in enumerate(reader, start=2):
+            corpus.add(_row_to_ad(row, path, line))
+    return corpus
+
+
+def _row_to_ad(row: dict, path: Path, line: int) -> Advertisement:
+    phrase = (row.get("bid_phrase") or "").strip()
+    if not phrase:
+        raise ImportFormatError(f"{path}:{line}: empty bid_phrase")
+    try:
+        listing_id = int(row["listing_id"])
+    except (TypeError, ValueError) as exc:
+        raise ImportFormatError(
+            f"{path}:{line}: listing_id must be an integer, got "
+            f"{row.get('listing_id')!r}"
+        ) from exc
+
+    def optional_int(column: str) -> int:
+        value = (row.get(column) or "").strip()
+        if not value:
+            return 0
+        try:
+            return int(value)
+        except ValueError as exc:
+            raise ImportFormatError(
+                f"{path}:{line}: {column} must be an integer, got {value!r}"
+            ) from exc
+
+    exclusions_raw = (row.get("exclusions") or "").strip()
+    exclusions = tuple(
+        part.strip() for part in exclusions_raw.split("|") if part.strip()
+    )
+    ad = Advertisement.from_text(
+        phrase,
+        AdInfo(
+            listing_id=listing_id,
+            campaign_id=optional_int("campaign_id"),
+            bid_price_micros=optional_int("bid_price_micros"),
+            exclusion_phrases=exclusions,
+        ),
+    )
+    if not ad.phrase:
+        raise ImportFormatError(
+            f"{path}:{line}: bid_phrase {phrase!r} has no indexable words"
+        )
+    return ad
+
+
+def load_workload_tsv(path: str | Path) -> Workload:
+    """Read a query trace: ``query`` or ``query<TAB>frequency`` per line."""
+    path = Path(path)
+    workload = Workload()
+    for line_number, raw in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        text, _, frequency_field = line.partition("\t")
+        query = Query.from_text(text)
+        if not query.tokens:
+            raise ImportFormatError(
+                f"{path}:{line_number}: query has no indexable words"
+            )
+        if frequency_field.strip():
+            try:
+                frequency = int(frequency_field)
+            except ValueError as exc:
+                raise ImportFormatError(
+                    f"{path}:{line_number}: frequency must be an integer, "
+                    f"got {frequency_field!r}"
+                ) from exc
+            if frequency <= 0:
+                raise ImportFormatError(
+                    f"{path}:{line_number}: frequency must be positive"
+                )
+        else:
+            frequency = 1
+        workload.add(query, frequency)
+    return workload

@@ -1,0 +1,151 @@
+"""Corpus and workload profiling: the Section I-B diagnostics as a library.
+
+Before trusting any index configuration, an operator wants the numbers the
+paper leads with: how short are the bids (Fig 1), how Zipf are the
+word-sets (Fig 2), how skewed are the keywords relative to word-sets
+(Fig 7), how head-heavy is the workload (Section V), and how much
+subset/superset sharing exists for re-mapping to exploit (Figs 4-5).
+``profile_corpus`` / ``profile_workload`` compute exactly those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ads import AdCorpus
+from repro.core.queries import Workload
+from repro.datagen.zipf import fit_power_law_slope
+
+
+@dataclass(frozen=True, slots=True)
+class CorpusProfile:
+    num_ads: int
+    num_distinct_wordsets: int
+    vocabulary_size: int
+    mean_bid_words: float
+    cumulative_len_3: float
+    cumulative_len_5: float
+    cumulative_len_8: float
+    wordset_zipf_slope: float | None
+    top_keyword_frequency: int
+    top_wordset_frequency: int
+    #: Fraction of distinct word-sets that strictly contain another
+    #: distinct word-set — the re-mapping opportunities of Figs 4-5.
+    superset_fraction: float
+
+    def summary(self) -> str:
+        lines = [
+            f"ads: {self.num_ads:,}  distinct word-sets: "
+            f"{self.num_distinct_wordsets:,}  vocabulary: "
+            f"{self.vocabulary_size:,}",
+            f"bid lengths: mean {self.mean_bid_words:.2f} words; "
+            f"<=3: {self.cumulative_len_3:.1%}, <=5: "
+            f"{self.cumulative_len_5:.1%}, <=8: {self.cumulative_len_8:.1%} "
+            "(paper: 62% / 96% / 99.8%)",
+            f"top keyword appears in {self.top_keyword_frequency:,} bids vs "
+            f"top word-set {self.top_wordset_frequency:,} (Fig 7 skew)",
+            f"word-sets containing another word-set: "
+            f"{self.superset_fraction:.1%} (re-mapping headroom)",
+        ]
+        if self.wordset_zipf_slope is not None:
+            lines.append(
+                f"word-set frequency log-log slope: "
+                f"{self.wordset_zipf_slope:.2f} (Zipf ≈ -1)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    num_distinct: int
+    total_frequency: int
+    mean_query_words: float
+    max_query_words: int
+    #: Mass held by the top 1% of distinct queries (the Section V head).
+    head_mass_top_1pct: float
+    frequency_zipf_slope: float | None
+
+    def summary(self) -> str:
+        lines = [
+            f"distinct queries: {self.num_distinct:,}  total frequency: "
+            f"{self.total_frequency:,}",
+            f"query lengths: mean {self.mean_query_words:.2f}, max "
+            f"{self.max_query_words}",
+            f"top 1% of queries carry {self.head_mass_top_1pct:.1%} of "
+            "traffic (Section V head)",
+        ]
+        if self.frequency_zipf_slope is not None:
+            lines.append(
+                f"frequency log-log slope: {self.frequency_zipf_slope:.2f}"
+            )
+        return "\n".join(lines)
+
+
+def profile_corpus(corpus: AdCorpus) -> CorpusProfile:
+    """Compute the Section I-B corpus diagnostics."""
+    if len(corpus) == 0:
+        raise ValueError("cannot profile an empty corpus")
+    histogram = corpus.length_histogram()
+    total = sum(histogram.values())
+
+    def cumulative(limit: int) -> float:
+        return sum(c for l, c in histogram.items() if l <= limit) / total
+
+    ranked_sets = corpus.wordset_frequencies_ranked()
+    ranked_words = corpus.word_frequencies_ranked()
+    slope = None
+    if len(ranked_sets) >= 10:
+        slope = fit_power_law_slope(ranked_sets[:2000])
+
+    distinct = sorted(corpus.distinct_wordsets(), key=len)
+    by_size: dict[int, set[frozenset[str]]] = {}
+    for words in distinct:
+        by_size.setdefault(len(words), set()).add(words)
+    supersets = 0
+    for words in distinct:
+        found = False
+        for size in range(1, len(words)):
+            if size in by_size:
+                # Check subsets of `words` of this size that exist.
+                for candidate in by_size[size]:
+                    if candidate < words:
+                        found = True
+                        break
+            if found:
+                break
+        if found:
+            supersets += 1
+
+    return CorpusProfile(
+        num_ads=len(corpus),
+        num_distinct_wordsets=len(distinct),
+        vocabulary_size=len(corpus.vocabulary()),
+        mean_bid_words=sum(l * c for l, c in histogram.items()) / total,
+        cumulative_len_3=cumulative(3),
+        cumulative_len_5=cumulative(5),
+        cumulative_len_8=cumulative(8),
+        wordset_zipf_slope=slope,
+        top_keyword_frequency=ranked_words[0],
+        top_wordset_frequency=ranked_sets[0],
+        superset_fraction=supersets / len(distinct),
+    )
+
+
+def profile_workload(workload: Workload) -> WorkloadProfile:
+    """Compute the Section V workload diagnostics."""
+    if len(workload) == 0:
+        raise ValueError("cannot profile an empty workload")
+    frequencies = sorted((f for _, f in workload), reverse=True)
+    lengths = [len(q.words) for q, _ in workload]
+    head = max(1, len(frequencies) // 100)
+    slope = None
+    if len(frequencies) >= 10:
+        slope = fit_power_law_slope(frequencies)
+    return WorkloadProfile(
+        num_distinct=len(workload),
+        total_frequency=workload.total_frequency,
+        mean_query_words=sum(lengths) / len(lengths),
+        max_query_words=max(lengths),
+        head_mass_top_1pct=sum(frequencies[:head]) / sum(frequencies),
+        frequency_zipf_slope=slope,
+    )

@@ -1,0 +1,51 @@
+"""Minimal discrete-event simulation core (heap-ordered event queue)."""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered callbacks with deterministic tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> None:
+        """Run ``action`` ``delay`` time units from the current time."""
+        if delay < 0:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._heap, _Event(self.now + delay, self._seq, action))
+        self._seq += 1
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> None:
+        if time < self.now:
+            raise ValueError("cannot schedule in the past")
+        heapq.heappush(self._heap, _Event(time, self._seq, action))
+        self._seq += 1
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in time order, optionally stopping at ``until``."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            event.action()
+        if until is not None:
+            self.now = until
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,31 @@
+"""Network latency model for the multi-server experiment (Section VII-B).
+
+When the index and the ad data live on different servers, every query pays
+network latency on each hop; the paper notes this latency — not main
+memory — becomes the bottleneck, yet its approach still more than doubled
+throughput because per-query CPU work dropped.  We model one-way latency
+as a base propagation delay plus exponential jitter (a standard LAN model),
+seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class NetworkModel:
+    """One-way network delay: ``base_ms + Exp(jitter_ms)``."""
+
+    def __init__(
+        self, base_ms: float = 0.5, jitter_ms: float = 0.3, seed: int = 0
+    ) -> None:
+        if base_ms < 0 or jitter_ms < 0:
+            raise ValueError("latencies must be non-negative")
+        self.base_ms = base_ms
+        self.jitter_ms = jitter_ms
+        self._rng = random.Random(seed)
+
+    def delay_ms(self) -> float:
+        if self.jitter_ms == 0:
+            return self.base_ms
+        return self.base_ms + self._rng.expovariate(1.0 / self.jitter_ms)

@@ -1,0 +1,168 @@
+"""Replicated shards: load balancing and failure tolerance.
+
+Production serving never runs one copy of a shard: each shard has R
+replicas behind a router.  This module extends the scatter-gather
+simulation with per-shard replica groups, two routing policies, and
+failure injection:
+
+* ``random`` routing — pick a replica uniformly;
+* ``least_loaded`` routing — pick the replica with the shortest queue
+  (power-of-all-choices; with R small this is the standard approximation
+  of join-shortest-queue);
+* failed replicas are skipped by the router; a query only fails when every
+  replica of some shard is down, making availability measurable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.queries import Query
+from repro.distsim.events import EventQueue
+from repro.distsim.metrics import RunMetrics
+from repro.distsim.network import NetworkModel
+from repro.distsim.server import Server
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicationConfig:
+    num_shards: int = 4
+    replicas_per_shard: int = 2
+    cores_per_server: int = 4
+    duration_ms: float = 5_000.0
+    network_base_ms: float = 0.5
+    network_jitter_ms: float = 0.3
+    routing: str = "least_loaded"  # or "random"
+    seed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicatedRunResult:
+    metrics: RunMetrics
+    failed_queries: int
+
+    @property
+    def availability(self) -> float:
+        total = self.metrics.completed + self.failed_queries
+        if total == 0:
+            return 1.0
+        return self.metrics.completed / total
+
+
+class ReplicatedCluster:
+    """Scatter-gather over shard replica groups."""
+
+    def __init__(
+        self,
+        shard_service_ms: Callable[[int, Query], float],
+        config: ReplicationConfig = ReplicationConfig(),
+        failed_replicas: set[tuple[int, int]] | None = None,
+    ) -> None:
+        if config.num_shards < 1 or config.replicas_per_shard < 1:
+            raise ValueError("need at least one shard and one replica")
+        if config.routing not in ("random", "least_loaded"):
+            raise ValueError("routing must be 'random' or 'least_loaded'")
+        self.shard_service_ms = shard_service_ms
+        self.config = config
+        #: (shard, replica) pairs that are down.
+        self.failed_replicas = failed_replicas or set()
+
+    def run(
+        self, queries: Sequence[Query], arrival_rate_qps: float
+    ) -> ReplicatedRunResult:
+        if arrival_rate_qps <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not queries:
+            raise ValueError("need at least one query")
+        config = self.config
+        events = EventQueue()
+        network = NetworkModel(
+            config.network_base_ms, config.network_jitter_ms, seed=config.seed
+        )
+        rng = random.Random(config.seed + 1)
+        replicas: list[list[Server | None]] = []
+        for shard in range(config.num_shards):
+            group: list[Server | None] = []
+            for replica in range(config.replicas_per_shard):
+                if (shard, replica) in self.failed_replicas:
+                    group.append(None)
+                else:
+                    group.append(
+                        Server(
+                            events,
+                            cores=config.cores_per_server,
+                            name=f"s{shard}r{replica}",
+                        )
+                    )
+            replicas.append(group)
+
+        latencies: list[float] = []
+        finish_times: list[float] = []
+        failed = 0
+        duration = config.duration_ms
+        mean_gap_ms = 1000.0 / arrival_rate_qps
+
+        def route(shard: int) -> Server | None:
+            alive = [s for s in replicas[shard] if s is not None]
+            if not alive:
+                return None
+            if config.routing == "random":
+                return rng.choice(alive)
+            # Join-shortest-queue over jobs in system; random tie-break so
+            # idle replicas share bursts instead of piling on the first.
+            least = min(s.load for s in alive)
+            return rng.choice([s for s in alive if s.load == least])
+
+        def arrival(query_index: int, arrival_time: float) -> None:
+            nonlocal failed
+            query = queries[query_index % len(queries)]
+            start = events.now
+            targets = [route(shard) for shard in range(config.num_shards)]
+            next_time = arrival_time + rng.expovariate(1.0 / mean_gap_ms)
+            if next_time < duration:
+                events.schedule_at(
+                    next_time, lambda: arrival(query_index + 1, next_time)
+                )
+            if any(target is None for target in targets):
+                failed += 1  # some shard entirely down: query unanswerable
+                return
+            pending = {"count": config.num_shards}
+
+            def shard_done() -> None:
+                pending["count"] -= 1
+                if pending["count"] == 0:
+                    events.schedule(network.delay_ms(), complete)
+
+            def complete() -> None:
+                latencies.append(events.now - start)
+                finish_times.append(events.now)
+
+            for shard, server in enumerate(targets):
+                service = self.shard_service_ms(shard, query)
+
+                def submit(s=server, svc=service) -> None:
+                    s.submit(svc, shard_done)
+
+                events.schedule(network.delay_ms(), submit)
+
+        events.schedule_at(0.0, lambda: arrival(0, 0.0))
+        events.run(until=duration * 2)
+        alive_servers = [
+            server for group in replicas for server in group if server is not None
+        ]
+        utilization = (
+            sum(s.utilization(duration) for s in alive_servers)
+            / len(alive_servers)
+            if alive_servers
+            else 0.0
+        )
+        metrics = RunMetrics(
+            latencies_ms=tuple(latencies),
+            duration_ms=duration,
+            cpu_utilization=utilization,
+            offered_rps=arrival_rate_qps,
+            completed_in_window=sum(1 for t in finish_times if t <= duration),
+        )
+        return ReplicatedRunResult(metrics=metrics, failed_queries=failed)

@@ -1,0 +1,18 @@
+"""One module per table/figure of the paper's evaluation.
+
+=================  ===========================================================
+``fig1``           bid-length histogram (62% / 96% / 99.8% anchors)
+``fig2``           Zipf distribution of word-set frequencies
+``fig3``           MT rule lengths vs bid lengths
+``fig7``           keyword vs word-combination frequency skew (~3000 vs ~100)
+``fig8``           bytes-processed ratio vs corpus size (>= 4x, rising)
+``fig9``           two-server response-latency distribution (75% vs 32% <= 10ms)
+``fig10``          re-mapping impact (long-only + ~10% from full re-mapping)
+``tab-inverted``   Section VII-A throughput factors (99x / 1300x at scale)
+``tab-multiserver``Section VII-B CPU 98->42%, RPS 2274->5775
+``tab-counters``   Section VII-C DTLB/page-walk/L2/branch counter deltas
+``tab-compression``Section VI worked example (≈9:1) + measured structures
+=================  ===========================================================
+
+Run them all via ``python -m repro.experiments.runner``.
+"""

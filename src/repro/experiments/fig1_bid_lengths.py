@@ -1,0 +1,56 @@
+"""Fig 1 — "Bids are short": the bid word-length histogram.
+
+Paper: in a 290M-ad corpus the distribution peaks at 3 words and falls off
+rapidly on a log scale — 62% of bids have <= 3 words, 96% <= 5, 99.8% <= 8.
+We regenerate the histogram from the synthetic corpus and report both the
+per-length counts (the plotted series) and the three cumulative anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datagen.corpus import length_cumulative_fractions
+from repro.experiments.common import SMALL, Scale, format_table, standard_setup
+
+#: The paper's published anchors for comparison in the report.
+PAPER_CUMULATIVE = {3: 0.62, 5: 0.96, 8: 0.998}
+
+
+@dataclass(frozen=True, slots=True)
+class Fig1Result:
+    histogram: dict[int, int]
+    cumulative: dict[int, float]
+
+    def anchor(self, length: int) -> float:
+        """Cumulative fraction of bids with <= ``length`` words."""
+        best = 0.0
+        for l, fraction in self.cumulative.items():
+            if l <= length:
+                best = max(best, fraction)
+        return best
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig1Result:
+    _, corpus, _ = standard_setup(scale, seed=seed)
+    return Fig1Result(
+        histogram=dict(sorted(corpus.length_histogram().items())),
+        cumulative=length_cumulative_fractions(corpus),
+    )
+
+
+def format_report(result: Fig1Result) -> str:
+    rows = [
+        [str(length), str(count)]
+        for length, count in sorted(result.histogram.items())
+    ]
+    table = format_table(["words", "bids"], rows)
+    anchors = "\n".join(
+        f"  <= {length} words: {result.anchor(length):6.1%}   (paper: {paper:.1%})"
+        for length, paper in sorted(PAPER_CUMULATIVE.items())
+    )
+    return (
+        "Fig 1 — bid length histogram\n"
+        f"{table}\n"
+        f"cumulative anchors:\n{anchors}\n"
+    )

@@ -1,0 +1,157 @@
+"""Fig 9 / Section VII-B — response-latency distribution on two servers.
+
+Paper setup: index and ad data on two different servers; every query pays
+network latency on both hops.  Reported: latency distribution in 5 ms
+buckets (smoothed); ~75% of requests within 10 ms for the word-set index
+vs ~32% for the (unmodified non-redundant) inverted index.
+
+Our substitute: a discrete-event simulation where each structure's
+per-query CPU demand is its cost-model time for that query, scaled to CPU
+milliseconds; the arrival rate is set near the inverted index's saturation
+point (the paper's methodology) and both structures are measured at the
+same rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.queries import Query
+from repro.cost.accounting import AccessTracker
+from repro.distsim.cluster import ClusterConfig, TwoTierCluster
+from repro.distsim.metrics import RunMetrics
+from repro.experiments.common import MODEL, SMALL, Scale, format_table, standard_setup
+from repro.invindex.nonredundant import NonRedundantInvertedIndex
+from repro.optimize.remap import build_index
+
+#: Target mean CPU per query for the inverted baseline: the paper's 2274
+#: RPS on 4 cores implies ~1.76 ms/query.  Both structures share the single
+#: scale factor derived from this target, so only their *relative* modeled
+#: costs — the quantity our substrate measures faithfully — shape the
+#: comparison.
+TARGET_INVERTED_SERVICE_MS = 1.76
+
+#: CPU of the final ad-data fetch/rank step, identical for both systems.
+DATA_SERVICE_MS = 0.05
+
+#: Per-query CPU spent outside the index structure (request parsing,
+#: network stack, result assembly) — identical for both systems, and the
+#: reason the paper's two-server RPS gain is ~2.5x while its pure
+#: index-throughput gain is 99x.
+INDEX_CPU_OVERHEAD_MS = 0.45
+
+#: Fraction of the baseline's capacity at which the common arrival rate is
+#: set (the paper drives load to the saturation of the slower structure).
+LOAD_FACTOR = 0.90
+
+
+def _modeled_ns_table(structure, queries: list[Query]) -> dict[Query, float]:
+    """Per-distinct-query modeled nanoseconds for a structure."""
+    table: dict[Query, float] = {}
+    tracker = structure.tracker
+    for query in set(queries):
+        tracker.reset()
+        structure.query_broad(query)
+        table[query] = tracker.reset().modeled_ns(MODEL)
+    return table
+
+
+def calibrated_service_tables(
+    wordset_index, inverted_index, queries: list[Query]
+) -> tuple[dict[Query, float], dict[Query, float], float]:
+    """Service tables for both structures under one shared scale factor.
+
+    Per-query CPU = fixed non-index overhead + modeled index nanoseconds
+    scaled by a single factor chosen so the inverted baseline's mean lands
+    on TARGET_INVERTED_SERVICE_MS.  Only the structures' *relative* modeled
+    costs — the quantity the substrate measures faithfully — differ between
+    the two tables.
+    """
+    inverted_ns = _modeled_ns_table(inverted_index, queries)
+    wordset_ns = _modeled_ns_table(wordset_index, queries)
+    mean_ns = sum(inverted_ns.values()) / max(1, len(inverted_ns))
+    index_budget_ms = TARGET_INVERTED_SERVICE_MS - INDEX_CPU_OVERHEAD_MS
+    ms_per_ns = index_budget_ms / max(1.0, mean_ns)
+
+    def service(ns_table: dict[Query, float]) -> dict[Query, float]:
+        return {
+            query: INDEX_CPU_OVERHEAD_MS + ns * ms_per_ns
+            for query, ns in ns_table.items()
+        }
+
+    return service(wordset_ns), service(inverted_ns), ms_per_ns
+
+
+@dataclass(frozen=True, slots=True)
+class Fig9Result:
+    arrival_rate_qps: float
+    wordset: RunMetrics
+    inverted: RunMetrics
+
+    def within_10ms(self) -> tuple[float, float]:
+        return (
+            self.wordset.fraction_within(10.0),
+            self.inverted.fraction_within(10.0),
+        )
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> Fig9Result:
+    _, corpus, workload = standard_setup(scale, seed=seed)
+    queries = workload.sample_stream(scale.trace_length, seed=seed + 3)
+
+    wordset_index = build_index(corpus, None, tracker=AccessTracker())
+    inverted_index = NonRedundantInvertedIndex.from_corpus(
+        corpus, tracker=AccessTracker()
+    )
+    wordset_service, inverted_service, _ = calibrated_service_tables(
+        wordset_index, inverted_index, queries
+    )
+
+    config = ClusterConfig(
+        duration_ms=4_000.0,
+        network_base_ms=1.2,
+        network_jitter_ms=0.8,
+        seed=seed,
+    )
+    # Arrival rate near the inverted index's capacity: cores / mean service.
+    mean_inverted_ms = sum(inverted_service.values()) / len(inverted_service)
+    rate = LOAD_FACTOR * config.cores_per_server / (mean_inverted_ms / 1000.0)
+
+    def make_cluster(service: dict[Query, float]) -> TwoTierCluster:
+        return TwoTierCluster(
+            index_service_ms=lambda q: service[q],
+            data_service_ms=lambda q: DATA_SERVICE_MS,
+            config=config,
+        )
+
+    wordset_metrics = make_cluster(wordset_service).run(queries, rate)
+    inverted_metrics = make_cluster(inverted_service).run(queries, rate)
+    return Fig9Result(
+        arrival_rate_qps=rate,
+        wordset=wordset_metrics,
+        inverted=inverted_metrics,
+    )
+
+
+def format_report(result: Fig9Result) -> str:
+    ws_hist = result.wordset.latency_histogram()
+    inv_hist = result.inverted.latency_histogram()
+    buckets = sorted(set(ws_hist) | set(inv_hist))[:12]
+    rows = [
+        [
+            f"{bucket:.0f}-{bucket + 5:.0f} ms",
+            f"{ws_hist.get(bucket, 0.0):.1%}",
+            f"{inv_hist.get(bucket, 0.0):.1%}",
+        ]
+        for bucket in buckets
+    ]
+    table = format_table(["latency bucket", "word-set index", "inverted index"], rows)
+    ws10, inv10 = result.within_10ms()
+    return (
+        "Fig 9 — response latency distribution (5 ms buckets)\n"
+        f"arrival rate: {result.arrival_rate_qps:.0f} qps (near inverted "
+        "saturation)\n"
+        f"{table}\n"
+        f"within 10 ms: word-set {ws10:.0%} vs inverted {inv10:.0%} "
+        "(paper: 75% vs 32%)\n"
+    )

@@ -1,0 +1,101 @@
+"""CLI driver: regenerate every paper table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner                # all, small scale
+    python -m repro.experiments.runner fig8 fig10     # a subset
+    python -m repro.experiments.runner --scale medium # bigger inputs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    ext_drift,
+    ext_hwcompare,
+    ext_impact,
+    ext_matchtypes,
+    ext_sharding,
+    ext_structures,
+    fig1_bid_lengths,
+    fig2_wordset_zipf,
+    fig3_mt_lengths,
+    fig7_keyword_vs_combo,
+    fig8_bytes_ratio,
+    fig9_latency_dist,
+    fig10_remapping,
+    tab_compression,
+    tab_hardware_counters,
+    tab_inverted_throughput,
+    tab_multiserver,
+)
+from repro.experiments.common import SCALES, SMALL
+
+#: Paper artifacts first, then extension studies (`ext-*`) that go beyond
+#: the paper's evaluation.
+EXPERIMENTS = {
+    "fig1": fig1_bid_lengths,
+    "fig2": fig2_wordset_zipf,
+    "fig3": fig3_mt_lengths,
+    "fig7": fig7_keyword_vs_combo,
+    "fig8": fig8_bytes_ratio,
+    "fig9": fig9_latency_dist,
+    "fig10": fig10_remapping,
+    "tab-inverted": tab_inverted_throughput,
+    "tab-multiserver": tab_multiserver,
+    "tab-counters": tab_hardware_counters,
+    "tab-compression": tab_compression,
+    "ext-structures": ext_structures,
+    "ext-drift": ext_drift,
+    "ext-sharding": ext_sharding,
+    "ext-matchtypes": ext_matchtypes,
+    "ext-hwcompare": ext_hwcompare,
+    "ext-impact": ext_impact,
+}
+
+
+def run_experiment(name: str, scale, seed: int = 0) -> str:
+    """Run one experiment by id; returns its formatted report."""
+    module = EXPERIMENTS[name]
+    result = module.run(scale=scale, seed=seed)
+    return module.format_report(result)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default="all",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=SMALL.name,
+        help="input sizes (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiments in ("all", ["all"], []) else (
+        args.experiments if isinstance(args.experiments, list) else [args.experiments]
+    )
+    scale = SCALES[args.scale]
+    for name in names:
+        started = time.perf_counter()
+        report = run_experiment(name, scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        print(f"==== {name} (scale={scale.name}, {elapsed:.1f}s) " + "=" * 20)
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

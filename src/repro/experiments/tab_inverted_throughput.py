@@ -1,0 +1,137 @@
+"""Section VII-A — throughput vs the inverted-index baselines.
+
+Paper headline numbers on 180M ads / 5M real queries, with the word-set
+index in its *simplest* configuration (no re-mapping, no workload
+adaptation):
+
+* 99x the throughput of the unmodified (rarest-word) inverted index;
+* >1300x the throughput of the modified (counting) inverted index;
+* the no-merge control (touch every required posting once, no processing)
+  shows the same 3-orders-of-magnitude data-volume gap.
+
+We replay a query trace against all structures with full access
+accounting, convert counts to modeled time, and report throughput factors
+plus the bucket-size statistics (~3000 -> ~100) the paper uses to explain
+the gap.  At our corpus scale the factors are smaller but the ordering and
+growth trend (see Fig 8) reproduce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.accounting import AccessStats, AccessTracker
+from repro.experiments.common import MODEL, SMALL, Scale, format_table, standard_setup
+from repro.invindex.counting import CountingInvertedIndex
+from repro.invindex.nonredundant import NonRedundantInvertedIndex
+from repro.optimize.remap import build_index
+
+
+@dataclass(frozen=True, slots=True)
+class StructureRun:
+    name: str
+    stats: AccessStats
+
+    @property
+    def modeled_ns(self) -> float:
+        return self.stats.modeled_ns(MODEL)
+
+    def throughput_qps(self) -> float:
+        if self.modeled_ns == 0:
+            return float("inf")
+        return self.stats.queries / (self.modeled_ns * 1e-9)
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputResult:
+    wordset: StructureRun
+    nonredundant: StructureRun
+    counting: StructureRun
+    counting_no_merge: StructureRun
+    mean_popular_keyword_bucket: float
+    mean_popular_wordset_bucket: float
+
+    def speedup_vs(self, baseline: StructureRun) -> float:
+        return self.wordset.throughput_qps() and (
+            self.wordset.throughput_qps() / baseline.throughput_qps()
+        )
+
+
+def run(scale: Scale = SMALL, seed: int = 0) -> ThroughputResult:
+    _, corpus, workload = standard_setup(scale, seed=seed)
+    queries = workload.sample_stream(scale.trace_length, seed=seed + 5)
+
+    def replay(structure, method="query_broad") -> AccessStats:
+        for query in queries:
+            getattr(structure, method)(query)
+        return structure.tracker.reset()
+
+    wordset = build_index(corpus, None, tracker=AccessTracker())
+    nonredundant = NonRedundantInvertedIndex.from_corpus(
+        corpus, tracker=AccessTracker()
+    )
+    counting = CountingInvertedIndex.from_corpus(corpus, tracker=AccessTracker())
+    counting_ctrl = CountingInvertedIndex.from_corpus(
+        corpus, tracker=AccessTracker()
+    )
+
+    wordset_run = StructureRun("word-set index", replay(wordset))
+    nonredundant_run = StructureRun(
+        "unmodified inverted", replay(nonredundant)
+    )
+    counting_run = StructureRun("modified inverted", replay(counting))
+    control_run = StructureRun(
+        "modified inverted (no merge)",
+        replay(counting_ctrl, method="query_broad_no_merge"),
+    )
+
+    keyword_buckets = sorted(
+        (len(p) for p in counting.lists.values()), reverse=True
+    )
+    wordset_buckets = sorted(
+        (len(n) for n in wordset.nodes.values()), reverse=True
+    )
+    top_k = max(1, len(keyword_buckets) // 100)
+    top_n = max(1, len(wordset_buckets) // 100)
+    return ThroughputResult(
+        wordset=wordset_run,
+        nonredundant=nonredundant_run,
+        counting=counting_run,
+        counting_no_merge=control_run,
+        mean_popular_keyword_bucket=sum(keyword_buckets[:top_k]) / top_k,
+        mean_popular_wordset_bucket=sum(wordset_buckets[:top_n]) / top_n,
+    )
+
+
+def format_report(result: ThroughputResult) -> str:
+    runs = [
+        result.wordset,
+        result.nonredundant,
+        result.counting,
+        result.counting_no_merge,
+    ]
+    rows = []
+    for run_ in runs:
+        speedup = result.wordset.throughput_qps() / run_.throughput_qps()
+        rows.append(
+            [
+                run_.name,
+                f"{run_.stats.random_accesses:,}",
+                f"{run_.stats.bytes_scanned:,}",
+                f"{run_.throughput_qps():,.0f}",
+                f"{speedup:.1f}x",
+            ]
+        )
+    table = format_table(
+        ["structure", "random accesses", "bytes", "modeled qps", "ours vs it"],
+        rows,
+    )
+    return (
+        "Section VII-A — broad-match throughput vs inverted indexes\n"
+        f"{table}\n"
+        "(paper at 180M ads: 99x vs unmodified, >1300x vs modified; the\n"
+        " factors grow with corpus size — see Fig 8)\n"
+        f"mean popular-bucket size: keywords "
+        f"{result.mean_popular_keyword_bucket:.0f} vs word-sets "
+        f"{result.mean_popular_wordset_bucket:.0f} (paper: ~3000 -> ~100)\n"
+    )

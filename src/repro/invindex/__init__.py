@@ -1,0 +1,28 @@
+"""Inverted-index baselines the paper compares against (Sections I-C, VII-A).
+
+* :class:`NonRedundantInvertedIndex` — strategy (I): each ad is indexed
+  under its *rarest* corpus word only; candidates' phrases are fetched and
+  verified.
+* :class:`CountingInvertedIndex` — strategy (II): every word of every ad is
+  indexed; postings carry the bid's word count and matches are found by
+  merge-counting, with no phrase access.
+* :class:`RedundantInvertedIndex` — the naive union-and-verify structure
+  sketched in the introduction (every word indexed, phrases verified).
+
+All three implement the same ``query_broad`` interface as
+:class:`repro.core.WordSetIndex` and report their work to an
+:class:`~repro.cost.accounting.AccessTracker`.
+"""
+
+from repro.invindex.counting import CountingInvertedIndex
+from repro.invindex.nonredundant import NonRedundantInvertedIndex
+from repro.invindex.postings import POSTING_REF_BYTES, PostingList
+from repro.invindex.redundant import RedundantInvertedIndex
+
+__all__ = [
+    "CountingInvertedIndex",
+    "NonRedundantInvertedIndex",
+    "POSTING_REF_BYTES",
+    "PostingList",
+    "RedundantInvertedIndex",
+]

@@ -1,0 +1,116 @@
+"""Baseline (II): "modified" inverted index with per-posting word counts.
+
+Section I-C / VII-A of the paper: every word of every bid is indexed, and
+each posting stores the total number of words in its bid.  A query traverses
+the posting lists of all its words, counting occurrences per ad; an ad whose
+occurrence count equals its stored word count has all its words in the
+query and therefore broad-matches — no phrase access needed.
+
+The paper notes the skipping optimization is unavailable: a bid with fewer
+words than the query need not appear in every traversed list, so lists must
+be read in full.  That is exactly why this structure reads three orders of
+magnitude more data than the word-set index on frequent-word queries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.queries import Query
+from repro.invindex.postings import PostingList
+from repro.cost.accounting import AccessTracker
+
+
+class CountingInvertedIndex:
+    """Fully redundant index resolved by merge-counting postings."""
+
+    def __init__(self, tracker: AccessTracker | None = None) -> None:
+        self.tracker = tracker
+        self._lists: dict[str, PostingList] = {}
+        self._num_ads = 0
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: AdCorpus, tracker: AccessTracker | None = None
+    ) -> CountingInvertedIndex:
+        index = cls(tracker=tracker)
+        for ad in corpus:
+            index.insert(ad)
+        return index
+
+    def insert(self, ad: Advertisement) -> None:
+        """Index ``ad`` under every one of its words."""
+        for word in ad.words:
+            plist = self._lists.get(word)
+            if plist is None:
+                plist = PostingList(word, with_counts=True)
+                self._lists[word] = plist
+            plist.append(ad)
+        self._num_ads += 1
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """Merge-count postings; an ad matches when its count is reached.
+
+        Mirrors the paper's algorithm: traverse all inverted indexes for
+        query keywords, keep track of how often each bid occurs, and report
+        bids seen exactly ``word_count`` times.
+        """
+        tracker = self.tracker
+        seen: Counter[int] = Counter()
+        by_id: dict[int, Advertisement] = {}
+        query_words = query.words
+        for word in sorted(query_words):
+            plist = self._lists.get(word)
+            if tracker is not None:
+                tracker.hash_probe(8)
+            if plist is None:
+                continue
+            if tracker is not None:
+                tracker.random_access(plist.size_bytes())
+                tracker.posting(len(plist))
+            for posting in plist:
+                key = id(posting.ad)
+                seen[key] += 1
+                by_id[key] = posting.ad
+                if tracker is not None:
+                    tracker.candidate()
+        results = [
+            by_id[key]
+            for key, count in seen.items()
+            if count == len(by_id[key].words)
+        ]
+        if tracker is not None:
+            tracker.query_done()
+        return results
+
+    def query_broad_no_merge(self, query: Query) -> None:
+        """Traverse every required posting once without any merging.
+
+        Reproduces the paper's control experiment (Section VII-A): "we
+        never merge any indexes, but only access each required posting
+        once, without any further processing" — isolating pure data-volume
+        cost from merge-algorithm overhead.  Returns nothing by design.
+        """
+        tracker = self.tracker
+        for word in sorted(query.words):
+            plist = self._lists.get(word)
+            if tracker is not None:
+                tracker.hash_probe(8)
+            if plist is None:
+                continue
+            if tracker is not None:
+                tracker.random_access(plist.size_bytes())
+                tracker.posting(len(plist))
+        if tracker is not None:
+            tracker.query_done()
+
+    def __len__(self) -> int:
+        return self._num_ads
+
+    @property
+    def lists(self) -> dict[str, PostingList]:
+        return self._lists
+
+    def index_bytes(self) -> int:
+        return sum(plist.size_bytes() for plist in self._lists.values())

@@ -1,0 +1,104 @@
+"""Baseline (I): non-redundant inverted index keyed by the rarest bid word.
+
+Section I-C / VII-A of the paper: because broad match only needs a *subset*
+of the query's words, each ad needs to be indexed under a single word — the
+one least frequent in the corpus, so posting lists stay short.  Processing a
+query iterates the posting lists of every query word and fetches each
+candidate's phrase to check it contains no non-query words.
+
+Cost profile (what Figure 8 measures): short posting lists, but one random
+access plus a phrase read per candidate, and candidates are plentiful when a
+query contains a corpus-frequent word.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.queries import Query
+from repro.invindex.postings import PostingList
+from repro.cost.accounting import AccessTracker
+
+
+class NonRedundantInvertedIndex:
+    """Rarest-word inverted index with phrase verification."""
+
+    def __init__(self, tracker: AccessTracker | None = None) -> None:
+        self.tracker = tracker
+        self._lists: dict[str, PostingList] = {}
+        self._num_ads = 0
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: AdCorpus, tracker: AccessTracker | None = None
+    ) -> NonRedundantInvertedIndex:
+        """Index every ad under its least corpus-frequent word."""
+        index = cls(tracker=tracker)
+        for ad in corpus:
+            index.insert(ad, corpus.rarest_word(ad))
+        return index
+
+    def insert(self, ad: Advertisement, key_word: str) -> None:
+        """Add ``ad`` under ``key_word`` (must be one of the ad's words)."""
+        if key_word not in ad.words:
+            raise ValueError(
+                f"indexing word {key_word!r} does not occur in the bid"
+            )
+        plist = self._lists.get(key_word)
+        if plist is None:
+            plist = PostingList(key_word)
+            self._lists[key_word] = plist
+        plist.append(ad)
+        self._num_ads += 1
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """Union the query words' posting lists, verify each phrase."""
+        tracker = self.tracker
+        results: list[Advertisement] = []
+        query_words = query.words
+        for word in sorted(query_words):
+            plist = self._lists.get(word)
+            if tracker is not None:
+                # Locating the list itself is one random dictionary probe.
+                tracker.hash_probe(8)
+            if plist is None:
+                continue
+            if tracker is not None:
+                # Position at the list head, then stream the references.
+                tracker.random_access(plist.size_bytes())
+                tracker.posting(len(plist))
+            for posting in plist:
+                ad = posting.ad
+                if tracker is not None:
+                    # Fetch the phrase to test for non-query words: one
+                    # random access reading the stored ad record.
+                    tracker.random_access(ad.size_bytes())
+                    tracker.candidate()
+                if ad.words <= query_words:
+                    results.append(ad)
+        if tracker is not None:
+            tracker.query_done()
+        return results
+
+    def __len__(self) -> int:
+        return self._num_ads
+
+    @property
+    def lists(self) -> dict[str, PostingList]:
+        return self._lists
+
+    def index_bytes(self) -> int:
+        """Modeled size of all posting lists (excluding the ad store)."""
+        return sum(plist.size_bytes() for plist in self._lists.values())
+
+    def list_lengths_ranked(self) -> list[int]:
+        """Posting-list lengths, descending — the 'bucket sizes' of Fig 7."""
+        return sorted((len(p) for p in self._lists.values()), reverse=True)
+
+
+def build_from_ads(
+    ads: Iterable[Advertisement], tracker: AccessTracker | None = None
+) -> NonRedundantInvertedIndex:
+    """Convenience: build from a plain iterable by materializing a corpus."""
+    return NonRedundantInvertedIndex.from_corpus(AdCorpus(ads), tracker=tracker)

@@ -1,0 +1,63 @@
+"""Posting lists shared by the inverted-index baselines.
+
+A posting references one advertisement; depending on the variant it is
+either a bare reference (8 bytes, modeling a pointer/ID) or a reference
+augmented with the bid's word count (the paper's "modified" index stores
+"the total number of keywords in the corresponding bid phrase together with
+each posting").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.core.ads import Advertisement
+
+#: Modeled size of an ad reference inside a posting list.
+POSTING_REF_BYTES = 8
+
+#: Extra byte storing the bid word count in the counting variant.
+WORD_COUNT_BYTES = 1
+
+
+@dataclass(slots=True)
+class Posting:
+    """One entry of a posting list."""
+
+    ad: Advertisement
+    word_count: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.word_count = len(self.ad.words)
+
+
+class PostingList:
+    """An append-only posting list for one keyword."""
+
+    __slots__ = ("word", "postings", "with_counts")
+
+    def __init__(self, word: str, with_counts: bool = False) -> None:
+        self.word = word
+        self.postings: list[Posting] = []
+        #: Whether the modeled layout stores word counts inline.
+        self.with_counts = with_counts
+
+    def append(self, ad: Advertisement) -> None:
+        self.postings.append(Posting(ad))
+
+    def __len__(self) -> int:
+        return len(self.postings)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self.postings)
+
+    def posting_bytes(self) -> int:
+        """Modeled size of one posting."""
+        if self.with_counts:
+            return POSTING_REF_BYTES + WORD_COUNT_BYTES
+        return POSTING_REF_BYTES
+
+    def size_bytes(self) -> int:
+        """Modeled size of the whole list."""
+        return len(self.postings) * self.posting_bytes()

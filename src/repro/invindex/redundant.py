@@ -1,0 +1,82 @@
+"""The naive union-and-verify inverted index from the paper's introduction.
+
+Every word of every bid is indexed (no counts); a query unions the posting
+lists of its words, deduplicates candidates, and verifies each candidate's
+phrase against the query.  This is the strawman of Section I ("first
+consider the use of inverted indexes containing advertisement IDs as
+postings"); it is dominated by the other two baselines but completes the
+comparison and serves as another independently-implemented oracle.
+"""
+
+from __future__ import annotations
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.queries import Query
+from repro.invindex.postings import PostingList
+from repro.cost.accounting import AccessTracker
+
+
+class RedundantInvertedIndex:
+    """Fully redundant index resolved by union + phrase verification."""
+
+    def __init__(self, tracker: AccessTracker | None = None) -> None:
+        self.tracker = tracker
+        self._lists: dict[str, PostingList] = {}
+        self._num_ads = 0
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: AdCorpus, tracker: AccessTracker | None = None
+    ) -> RedundantInvertedIndex:
+        index = cls(tracker=tracker)
+        for ad in corpus:
+            index.insert(ad)
+        return index
+
+    def insert(self, ad: Advertisement) -> None:
+        for word in ad.words:
+            plist = self._lists.get(word)
+            if plist is None:
+                plist = PostingList(word)
+                self._lists[word] = plist
+            plist.append(ad)
+        self._num_ads += 1
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        tracker = self.tracker
+        query_words = query.words
+        seen: set[int] = set()
+        results: list[Advertisement] = []
+        for word in sorted(query_words):
+            plist = self._lists.get(word)
+            if tracker is not None:
+                tracker.hash_probe(8)
+            if plist is None:
+                continue
+            if tracker is not None:
+                tracker.random_access(plist.size_bytes())
+                tracker.posting(len(plist))
+            for posting in plist:
+                key = id(posting.ad)
+                if key in seen:
+                    continue
+                seen.add(key)
+                ad = posting.ad
+                if tracker is not None:
+                    tracker.random_access(ad.size_bytes())
+                    tracker.candidate()
+                if ad.words <= query_words:
+                    results.append(ad)
+        if tracker is not None:
+            tracker.query_done()
+        return results
+
+    def __len__(self) -> int:
+        return self._num_ads
+
+    @property
+    def lists(self) -> dict[str, PostingList]:
+        return self._lists
+
+    def index_bytes(self) -> int:
+        return sum(plist.size_bytes() for plist in self._lists.values())

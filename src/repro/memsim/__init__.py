@@ -1,0 +1,31 @@
+"""Trace-driven machine models: the library's substitute for VTune
+hardware counters (Section VII-C of the paper).
+
+* :class:`Tlb`, :class:`Cache`, :class:`BranchPredictor` — the machine;
+* :class:`IndexLayout` — simulated addresses for a WordSetIndex;
+* :func:`run_traced_workload` — replay queries, collect
+  :class:`HardwareCounters`.
+"""
+
+from repro.memsim.branch import BranchPredictor
+from repro.memsim.cache import Cache, CacheHierarchy
+from repro.memsim.counters import HardwareCounters, run_traced_workload
+from repro.memsim.inverted_layout import (
+    InvertedLayout,
+    run_traced_inverted_workload,
+)
+from repro.memsim.layout import IndexLayout, NodePlacement
+from repro.memsim.tlb import Tlb
+
+__all__ = [
+    "BranchPredictor",
+    "Cache",
+    "CacheHierarchy",
+    "HardwareCounters",
+    "IndexLayout",
+    "InvertedLayout",
+    "NodePlacement",
+    "Tlb",
+    "run_traced_inverted_workload",
+    "run_traced_workload",
+]

@@ -1,0 +1,44 @@
+"""A 2-bit saturating-counter branch predictor (Section VII-C counters).
+
+The paper observed that re-mapping *increased* branch mispredictions by
+23%: merged data nodes mean longer data-dependent scan loops whose
+match/no-match branches are hard to predict, whereas the no-remap layout
+mostly branches on "bucket empty?" which is strongly biased.  A per-site
+2-bit counter table reproduces exactly that asymmetry.
+"""
+
+from __future__ import annotations
+
+
+class BranchPredictor:
+    """Per-site 2-bit saturating counters (no aliasing between named sites)."""
+
+    # Counter states: 0,1 predict not-taken; 2,3 predict taken.
+
+    def __init__(self, initial: int = 1) -> None:
+        if not 0 <= initial <= 3:
+            raise ValueError("initial counter must be in [0, 3]")
+        self._counters: dict[object, int] = {}
+        self._initial = initial
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def branch(self, site: object, taken: bool) -> bool:
+        """Record one dynamic branch; returns True if predicted correctly."""
+        counter = self._counters.get(site, self._initial)
+        predicted_taken = counter >= 2
+        correct = predicted_taken == taken
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        if taken:
+            counter = min(3, counter + 1)
+        else:
+            counter = max(0, counter - 1)
+        self._counters[site] = counter
+        return correct
+
+    def misprediction_rate(self) -> float:
+        if not self.predictions:
+            return 0.0
+        return self.mispredictions / self.predictions

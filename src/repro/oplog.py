@@ -1,0 +1,219 @@
+"""Operation-log persistence: snapshot + append-only journal + compaction.
+
+Full snapshots (:mod:`repro.persist`) are the right format for periodic
+re-optimization output, but a serving process that inserts/deletes ads all
+day cannot rewrite the corpus on every mutation.  The standard answer is
+the one implemented here:
+
+* a **base snapshot** (the `persist` format) written at startup or
+  compaction time;
+* an **op-log**: one JSON line per mutation (`insert` / `delete`), each
+  line carrying a sequence number and a per-record checksum, fsync-friendly
+  append-only;
+* **recovery** = load snapshot, replay the log in order (torn trailing
+  writes are tolerated and reported, matching crash semantics of
+  append-only logs; corruption *before* the tail is an error);
+* **compaction** = write a fresh snapshot of the live state, truncate the
+  log.
+
+``DurableIndex`` wraps a WordSetIndex (or a MaintainedIndex-compatible
+structure) with this machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.optimize.mapping import Mapping
+from repro.persist import (
+    PersistenceError,
+    _ad_from_record,
+    _ad_record,
+    load_index,
+    save_index,
+)
+
+
+def _checksum(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What replay found."""
+
+    replayed_ops: int
+    truncated_tail: bool
+
+
+class DurableIndex:
+    """A WordSetIndex with snapshot + op-log durability."""
+
+    def __init__(
+        self,
+        snapshot_path: str | Path,
+        log_path: str | Path,
+        corpus: AdCorpus | None = None,
+        mapping: Mapping | None = None,
+    ) -> None:
+        self.snapshot_path = Path(snapshot_path)
+        self.log_path = Path(log_path)
+        if corpus is not None:
+            # Fresh start: write the base snapshot, empty log.
+            self._corpus = corpus
+            self._mapping = mapping if mapping is not None else Mapping({})
+            save_index(self.snapshot_path, corpus, self._mapping)
+            self.log_path.write_text("")
+            self.recovery = RecoveryReport(replayed_ops=0, truncated_tail=False)
+        else:
+            self.recovery = self._recover()
+        self._rebuild()
+        self._sequence = self.recovery.replayed_ops
+        self._log_handle = self.log_path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+
+    def _recover(self) -> RecoveryReport:
+        loaded = load_index(self.snapshot_path)
+        self._corpus = loaded.corpus
+        self._mapping = loaded.mapping
+        ads = list(self._corpus)
+        replayed = 0
+        truncated = False
+        if self.log_path.exists():
+            for line_number, line in enumerate(
+                self.log_path.read_text(encoding="utf-8").splitlines()
+            ):
+                try:
+                    record = json.loads(line)
+                    payload = json.dumps(record["op"], sort_keys=True)
+                    if record["crc"] != _checksum(payload):
+                        raise ValueError("bad checksum")
+                    if record["seq"] != replayed:
+                        raise ValueError("sequence gap")
+                except (ValueError, KeyError, json.JSONDecodeError) as exc:
+                    remaining = (
+                        self.log_path.read_text(encoding="utf-8")
+                        .splitlines()[line_number + 1:]
+                    )
+                    if remaining:
+                        raise PersistenceError(
+                            f"op-log corrupt at line {line_number + 1} with "
+                            f"valid records after it: {exc}"
+                        ) from exc
+                    truncated = True  # torn tail write: tolerated
+                    break
+                op = record["op"]
+                if op["kind"] == "insert":
+                    ads.append(_ad_from_record(op["ad"]))
+                elif op["kind"] == "delete":
+                    victim = _ad_from_record(op["ad"])
+                    for i, existing in enumerate(ads):
+                        if existing == victim:
+                            del ads[i]
+                            break
+                else:
+                    raise PersistenceError(f"unknown op kind {op['kind']!r}")
+                replayed += 1
+        self._corpus = AdCorpus(ads)
+        return RecoveryReport(replayed_ops=replayed, truncated_tail=truncated)
+
+    def _rebuild(self) -> None:
+        # Incremental build: ads replayed from the log may have word-sets
+        # the snapshot's mapping has never seen (including long ones that
+        # need a synthesized short locator), so each ad goes through the
+        # same local placement heuristic as a live insert.
+        self._index = WordSetIndex(max_words=self._mapping.max_words)
+        for ad in self._corpus:
+            self._index.insert(ad, locator=self._locator_for_new(ad))
+
+    # ------------------------------------------------------------------ #
+    # Mutations (logged)
+
+    def _append(self, op: dict) -> None:
+        payload = json.dumps(op, sort_keys=True)
+        record = {"seq": self._sequence, "op": op, "crc": _checksum(payload)}
+        self._log_handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._log_handle.flush()
+        self._sequence += 1
+
+    def insert(self, ad: Advertisement) -> None:
+        self._append({"kind": "insert", "ad": _ad_record(ad)})
+        self._corpus.add(ad)
+        self._index.insert(ad, locator=self._locator_for_new(ad))
+
+    def _locator_for_new(self, ad: Advertisement) -> frozenset[str]:
+        """Same local heuristic as online maintenance: mapped locator if
+        known, identity if short, else best existing / synthesized short
+        locator."""
+        from repro.optimize.remap import (
+            _best_existing_locator,
+            _rarest_words_locator,
+        )
+
+        placement = self._index.placement()
+        if ad.words in placement:
+            return placement[ad.words]
+        locator = self._mapping.locator_for(ad.words)
+        max_words = self._mapping.max_words
+        if max_words is None or len(locator) <= max_words:
+            return locator
+        existing = _best_existing_locator(
+            ad.words, set(placement.values()), max_words
+        )
+        if existing is not None:
+            return existing
+        return _rarest_words_locator(ad.words, self._corpus, max_words)
+
+    def delete(self, ad: Advertisement) -> bool:
+        removed = self._index.delete(ad)
+        if removed:
+            self._append({"kind": "delete", "ad": _ad_record(ad)})
+            remaining = list(self._corpus)
+            for i, existing in enumerate(remaining):
+                if existing == ad:
+                    del remaining[i]
+                    break
+            self._corpus = AdCorpus(remaining)
+        return removed
+
+    # ------------------------------------------------------------------ #
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        return self._index.query_broad(query)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def corpus(self) -> AdCorpus:
+        return self._corpus
+
+    @property
+    def log_ops(self) -> int:
+        return self._sequence
+
+    def compact(self, mapping: Mapping | None = None) -> None:
+        """Write a fresh snapshot of live state; truncate the log.
+
+        Pass a new ``mapping`` to fold a re-optimization into the
+        compaction (the paper's periodic reopt naturally lands here).
+        """
+        if mapping is not None:
+            self._mapping = mapping
+            self._rebuild()
+        save_index(self.snapshot_path, self._corpus, self._mapping)
+        self._log_handle.close()
+        self.log_path.write_text("")
+        self._log_handle = self.log_path.open("a", encoding="utf-8")
+        self._sequence = 0
+
+    def close(self) -> None:
+        self._log_handle.close()

@@ -1,0 +1,54 @@
+"""Re-mapping and workload-driven mapping optimization (Sections IV-V).
+
+* :func:`long_phrase_mapping` — re-map only phrases longer than
+  ``max_words`` (Fig 10 variant (b));
+* :func:`optimize_mapping` — full re-mapping via weighted set cover
+  (Fig 10 variant (c));
+* :mod:`repro.optimize.setcover` — the generic greedy / exact / withdrawal
+  solvers;
+* :class:`MaintainedIndex` — online insert/delete maintenance with periodic
+  re-optimization (Section VI).
+"""
+
+from repro.optimize.mapping import (
+    Group,
+    Mapping,
+    OptimizerConfig,
+    corpus_groups,
+    locator_access_profile,
+    node_size_bound,
+    node_weight,
+    optimize_mapping,
+)
+from repro.optimize.online import MaintainedIndex
+from repro.optimize.remap import build_index, long_phrase_mapping
+from repro.optimize.setcover import (
+    CandidateSet,
+    ChosenSet,
+    exact_weighted_set_cover,
+    fixed_weight,
+    greedy_weighted_set_cover,
+    harmonic,
+    withdrawal_improve,
+)
+
+__all__ = [
+    "CandidateSet",
+    "ChosenSet",
+    "Group",
+    "MaintainedIndex",
+    "Mapping",
+    "OptimizerConfig",
+    "build_index",
+    "corpus_groups",
+    "exact_weighted_set_cover",
+    "fixed_weight",
+    "greedy_weighted_set_cover",
+    "harmonic",
+    "locator_access_profile",
+    "long_phrase_mapping",
+    "node_size_bound",
+    "node_weight",
+    "optimize_mapping",
+    "withdrawal_improve",
+]

@@ -1,0 +1,358 @@
+"""Casting index-mapping optimization to weighted set cover (Section V).
+
+The *elements* of the cover are the distinct word-set **groups** of the
+corpus (condition IV forces ads with identical word-sets to move together,
+so a group is atomic — this is also what tightens the approximation bound
+from ``H_k`` to ``H_k'`` over distinct word-sets).  The *candidate sets*
+are, for each feasible node locator ``N``, bounded-size collections of
+groups whose word-sets contain ``N``; their weight is equation (2): for
+every workload query ``Q ⊇ N``, one random access plus the sequential scan
+of all entries not cut off by early termination.
+
+The optimizer:
+
+1. collects locator candidates (every distinct word-set of ``<= max_words``
+   words, plus synthesized locators for long groups with no short subset);
+2. aggregates, per locator, the workload frequency of accessing it **by
+   query length** (early termination makes cost depend on ``|Q|``);
+3. builds nested (prefix) candidate sets per locator, capped at the node
+   size bound ``k`` derived from the cost model's random/sequential
+   break-even;
+4. runs the greedy weighted set cover, optionally followed by withdrawal
+   steps, and emits a validated :class:`Mapping`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Mapping as MappingABC
+from dataclasses import dataclass, field
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.data_node import ENTRY_HEADER_BYTES, NODE_HEADER_BYTES
+from repro.core.queries import Workload
+from repro.core.subset_enum import bounded_subsets
+from repro.cost.model import CostModel
+from repro.optimize.setcover import (
+    CandidateSet,
+    greedy_weighted_set_cover,
+    withdrawal_improve,
+)
+
+WordSet = frozenset[str]
+
+
+@dataclass(frozen=True, slots=True)
+class Group:
+    """All ads sharing one word-set: the atomic unit of re-mapping."""
+
+    words: WordSet
+    ads: tuple[Advertisement, ...]
+    entry_bytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "entry_bytes",
+            sum(ENTRY_HEADER_BYTES + ad.size_bytes() for ad in self.ads),
+        )
+
+    @property
+    def word_count(self) -> int:
+        return len(self.words)
+
+
+def corpus_groups(corpus: AdCorpus | Iterable[Advertisement]) -> list[Group]:
+    """Partition a corpus into word-set groups (condition IV)."""
+    by_words: dict[WordSet, list[Advertisement]] = defaultdict(list)
+    for ad in corpus:
+        by_words[ad.words].append(ad)
+    return [Group(words=w, ads=tuple(ads)) for w, ads in by_words.items()]
+
+
+class Mapping:
+    """A validated assignment of word-set groups to node locators.
+
+    Enforces the paper's conditions: every group mapped (I) to exactly one
+    locator (II) that is a non-empty subset of its words (III); groups are
+    atomic, so condition IV holds by construction.  ``max_words`` bounds
+    locator length when given.
+    """
+
+    def __init__(
+        self,
+        assignment: MappingABC[WordSet, WordSet],
+        max_words: int | None = None,
+    ) -> None:
+        for words, locator in assignment.items():
+            if not locator:
+                raise ValueError("empty locator")
+            if not locator <= words:
+                raise ValueError(
+                    f"locator {set(locator)!r} not a subset of {set(words)!r}"
+                )
+            if max_words is not None and len(locator) > max_words:
+                raise ValueError("locator exceeds max_words")
+        self._assignment = dict(assignment)
+        self.max_words = max_words
+
+    @classmethod
+    def identity(cls, corpus: AdCorpus) -> Mapping:
+        """The no-re-mapping baseline: every group at its own word-set."""
+        return cls({w: w for w in corpus.distinct_wordsets()})
+
+    def locator_for(self, words: WordSet) -> WordSet:
+        """Locator for a group (identity if unmapped)."""
+        return self._assignment.get(words, words)
+
+    def as_dict(self) -> dict[WordSet, WordSet]:
+        return dict(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def remapped_count(self) -> int:
+        """Number of groups moved away from their own word-set."""
+        return sum(1 for w, n in self._assignment.items() if w != n)
+
+    def num_locators(self) -> int:
+        return len(set(self._assignment.values()))
+
+
+# --------------------------------------------------------------------- #
+# Workload access statistics per locator.
+
+
+def locator_access_profile(
+    locators: set[WordSet],
+    workload: Workload,
+    max_words: int | None,
+) -> dict[WordSet, dict[int, int]]:
+    """For each locator ``N``, the total workload frequency of queries
+    ``Q ⊇ N``, broken down by query length.
+
+    Query length matters because early termination stops a node scan at
+    entries with more words than ``|Q|``.  Computed by enumerating each
+    query's bounded subsets and intersecting with the locator set — the
+    same work pattern as query processing itself.
+    """
+    profile: dict[WordSet, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+    for query, frequency in workload:
+        words = query.words
+        bound = len(words) if max_words is None else min(len(words), max_words)
+        for subset in bounded_subsets(words, bound):
+            if subset in locators:
+                profile[subset][len(words)] += frequency
+    return {loc: dict(by_len) for loc, by_len in profile.items()}
+
+
+def node_weight(
+    locator: WordSet,
+    groups: list[Group],
+    access_by_qlen: dict[int, int],
+    model: CostModel,
+) -> float:
+    """Equation (2): the workload cost of a node at ``locator`` holding
+    ``groups``.
+
+    For each accessing query length ``q``: one random access plus scanning
+    the node header and every group whose word count is ``<= q``.
+    """
+    if not access_by_qlen:
+        return 0.0
+    ordered = sorted(groups, key=lambda g: g.word_count)
+    total = 0.0
+    for qlen, frequency in access_by_qlen.items():
+        scanned = NODE_HEADER_BYTES
+        for group in ordered:
+            if group.word_count > qlen:
+                break
+            scanned += group.entry_bytes
+        total += frequency * (model.cost_random() + model.cost_scan(scanned))
+    return total
+
+
+# --------------------------------------------------------------------- #
+# The optimizer.
+
+
+def node_size_bound(model: CostModel, avg_group_bytes: float) -> int:
+    """The ``k`` of Section V-B: max groups per node worth co-locating.
+
+    Once scanning one more group's bytes costs more than a random access
+    for every accessing query, splitting wins, so nodes larger than
+    ``break_even / avg_group_bytes`` cannot be optimal (up to workload
+    skew).  Clamped to at least 2 so merging is ever considered.
+    """
+    if avg_group_bytes <= 0:
+        return 2
+    return max(2, int(model.break_even_bytes() / avg_group_bytes))
+
+
+@dataclass(frozen=True, slots=True)
+class OptimizerConfig:
+    """Tuning for :func:`optimize_mapping`."""
+
+    max_words: int | None = 10
+    #: Hard cap on groups per candidate node (``None`` = derive from model).
+    node_size_cap: int | None = None
+    #: Run withdrawal-step local improvement after the greedy.
+    withdrawal: bool = True
+    #: Order per-locator candidate prefixes by workload co-access benefit
+    #: (False falls back to smallest-bytes-first; ablation knob).
+    benefit_ordering: bool = True
+    #: Cap on locator candidates considered per group (subset explosion
+    #: guard for very long bids).
+    max_subsets_per_group: int = 256
+
+
+def _synthesize_locator(
+    group: Group, corpus: AdCorpus, max_words: int
+) -> WordSet:
+    """A short locator for a long group with no existing short subset:
+    its ``max_words`` rarest words (selective, so the new node attracts
+    few co-accessing queries)."""
+    rare = sorted(group.words, key=lambda w: (corpus.word_frequency(w), w))
+    return frozenset(rare[:max_words])
+
+
+def optimize_mapping(
+    corpus: AdCorpus,
+    workload: Workload,
+    model: CostModel,
+    config: OptimizerConfig = OptimizerConfig(),
+) -> Mapping:
+    """Compute a full re-mapping minimizing ``Cost_Node(WL, M)``.
+
+    Returns a validated :class:`Mapping`; see the module docstring for the
+    pipeline.  ``Cost_Hash`` is mapping-independent and therefore ignored,
+    exactly as in the paper's reduction.
+    """
+    groups = corpus_groups(corpus)
+    if not groups:
+        return Mapping({}, max_words=config.max_words)
+    max_words = config.max_words
+
+    # 1. Locator candidates: existing short word-sets + synthesized ones.
+    locators: set[WordSet] = set()
+    for group in groups:
+        if max_words is None or group.word_count <= max_words:
+            locators.add(group.words)
+    for group in groups:
+        if max_words is not None and group.word_count > max_words:
+            if not any(loc <= group.words for loc in locators):
+                locators.add(_synthesize_locator(group, corpus, max_words))
+
+    # 2. Eligible groups per locator.
+    eligible: dict[WordSet, list[Group]] = defaultdict(list)
+    for group in groups:
+        bound = group.word_count if max_words is None else min(
+            group.word_count, max_words
+        )
+        count = 0
+        for subset in bounded_subsets(group.words, bound):
+            if subset in locators:
+                eligible[subset].append(group)
+                count += 1
+                if count >= config.max_subsets_per_group:
+                    break
+        if count == 0:
+            # Should not happen: every short group has its own locator and
+            # long groups got a synthesized subset locator above.
+            raise AssertionError("group with no eligible locator")
+
+    # 3. Access profile and candidate sets.
+    profile = locator_access_profile(locators, workload, max_words)
+    avg_group_bytes = sum(g.entry_bytes for g in groups) / len(groups)
+    cap = config.node_size_cap or node_size_bound(model, avg_group_bytes)
+
+    group_by_words = {g.words: g for g in groups}
+
+    def weight_fn_for(locator: WordSet):
+        access = profile.get(locator, {})
+
+        def weight_fn(element_words: frozenset) -> float:
+            members = [group_by_words[w] for w in element_words]
+            weight = node_weight(locator, members, access, model)
+            if weight == 0.0 and element_words:
+                # Unaccessed nodes are free under the workload model, but
+                # ties must prefer identity/specific placement; charge a
+                # vanishing build cost per byte to break ties stably.
+                weight = 1e-9 * sum(g.entry_bytes for g in members)
+            return weight
+
+        return weight_fn
+
+    def access_mass(words: WordSet, min_qlen: int = 0) -> int:
+        """Total workload frequency of queries containing ``words`` (with
+        at least ``min_qlen`` words)."""
+        return sum(
+            frequency
+            for qlen, frequency in profile.get(words, {}).items()
+            if qlen >= min_qlen
+        )
+
+    candidates: list[CandidateSet] = []
+    for locator, members in eligible.items():
+        weight_fn = weight_fn_for(locator)
+
+        def merge_benefit(group: Group, loc: WordSet = locator) -> float:
+            """Net ns saved by co-locating ``group`` at ``loc``: every query
+            reaching the group's own node via ``loc`` saves a random access;
+            every other query scanning past the group pays its bytes."""
+            saved = access_mass(group.words) * model.cost_random()
+            extra_scans = access_mass(loc, group.word_count) - access_mass(
+                group.words
+            )
+            return saved - max(0, extra_scans) * model.cost_scan(
+                group.entry_bytes
+            )
+
+        # Nested prefixes: the locator's own group always leads (so the
+        # identity singleton is a candidate — this is what guarantees the
+        # greedy never beats identity cost, see tests), then groups in
+        # decreasing order of merge benefit (strongly co-accessed supersets
+        # first, scan-burden-heavy strangers last).
+        if config.benefit_ordering:
+            ordered = sorted(
+                members,
+                key=lambda g: (
+                    g.words != locator,
+                    -merge_benefit(g),
+                    g.entry_bytes,
+                    sorted(g.words),
+                ),
+            )
+        else:
+            ordered = sorted(
+                members,
+                key=lambda g: (
+                    g.words != locator,
+                    g.entry_bytes,
+                    sorted(g.words),
+                ),
+            )
+        prefix: list[Group] = []
+        for group in ordered[: max(cap, 1)]:
+            prefix.append(group)
+            candidates.append(
+                CandidateSet(
+                    name=(locator, len(prefix)),
+                    elements=frozenset(g.words for g in prefix),
+                    weight_fn=weight_fn,
+                )
+            )
+
+    universe = [g.words for g in groups]
+    solution = greedy_weighted_set_cover(universe, candidates)
+    if config.withdrawal:
+        solution = withdrawal_improve(universe, candidates, solution)
+
+    # 4. Emit the mapping.  A group covered by candidate (locator, _) is
+    # placed at that locator.
+    assignment: dict[WordSet, WordSet] = {}
+    for chosen in solution:
+        locator, _ = chosen.candidate.name
+        for words in chosen.covered:
+            assignment[words] = locator
+    return Mapping(assignment, max_words=max_words)

@@ -1,0 +1,142 @@
+"""Online maintenance under insertions and deletions (Section VI).
+
+Online set cover has much weaker guarantees than the offline problem, so —
+following the paper — insertions are placed by a **fast local heuristic**
+and the full optimization is re-run only **periodically**:
+
+* a new ad whose word-set is already placed simply follows its group
+  (condition IV);
+* a new short word-set is placed at itself (always feasible);
+* a new long word-set (``> max_words`` words) is placed at the best
+  existing short locator that is a subset of its words, else at a
+  synthesized rarest-words locator — the same heuristic as offline
+  long-phrase re-mapping, but evaluated against the *live* index;
+* deletions go through :meth:`WordSetIndex.delete` (which, as the paper
+  notes, is the expensive direction: locating the node is equivalent to a
+  broad-match probe).
+
+``MaintainedIndex`` counts mutations and re-optimizes from scratch via
+:func:`repro.optimize.mapping.optimize_mapping` once a configurable churn
+threshold is crossed (modeling the paper's "periodically, potentially on a
+separate machine").
+"""
+
+from __future__ import annotations
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.queries import Query, Workload
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.model import CostModel
+from repro.optimize.mapping import (
+    Mapping,
+    OptimizerConfig,
+    optimize_mapping,
+)
+from repro.optimize.remap import _best_existing_locator, _rarest_words_locator
+
+
+class MaintainedIndex:
+    """A WordSetIndex kept correct under churn and periodically re-optimized.
+
+    Parameters
+    ----------
+    corpus:
+        Live corpus; mutated by :meth:`insert` / :meth:`delete`.
+    workload:
+        Workload used when re-optimizing.
+    model:
+        Cost model for the optimizer.
+    reopt_threshold:
+        Re-optimize after this many mutations (0 disables periodic reopt).
+    """
+
+    def __init__(
+        self,
+        corpus: AdCorpus,
+        workload: Workload,
+        model: CostModel,
+        config: OptimizerConfig = OptimizerConfig(),
+        reopt_threshold: int = 1000,
+    ) -> None:
+        self._corpus = corpus
+        self._workload = workload
+        self._model = model
+        self._config = config
+        self.reopt_threshold = reopt_threshold
+        self.mutations_since_reopt = 0
+        self.reopt_count = 0
+        self._mapping = optimize_mapping(corpus, workload, model, config)
+        self._index = self._build()
+
+    def _build(self) -> WordSetIndex:
+        return WordSetIndex.from_corpus(
+            self._corpus,
+            mapping=self._mapping.as_dict(),
+            max_words=self._mapping.max_words,
+        )
+
+    @property
+    def index(self) -> WordSetIndex:
+        return self._index
+
+    @property
+    def mapping(self) -> Mapping:
+        return self._mapping
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        return self._index.query_broad(query)
+
+    def insert(self, ad: Advertisement) -> None:
+        """Place ``ad`` with the local heuristic; maybe trigger reopt."""
+        self._corpus.add(ad)
+        locator = self._local_locator(ad)
+        self._index.insert(ad, locator=locator)
+        self._note_mutation()
+
+    def _local_locator(self, ad: Advertisement) -> frozenset[str] | None:
+        placement = self._index.placement()
+        if ad.words in placement:
+            return placement[ad.words]  # follow the group (condition IV)
+        max_words = self._mapping.max_words
+        if max_words is None or len(ad.words) <= max_words:
+            return ad.words
+        existing = _best_existing_locator(
+            ad.words, set(placement.values()), max_words
+        )
+        if existing is not None:
+            return existing
+        return _rarest_words_locator(ad.words, self._corpus, max_words)
+
+    def delete(self, ad: Advertisement) -> bool:
+        """Remove ``ad`` from both corpus and index."""
+        removed = self._index.delete(ad)
+        if removed:
+            # AdCorpus is append-only by design; rebuild it with exactly
+            # one occurrence of ``ad`` removed.
+            remaining = list(self._corpus)
+            for i, a in enumerate(remaining):
+                if a == ad:
+                    del remaining[i]
+                    break
+            self._corpus = AdCorpus(remaining)
+            self._note_mutation()
+        return removed
+
+    def _note_mutation(self) -> None:
+        self.mutations_since_reopt += 1
+        if (
+            self.reopt_threshold
+            and self.mutations_since_reopt >= self.reopt_threshold
+        ):
+            self.reoptimize()
+
+    def reoptimize(self, workload: Workload | None = None) -> None:
+        """Recompute the optimal mapping and rebuild the index."""
+        if workload is not None:
+            self._workload = workload
+        self._mapping = optimize_mapping(
+            self._corpus, self._workload, self._model, self._config
+        )
+        self._index = self._build()
+        self.mutations_since_reopt = 0
+        self.reopt_count += 1

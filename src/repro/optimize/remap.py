@@ -1,0 +1,84 @@
+"""Long-phrase-only re-mapping (Section IV-B) and mapping application.
+
+Re-mapping *all* phrases longer than ``max_words`` to node locators of at
+most ``max_words`` words bounds the hash probes per query by
+``Σ_{i<=max_words} C(|Q|, i)`` — the paper's variant (b) in Fig 10 —
+without any workload information.  The destination heuristic prefers an
+existing locator that is a subset of the long phrase (no new hash entries);
+among those, the longest (most specific, so the merged node attracts the
+fewest co-accessing queries); when none exists, a locator is synthesized
+from the phrase's rarest words.
+"""
+
+from __future__ import annotations
+
+from repro.core.ads import AdCorpus
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.accounting import AccessTracker
+from repro.optimize.mapping import Mapping, WordSet, corpus_groups
+
+
+def _best_existing_locator(
+    words: WordSet, locators: set[WordSet], max_words: int
+) -> WordSet | None:
+    """The longest existing locator that is a strict subset of ``words``."""
+    best: WordSet | None = None
+    for locator in locators:
+        if len(locator) <= max_words and locator <= words:
+            if best is None or (len(locator), sorted(locator)) > (
+                len(best), sorted(best)
+            ):
+                best = locator
+    return best
+
+
+def _rarest_words_locator(
+    words: WordSet, corpus: AdCorpus, max_words: int
+) -> WordSet:
+    rare = sorted(words, key=lambda w: (corpus.word_frequency(w), w))
+    return frozenset(rare[:max_words])
+
+
+def long_phrase_mapping(corpus: AdCorpus, max_words: int) -> Mapping:
+    """Map every group longer than ``max_words`` to a short locator;
+    short groups stay at their own word-sets."""
+    if max_words < 1:
+        raise ValueError("max_words must be >= 1")
+    groups = corpus_groups(corpus)
+    short_locators = {
+        g.words for g in groups if g.word_count <= max_words
+    }
+    assignment: dict[WordSet, WordSet] = {w: w for w in short_locators}
+    for group in groups:
+        if group.word_count <= max_words:
+            continue
+        existing = _best_existing_locator(group.words, short_locators, max_words)
+        if existing is None:
+            existing = _rarest_words_locator(group.words, corpus, max_words)
+            short_locators.add(existing)
+        assignment[group.words] = existing
+    return Mapping(assignment, max_words=max_words)
+
+
+def build_index(
+    corpus: AdCorpus,
+    mapping: Mapping | None = None,
+    tracker: AccessTracker | None = None,
+    max_query_words: int = 16,
+) -> WordSetIndex:
+    """Materialize a :class:`WordSetIndex` under ``mapping``.
+
+    With ``mapping=None`` the identity placement is used (Fig 10 variant
+    (a): every query must probe all subsets).
+    """
+    if mapping is None:
+        return WordSetIndex.from_corpus(
+            corpus, tracker=tracker, max_query_words=max_query_words
+        )
+    return WordSetIndex.from_corpus(
+        corpus,
+        mapping=mapping.as_dict(),
+        max_words=mapping.max_words,
+        tracker=tracker,
+        max_query_words=max_query_words,
+    )

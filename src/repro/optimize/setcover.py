@@ -1,0 +1,242 @@
+"""Weighted set cover: greedy, exact (small instances), and withdrawal steps.
+
+Section V of the paper reduces optimal index-mapping to weighted set cover.
+This module provides the *generic* machinery:
+
+* :func:`greedy_weighted_set_cover` — Chvátal's greedy: repeatedly pick the
+  set minimizing weight / newly-covered elements.  When every candidate set
+  has at most ``k`` elements this is an ``H_k``-approximation [Chvátal'79],
+  the bound the paper invokes.
+* :func:`exact_weighted_set_cover` — brute force over candidate subsets, for
+  validating the greedy's approximation ratio on small instances.
+* :func:`withdrawal_improve` — the local-improvement flavour of Hassin &
+  Levin's "withdrawal steps": try removing a chosen set and re-covering its
+  exclusive elements more cheaply with other candidates.
+
+Weights may be *residual-aware*: a candidate passed as a
+:class:`CandidateSet` with a ``weight_fn`` is re-priced for the subset of
+its elements that is still uncovered, which is exactly the behaviour of the
+paper's ``weight(S)`` (equation 2) where dropping an ad from a node removes
+its scan cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Collection, Hashable, Sequence
+from dataclasses import dataclass
+from itertools import combinations
+from math import inf
+
+
+@dataclass(frozen=True)
+class CandidateSet:
+    """A set available to the cover, with a residual-aware weight.
+
+    ``weight_fn`` prices any sub-collection of ``elements``; for classical
+    (fixed-weight) set cover pass ``lambda elems: w`` — the greedy then
+    reduces to the textbook algorithm.
+    """
+
+    name: Hashable
+    elements: frozenset
+    weight_fn: Callable[[frozenset], float]
+
+    def weight(self, elements: frozenset | None = None) -> float:
+        chosen = self.elements if elements is None else elements
+        return self.weight_fn(chosen)
+
+
+@dataclass(frozen=True)
+class ChosenSet:
+    """One set in a cover solution: the candidate and what it covers."""
+
+    candidate: CandidateSet
+    covered: frozenset
+
+    @property
+    def weight(self) -> float:
+        return self.candidate.weight(self.covered)
+
+
+def fixed_weight(weight: float) -> Callable[[frozenset], float]:
+    """Weight function for classical set cover (ignores the residual)."""
+
+    def fn(_elements: frozenset) -> float:
+        return weight
+
+    return fn
+
+
+def _solution_cost(solution: Sequence[ChosenSet]) -> float:
+    return sum(chosen.weight for chosen in solution)
+
+
+def greedy_weighted_set_cover(
+    universe: Collection[Hashable],
+    candidates: Sequence[CandidateSet],
+) -> list[ChosenSet]:
+    """Chvátal's greedy with a lazy priority queue.
+
+    Each candidate is priced on its *uncovered* elements; stale heap entries
+    are re-evaluated on pop (lazy evaluation), which keeps the loop
+    near-linear for the non-increasing ratios that occur in practice.
+
+    Raises ``ValueError`` if the candidates cannot cover the universe.
+    """
+    uncovered = set(universe)
+    if not uncovered:
+        return []
+
+    def ratio(candidate: CandidateSet) -> tuple[float, frozenset]:
+        covered = frozenset(candidate.elements & uncovered)
+        if not covered:
+            return inf, covered
+        return candidate.weight(covered) / len(covered), covered
+
+    heap: list[tuple[float, int]] = []
+    for i, candidate in enumerate(candidates):
+        r, _ = ratio(candidate)
+        if r < inf:
+            heapq.heappush(heap, (r, i))
+
+    solution: list[ChosenSet] = []
+    while uncovered:
+        while heap:
+            stale_ratio, i = heapq.heappop(heap)
+            current_ratio, covered = ratio(candidates[i])
+            if current_ratio == inf:
+                continue
+            if heap and current_ratio > heap[0][0] + 1e-12:
+                heapq.heappush(heap, (current_ratio, i))
+                continue
+            solution.append(
+                ChosenSet(candidate=candidates[i], covered=covered)
+            )
+            uncovered -= covered
+            break
+        else:
+            raise ValueError(
+                f"candidates cannot cover {len(uncovered)} remaining elements"
+            )
+    return solution
+
+
+def exact_weighted_set_cover(
+    universe: Collection[Hashable],
+    candidates: Sequence[CandidateSet],
+    max_sets: int | None = None,
+) -> list[ChosenSet]:
+    """Minimum-weight cover by exhaustive search.  Exponential; tests only.
+
+    ``max_sets`` optionally caps the solution cardinality to prune search.
+    """
+    universe_set = frozenset(universe)
+    if not universe_set:
+        return []
+    limit = max_sets if max_sets is not None else len(candidates)
+    best_cost = inf
+    best: list[ChosenSet] | None = None
+    for size in range(1, limit + 1):
+        for combo in combinations(range(len(candidates)), size):
+            covered_total: set = set()
+            ok = True
+            for i in combo:
+                covered_total |= candidates[i].elements
+            if not universe_set <= covered_total:
+                continue
+            # Assign each element to the first set that covers it so
+            # residual weights are priced on disjoint coverage.
+            remaining = set(universe_set)
+            chosen_list = []
+            cost = 0.0
+            for i in combo:
+                covered = frozenset(candidates[i].elements & remaining)
+                if not covered:
+                    ok = False
+                    break
+                remaining -= covered
+                chosen = ChosenSet(candidate=candidates[i], covered=covered)
+                chosen_list.append(chosen)
+                cost += chosen.weight
+                if cost >= best_cost:
+                    ok = False
+                    break
+            if ok and not remaining and cost < best_cost:
+                best_cost = cost
+                best = chosen_list
+        if best is not None:
+            # A cover with fewer sets exists; larger combos can still be
+            # cheaper with weighted sets, so keep searching all sizes
+            # unless capped — but prune via best_cost above.
+            continue
+    if best is None:
+        raise ValueError("candidates cannot cover the universe")
+    return best
+
+
+def withdrawal_improve(
+    universe: Collection[Hashable],
+    candidates: Sequence[CandidateSet],
+    solution: list[ChosenSet],
+    max_rounds: int = 3,
+) -> list[ChosenSet]:
+    """Local improvement by withdrawal steps.
+
+    Repeatedly attempt to *withdraw* one chosen set and re-cover its
+    elements with a single cheaper alternative candidate (pricing residual
+    weights), keeping the change only when total cost drops.  This is the
+    practical core of the better-than-greedy guarantee of Hassin & Levin.
+    """
+    current = list(solution)
+    for _ in range(max_rounds):
+        improved = False
+        for idx, victim in enumerate(current):
+            others_covered: set = set()
+            for j, chosen in enumerate(current):
+                if j != idx:
+                    others_covered |= chosen.covered
+            orphaned = frozenset(set(victim.covered) - others_covered)
+            if not orphaned:
+                # Fully redundant set: dropping it is always an improvement.
+                current.pop(idx)
+                improved = True
+                break
+            best_replacement: ChosenSet | None = None
+            for candidate in candidates:
+                if candidate is victim.candidate:
+                    continue
+                if orphaned <= candidate.elements:
+                    replacement = ChosenSet(
+                        candidate=candidate, covered=orphaned
+                    )
+                    if (
+                        best_replacement is None
+                        or replacement.weight < best_replacement.weight
+                    ):
+                        best_replacement = replacement
+            if (
+                best_replacement is not None
+                and best_replacement.weight < victim.weight
+            ):
+                current[idx] = best_replacement
+                improved = True
+                break
+        if not improved:
+            break
+    _assert_cover(universe, current)
+    return current
+
+
+def _assert_cover(universe: Collection[Hashable], solution: list[ChosenSet]) -> None:
+    covered: set = set()
+    for chosen in solution:
+        covered |= chosen.covered
+    missing = set(universe) - covered
+    if missing:
+        raise AssertionError(f"solution leaves {len(missing)} elements uncovered")
+
+
+def harmonic(k: int) -> float:
+    """``H_k`` — the greedy approximation factor for set size ``<= k``."""
+    return sum(1.0 / i for i in range(1, k + 1))

@@ -1,0 +1,85 @@
+"""An LRU result cache in front of the broad-match index.
+
+Search query frequencies follow a power law (Section V of the paper), so a
+small cache keyed on the query's *word-set* absorbs a large fraction of
+retrieval work.  Correctness requires invalidation on any corpus mutation;
+since an inserted/deleted ad can affect any cached query containing its
+words, the cache flushes wholesale on mutation (mutations are rare relative
+to queries — the same asymmetry the paper leans on for deletions).
+
+``CachedIndex`` wraps any structure exposing ``query_broad`` (and
+optionally ``insert``/``delete``), preserving the interchangeable-retrieval
+contract of :class:`repro.serving.server.AdServer`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.ads import Advertisement
+from repro.core.queries import Query
+
+
+@dataclass(slots=True)
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachedIndex:
+    """LRU query-result cache over a broad-match structure."""
+
+    def __init__(self, index, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.index = index
+        self.capacity = capacity
+        self._cache: OrderedDict[frozenset[str], list[Advertisement]] = (
+            OrderedDict()
+        )
+        self.stats = CacheStats()
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        key = query.words
+        cached = self._cache.get(key)
+        if cached is not None:
+            self._cache.move_to_end(key)
+            self.stats.hits += 1
+            return list(cached)
+        self.stats.misses += 1
+        result = self.index.query_broad(query)
+        self._cache[key] = list(result)
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+        return result
+
+    # Mutations pass through and invalidate.
+
+    def insert(self, ad: Advertisement, **kwargs) -> None:
+        self.index.insert(ad, **kwargs)
+        self.invalidate()
+
+    def delete(self, ad: Advertisement) -> bool:
+        removed = self.index.delete(ad)
+        if removed:
+            self.invalidate()
+        return removed
+
+    def invalidate(self) -> None:
+        """Drop every cached result (corpus changed)."""
+        if self._cache:
+            self._cache.clear()
+        self.stats.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def cached_queries(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,172 @@
+"""The end-to-end ad server: retrieval -> filters -> auction -> budgets.
+
+Implements the pipeline the paper's introduction describes around the
+index: broad-match retrieval produces candidates; secondary criteria
+(exclusion phrases, exhausted campaign budgets, ads already shown to this
+user) filter them; the GSP auction ranks and prices the survivors; clicks
+charge the winning campaign's budget.
+
+The retrieval structure is pluggable — anything with ``query_broad`` works
+(hash index, trie index, sharded, compressed), which is exactly the
+interchangeability the library's structures guarantee.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.ads import Advertisement
+from repro.core.matching import passes_exclusions
+from repro.core.queries import Query
+from repro.serving.auction import AuctionOutcome, run_gsp_auction
+
+
+@dataclass(slots=True)
+class ServingStats:
+    """Aggregate serving counters."""
+
+    queries: int = 0
+    candidates: int = 0
+    filtered_exclusion: int = 0
+    filtered_budget: int = 0
+    filtered_frequency_cap: int = 0
+    impressions: int = 0
+    clicks: int = 0
+    revenue_micros: int = 0
+
+    def fill_rate(self) -> float:
+        """Mean impressions per query."""
+        if not self.queries:
+            return 0.0
+        return self.impressions / self.queries
+
+
+@dataclass(frozen=True, slots=True)
+class ServeResult:
+    """What one query produced."""
+
+    query: Query
+    outcome: AuctionOutcome
+
+    @property
+    def ads(self) -> list[Advertisement]:
+        return self.outcome.winners()
+
+
+class AdServer:
+    """Serving pipeline over any broad-match retrieval structure.
+
+    Parameters
+    ----------
+    index:
+        Object with ``query_broad(query) -> list[Advertisement]``.
+    slots:
+        Ad positions per results page.
+    reserve_micros:
+        Auction reserve price.
+    campaign_budgets_micros:
+        Optional per-campaign budgets; campaigns at 0 stop serving
+        (the "budget constraints" of the paper's introduction).
+    quality_fn:
+        Optional quality score per ad for the GSP ranking.
+    frequency_cap:
+        Max times one listing may be shown to the same user id.
+    """
+
+    def __init__(
+        self,
+        index,
+        slots: int = 4,
+        reserve_micros: int = 1,
+        campaign_budgets_micros: dict[int, int] | None = None,
+        quality_fn: Callable[[Advertisement], float] | None = None,
+        frequency_cap: int | None = None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self.index = index
+        self.slots = slots
+        self.reserve_micros = reserve_micros
+        self.quality_fn = quality_fn
+        self.frequency_cap = frequency_cap
+        self._budgets = dict(campaign_budgets_micros or {})
+        self._seen: dict[tuple[object, int], int] = {}
+        self.stats = ServingStats()
+
+    # ------------------------------------------------------------------ #
+
+    def budget_remaining(self, campaign_id: int) -> int | None:
+        """None means unlimited (campaign has no configured budget)."""
+        return self._budgets.get(campaign_id)
+
+    def _passes_budget(self, ad: Advertisement) -> bool:
+        budget = self._budgets.get(ad.info.campaign_id)
+        return budget is None or budget >= ad.info.bid_price_micros
+
+    def _passes_frequency_cap(self, ad: Advertisement, user_id: object) -> bool:
+        if self.frequency_cap is None or user_id is None:
+            return True
+        shown = self._seen.get((user_id, ad.info.listing_id), 0)
+        return shown < self.frequency_cap
+
+    def serve(self, query: Query, user_id: object = None) -> ServeResult:
+        """Run the full pipeline for one query."""
+        candidates = self.index.query_broad(query)
+        self.stats.queries += 1
+        self.stats.candidates += len(candidates)
+
+        eligible: list[Advertisement] = []
+        for ad in candidates:
+            if not passes_exclusions(ad, query):
+                self.stats.filtered_exclusion += 1
+                continue
+            if not self._passes_budget(ad):
+                self.stats.filtered_budget += 1
+                continue
+            if not self._passes_frequency_cap(ad, user_id):
+                self.stats.filtered_frequency_cap += 1
+                continue
+            eligible.append(ad)
+
+        outcome = run_gsp_auction(
+            eligible,
+            slots=self.slots,
+            reserve_micros=self.reserve_micros,
+            quality_fn=self.quality_fn,
+        )
+        self.stats.impressions += len(outcome.awards)
+        if user_id is not None and self.frequency_cap is not None:
+            for award in outcome.awards:
+                key = (user_id, award.ad.info.listing_id)
+                self._seen[key] = self._seen.get(key, 0) + 1
+        return ServeResult(query=query, outcome=outcome)
+
+    def record_click(self, result: ServeResult, slot: int) -> int:
+        """Charge the clicked slot's GSP price to its campaign budget.
+
+        Returns the price charged (possibly clipped to the remaining
+        budget).
+        """
+        award = result.outcome.awards[slot]
+        price = award.price_micros
+        campaign = award.ad.info.campaign_id
+        budget = self._budgets.get(campaign)
+        if budget is not None:
+            price = min(price, budget)
+            self._budgets[campaign] = budget - price
+        self.stats.clicks += 1
+        self.stats.revenue_micros += price
+        return price
+
+    def exhausted_campaigns(self) -> list[int]:
+        return [c for c, b in self._budgets.items() if b <= 0]
+
+
+def serve_trace(
+    server: AdServer, queries: Iterable[Query]
+) -> ServingStats:
+    """Serve a whole trace; returns the aggregate stats."""
+    for query in queries:
+        server.serve(query)
+    return server.stats

@@ -1,0 +1,138 @@
+"""Tests for the rank/select bit vector."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.bitvector import BitVector
+
+
+def naive_rank1(bits, i):
+    return sum(bits[:i])
+
+
+def naive_select1(bits, j):
+    seen = 0
+    for pos, bit in enumerate(bits):
+        if bit:
+            seen += 1
+            if seen == j:
+                return pos
+    raise ValueError
+
+
+class TestConstruction:
+    def test_from_iterable(self):
+        vec = BitVector([1, 0, 1, 1])
+        assert len(vec) == 4
+        assert [vec[i] for i in range(4)] == [1, 0, 1, 1]
+
+    def test_from_positions(self):
+        vec = BitVector.from_positions(10, [2, 5, 9])
+        assert [vec[i] for i in range(10)] == [0, 0, 1, 0, 0, 1, 0, 0, 0, 1]
+
+    def test_from_positions_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BitVector.from_positions(5, [5])
+
+    def test_empty(self):
+        vec = BitVector([])
+        assert len(vec) == 0
+        assert vec.ones == 0
+
+    def test_getitem_bounds(self):
+        vec = BitVector([1])
+        with pytest.raises(IndexError):
+            vec[1]
+        with pytest.raises(IndexError):
+            vec[-1]
+
+
+class TestRank:
+    def test_small(self):
+        vec = BitVector([1, 0, 1, 1, 0])
+        assert [vec.rank1(i) for i in range(6)] == [0, 1, 1, 2, 3, 3]
+
+    def test_rank0_complements(self):
+        vec = BitVector([1, 0, 1])
+        for i in range(4):
+            assert vec.rank0(i) + vec.rank1(i) == i
+
+    def test_rank_full_length_is_ones(self):
+        bits = [1, 1, 0, 1] * 100
+        vec = BitVector(bits)
+        assert vec.rank1(len(bits)) == vec.ones == sum(bits)
+
+    def test_rank_bounds(self):
+        vec = BitVector([1])
+        with pytest.raises(IndexError):
+            vec.rank1(2)
+
+    def test_crosses_word_and_superblock_boundaries(self):
+        bits = [i % 3 == 0 for i in range(2000)]
+        vec = BitVector(bits)
+        for i in (0, 63, 64, 65, 511, 512, 513, 1024, 1999, 2000):
+            assert vec.rank1(i) == naive_rank1(bits, i)
+
+
+class TestSelect:
+    def test_small(self):
+        vec = BitVector([0, 1, 0, 1, 1])
+        assert vec.select1(1) == 1
+        assert vec.select1(2) == 3
+        assert vec.select1(3) == 4
+
+    def test_select0(self):
+        vec = BitVector([0, 1, 0, 1, 1])
+        assert vec.select0(1) == 0
+        assert vec.select0(2) == 2
+
+    def test_select_out_of_range(self):
+        vec = BitVector([1, 0])
+        with pytest.raises(ValueError):
+            vec.select1(2)
+        with pytest.raises(ValueError):
+            vec.select1(0)
+        with pytest.raises(ValueError):
+            vec.select0(2)
+
+    def test_rank_select_inverse(self):
+        rng = random.Random(7)
+        bits = [rng.random() < 0.3 for _ in range(3000)]
+        vec = BitVector(bits)
+        for j in range(1, vec.ones + 1, 17):
+            pos = vec.select1(j)
+            assert bits[pos]
+            assert vec.rank1(pos + 1) == j
+
+    def test_large_sparse(self):
+        positions = [i * 997 for i in range(200)]
+        vec = BitVector.from_positions(997 * 200 + 1, positions)
+        for j, pos in enumerate(positions, start=1):
+            assert vec.select1(j) == pos
+
+
+class TestPropertyBased:
+    @given(st.lists(st.booleans(), max_size=700), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_matches_naive(self, bits, data):
+        vec = BitVector(bits)
+        if bits:
+            i = data.draw(st.integers(0, len(bits)))
+            assert vec.rank1(i) == naive_rank1(bits, i)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=700), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_select_matches_naive(self, bits, data):
+        vec = BitVector(bits)
+        if vec.ones:
+            j = data.draw(st.integers(1, vec.ones))
+            assert vec.select1(j) == naive_select1(bits, j)
+
+    @given(st.lists(st.booleans(), max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_size_bits_at_least_raw(self, bits):
+        vec = BitVector(bits)
+        assert vec.size_bits() >= len(bits)

@@ -1,0 +1,163 @@
+"""Tests for the Fig 6 compressed lookup structure."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.compressed_hash import (
+    CompressedWordSetIndex,
+    merged_node_count,
+)
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+def make_corpus(n=30):
+    ads = []
+    for i in range(n):
+        ads.append(ad(f"common w{i % 7} x{i}", i))
+    ads.append(ad("common", 900))
+    return AdCorpus(ads)
+
+
+class TestLookup:
+    def test_lookup_existing_locator(self):
+        corpus = AdCorpus([ad("used books", 1)])
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(index, suffix_bits=16)
+        node = compressed.lookup(frozenset({"used", "books"}))
+        assert node is not None
+        assert any(e.ad.info.listing_id == 1 for e in node.entries)
+
+    def test_lookup_absent_locator(self):
+        corpus = AdCorpus([ad("used books", 1)])
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(index, suffix_bits=16)
+        assert compressed.lookup(frozenset({"absent", "words"})) is None
+
+    def test_rejects_bad_suffix_bits(self):
+        with pytest.raises(ValueError):
+            CompressedWordSetIndex([], suffix_bits=0)
+
+
+class TestQueryEquivalence:
+    @pytest.mark.parametrize("suffix_bits", [4, 8, 12, 20])
+    def test_matches_plain_index(self, suffix_bits):
+        corpus = make_corpus()
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(
+            index, suffix_bits=suffix_bits
+        )
+        for qtext in (
+            "common w1 x8",
+            "common",
+            "common w0 x0 extra",
+            "no match here",
+        ):
+            q = Query.from_text(qtext)
+            got = sorted(a.info.listing_id for a in compressed.query_broad(q))
+            want = sorted(a.info.listing_id for a in index.query_broad(q))
+            assert got == want
+
+    def test_tiny_suffix_forces_merges_but_stays_correct(self):
+        corpus = make_corpus(50)
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(index, suffix_bits=3)
+        # At 3 bits there are at most 8 merged nodes for ~50 word-sets.
+        assert compressed.num_nodes() <= 8
+        q = Query.from_text("common w3 x17")
+        got = sorted(a.info.listing_id for a in compressed.query_broad(q))
+        want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
+        assert got == want
+
+
+class TestSizes:
+    def test_smaller_suffix_smaller_bsig(self):
+        corpus = make_corpus()
+        index = WordSetIndex.from_corpus(corpus)
+        small = CompressedWordSetIndex.from_index(index, suffix_bits=6)
+        large = CompressedWordSetIndex.from_index(index, suffix_bits=16)
+        assert len(small.bsig) < len(large.bsig)
+        assert small.entropy_bits() < large.entropy_bits()
+
+    def test_smaller_suffix_bigger_nodes(self):
+        corpus = make_corpus(60)
+        index = WordSetIndex.from_corpus(corpus)
+        small = CompressedWordSetIndex.from_index(index, suffix_bits=4)
+        large = CompressedWordSetIndex.from_index(index, suffix_bits=20)
+        assert (
+            small.average_entries_per_suffix()
+            > large.average_entries_per_suffix()
+        )
+
+    def test_node_bytes_preserved_by_merging(self):
+        corpus = make_corpus()
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(index, suffix_bits=4)
+        # Entries are merged, never dropped: per-entry bytes survive (the
+        # per-node headers differ by the number of nodes).
+        assert compressed.num_nodes() <= index.stats().num_nodes
+        assert len(corpus) == sum(
+            len(node.entries) for node in compressed._nodes
+        )
+
+    def test_entropy_below_structure_bits(self):
+        corpus = make_corpus()
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(index, suffix_bits=16)
+        assert compressed.entropy_bits() < compressed.structure_bits()
+
+    def test_merged_node_count_helper(self):
+        locators = [frozenset({f"w{i}"}) for i in range(100)]
+        assert merged_node_count(locators, 2) <= 4
+        assert merged_node_count(locators, 30) <= 100
+
+
+words_alphabet = [f"w{i}" for i in range(9)]
+
+
+@st.composite
+def corpus_queries(draw):
+    phrases = draw(
+        st.lists(
+            st.lists(
+                st.sampled_from(words_alphabet), min_size=1, max_size=4
+            ).map(" ".join),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    ads = [ad(p, i) for i, p in enumerate(phrases)]
+    queries = draw(
+        st.lists(
+            st.lists(
+                st.sampled_from(words_alphabet), min_size=1, max_size=5
+            ).map(" ".join),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    bits = draw(st.integers(2, 24))
+    return ads, [Query.from_text(q) for q in queries], bits
+
+
+class TestPropertyEquivalence:
+    @given(corpus_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_compressed_equals_oracle(self, data):
+        ads, queries, bits = data
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        compressed = CompressedWordSetIndex.from_index(index, suffix_bits=bits)
+        for q in queries:
+            got = sorted(a.info.listing_id for a in compressed.query_broad(q))
+            want = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, q)
+            )
+            assert got == want

@@ -1,0 +1,105 @@
+"""Tests for the Elias-Fano monotone-sequence encoding."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compress.eliasfano import EliasFano
+
+
+class TestAccess:
+    def test_roundtrip_small(self):
+        values = [0, 3, 3, 17, 100]
+        ef = EliasFano(values)
+        assert ef.values() == values
+        assert len(ef) == 5
+
+    def test_access_bounds(self):
+        ef = EliasFano([1, 2])
+        with pytest.raises(IndexError):
+            ef.access(2)
+        with pytest.raises(IndexError):
+            ef.access(-1)
+
+    def test_select1_one_based(self):
+        ef = EliasFano([5, 9])
+        assert ef.select1(1) == 5
+        assert ef.select1(2) == 9
+
+    def test_empty(self):
+        ef = EliasFano([])
+        assert len(ef) == 0
+        assert ef.values() == []
+        assert ef.rank(100) == 0
+
+    def test_rejects_decreasing(self):
+        with pytest.raises(ValueError):
+            EliasFano([5, 3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EliasFano([-1, 3])
+
+    def test_rejects_small_universe(self):
+        with pytest.raises(ValueError):
+            EliasFano([10], universe=10)
+
+
+class TestRankAndMembership:
+    def test_rank(self):
+        ef = EliasFano([2, 5, 5, 9])
+        assert ef.rank(0) == 0
+        assert ef.rank(2) == 0
+        assert ef.rank(3) == 1
+        assert ef.rank(5) == 1
+        assert ef.rank(6) == 3
+        assert ef.rank(100) == 4
+
+    def test_contains(self):
+        ef = EliasFano([2, 5, 9])
+        assert 5 in ef
+        assert 4 not in ef
+
+    @given(
+        st.lists(st.integers(0, 10_000), min_size=1, max_size=200),
+        st.integers(0, 10_001),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_matches_bisect(self, values, probe):
+        from bisect import bisect_left
+
+        values = sorted(values)
+        ef = EliasFano(values)
+        assert ef.rank(probe) == bisect_left(values, probe)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, values):
+        values = sorted(values)
+        assert EliasFano(values).values() == values
+
+
+class TestSize:
+    def test_sparse_sequence_compresses(self):
+        rng = random.Random(3)
+        universe = 1 << 22
+        values = sorted(rng.sample(range(universe), 500))
+        ef = EliasFano(values, universe=universe)
+        plain_bits = 64 * len(values)
+        assert ef.size_bits() < plain_bits
+
+    def test_near_theoretical_bound(self):
+        rng = random.Random(8)
+        universe = 1 << 20
+        values = sorted(rng.sample(range(universe), 1_000))
+        ef = EliasFano(values, universe=universe)
+        bound = EliasFano.theoretical_bits(len(values), universe)
+        # Directory overhead on the high bits is the only slack.
+        assert ef.size_bits() < 3 * bound + 4096
+
+    def test_from_bit_positions(self):
+        ef = EliasFano.from_bit_positions(1000, [10, 500, 900])
+        assert ef.values() == [10, 500, 900]
+        assert ef.universe == 1000

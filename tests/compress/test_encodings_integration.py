@@ -1,0 +1,107 @@
+"""The compressed hash under its succinct backends (RRR / Elias-Fano)."""
+
+import pytest
+
+from repro.compress.compressed_hash import CompressedWordSetIndex
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ads = [ad(f"shared w{i % 11} t{i}", i) for i in range(60)]
+    corpus = AdCorpus(ads)
+    index = WordSetIndex.from_corpus(corpus)
+    queries = [
+        Query.from_text("shared w3 t25"),
+        Query.from_text("shared w0 t0 extra words"),
+        Query.from_text("no hits at all"),
+        Query.from_text("shared"),
+    ]
+    return corpus, index, queries
+
+
+ENCODINGS = [
+    ("plain", "plain"),
+    ("rrr", "plain"),
+    ("plain", "eliasfano"),
+    ("rrr", "eliasfano"),
+    ("eliasfano", "eliasfano"),
+]
+
+
+class TestEncodedBackends:
+    @pytest.mark.parametrize("sig,off", ENCODINGS)
+    def test_queries_exact_under_all_encodings(self, setup, sig, off):
+        corpus, index, queries = setup
+        compressed = CompressedWordSetIndex.from_index(
+            index, suffix_bits=12, sig_encoding=sig, offsets_encoding=off
+        )
+        for query in queries:
+            got = sorted(a.info.listing_id for a in compressed.query_broad(query))
+            want = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            assert got == want
+
+    @pytest.mark.parametrize("sig,off", ENCODINGS)
+    def test_lookup_under_all_encodings(self, setup, sig, off):
+        _, index, _ = setup
+        compressed = CompressedWordSetIndex.from_index(
+            index, suffix_bits=14, sig_encoding=sig, offsets_encoding=off
+        )
+        some_locator = next(iter(index.nodes.values())).locator
+        assert compressed.lookup(some_locator) is not None
+        assert compressed.lookup(frozenset({"definitely", "absent"})) is None
+
+    def test_succinct_encodings_smaller(self, setup):
+        _, index, _ = setup
+        plain = CompressedWordSetIndex.from_index(index, suffix_bits=18)
+        succinct = CompressedWordSetIndex.from_index(
+            index,
+            suffix_bits=18,
+            sig_encoding="rrr",
+            offsets_encoding="eliasfano",
+        )
+        assert succinct.structure_bits() < plain.structure_bits()
+
+    def test_ef_sig_near_entropy_at_large_suffix(self, setup):
+        """Elias-Fano's size depends on the ones, not the universe: at a
+        large suffix size it stays near entropy where RRR blows up."""
+        _, index, _ = setup
+        ef = CompressedWordSetIndex.from_index(
+            index, suffix_bits=24, sig_encoding="eliasfano",
+            offsets_encoding="eliasfano",
+        )
+        rrr = CompressedWordSetIndex.from_index(
+            index, suffix_bits=24, sig_encoding="rrr",
+            offsets_encoding="eliasfano",
+        )
+        assert ef.structure_bits() < rrr.structure_bits()
+        assert ef.structure_bits() < 4 * ef.entropy_bits() + 4096
+
+    def test_entropy_accounting_encoding_independent(self, setup):
+        _, index, _ = setup
+        a = CompressedWordSetIndex.from_index(index, suffix_bits=12)
+        b = CompressedWordSetIndex.from_index(
+            index, suffix_bits=12, sig_encoding="rrr",
+            offsets_encoding="eliasfano",
+        )
+        assert a.entropy_bits() == pytest.approx(b.entropy_bits())
+
+    def test_rejects_unknown_encoding(self, setup):
+        _, index, _ = setup
+        with pytest.raises(ValueError):
+            CompressedWordSetIndex.from_index(
+                index, suffix_bits=12, sig_encoding="zip"
+            )
+        with pytest.raises(ValueError):
+            CompressedWordSetIndex.from_index(
+                index, suffix_bits=12, offsets_encoding="gzip"
+            )

@@ -1,0 +1,79 @@
+"""Tests for suffix-size selection (Section VI trade-off)."""
+
+import pytest
+
+from repro.compress.suffix_opt import choose_suffix_bits, evaluate_suffix_sizes
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query, Workload
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.model import CostModel
+
+MODEL = CostModel()
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def setup():
+    ads = [ad(f"base w{i % 9} x{i}", i) for i in range(40)]
+    corpus = AdCorpus(ads)
+    index = WordSetIndex.from_corpus(corpus)
+    workload = Workload(
+        [
+            (Query.from_text("base w1 x10"), 20),
+            (Query.from_text("base w2 x20 extra"), 5),
+            (Query.from_text("unrelated terms"), 3),
+        ]
+    )
+    return index, workload
+
+
+class TestEvaluate:
+    def test_points_cover_range(self, setup):
+        index, workload = setup
+        points = evaluate_suffix_sizes(index, workload, MODEL, [4, 8, 16])
+        assert [p.suffix_bits for p in points] == [4, 8, 16]
+
+    def test_entropy_grows_with_suffix(self, setup):
+        index, workload = setup
+        points = evaluate_suffix_sizes(index, workload, MODEL, [4, 16])
+        assert points[0].entropy_bits < points[1].entropy_bits
+
+    def test_access_cost_shrinks_or_holds_with_suffix(self, setup):
+        index, workload = setup
+        points = evaluate_suffix_sizes(index, workload, MODEL, [2, 20])
+        # More suffix bits -> fewer collisions -> no more scanning.
+        assert points[1].access_ns <= points[0].access_ns + 1e-9
+
+    def test_avg_entries_decreasing(self, setup):
+        index, workload = setup
+        points = evaluate_suffix_sizes(index, workload, MODEL, [2, 20])
+        assert points[1].avg_entries_per_node <= points[0].avg_entries_per_node
+
+
+class TestChoose:
+    def test_pure_speed_prefers_large_suffix(self, setup):
+        index, workload = setup
+        best = choose_suffix_bits(
+            index, workload, MODEL, [2, 8, 20], space_weight_ns_per_bit=0.0
+        )
+        assert best.suffix_bits == 20 or best.access_ns == pytest.approx(
+            min(
+                p.access_ns
+                for p in evaluate_suffix_sizes(index, workload, MODEL, [2, 8, 20])
+            )
+        )
+
+    def test_heavy_space_weight_prefers_small_suffix(self, setup):
+        index, workload = setup
+        best = choose_suffix_bits(
+            index, workload, MODEL, [2, 8, 20], space_weight_ns_per_bit=1e6
+        )
+        assert best.suffix_bits == 2
+
+    def test_empty_range_raises(self, setup):
+        index, workload = setup
+        with pytest.raises(ValueError):
+            choose_suffix_bits(index, workload, MODEL, [])

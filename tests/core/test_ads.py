@@ -1,0 +1,109 @@
+"""Tests for advertisements, metadata, and the ad corpus."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+
+
+def ad(text, listing_id=0, **info_kwargs):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id, **info_kwargs))
+
+
+class TestAdInfo:
+    def test_size_without_exclusions(self):
+        assert AdInfo(listing_id=1).size_bytes() == 16
+
+    def test_size_with_exclusions(self):
+        info = AdInfo(listing_id=1, exclusion_phrases=("free", "used"))
+        assert info.size_bytes() == 16 + 5 + 5
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            AdInfo(listing_id=1).listing_id = 2
+
+
+class TestAdvertisement:
+    def test_from_text_tokenizes(self):
+        a = ad("Cheap Used Books")
+        assert a.phrase == ("cheap", "used", "books")
+        assert a.words == frozenset({"cheap", "used", "books"})
+
+    def test_duplicate_folding_in_bid(self):
+        a = ad("talk talk")
+        assert a.words == frozenset({"talk", "talk__2"})
+
+    def test_phrase_size_bytes(self):
+        a = ad("ab cd")
+        assert a.phrase_size_bytes() == 3 + 3
+
+    def test_size_includes_info(self):
+        a = ad("ab")
+        assert a.size_bytes() == a.phrase_size_bytes() + a.info.size_bytes()
+
+    def test_equality_by_value(self):
+        assert ad("used books", 5) == ad("used books", 5)
+        assert ad("used books", 5) != ad("used books", 6)
+
+
+class TestAdCorpus:
+    @pytest.fixture()
+    def corpus(self):
+        return AdCorpus(
+            [
+                ad("used books", 1),
+                ad("cheap used books", 2),
+                ad("used books", 3),
+                ad("cheap flights", 4),
+            ]
+        )
+
+    def test_len_and_iteration(self, corpus):
+        assert len(corpus) == 4
+        assert len(list(corpus)) == 4
+
+    def test_word_frequency(self, corpus):
+        assert corpus.word_frequency("used") == 3
+        assert corpus.word_frequency("cheap") == 2
+        assert corpus.word_frequency("flights") == 1
+        assert corpus.word_frequency("absent") == 0
+
+    def test_wordset_frequency(self, corpus):
+        assert corpus.wordset_frequency(frozenset({"used", "books"})) == 2
+        assert corpus.wordset_frequency(frozenset({"nope"})) == 0
+
+    def test_rarest_word(self, corpus):
+        a = ad("cheap used books")
+        assert corpus.rarest_word(a) == "cheap"
+
+    def test_rarest_word_tie_break_lexical(self):
+        corpus = AdCorpus([ad("alpha beta", 1)])
+        assert corpus.rarest_word(corpus[0]) == "alpha"
+
+    def test_distinct_wordsets(self, corpus):
+        assert len(corpus.distinct_wordsets()) == 3
+
+    def test_vocabulary(self, corpus):
+        assert corpus.vocabulary() == {"used", "books", "cheap", "flights"}
+
+    def test_length_histogram(self, corpus):
+        assert corpus.length_histogram() == {2: 3, 3: 1}
+
+    def test_ranked_frequencies_descending(self, corpus):
+        ranked = corpus.wordset_frequencies_ranked()
+        assert ranked == sorted(ranked, reverse=True)
+        assert ranked[0] == 2
+
+    def test_word_frequencies_ranked(self, corpus):
+        assert corpus.word_frequencies_ranked()[0] == 3
+
+    def test_total_size_bytes(self, corpus):
+        assert corpus.total_size_bytes() == sum(a.size_bytes() for a in corpus)
+
+    def test_incremental_add_updates_stats(self):
+        corpus = AdCorpus()
+        corpus.add(ad("new phrase", 9))
+        assert corpus.word_frequency("new") == 1
+        assert len(corpus) == 1
+
+    def test_getitem(self, corpus):
+        assert corpus[0].info.listing_id == 1

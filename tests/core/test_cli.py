@@ -1,0 +1,132 @@
+"""Tests for the operational CLI (build / query / explain / stats)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def ads_csv(tmp_path):
+    path = tmp_path / "ads.csv"
+    path.write_text(
+        "bid_phrase,listing_id,bid_price_micros\n"
+        "used books,1,300\n"
+        "books,2,200\n"
+        "cheap used books,3,500\n"
+    )
+    return path
+
+
+@pytest.fixture()
+def trace_tsv(tmp_path):
+    path = tmp_path / "trace.tsv"
+    path.write_text("cheap used books\t50\nused books\t20\n")
+    return path
+
+
+@pytest.fixture()
+def snapshot(tmp_path, ads_csv):
+    out = tmp_path / "index.jsonl"
+    assert main(["build", "--ads", str(ads_csv), "--out", str(out)]) == 0
+    return out
+
+
+class TestBuild:
+    def test_plain_build(self, tmp_path, ads_csv, capsys):
+        out_path = tmp_path / "plain.jsonl"
+        assert main(["build", "--ads", str(ads_csv), "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        assert "imported 3 ads" in capsys.readouterr().out
+
+    def test_build_with_optimize(self, tmp_path, ads_csv, trace_tsv, capsys):
+        out_path = tmp_path / "opt.jsonl"
+        code = main(
+            [
+                "build",
+                "--ads", str(ads_csv),
+                "--out", str(out_path),
+                "--workload", str(trace_tsv),
+                "--optimize",
+                "--max-words", "10",
+            ]
+        )
+        assert code == 0
+        assert "optimizing against 2 distinct queries" in capsys.readouterr().out
+        assert out_path.exists()
+
+    def test_optimize_without_workload_errors(self, tmp_path, ads_csv):
+        code = main(
+            [
+                "build",
+                "--ads", str(ads_csv),
+                "--out", str(tmp_path / "x.jsonl"),
+                "--optimize",
+            ]
+        )
+        assert code == 2
+
+    def test_build_with_max_words_only(self, tmp_path, ads_csv):
+        out_path = tmp_path / "mw.jsonl"
+        code = main(
+            ["build", "--ads", str(ads_csv), "--out", str(out_path),
+             "--max-words", "2"]
+        )
+        assert code == 0
+
+
+class TestQuery:
+    def test_broad_query(self, snapshot, capsys):
+        assert main(["query", str(snapshot), "cheap used books online"]) == 0
+        out = capsys.readouterr().out
+        assert "listing 3" in out and "listing 1" in out and "listing 2" in out
+        assert "3 broad-match result(s)" in out
+
+    def test_exact_query(self, snapshot, capsys):
+        assert main(
+            ["query", str(snapshot), "used books", "--match", "exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "listing 1" in out
+        assert "1 exact-match result(s)" in out
+
+    def test_top_limits_output(self, snapshot, capsys):
+        assert main(
+            ["query", str(snapshot), "cheap used books", "--top", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("listing ") == 1
+
+    def test_no_results(self, snapshot, capsys):
+        assert main(["query", str(snapshot), "zz qq"]) == 0
+        assert "0 broad-match result(s)" in capsys.readouterr().out
+
+
+class TestExplainAndStats:
+    def test_explain(self, snapshot, capsys):
+        assert main(["explain", str(snapshot), "cheap used books"]) == 0
+        out = capsys.readouterr().out
+        assert "hash probes" in out and "matches: 3" in out
+
+    def test_stats(self, snapshot, capsys):
+        assert main(["stats", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "ads:                 3" in out
+        assert "data nodes:" in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestProfile:
+    def test_profile_corpus_only(self, ads_csv, capsys):
+        assert main(["profile", "--ads", str(ads_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "== corpus ==" in out and "bid lengths" in out
+
+    def test_profile_with_workload(self, ads_csv, trace_tsv, capsys):
+        assert main(
+            ["profile", "--ads", str(ads_csv), "--workload", str(trace_tsv)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "== workload ==" in out and "traffic" in out

@@ -1,0 +1,110 @@
+"""Forced hash collisions and edge-case inputs.
+
+Real 64-bit ``wordhash`` collisions are unreachable in tests, but the
+paper's correctness argument explicitly tolerates them ("it is necessary
+to represent the phrases themselves due to the possibility of hash
+collisions").  We force collisions by monkeypatching the index module's
+hash with a deliberately weak one and check results stay exact.
+"""
+
+import pytest
+
+import repro.core.wordset_index as wsi
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def weak_hash(monkeypatch):
+    """Collide everything into 4 buckets."""
+    from repro.core.wordhash import wordhash as real
+
+    monkeypatch.setattr(wsi, "wordhash", lambda words: real(words) % 4)
+
+
+class TestForcedCollisions:
+    def test_results_exact_under_heavy_collisions(self, weak_hash):
+        ads = [ad(f"w{i} shared", i) for i in range(20)] + [
+            ad("shared", 100),
+            ad("other topic", 101),
+        ]
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        # With 4 buckets for ~22 word-sets, nearly every node is shared.
+        assert index.stats().num_nodes <= 4
+        for qtext in ("w3 shared", "shared", "other topic now", "no hit"):
+            q = Query.from_text(qtext)
+            got = sorted(a.info.listing_id for a in index.query_broad(q))
+            want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
+            assert got == want
+
+    def test_no_duplicate_results_when_subsets_collide(self, weak_hash):
+        # Two probed subsets of one query share a bucket: the visited-set
+        # guard must keep each ad reported once.
+        corpus = AdCorpus([ad(f"x{i} y{i}", i) for i in range(12)])
+        index = WordSetIndex.from_corpus(corpus)
+        q = Query.from_text("x1 y1 x2 y2")
+        ids = [a.info.listing_id for a in index.query_broad(q)]
+        assert len(ids) == len(set(ids))
+
+    def test_deletion_under_collisions(self, weak_hash):
+        ads = [ad(f"c{i} common", i) for i in range(10)]
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        assert index.delete(ads[3])
+        q = Query.from_text("c3 common")
+        assert 3 not in {a.info.listing_id for a in index.query_broad(q)}
+        assert len(index) == 9
+
+
+class TestUnicodeAndEdgeInputs:
+    def test_unicode_bid_phrases(self):
+        corpus = AdCorpus(
+            [
+                Advertisement.from_text("günstige bücher", AdInfo(listing_id=1)),
+                Advertisement.from_text("本 安い", AdInfo(listing_id=2)),
+            ]
+        )
+        index = WordSetIndex.from_corpus(corpus)
+        for text, expected in (
+            ("günstige bücher online", [1]),
+            ("本 安い 即日", [2]),
+            ("unrelated query", []),
+        ):
+            q = Query.from_text(text)
+            got = sorted(a.info.listing_id for a in index.query_broad(q))
+            want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
+            assert got == want == expected
+
+    def test_very_long_word(self):
+        long_word = "x" * 500
+        a = Advertisement.from_text(f"{long_word} books", AdInfo(listing_id=1))
+        index = WordSetIndex.from_corpus(AdCorpus([a]))
+        q = Query.from_text(f"{long_word} books cheap")
+        assert [x.info.listing_id for x in index.query_broad(q)] == [1]
+
+    def test_numeric_only_bid(self):
+        a = Advertisement.from_text("2024 calendar", AdInfo(listing_id=1))
+        index = WordSetIndex.from_corpus(AdCorpus([a]))
+        q = Query.from_text("2024 calendar cheap")
+        assert len(index.query_broad(q)) == 1
+
+    def test_many_duplicate_words(self):
+        a = Advertisement.from_text("la la la la la", AdInfo(listing_id=1))
+        index = WordSetIndex.from_corpus(AdCorpus([a]))
+        assert index.query_broad(Query.from_text("la la la la")) == []
+        assert len(index.query_broad(Query.from_text("la la la la la"))) == 1
+
+    def test_single_word_corpus_large(self):
+        ads = [ad(f"kw{i:04d}", i) for i in range(500)]
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        assert index.stats().num_nodes == 500
+        q = Query.from_text("kw0042 kw0123")
+        assert {a.info.listing_id for a in index.query_broad(q)} == {42, 123}

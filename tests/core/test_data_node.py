@@ -1,0 +1,114 @@
+"""Tests for data nodes: ordering, early termination, scan accounting."""
+
+import random
+
+from repro.core.ads import AdInfo, Advertisement
+from repro.core.data_node import ENTRY_HEADER_BYTES, NODE_HEADER_BYTES, DataNode
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+class TestOrdering:
+    def test_entries_sorted_by_word_count(self):
+        node = DataNode(frozenset({"books"}))
+        node.add(ad("cheap used books"))
+        node.add(ad("books"))
+        node.add(ad("used books"))
+        assert [e.word_count for e in node.entries] == [1, 2, 3]
+        assert node.is_ordered()
+
+    def test_random_insertion_order_stays_sorted(self):
+        node = DataNode(frozenset({"w0"}))
+        ads = [ad(" ".join(f"w{j}" for j in range(n + 1)), n) for n in range(8)]
+        rng = random.Random(0)
+        rng.shuffle(ads)
+        for a in ads:
+            node.add(a)
+        assert node.is_ordered()
+
+    def test_same_wordset_contiguous(self):
+        node = DataNode(frozenset({"a"}))
+        node.add(ad("a b", 1))
+        node.add(ad("a c", 2))
+        node.add(ad("a b", 3))  # same word-set as listing 1
+        sets = [e.ad.words for e in node.entries]
+        # listing 3 must sit adjacent to listing 1.
+        first = sets.index(frozenset({"a", "b"}))
+        assert sets[first + 1] == frozenset({"a", "b"})
+
+
+class TestScan:
+    def make_node(self):
+        node = DataNode(frozenset({"books"}))
+        node.add(ad("books", 1))
+        node.add(ad("used books", 2))
+        node.add(ad("cheap used books", 3))
+        return node
+
+    def test_broad_match_results(self):
+        node = self.make_node()
+        matched, _ = node.scan(frozenset({"cheap", "used", "books"}))
+        assert {a.info.listing_id for a in matched} == {1, 2, 3}
+
+    def test_early_termination_skips_long_entries(self):
+        node = self.make_node()
+        matched, scanned = node.scan(frozenset({"used", "books"}))
+        assert {a.info.listing_id for a in matched} == {1, 2}
+        # The 3-word entry must not be scanned for a 2-word query.
+        full = node.size_bytes()
+        assert scanned < full
+
+    def test_scan_bytes_cover_nonmatching_entries(self):
+        node = DataNode(frozenset({"books"}))
+        node.add(ad("books comic", 1))
+        node.add(ad("books used", 2))
+        matched, scanned = node.scan(frozenset({"books", "used"}))
+        assert [a.info.listing_id for a in matched] == [2]
+        # Both 2-word entries were touched even though only one matched.
+        expected = NODE_HEADER_BYTES + sum(e.size_bytes for e in node.entries)
+        assert scanned == expected
+
+    def test_scan_bytes_for_query_len_matches_scan(self):
+        node = self.make_node()
+        for qlen in range(1, 5):
+            q = frozenset(f"x{i}" for i in range(qlen))
+            _, scanned = node.scan(q)
+            assert scanned == node.scan_bytes_for_query_len(qlen)
+
+    def test_empty_node_scan(self):
+        node = DataNode(frozenset({"x"}))
+        matched, scanned = node.scan(frozenset({"x"}))
+        assert matched == []
+        assert scanned == NODE_HEADER_BYTES
+
+
+class TestRemoveAndSize:
+    def test_remove_existing(self):
+        node = DataNode(frozenset({"a"}))
+        target = ad("a b", 1)
+        node.add(target)
+        assert node.remove(target)
+        assert len(node) == 0
+
+    def test_remove_absent(self):
+        node = DataNode(frozenset({"a"}))
+        node.add(ad("a b", 1))
+        assert not node.remove(ad("a c", 2))
+        assert len(node) == 1
+
+    def test_size_bytes(self):
+        node = DataNode(frozenset({"a"}))
+        a = ad("a b")
+        node.add(a)
+        assert node.size_bytes() == (
+            NODE_HEADER_BYTES + ENTRY_HEADER_BYTES + a.size_bytes()
+        )
+
+    def test_distinct_wordsets(self):
+        node = DataNode(frozenset({"a"}))
+        node.add(ad("a b", 1))
+        node.add(ad("a b", 2))
+        node.add(ad("a c", 3))
+        assert len(node.distinct_wordsets()) == 2

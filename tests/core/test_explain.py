@@ -1,0 +1,98 @@
+"""Tests for the query-profiling (explain) API."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.explain import explain_broad_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.accounting import AccessTracker
+from repro.cost.model import CostModel
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def index():
+    return WordSetIndex.from_corpus(
+        AdCorpus(
+            [
+                ad("books", 1),
+                ad("used books", 2),
+                ad("cheap used books", 3),
+                ad("flights", 4),
+            ]
+        )
+    )
+
+
+class TestExplain:
+    def test_matches_equal_query_broad(self, index):
+        query = Query.from_text("cheap used books")
+        explanation = explain_broad_match(index, query)
+        assert sorted(explanation.matches) == sorted(
+            a.info.listing_id for a in index.query_broad(query)
+        )
+
+    def test_cost_equals_tracked_execution(self, index):
+        model = CostModel(mem_hash_bytes=16)
+        query = Query.from_text("cheap used books")
+        tracker = AccessTracker()
+        index.tracker = tracker
+        index.query_broad(query)
+        executed = tracker.reset().modeled_ns(model)
+        index.tracker = None
+        explanation = explain_broad_match(index, query, model)
+        assert explanation.total_cost_ns() == pytest.approx(executed)
+
+    def test_probe_counts(self, index):
+        explanation = explain_broad_match(index, Query.from_text("used books"))
+        assert explanation.hash_probes == 3  # 2^2 - 1 subsets
+        assert explanation.empty_probes == 1  # {used} has no node
+
+    def test_early_termination_reported(self, index):
+        # Re-map the 3-word ad under "used books"; a 2-word query must
+        # early-terminate before reaching it.
+        corpus = AdCorpus(
+            [ad("used books", 2), ad("cheap used books", 3)]
+        )
+        mapping = {
+            frozenset({"cheap", "used", "books"}): frozenset({"used", "books"})
+        }
+        remapped = WordSetIndex.from_corpus(corpus, mapping=mapping)
+        explanation = explain_broad_match(
+            remapped, Query.from_text("used books")
+        )
+        (visit,) = explanation.node_visits
+        assert visit.early_terminated
+        assert visit.entries_scanned == 1
+        assert visit.entries_total == 2
+
+    def test_no_match_query(self, index):
+        explanation = explain_broad_match(index, Query.from_text("zz yy"))
+        assert explanation.matches == []
+        assert explanation.node_visits == ()
+        assert explanation.empty_probes == explanation.hash_probes
+
+    def test_truncation_flag(self):
+        index = WordSetIndex.from_corpus(
+            AdCorpus([ad("a b", 1)]), max_query_words=3
+        )
+        long_query = Query.from_text("a b c d e f g")
+        explanation = explain_broad_match(index, long_query)
+        assert explanation.truncated
+
+    def test_summary_text(self, index):
+        text = explain_broad_match(
+            index, Query.from_text("cheap used books")
+        ).summary()
+        assert "hash probes" in text
+        assert "matches" in text
+
+    def test_candidates_examined(self, index):
+        explanation = explain_broad_match(
+            index, Query.from_text("cheap used books")
+        )
+        assert explanation.candidates_examined >= 3

@@ -1,0 +1,154 @@
+"""Tests for index persistence, including corruption/failure injection."""
+
+import json
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.optimize.mapping import Mapping
+from repro.persist import PersistenceError, load_index, save_index
+
+
+def ad(text, listing_id=0, price=0, exclusions=()):
+    return Advertisement.from_text(
+        text,
+        AdInfo(
+            listing_id=listing_id,
+            bid_price_micros=price,
+            exclusion_phrases=tuple(exclusions),
+        ),
+    )
+
+
+@pytest.fixture()
+def corpus():
+    return AdCorpus(
+        [
+            ad("used books", 1, price=120),
+            ad("cheap used books", 2, price=90, exclusions=("free",)),
+            ad("talk talk", 3),
+        ]
+    )
+
+
+@pytest.fixture()
+def mapping():
+    return Mapping(
+        {
+            frozenset({"cheap", "used", "books"}): frozenset({"used", "books"}),
+        },
+        max_words=10,
+    )
+
+
+class TestRoundtrip:
+    def test_corpus_and_results_survive(self, tmp_path, corpus, mapping):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus, mapping)
+        loaded = load_index(path)
+        assert len(loaded.corpus) == 3
+        q = Query.from_text("cheap used books online")
+        got = sorted(a.info.listing_id for a in loaded.index.query_broad(q))
+        assert got == [1, 2]
+        loaded.index.check_invariants()
+
+    def test_metadata_preserved(self, tmp_path, corpus, mapping):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus, mapping)
+        loaded = load_index(path)
+        by_id = {a.info.listing_id: a for a in loaded.corpus}
+        assert by_id[1].info.bid_price_micros == 120
+        assert by_id[2].info.exclusion_phrases == ("free",)
+        assert by_id[3].phrase == ("talk", "talk__2")
+
+    def test_mapping_preserved(self, tmp_path, corpus, mapping):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus, mapping)
+        loaded = load_index(path)
+        long_set = frozenset({"cheap", "used", "books"})
+        assert loaded.mapping.locator_for(long_set) == frozenset(
+            {"used", "books"}
+        )
+        assert loaded.mapping.max_words == 10
+
+    def test_identity_mapping_default(self, tmp_path, corpus):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus)
+        loaded = load_index(path)
+        assert loaded.mapping.remapped_count() == 0
+
+    def test_save_is_atomic(self, tmp_path, corpus):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus)
+        assert not path.with_suffix(".jsonl.tmp").exists()
+
+    def test_double_roundtrip_identical(self, tmp_path, corpus, mapping):
+        p1, p2 = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        save_index(p1, corpus, mapping)
+        loaded = load_index(p1)
+        save_index(p2, loaded.corpus, loaded.mapping)
+        assert p1.read_text() == p2.read_text()
+
+
+class TestCorruption:
+    def save(self, tmp_path, corpus, mapping=None):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus, mapping)
+        return path
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="cannot read"):
+            load_index(tmp_path / "absent.jsonl")
+
+    def test_truncated_file(self, tmp_path, corpus):
+        path = self.save(tmp_path, corpus)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_flipped_byte_detected(self, tmp_path, corpus):
+        path = self.save(tmp_path, corpus)
+        content = path.read_text()
+        corrupted = content.replace("books", "bocks", 1)
+        path.write_text(corrupted)
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_index(path)
+
+    def test_bad_version(self, tmp_path, corpus):
+        path = self.save(tmp_path, corpus)
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 999
+        # Re-checksum so only the version check fires.
+        import hashlib
+
+        new_lines = [json.dumps(header, sort_keys=True)] + lines[1:-1]
+        digest = hashlib.sha256()
+        for line in new_lines:
+            digest.update(line.encode())
+        new_lines.append(
+            json.dumps({"sha256": digest.hexdigest()}, sort_keys=True)
+        )
+        path.write_text("\n".join(new_lines) + "\n")
+        with pytest.raises(PersistenceError, match="version"):
+            load_index(path)
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.jsonl"
+        path.write_text('{"something": "else"}\n{"sha256": "xx"}\n')
+        with pytest.raises(PersistenceError):
+            load_index(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(PersistenceError, match="truncated"):
+            load_index(path)
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("not json at all\nmore garbage\n")
+        with pytest.raises(PersistenceError):
+            load_index(path)

@@ -1,0 +1,86 @@
+"""Property-based round-trip tests for persistence."""
+
+import string
+
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.optimize.mapping import Mapping, corpus_groups
+from repro.persist import load_index, save_index
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6)
+
+
+@st.composite
+def random_corpus(draw):
+    num_ads = draw(st.integers(1, 15))
+    ads = []
+    for i in range(num_ads):
+        phrase_words = draw(
+            st.lists(words, min_size=1, max_size=5)
+        )
+        info = AdInfo(
+            listing_id=i,
+            campaign_id=draw(st.integers(0, 5)),
+            bid_price_micros=draw(st.integers(0, 10**9)),
+            exclusion_phrases=tuple(
+                draw(st.lists(words, max_size=2))
+            ),
+        )
+        ads.append(Advertisement.from_text(" ".join(phrase_words), info))
+    return AdCorpus(ads)
+
+
+class TestPersistProperties:
+    @given(random_corpus())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_preserves_every_ad(self, corpus):
+        path = Path(tempfile.mkdtemp()) / "index.jsonl"
+        save_index(path, corpus)
+        loaded = load_index(path)
+        original = sorted(
+            (a.phrase, a.info.listing_id, a.info.bid_price_micros)
+            for a in corpus
+        )
+        restored = sorted(
+            (a.phrase, a.info.listing_id, a.info.bid_price_micros)
+            for a in loaded.corpus
+        )
+        assert original == restored
+
+    @given(random_corpus(), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_preserves_query_results(self, corpus, data):
+        # Build a random-but-valid mapping: map each multi-word group to a
+        # random non-empty subset of its words.
+        assignment = {}
+        for group in corpus_groups(corpus):
+            subset = data.draw(
+                st.sets(
+                    st.sampled_from(sorted(group.words)),
+                    min_size=1,
+                    max_size=len(group.words),
+                )
+            )
+            assignment[group.words] = frozenset(subset)
+        mapping = Mapping(assignment)
+
+        path = Path(tempfile.mkdtemp()) / "index.jsonl"
+        save_index(path, corpus, mapping)
+        loaded = load_index(path)
+
+        probe = data.draw(st.integers(0, len(corpus) - 1))
+        query = Query(tokens=corpus[probe].phrase)
+        got = sorted(
+            a.info.listing_id for a in loaded.index.query_broad(query)
+        )
+        want = sorted(
+            a.info.listing_id for a in naive_broad_match(corpus, query)
+        )
+        assert got == want

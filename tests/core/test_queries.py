@@ -1,0 +1,86 @@
+"""Tests for queries and workloads."""
+
+import pytest
+
+from repro.core.queries import Query, Workload
+
+
+class TestQuery:
+    def test_from_text(self):
+        q = Query.from_text("Cheap Used Books")
+        assert q.tokens == ("cheap", "used", "books")
+        assert q.words == frozenset({"cheap", "used", "books"})
+
+    def test_duplicate_folding(self):
+        q = Query.from_text("talk talk lyrics")
+        assert "talk__2" in q.words
+
+    def test_len_counts_distinct_words(self):
+        assert len(Query.from_text("a b a")) == 3  # folded a__2 is distinct
+
+    def test_hashable(self):
+        assert Query.from_text("x y") == Query.from_text("x  y")
+
+
+class TestWorkload:
+    def test_add_and_frq(self):
+        wl = Workload()
+        q = Query.from_text("used books")
+        wl.add(q, 5)
+        wl.add(q, 2)
+        assert wl.frq(q) == 7
+
+    def test_frq_unseen_is_zero(self):
+        assert Workload().frq(Query.from_text("x")) == 0
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            Workload().add(Query.from_text("x"), 0)
+
+    def test_from_trace_aggregates(self):
+        q1, q2 = Query.from_text("a"), Query.from_text("b")
+        wl = Workload.from_trace([q1, q2, q1, q1])
+        assert wl.frq(q1) == 3
+        assert wl.frq(q2) == 1
+        assert len(wl) == 2
+        assert wl.total_frequency == 4
+
+    def test_top(self):
+        q1, q2 = Query.from_text("a"), Query.from_text("b")
+        wl = Workload([(q1, 10), (q2, 3)])
+        assert wl.top(1) == [(q1, 10)]
+
+    def test_sample_stream_length_and_membership(self):
+        q1, q2 = Query.from_text("a"), Query.from_text("b")
+        wl = Workload([(q1, 99), (q2, 1)])
+        stream = wl.sample_stream(200, seed=42)
+        assert len(stream) == 200
+        assert set(stream) <= {q1, q2}
+        assert stream.count(q1) > stream.count(q2)
+
+    def test_sample_stream_deterministic(self):
+        wl = Workload([(Query.from_text(f"w{i}"), i + 1) for i in range(10)])
+        assert wl.sample_stream(50, seed=7) == wl.sample_stream(50, seed=7)
+
+    def test_subsample_reduces_mass(self):
+        wl = Workload([(Query.from_text(f"w{i}"), 100) for i in range(20)])
+        sub = wl.subsample(0.1, seed=3)
+        assert 0 < sub.total_frequency < wl.total_frequency
+
+    def test_subsample_keeps_head(self):
+        head = Query.from_text("head")
+        wl = Workload([(head, 10000), (Query.from_text("tail"), 1)])
+        sub = wl.subsample(0.05, seed=1)
+        # The power-law head survives small samples (paper, Sec. V).
+        assert sub.frq(head) > 0
+
+    def test_subsample_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            Workload().subsample(0.0)
+        with pytest.raises(ValueError):
+            Workload().subsample(1.5)
+
+    def test_iteration_yields_pairs(self):
+        q = Query.from_text("a")
+        wl = Workload([(q, 2)])
+        assert list(wl) == [(q, 2)]

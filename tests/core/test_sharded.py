@@ -1,0 +1,136 @@
+"""Tests for the sharded scatter-gather index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import MatchType, naive_broad_match
+from repro.core.queries import Query
+from repro.core.sharded import ShardedWordSetIndex
+from repro.cost.accounting import AccessTracker
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def corpus():
+    return AdCorpus([ad(f"w{i % 13} common x{i}", i) for i in range(60)])
+
+
+class TestSharding:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedWordSetIndex(0)
+
+    def test_rejects_tracker_mismatch(self):
+        with pytest.raises(ValueError):
+            ShardedWordSetIndex(3, trackers=[AccessTracker()])
+
+    def test_total_size(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=4)
+        assert len(sharded) == len(corpus)
+
+    def test_reasonably_balanced(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=4)
+        assert sharded.balance_factor() < 2.0
+        assert all(size > 0 for size in sharded.shard_sizes())
+
+    def test_same_wordset_same_shard(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=4)
+        sharded.insert(ad("w1 common x1", 999))
+        sharded.check_invariants()
+
+    def test_query_equals_oracle(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=5)
+        for qtext in ("w3 common x16", "common", "nothing here"):
+            q = Query.from_text(qtext)
+            got = sorted(a.info.listing_id for a in sharded.query_broad(q))
+            want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
+            assert got == want
+
+    def test_no_duplicate_results(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=3)
+        result = sharded.query_broad(Query.from_text("w1 common x1 x14"))
+        ids = [a.info.listing_id for a in result]
+        assert len(ids) == len(set(ids))
+
+    def test_delete_routes_to_owner(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=4)
+        victim = corpus[7]
+        assert sharded.delete(victim)
+        assert len(sharded) == len(corpus) - 1
+        q = Query.from_text(" ".join(victim.phrase))
+        assert victim.info.listing_id not in {
+            a.info.listing_id for a in sharded.query_broad(q)
+        }
+
+    def test_match_types(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=2)
+        exact = sharded.query(
+            Query.from_text(" ".join(corpus[0].phrase)), MatchType.EXACT
+        )
+        assert corpus[0].info.listing_id in {a.info.listing_id for a in exact}
+
+    def test_remapping_within_shards(self, corpus):
+        # A mapping computed globally is applied per owning shard.
+        long_ad = ad("w1 common extra words here", 500)
+        extended = AdCorpus(list(corpus) + [long_ad])
+        mapping = {long_ad.words: frozenset({"w1", "common"})}
+        sharded = ShardedWordSetIndex.from_corpus(
+            extended, num_shards=4, mapping=mapping
+        )
+        q = Query.from_text("w1 common extra words here too")
+        assert 500 in {a.info.listing_id for a in sharded.query_broad(q)}
+        sharded.check_invariants()
+
+    def test_per_shard_trackers(self, corpus):
+        trackers = [AccessTracker() for _ in range(3)]
+        sharded = ShardedWordSetIndex.from_corpus(
+            corpus, num_shards=3, trackers=trackers
+        )
+        sharded.query_broad(Query.from_text("w1 common x1"))
+        assert all(t.stats.hash_probes > 0 for t in trackers)
+
+
+words_alphabet = [f"w{i}" for i in range(9)]
+
+
+@st.composite
+def corpus_queries_shards(draw):
+    phrases = draw(
+        st.lists(
+            st.lists(st.sampled_from(words_alphabet), min_size=1, max_size=4)
+            .map(" ".join),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    ads = [ad(p, i) for i, p in enumerate(phrases)]
+    queries = draw(
+        st.lists(
+            st.lists(st.sampled_from(words_alphabet), min_size=1, max_size=5)
+            .map(" ".join),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    shards = draw(st.integers(1, 6))
+    return ads, [Query.from_text(q) for q in queries], shards
+
+
+class TestShardedProperties:
+    @given(corpus_queries_shards())
+    @settings(max_examples=60, deadline=None)
+    def test_sharded_equals_oracle(self, data):
+        ads, queries, shards = data
+        corpus = AdCorpus(ads)
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=shards)
+        for q in queries:
+            got = sorted(a.info.listing_id for a in sharded.query_broad(q))
+            want = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, q)
+            )
+            assert got == want

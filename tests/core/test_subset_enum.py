@@ -1,0 +1,101 @@
+"""Tests for bounded subset enumeration and lookup-count formulas."""
+
+from math import comb
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.subset_enum import (
+    bounded_subsets,
+    lookup_count,
+    lookup_count_bounded,
+    truncate_query,
+)
+
+
+class TestLookupCounts:
+    def test_unbounded_formula(self):
+        assert lookup_count(0) == 0
+        assert lookup_count(3) == 7
+        assert lookup_count(10) == 1023
+
+    def test_bounded_equals_unbounded_when_max_large(self):
+        for q in range(0, 12):
+            assert lookup_count_bounded(q, q) == lookup_count(q)
+            assert lookup_count_bounded(q, q + 5) == lookup_count(q)
+
+    def test_bounded_formula(self):
+        # Σ_{i=1..2} C(5, i) = 5 + 10
+        assert lookup_count_bounded(5, 2) == 15
+
+    def test_bound_is_big_improvement_for_long_queries(self):
+        # The paper's point: Σ C(q,i) << 2^q - 1 for long q.
+        q, max_words = 20, 4
+        assert lookup_count_bounded(q, max_words) < lookup_count(q) / 100
+
+    @given(st.integers(1, 16), st.integers(1, 16))
+    def test_bounded_never_exceeds_unbounded(self, q, m):
+        assert lookup_count_bounded(q, m) <= lookup_count(q)
+
+    @given(st.integers(1, 12), st.integers(1, 12))
+    def test_matches_binomial_sum(self, q, m):
+        expected = sum(comb(q, i) for i in range(1, min(q, m) + 1))
+        assert lookup_count_bounded(q, m) == expected
+
+
+class TestBoundedSubsets:
+    def test_counts_match_formula(self):
+        words = frozenset({"a", "b", "c", "d", "e"})
+        for max_size in range(1, 6):
+            subsets = list(bounded_subsets(words, max_size))
+            assert len(subsets) == lookup_count_bounded(5, max_size)
+
+    def test_all_nonempty_and_within_bound(self):
+        words = frozenset({"a", "b", "c"})
+        for s in bounded_subsets(words, 2):
+            assert 0 < len(s) <= 2
+            assert s <= words
+
+    def test_no_duplicates(self):
+        words = frozenset({"a", "b", "c", "d"})
+        subsets = list(bounded_subsets(words, 4))
+        assert len(subsets) == len(set(subsets))
+
+    def test_smallest_first(self):
+        sizes = [len(s) for s in bounded_subsets(frozenset("abcd"), 4)]
+        assert sizes == sorted(sizes)
+
+    def test_deterministic_order(self):
+        words = frozenset({"b", "a", "c"})
+        assert list(bounded_subsets(words, 3)) == list(bounded_subsets(words, 3))
+
+    def test_bound_larger_than_set(self):
+        words = frozenset({"a"})
+        assert list(bounded_subsets(words, 10)) == [frozenset({"a"})]
+
+    def test_empty_set(self):
+        assert list(bounded_subsets(frozenset(), 3)) == []
+
+
+class TestTruncateQuery:
+    def test_short_query_untouched(self):
+        words = frozenset({"a", "b"})
+        assert truncate_query(words, 5) is words
+
+    def test_truncates_to_limit(self):
+        words = frozenset(f"w{i}" for i in range(10))
+        assert len(truncate_query(words, 4)) == 4
+
+    def test_keeps_rarest_words(self):
+        freq = {"common": 1000, "rare": 1, "mid": 50}
+        words = frozenset(freq)
+        kept = truncate_query(words, 2, selectivity=freq.__getitem__)
+        assert kept == frozenset({"rare", "mid"})
+
+    def test_result_is_subset(self):
+        words = frozenset(f"w{i}" for i in range(8))
+        assert truncate_query(words, 3) <= words
+
+    def test_deterministic_without_selectivity(self):
+        words = frozenset(f"w{i}" for i in range(8))
+        assert truncate_query(words, 3) == truncate_query(words, 3)

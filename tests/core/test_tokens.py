@@ -1,0 +1,98 @@
+"""Tests for tokenization, normalization, and duplicate-word folding."""
+
+import string
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.tokens import (
+    DUPLICATE_SEP,
+    fold_duplicates,
+    phrase_tokens,
+    tokenize,
+    unfold_token,
+    word_set,
+)
+
+
+class TestTokenize:
+    def test_lowercases(self):
+        assert tokenize("Cheap USED Books") == ["cheap", "used", "books"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("books, cheap!") == ["books", "cheap"]
+
+    def test_keeps_digits(self):
+        assert tokenize("iphone 15 case") == ["iphone", "15", "case"]
+
+    def test_keeps_internal_apostrophe(self):
+        assert tokenize("rock'n'roll") == ["rock'n'roll"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \t\n ") == []
+
+    def test_hyphen_splits(self):
+        assert tokenize("e-book") == ["e", "book"]
+
+
+class TestFoldDuplicates:
+    def test_no_duplicates_unchanged(self):
+        assert fold_duplicates(["a", "b", "c"]) == ["a", "b", "c"]
+
+    def test_paper_talk_talk_example(self):
+        assert fold_duplicates(["talk", "talk"]) == ["talk", f"talk{DUPLICATE_SEP}2"]
+
+    def test_triple_occurrence(self):
+        folded = fold_duplicates(["x", "x", "x"])
+        assert folded == ["x", f"x{DUPLICATE_SEP}2", f"x{DUPLICATE_SEP}3"]
+
+    def test_interleaved_duplicates(self):
+        folded = fold_duplicates(["a", "b", "a"])
+        assert folded == ["a", "b", f"a{DUPLICATE_SEP}2"]
+
+    def test_preserves_order(self):
+        assert fold_duplicates(["z", "a", "z"])[0] == "z"
+
+    def test_empty(self):
+        assert fold_duplicates([]) == []
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5)))
+    def test_folding_makes_tokens_unique(self, words):
+        folded = fold_duplicates(words)
+        assert len(folded) == len(set(folded)) == len(words)
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=5)))
+    def test_unfold_inverts_fold(self, words):
+        assert [unfold_token(t) for t in fold_duplicates(words)] == list(words)
+
+
+class TestUnfoldToken:
+    def test_plain_token(self):
+        assert unfold_token("books") == "books"
+
+    def test_folded_token(self):
+        assert unfold_token(f"talk{DUPLICATE_SEP}2") == "talk"
+
+    def test_non_numeric_suffix_untouched(self):
+        assert unfold_token(f"a{DUPLICATE_SEP}bc") == f"a{DUPLICATE_SEP}bc"
+
+
+class TestPhraseAndWordSet:
+    def test_phrase_tokens_orders_and_folds(self):
+        assert phrase_tokens("Talk Talk band") == ("talk", "talk__2", "band")
+
+    def test_word_set_from_text(self):
+        assert word_set("used books") == frozenset({"used", "books"})
+
+    def test_word_set_duplicate_semantics(self):
+        # "talk talk" must NOT be a subset of {"talk"} after folding.
+        band = word_set("talk talk")
+        single = word_set("talk")
+        assert not band <= single
+        assert single <= band
+
+    def test_word_set_from_tokens(self):
+        assert word_set(["a", "b", "a"]) == frozenset({"a", "b", "a__2"})

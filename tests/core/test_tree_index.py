@@ -1,0 +1,200 @@
+"""Tests for the tree-structured (trie) lookup variant of Section III-B."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import MatchType, naive_broad_match, naive_match
+from repro.core.queries import Query
+from repro.core.tree_index import TrieWordSetIndex
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.accounting import AccessTracker
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+def build(ads, **kwargs):
+    return TrieWordSetIndex.from_corpus(AdCorpus(ads), **kwargs)
+
+
+class TestBasic:
+    def test_paper_example(self):
+        index = build([ad("used books", 1), ad("comic books", 2)])
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert [a.info.listing_id for a in result] == [1]
+
+    def test_no_match(self):
+        index = build([ad("used books", 1)])
+        assert index.query_broad(Query.from_text("red shoes")) == []
+
+    def test_multiple_ads_same_wordset(self):
+        index = build([ad("used books", 1), ad("books used", 2)])
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1, 2}
+
+    def test_empty_index(self):
+        assert TrieWordSetIndex().query_broad(Query.from_text("x")) == []
+
+    def test_duplicate_word_semantics(self):
+        index = build([ad("talk talk", 1), ad("talk", 2)])
+        assert {
+            a.info.listing_id
+            for a in index.query_broad(Query.from_text("talk talk"))
+        } == {1, 2}
+        assert {
+            a.info.listing_id for a in index.query_broad(Query.from_text("talk"))
+        } == {2}
+
+    def test_match_types(self):
+        index = build([ad("used books", 1), ad("books used", 2)])
+        exact = index.query(Query.from_text("used books"), MatchType.EXACT)
+        assert [a.info.listing_id for a in exact] == [1]
+        phrase = index.query(
+            Query.from_text("cheap used books"), MatchType.PHRASE
+        )
+        assert [a.info.listing_id for a in phrase] == [1]
+
+
+class TestRemapping:
+    def test_remapped_placement_preserves_results(self):
+        ads = [ad("cheap books", 1), ad("cheap used books", 2)]
+        mapping = {
+            frozenset({"cheap", "used", "books"}): frozenset({"cheap", "books"})
+        }
+        index = TrieWordSetIndex.from_corpus(AdCorpus(ads), mapping=mapping)
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1, 2}
+        assert index.num_data_nodes == 1
+
+    def test_rejects_bad_locator(self):
+        index = TrieWordSetIndex()
+        with pytest.raises(ValueError):
+            index.insert(ad("used books"), locator=frozenset({"cheap"}))
+        with pytest.raises(ValueError):
+            index.insert(ad("used books"), locator=frozenset())
+
+    def test_max_words_enforced(self):
+        index = TrieWordSetIndex(max_words=2)
+        with pytest.raises(ValueError):
+            index.insert(ad("a b c"))
+
+    def test_condition_iv(self):
+        index = TrieWordSetIndex()
+        index.insert(ad("a b", 1), locator=frozenset({"a"}))
+        index.insert(ad("a b", 2), locator=frozenset({"b"}))  # follows group
+        assert index.num_data_nodes == 1
+
+
+class TestDeletion:
+    def test_delete_and_prune(self):
+        a = ad("solo phrase", 1)
+        index = build([a])
+        size_before = index.trie_size()
+        assert index.delete(a)
+        assert index.query_broad(Query.from_text("solo phrase")) == []
+        assert index.trie_size() < size_before
+        assert index.num_data_nodes == 0
+
+    def test_delete_keeps_shared_prefix(self):
+        a1, a2 = ad("a b", 1), ad("a c", 2)
+        index = build([a1, a2])
+        index.delete(a1)
+        assert [x.info.listing_id
+                for x in index.query_broad(Query.from_text("a c"))] == [2]
+
+    def test_delete_absent(self):
+        index = build([ad("x", 1)])
+        assert not index.delete(ad("y", 2))
+
+
+class TestTraversalEfficiency:
+    def test_no_exponential_blowup_on_long_queries(self):
+        """The trie's key property: DFS visits only existing locators, so a
+        24-word query over a tiny corpus costs edges, not 2^24 probes."""
+        tracker = AccessTracker()
+        index = TrieWordSetIndex.from_corpus(
+            AdCorpus([ad("a b", 1)]), tracker=tracker
+        )
+        long_query = Query.from_text(" ".join(f"w{i}" for i in range(22)) + " a b")
+        result = index.query_broad(long_query)
+        assert [a.info.listing_id for a in result] == [1]
+        # Root tries every query word once, plus the a->b path: far below
+        # the hash table's bounded-subset probe count.
+        assert tracker.stats.random_accesses < 200
+
+    def test_trie_size_bounded_by_locator_words(self):
+        index = build([ad("a b c", 1), ad("a b d", 2), ad("a", 3)])
+        # root + a + b + c + d
+        assert index.trie_size() == 5
+
+
+words_alphabet = [f"w{i}" for i in range(10)]
+
+
+def phrase_strategy(max_len=4):
+    return st.lists(
+        st.sampled_from(words_alphabet), min_size=1, max_size=max_len
+    ).map(" ".join)
+
+
+@st.composite
+def corpus_and_queries(draw):
+    phrases = draw(st.lists(phrase_strategy(), min_size=1, max_size=20))
+    ads = [ad(p, i) for i, p in enumerate(phrases)]
+    queries = draw(st.lists(phrase_strategy(max_len=6), min_size=1, max_size=6))
+    return ads, [Query.from_text(q) for q in queries]
+
+
+class TestOracleEquivalence:
+    @given(corpus_and_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_matches_naive_and_hash_index(self, data):
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        trie = TrieWordSetIndex.from_corpus(corpus)
+        hashed = WordSetIndex.from_corpus(corpus)
+        for query in queries:
+            expected = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            assert sorted(
+                a.info.listing_id for a in trie.query_broad(query)
+            ) == expected
+            assert sorted(
+                a.info.listing_id for a in hashed.query_broad(query)
+            ) == expected
+
+    @given(corpus_and_queries())
+    @settings(max_examples=40, deadline=None)
+    def test_match_types_equal_naive(self, data):
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        trie = TrieWordSetIndex.from_corpus(corpus)
+        for query in queries:
+            for mt in (MatchType.EXACT, MatchType.PHRASE):
+                got = sorted(a.info.listing_id for a in trie.query(query, mt))
+                expected = sorted(
+                    a.info.listing_id for a in naive_match(corpus, query, mt)
+                )
+                assert got == expected
+
+    @given(corpus_and_queries(), st.lists(st.integers(0, 19), max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_deletion_equivalence(self, data, deletions):
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        trie = TrieWordSetIndex.from_corpus(corpus)
+        remaining = list(ads)
+        for pos in deletions:
+            if pos < len(remaining):
+                victim = remaining.pop(pos)
+                assert trie.delete(victim)
+        for query in queries:
+            got = sorted(a.info.listing_id for a in trie.query_broad(query))
+            expected = sorted(
+                a.info.listing_id for a in naive_broad_match(remaining, query)
+            )
+            assert got == expected

@@ -1,0 +1,275 @@
+"""Tests for the WordSetIndex, including property tests against the oracle."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import MatchType, naive_broad_match, naive_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.accounting import AccessTracker
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+def build(ads, **kwargs):
+    return WordSetIndex.from_corpus(AdCorpus(ads), **kwargs)
+
+
+class TestBasicBroadMatch:
+    def test_paper_example(self):
+        index = build([ad("used books", 1), ad("comic books", 2)])
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert [a.info.listing_id for a in result] == [1]
+
+    def test_subset_bid_not_matched_by_shorter_query(self):
+        index = build([ad("used books", 1)])
+        assert index.query_broad(Query.from_text("books")) == []
+
+    def test_exact_wordset_match(self):
+        index = build([ad("used books", 1)])
+        result = index.query_broad(Query.from_text("books used"))
+        assert [a.info.listing_id for a in result] == [1]
+
+    def test_multiple_ads_same_wordset(self):
+        index = build([ad("used books", 1), ad("books used", 2)])
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1, 2}
+
+    def test_no_match(self):
+        index = build([ad("used books", 1)])
+        assert index.query_broad(Query.from_text("cheap flights")) == []
+
+    def test_empty_index(self):
+        index = WordSetIndex()
+        assert index.query_broad(Query.from_text("anything")) == []
+
+    def test_duplicate_word_semantics(self):
+        index = build([ad("talk talk", 1), ad("talk", 2)])
+        only_band = index.query_broad(Query.from_text("talk talk"))
+        assert {a.info.listing_id for a in only_band} == {1, 2}
+        just_talk = index.query_broad(Query.from_text("talk"))
+        assert {a.info.listing_id for a in just_talk} == {2}
+
+
+class TestOtherMatchTypes:
+    def test_exact(self):
+        index = build([ad("used books", 1), ad("books used", 2)])
+        result = index.query(Query.from_text("used books"), MatchType.EXACT)
+        assert [a.info.listing_id for a in result] == [1]
+
+    def test_phrase(self):
+        index = build([ad("used books", 1), ad("books used", 2)])
+        result = index.query(Query.from_text("cheap used books"), MatchType.PHRASE)
+        assert [a.info.listing_id for a in result] == [1]
+
+    def test_broad_via_query(self):
+        index = build([ad("used books", 1)])
+        result = index.query(Query.from_text("cheap used books"), MatchType.BROAD)
+        assert len(result) == 1
+
+
+class TestMappingPlacement:
+    def test_explicit_remap_preserves_results(self):
+        # Fig 4 -> Fig 5 of the paper: move "cheap used books" under
+        # "cheap books".
+        ads = [ad("cheap books", 1), ad("cheap used books", 2)]
+        mapping = {
+            frozenset({"cheap", "used", "books"}): frozenset({"cheap", "books"})
+        }
+        index = WordSetIndex.from_corpus(AdCorpus(ads), mapping=mapping)
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1, 2}
+        assert index.stats().num_nodes == 1
+
+    def test_remap_rejects_non_subset_locator(self):
+        index = WordSetIndex()
+        with pytest.raises(ValueError):
+            index.insert(ad("used books"), locator=frozenset({"cheap"}))
+
+    def test_remap_rejects_empty_locator(self):
+        index = WordSetIndex()
+        with pytest.raises(ValueError):
+            index.insert(ad("used books"), locator=frozenset())
+
+    def test_max_words_rejects_long_locator(self):
+        index = WordSetIndex(max_words=2)
+        with pytest.raises(ValueError):
+            index.insert(ad("one two three"))
+
+    def test_condition_iv_same_wordset_same_node(self):
+        index = WordSetIndex()
+        index.insert(ad("a b", 1), locator=frozenset({"a"}))
+        # Second ad of the same word-set follows its group even if the
+        # caller passes a different locator.
+        index.insert(ad("a b", 2), locator=frozenset({"b"}))
+        index.check_invariants()
+        assert index.stats().num_nodes == 1
+
+    def test_invariants_pass_for_identity_index(self):
+        index = build([ad(f"w{i} common", i) for i in range(20)])
+        index.check_invariants()
+
+
+class TestDeletion:
+    def test_delete_identity_placed(self):
+        a = ad("used books", 1)
+        index = build([a])
+        assert index.delete(a)
+        assert index.query_broad(Query.from_text("used books")) == []
+        assert len(index) == 0
+        index.check_invariants()
+
+    def test_delete_remapped_ad(self):
+        a1, a2 = ad("cheap books", 1), ad("cheap used books", 2)
+        mapping = {a2.words: a1.words}
+        index = WordSetIndex.from_corpus(AdCorpus([a1, a2]), mapping=mapping)
+        assert index.delete(a2)
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1}
+        index.check_invariants()
+
+    def test_delete_absent(self):
+        index = build([ad("used books", 1)])
+        assert not index.delete(ad("other phrase", 9))
+
+    def test_delete_drops_empty_node(self):
+        a = ad("solo", 1)
+        index = build([a])
+        index.delete(a)
+        assert index.stats().num_nodes == 0
+
+    def test_reinsert_after_delete(self):
+        a = ad("used books", 1)
+        index = build([a])
+        index.delete(a)
+        index.insert(a)
+        assert len(index.query_broad(Query.from_text("used books"))) == 1
+
+
+class TestLongQueries:
+    def test_long_query_truncation_keeps_working(self):
+        index = build([ad("red shoes", 1)], max_query_words=4)
+        long_query = Query.from_text("red shoes " + " ".join(f"f{i}" for i in range(10)))
+        # Truncation may or may not retain the matching words without
+        # selectivity data; with corpus frequencies the rare words win.
+        result = index.query_broad(long_query)
+        assert all(a.words <= long_query.words for a in result)
+
+    def test_max_words_bounds_probes(self):
+        tracker = AccessTracker()
+        ads = [ad("a b", 1)]
+        # Without max_words, a 10-word query does 2^10-1 probes; with
+        # max_words=2 only C(10,1)+C(10,2) = 55.
+        index = WordSetIndex.from_corpus(
+            AdCorpus(ads), max_words=2, tracker=tracker, max_query_words=10
+        )
+        q = Query.from_text("a b " + " ".join(f"x{i}" for i in range(8)))
+        index.query_broad(q)
+        assert tracker.stats.hash_probes == 55
+
+
+class TestStatsAndAccounting:
+    def test_stats_counts(self):
+        index = build([ad("a b", 1), ad("a b", 2), ad("c", 3)])
+        stats = index.stats()
+        assert stats.num_ads == 3
+        assert stats.num_nodes == 2
+        assert stats.num_distinct_wordsets == 2
+        assert stats.max_node_entries == 2
+        assert stats.total_bytes == stats.hash_table_bytes + stats.node_bytes
+
+    def test_tracker_counts_probes_and_scans(self):
+        tracker = AccessTracker()
+        index = WordSetIndex.from_corpus(
+            AdCorpus([ad("used books", 1)]), tracker=tracker
+        )
+        index.query_broad(Query.from_text("used books"))
+        # 3 subsets probed for a 2-word query; 1 node scanned.
+        assert tracker.stats.hash_probes == 3
+        assert tracker.stats.random_accesses == 4  # 3 probes + 1 node
+        assert tracker.stats.queries == 1
+        assert tracker.stats.bytes_scanned > 0
+
+
+# ---------------------------------------------------------------------- #
+# Property-based equivalence with the naive oracle.
+
+words_alphabet = [f"w{i}" for i in range(12)]
+
+
+def phrase_strategy(max_len=5):
+    return st.lists(
+        st.sampled_from(words_alphabet), min_size=1, max_size=max_len
+    ).map(" ".join)
+
+
+@st.composite
+def corpus_and_queries(draw):
+    phrases = draw(st.lists(phrase_strategy(), min_size=1, max_size=25))
+    ads = [ad(p, i) for i, p in enumerate(phrases)]
+    queries = draw(st.lists(phrase_strategy(max_len=6), min_size=1, max_size=8))
+    return ads, [Query.from_text(q) for q in queries]
+
+
+class TestOracleEquivalence:
+    @given(corpus_and_queries())
+    @settings(max_examples=120, deadline=None)
+    def test_broad_match_equals_naive(self, data):
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        for query in queries:
+            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            expected = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            assert got == expected
+
+    @given(corpus_and_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_exact_and_phrase_equal_naive(self, data):
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        for query in queries:
+            for mt in (MatchType.EXACT, MatchType.PHRASE):
+                got = sorted(a.info.listing_id for a in index.query(query, mt))
+                expected = sorted(
+                    a.info.listing_id for a in naive_match(corpus, query, mt)
+                )
+                assert got == expected
+
+    @given(corpus_and_queries())
+    @settings(max_examples=60, deadline=None)
+    def test_invariants_hold_after_build(self, data):
+        ads, _ = data
+        index = WordSetIndex.from_corpus(AdCorpus(ads))
+        index.check_invariants()
+
+    @given(
+        corpus_and_queries(),
+        st.lists(st.integers(0, 24), max_size=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_deletion_preserves_equivalence(self, data, delete_positions):
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        index = WordSetIndex.from_corpus(corpus)
+        remaining = list(ads)
+        for pos in delete_positions:
+            if pos < len(remaining):
+                victim = remaining.pop(pos)
+                assert index.delete(victim)
+        index.check_invariants()
+        for query in queries:
+            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            expected = sorted(
+                a.info.listing_id for a in naive_broad_match(remaining, query)
+            )
+            assert got == expected

@@ -1,0 +1,67 @@
+"""Tests for access tracking and modeled-cost conversion."""
+
+import pytest
+
+from repro.cost.accounting import AccessStats, AccessTracker
+from repro.cost.model import CostModel
+
+
+class TestAccessTracker:
+    def test_random_access_counts(self):
+        tracker = AccessTracker()
+        tracker.random_access(64)
+        tracker.random_access()
+        assert tracker.stats.random_accesses == 2
+        assert tracker.stats.bytes_scanned == 64
+
+    def test_sequential_counts_bytes_only(self):
+        tracker = AccessTracker()
+        tracker.sequential(128)
+        assert tracker.stats.random_accesses == 0
+        assert tracker.stats.bytes_scanned == 128
+
+    def test_hash_probe_is_random(self):
+        tracker = AccessTracker()
+        tracker.hash_probe(16)
+        assert tracker.stats.hash_probes == 1
+        assert tracker.stats.random_accesses == 1
+        assert tracker.stats.bytes_scanned == 16
+
+    def test_candidates_and_postings(self):
+        tracker = AccessTracker()
+        tracker.candidate(3)
+        tracker.posting(7)
+        assert tracker.stats.candidates_examined == 3
+        assert tracker.stats.postings_traversed == 7
+
+    def test_reset_returns_and_clears(self):
+        tracker = AccessTracker()
+        tracker.random_access(10)
+        old = tracker.reset()
+        assert old.random_accesses == 1
+        assert tracker.stats.random_accesses == 0
+
+    def test_query_done(self):
+        tracker = AccessTracker()
+        tracker.query_done()
+        tracker.query_done()
+        assert tracker.stats.queries == 2
+
+
+class TestAccessStats:
+    def test_modeled_ns(self):
+        stats = AccessStats(random_accesses=2, bytes_scanned=500)
+        model = CostModel(cost_random_ns=100.0, scan_ns_per_byte=0.1)
+        assert stats.modeled_ns(model) == pytest.approx(2 * 100 + 50)
+
+    def test_addition(self):
+        a = AccessStats(random_accesses=1, bytes_scanned=10, hash_probes=2)
+        b = AccessStats(random_accesses=3, bytes_scanned=5, queries=1)
+        total = a + b
+        assert total.random_accesses == 4
+        assert total.bytes_scanned == 15
+        assert total.hash_probes == 2
+        assert total.queries == 1
+
+    def test_zero_stats_zero_cost(self):
+        assert AccessStats().modeled_ns(CostModel()) == 0.0

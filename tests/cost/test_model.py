@@ -1,0 +1,57 @@
+"""Tests for the main-memory cost model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cost.model import DEFAULT_COST_MODEL, CostModel
+
+
+class TestCostModel:
+    def test_defaults_positive(self):
+        model = CostModel()
+        assert model.cost_random() > 0
+        assert model.cost_scan(100) > 0
+
+    def test_scan_zero_bytes_is_free(self):
+        assert CostModel().cost_scan(0) == 0.0
+
+    def test_scan_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostModel().cost_scan(-1)
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_scan_monotone(self, a, b):
+        # The paper's only requirement on Cost_Scan: positive, monotone.
+        model = CostModel()
+        if a <= b:
+            assert model.cost_scan(a) <= model.cost_scan(b)
+
+    def test_random_much_pricier_than_sequential_byte(self):
+        model = DEFAULT_COST_MODEL
+        assert model.cost_random() > 100 * model.cost_scan(1)
+
+    def test_break_even_bytes(self):
+        model = CostModel(cost_random_ns=100.0, scan_ns_per_byte=0.1)
+        assert model.break_even_bytes() == 1000
+
+    def test_break_even_bounds_node_size(self):
+        # Key property for Section V-B's k-bound: break-even is small —
+        # a handful of ads, not thousands (contrast with disk).
+        assert DEFAULT_COST_MODEL.break_even_bytes() < 10_000
+
+    def test_hash_probe_cost(self):
+        model = CostModel(cost_random_ns=100.0, scan_ns_per_byte=0.1, mem_hash_bytes=16)
+        assert model.hash_probe_cost() == pytest.approx(101.6)
+
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CostModel(cost_random_ns=0)
+        with pytest.raises(ValueError):
+            CostModel(scan_ns_per_byte=-1)
+        with pytest.raises(ValueError):
+            CostModel(mem_hash_bytes=0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().cost_random_ns = 5

@@ -1,0 +1,179 @@
+"""Tests for the analytic Cost(WL, M) of Section V-A.
+
+The central check: the analytic cost of an index equals the modeled cost of
+actually executing the workload against that index with an AccessTracker.
+If those two ever diverge, the optimizer is minimizing the wrong function.
+"""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query, Workload
+from repro.core.wordset_index import HASH_BUCKET_BYTES, WordSetIndex
+from repro.cost.accounting import AccessTracker
+from repro.cost.model import CostModel
+from repro.cost.workload_cost import (
+    cost_hash,
+    cost_node,
+    cost_node_single,
+    query_lookup_count,
+    total_cost,
+)
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def model():
+    # mem_hash matched to the index's bucket size so analytic == executed.
+    return CostModel(cost_random_ns=100.0, scan_ns_per_byte=0.1,
+                     mem_hash_bytes=HASH_BUCKET_BYTES)
+
+
+@pytest.fixture()
+def small_setup():
+    ads = [
+        ad("books", 1),
+        ad("used books", 2),
+        ad("cheap used books", 3),
+        ad("cheap flights", 4),
+    ]
+    corpus = AdCorpus(ads)
+    workload = Workload(
+        [
+            (Query.from_text("used books"), 10),
+            (Query.from_text("cheap used books"), 5),
+            (Query.from_text("flights"), 2),
+        ]
+    )
+    return corpus, workload
+
+
+class TestQueryLookupCount:
+    def test_unbounded(self):
+        assert query_lookup_count(3, None) == 7
+
+    def test_bounded(self):
+        assert query_lookup_count(5, 2) == 15
+
+    def test_bounded_no_worse(self):
+        for q in range(1, 12):
+            assert query_lookup_count(q, 3) <= query_lookup_count(q, None)
+
+
+class TestCostHash:
+    def test_linear_in_frequency(self, model):
+        q = Query.from_text("a b")
+        wl1 = Workload([(q, 1)])
+        wl5 = Workload([(q, 5)])
+        assert cost_hash(wl5, model, None) == pytest.approx(
+            5 * cost_hash(wl1, model, None)
+        )
+
+    def test_independent_of_mapping(self, model, small_setup):
+        # Only max_words matters, not where ads live.
+        _, workload = small_setup
+        assert cost_hash(workload, model, 3) == cost_hash(workload, model, 3)
+
+    def test_bounded_cheaper_for_long_queries(self, model):
+        q = Query.from_text(" ".join(f"w{i}" for i in range(12)))
+        wl = Workload([(q, 1)])
+        assert cost_hash(wl, model, 3) < cost_hash(wl, model, None)
+
+
+class TestAnalyticMatchesExecution:
+    def test_identity_mapping(self, model, small_setup):
+        corpus, workload = small_setup
+        tracker = AccessTracker()
+        index = WordSetIndex.from_corpus(corpus, tracker=tracker)
+        index._word_freq_fn = None  # execution must not truncate here
+        for query, frequency in workload:
+            for _ in range(frequency):
+                index.query_broad(query)
+        executed = tracker.stats.modeled_ns(model)
+        analytic = total_cost(index, workload, model)
+        assert executed == pytest.approx(analytic)
+
+    def test_remapped_index(self, model, small_setup):
+        corpus, workload = small_setup
+        mapping = {
+            frozenset({"cheap", "used", "books"}): frozenset({"used", "books"}),
+        }
+        tracker = AccessTracker()
+        index = WordSetIndex.from_corpus(corpus, mapping=mapping, tracker=tracker)
+        index._word_freq_fn = None
+        for query, frequency in workload:
+            for _ in range(frequency):
+                index.query_broad(query)
+        assert tracker.stats.modeled_ns(model) == pytest.approx(
+            total_cost(index, workload, model)
+        )
+
+    def test_max_words_index(self, model):
+        ads = [ad("a", 1), ad("a b", 2), ad("a b c", 3)]
+        corpus = AdCorpus(ads)
+        mapping = {frozenset({"a", "b", "c"}): frozenset({"a", "b"})}
+        workload = Workload(
+            [
+                (Query.from_text("a b c d"), 3),
+                (Query.from_text("a"), 7),
+            ]
+        )
+        tracker = AccessTracker()
+        index = WordSetIndex.from_corpus(
+            corpus, mapping=mapping, max_words=2, tracker=tracker
+        )
+        index._word_freq_fn = None
+        for query, frequency in workload:
+            for _ in range(frequency):
+                index.query_broad(query)
+        assert tracker.stats.modeled_ns(model) == pytest.approx(
+            total_cost(index, workload, model)
+        )
+
+
+class TestCostNodeProperties:
+    def test_remapping_reduces_random_accesses(self, model, small_setup):
+        corpus, workload = small_setup
+        identity = WordSetIndex.from_corpus(corpus)
+        mapping = {
+            frozenset({"cheap", "used", "books"}): frozenset({"used", "books"}),
+        }
+        remapped = WordSetIndex.from_corpus(corpus, mapping=mapping)
+        # The query "cheap used books" visits 3 nodes before, 2 after
+        # (books; used books+cheap used books merged).  Node cost must drop.
+        assert cost_node(remapped, workload, model) < cost_node(
+            identity, workload, model
+        )
+
+    def test_cost_node_is_sum_of_single_nodes(self, model, small_setup):
+        corpus, workload = small_setup
+        index = WordSetIndex.from_corpus(corpus)
+        per_node = sum(
+            cost_node_single(node, workload, model)
+            for node in index.nodes.values()
+        )
+        assert per_node == pytest.approx(cost_node(index, workload, model))
+
+    def test_unvisited_node_costs_nothing(self, model):
+        index = WordSetIndex.from_corpus(AdCorpus([ad("zzz", 1)]))
+        workload = Workload([(Query.from_text("aaa"), 100)])
+        assert cost_node(index, workload, model) == 0.0
+
+    def test_weight_superset_monotone(self, model):
+        # weight(S') < weight(S'') when S' ⊂ S'' (used in the proof of
+        # condition II).  Build two nodes where one has a strict superset
+        # of the other's content.
+        from repro.core.data_node import DataNode
+
+        small = DataNode(frozenset({"a"}))
+        small.add(ad("a b", 1))
+        big = DataNode(frozenset({"a"}))
+        big.add(ad("a b", 1))
+        big.add(ad("a c", 2))
+        workload = Workload([(Query.from_text("a b c"), 1)])
+        assert cost_node_single(small, workload, model) < cost_node_single(
+            big, workload, model
+        )

@@ -1,0 +1,86 @@
+"""Tests that the synthetic corpus reproduces the paper's distributions."""
+
+import pytest
+
+from repro.datagen.corpus import (
+    BID_LENGTH_PROBS,
+    CorpusConfig,
+    generate_corpus,
+    length_cumulative_fractions,
+)
+from repro.datagen.zipf import fit_power_law_slope
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_corpus(CorpusConfig(num_ads=8_000, seed=42))
+
+
+class TestCalibration:
+    def test_length_probs_sum_to_one(self):
+        assert sum(BID_LENGTH_PROBS) == pytest.approx(1.0)
+
+    def test_fig1_cumulative_fractions(self, generated):
+        """Paper: 62% of bids <= 3 words, 96% <= 5, 99.8% <= 8."""
+        cumulative = length_cumulative_fractions(generated.corpus)
+        assert cumulative[3] == pytest.approx(0.62, abs=0.03)
+        assert cumulative[5] == pytest.approx(0.96, abs=0.02)
+        assert cumulative[8] >= 0.99
+
+    def test_fig1_mode_at_three(self, generated):
+        histogram = generated.corpus.length_histogram()
+        assert max(histogram, key=histogram.get) == 3
+
+    def test_fig2_wordset_frequencies_zipf(self, generated):
+        """Word-set frequencies follow a Zipf (straight log-log) law."""
+        ranked = generated.corpus.wordset_frequencies_ranked()[:500]
+        slope = fit_power_law_slope(ranked)
+        assert -1.6 < slope < -0.4
+
+    def test_fig7_keywords_more_skewed_than_wordsets(self, generated):
+        """The crux of the paper's Fig 7: keyword frequencies are far more
+        skewed than word-set frequencies."""
+        corpus = generated.corpus
+        top_word = corpus.word_frequencies_ranked()[0]
+        top_set = corpus.wordset_frequencies_ranked()[0]
+        assert top_word > top_set
+
+    def test_most_wordsets_have_few_ads(self, generated):
+        """Fig 2's long tail: the median word-set has very few ads."""
+        ranked = generated.corpus.wordset_frequencies_ranked()
+        median = ranked[len(ranked) // 2]
+        assert median <= 3
+
+
+class TestDeterminismAndShape:
+    def test_deterministic(self):
+        a = generate_corpus(CorpusConfig(num_ads=500, seed=7))
+        b = generate_corpus(CorpusConfig(num_ads=500, seed=7))
+        assert [ad.phrase for ad in a.corpus] == [ad.phrase for ad in b.corpus]
+
+    def test_seed_changes_corpus(self):
+        a = generate_corpus(CorpusConfig(num_ads=500, seed=7))
+        b = generate_corpus(CorpusConfig(num_ads=500, seed=8))
+        assert [ad.phrase for ad in a.corpus] != [ad.phrase for ad in b.corpus]
+
+    def test_num_ads(self, generated):
+        assert len(generated.corpus) == 8_000
+
+    def test_listing_ids_unique(self, generated):
+        ids = [ad.info.listing_id for ad in generated.corpus]
+        assert len(set(ids)) == len(ids)
+
+    def test_templates_cover_corpus(self, generated):
+        template_set = set(generated.templates)
+        assert all(ad.words in template_set for ad in generated.corpus)
+
+    def test_some_exclusions_present(self, generated):
+        assert any(
+            ad.info.exclusion_phrases for ad in generated.corpus
+        )
+
+    def test_explicit_template_count(self):
+        config = CorpusConfig(num_ads=1000, num_templates=50, seed=1)
+        generated = generate_corpus(config)
+        assert len(generated.templates) == 50
+        assert len(generated.corpus.distinct_wordsets()) <= 50

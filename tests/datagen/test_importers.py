@@ -1,0 +1,131 @@
+"""Tests for the CSV/TSV importers."""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.datagen.importers import (
+    ImportFormatError,
+    load_corpus_csv,
+    load_workload_tsv,
+)
+
+
+def write(tmp_path, name, content):
+    path = tmp_path / name
+    path.write_text(content, encoding="utf-8")
+    return path
+
+
+class TestCorpusCsv:
+    def test_full_columns(self, tmp_path):
+        path = write(
+            tmp_path,
+            "ads.csv",
+            "bid_phrase,listing_id,campaign_id,bid_price_micros,exclusions\n"
+            "used books,1,7,120000,free|gratis\n"
+            "cheap flights,2,8,90000,\n",
+        )
+        corpus = load_corpus_csv(path)
+        assert len(corpus) == 2
+        first = corpus[0]
+        assert first.phrase == ("used", "books")
+        assert first.info.campaign_id == 7
+        assert first.info.exclusion_phrases == ("free", "gratis")
+        assert corpus[1].info.exclusion_phrases == ()
+
+    def test_minimal_columns(self, tmp_path):
+        path = write(
+            tmp_path, "ads.csv", "bid_phrase,listing_id\nred shoes,5\n"
+        )
+        corpus = load_corpus_csv(path)
+        assert corpus[0].info.bid_price_micros == 0
+
+    def test_tsv_delimiter(self, tmp_path):
+        path = write(
+            tmp_path, "ads.tsv", "bid_phrase\tlisting_id\nused books\t1\n"
+        )
+        corpus = load_corpus_csv(path, delimiter="\t")
+        assert len(corpus) == 1
+
+    def test_missing_required_column(self, tmp_path):
+        path = write(tmp_path, "bad.csv", "bid_phrase\nused books\n")
+        with pytest.raises(ImportFormatError, match="listing_id"):
+            load_corpus_csv(path)
+
+    def test_unknown_column(self, tmp_path):
+        path = write(
+            tmp_path, "bad.csv", "bid_phrase,listing_id,surprise\na,1,x\n"
+        )
+        with pytest.raises(ImportFormatError, match="surprise"):
+            load_corpus_csv(path)
+
+    def test_bad_listing_id_reports_line(self, tmp_path):
+        path = write(
+            tmp_path,
+            "bad.csv",
+            "bid_phrase,listing_id\nok phrase,1\nbroken,notanint\n",
+        )
+        with pytest.raises(ImportFormatError, match=":3"):
+            load_corpus_csv(path)
+
+    def test_empty_phrase_rejected(self, tmp_path):
+        path = write(tmp_path, "bad.csv", "bid_phrase,listing_id\n ,1\n")
+        with pytest.raises(ImportFormatError, match="empty bid_phrase"):
+            load_corpus_csv(path)
+
+    def test_punctuation_only_phrase_rejected(self, tmp_path):
+        path = write(tmp_path, "bad.csv", "bid_phrase,listing_id\n!!!,1\n")
+        with pytest.raises(ImportFormatError, match="no indexable words"):
+            load_corpus_csv(path)
+
+    def test_empty_file(self, tmp_path):
+        path = write(tmp_path, "empty.csv", "")
+        with pytest.raises(ImportFormatError, match="empty file"):
+            load_corpus_csv(path)
+
+    def test_imported_corpus_is_indexable(self, tmp_path):
+        from repro.core.wordset_index import WordSetIndex
+
+        path = write(
+            tmp_path,
+            "ads.csv",
+            "bid_phrase,listing_id\nused books,1\nbooks,2\n",
+        )
+        index = WordSetIndex.from_corpus(load_corpus_csv(path))
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1, 2}
+
+
+class TestWorkloadTsv:
+    def test_with_frequencies(self, tmp_path):
+        path = write(
+            tmp_path, "trace.tsv", "used books\t10\ncheap flights\t3\n"
+        )
+        workload = load_workload_tsv(path)
+        assert workload.frq(Query.from_text("used books")) == 10
+        assert workload.total_frequency == 13
+
+    def test_without_frequencies(self, tmp_path):
+        path = write(tmp_path, "trace.tsv", "used books\nused books\n")
+        workload = load_workload_tsv(path)
+        assert workload.frq(Query.from_text("used books")) == 2
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = write(tmp_path, "trace.tsv", "# header\n\nused books\t2\n")
+        workload = load_workload_tsv(path)
+        assert len(workload) == 1
+
+    def test_bad_frequency(self, tmp_path):
+        path = write(tmp_path, "trace.tsv", "used books\tmany\n")
+        with pytest.raises(ImportFormatError, match="frequency"):
+            load_workload_tsv(path)
+
+    def test_nonpositive_frequency(self, tmp_path):
+        path = write(tmp_path, "trace.tsv", "used books\t0\n")
+        with pytest.raises(ImportFormatError, match="positive"):
+            load_workload_tsv(path)
+
+    def test_empty_query_rejected(self, tmp_path):
+        path = write(tmp_path, "trace.tsv", "...\t3\n")
+        with pytest.raises(ImportFormatError, match="no indexable words"):
+            load_workload_tsv(path)

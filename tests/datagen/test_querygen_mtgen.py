@@ -1,0 +1,93 @@
+"""Tests for query workload and MT-length generation."""
+
+import pytest
+
+from repro.core.matching import naive_broad_match
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.mtgen import (
+    MT_LENGTH_PROBS,
+    drop_off_ratio,
+    mt_length_histogram,
+)
+from repro.datagen.querygen import QueryConfig, generate_workload, sample_trace
+from repro.datagen.zipf import fit_power_law_slope
+
+
+@pytest.fixture(scope="module")
+def generated():
+    return generate_corpus(CorpusConfig(num_ads=2_000, seed=11))
+
+
+@pytest.fixture(scope="module")
+def workload(generated):
+    return generate_workload(
+        generated, QueryConfig(num_distinct=400, total_frequency=20_000, seed=5)
+    )
+
+
+class TestWorkloadGeneration:
+    def test_distinct_count(self, workload):
+        assert len(workload) == 400
+
+    def test_total_frequency_near_target(self, workload):
+        assert workload.total_frequency >= 20_000 * 0.9
+
+    def test_power_law_frequencies(self, workload):
+        freqs = sorted((f for _, f in workload), reverse=True)
+        slope = fit_power_law_slope(freqs[:200])
+        assert -1.6 < slope < -0.5
+
+    def test_anchored_queries_produce_matches(self, generated, workload):
+        corpus = generated.corpus
+        with_hits = sum(
+            1
+            for query, _ in workload
+            if naive_broad_match(corpus, query)
+        )
+        # ~70% anchored; nearly all anchored queries must hit.
+        assert with_hits >= len(workload) * 0.4
+
+    def test_some_queries_miss(self, generated, workload):
+        corpus = generated.corpus
+        misses = sum(
+            1 for query, _ in workload if not naive_broad_match(corpus, query)
+        )
+        assert misses > 0
+
+    def test_deterministic(self, generated):
+        config = QueryConfig(num_distinct=50, total_frequency=500, seed=9)
+        a = generate_workload(generated, config)
+        b = generate_workload(generated, config)
+        assert sorted(
+            (q.tokens, f) for q, f in a
+        ) == sorted((q.tokens, f) for q, f in b)
+
+    def test_sample_trace(self, workload):
+        trace = sample_trace(workload, 300, seed=1)
+        assert len(trace) == 300
+        distinct = {q for q in trace}
+        assert distinct <= set(workload.distinct_queries())
+
+
+class TestMtLengths:
+    def test_probs_sum_to_one(self):
+        assert sum(MT_LENGTH_PROBS) == pytest.approx(1.0)
+
+    def test_histogram_mode_at_three(self):
+        histogram = mt_length_histogram(20_000, seed=3)
+        assert max(histogram, key=histogram.get) == 3
+
+    def test_gradual_tail_vs_bids(self):
+        """Fig 3's point: MT drops off much more slowly than bids."""
+        from repro.datagen.corpus import generate_corpus as gen
+
+        mt = mt_length_histogram(20_000, seed=3)
+        bids = gen(CorpusConfig(num_ads=20_000, seed=3)).corpus.length_histogram()
+        assert drop_off_ratio(mt) < drop_off_ratio(bids)
+
+    def test_lengths_in_range(self):
+        histogram = mt_length_histogram(1_000, seed=1)
+        assert set(histogram) <= set(range(1, 8))
+
+    def test_deterministic(self):
+        assert mt_length_histogram(500, seed=2) == mt_length_histogram(500, seed=2)

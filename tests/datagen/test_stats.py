@@ -1,0 +1,91 @@
+"""Tests for corpus/workload profiling."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query, Workload
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.datagen.stats import profile_corpus, profile_workload
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+class TestCorpusProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        generated = generate_corpus(CorpusConfig(num_ads=3_000, seed=6))
+        return profile_corpus(generated.corpus)
+
+    def test_counts(self, profile):
+        assert profile.num_ads == 3_000
+        assert 0 < profile.num_distinct_wordsets <= 3_000
+
+    def test_fig1_anchors(self, profile):
+        assert profile.cumulative_len_3 == pytest.approx(0.62, abs=0.05)
+        assert profile.cumulative_len_5 == pytest.approx(0.96, abs=0.03)
+        assert profile.cumulative_len_8 >= 0.99
+
+    def test_fig7_skew(self, profile):
+        assert profile.top_keyword_frequency > profile.top_wordset_frequency
+
+    def test_superset_sharing_present(self, profile):
+        # The generator's hierarchical templates guarantee headroom.
+        assert profile.superset_fraction > 0.1
+
+    def test_zipf_slope(self, profile):
+        assert profile.wordset_zipf_slope is not None
+        assert -2.0 < profile.wordset_zipf_slope < -0.3
+
+    def test_summary_text(self, profile):
+        text = profile.summary()
+        assert "bid lengths" in text and "Fig 7" in text
+
+    def test_small_handmade_corpus(self):
+        corpus = AdCorpus([ad("a b", 1), ad("a b c", 2), ad("x", 3)])
+        profile = profile_corpus(corpus)
+        # {a,b} ⊂ {a,b,c}: one of three sets contains another.
+        assert profile.superset_fraction == pytest.approx(1 / 3)
+        assert profile.mean_bid_words == pytest.approx((2 + 3 + 1) / 3)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            profile_corpus(AdCorpus())
+
+
+class TestWorkloadProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        generated = generate_corpus(CorpusConfig(num_ads=1_000, seed=2))
+        workload = generate_workload(
+            generated,
+            QueryConfig(num_distinct=500, total_frequency=20_000, seed=9),
+        )
+        return profile_workload(workload)
+
+    def test_counts(self, profile):
+        assert profile.num_distinct == 500
+        assert profile.total_frequency >= 18_000
+
+    def test_head_concentration(self, profile):
+        # Zipf head: 1% of queries carry far more than 1% of traffic.
+        assert profile.head_mass_top_1pct > 0.05
+
+    def test_query_lengths(self, profile):
+        assert 1.0 < profile.mean_query_words < 8.0
+        assert profile.max_query_words >= profile.mean_query_words
+
+    def test_summary_text(self, profile):
+        assert "traffic" in profile.summary()
+
+    def test_handmade(self):
+        wl = Workload([(Query.from_text("a b"), 99), (Query.from_text("c"), 1)])
+        profile = profile_workload(wl)
+        assert profile.head_mass_top_1pct == pytest.approx(0.99)
+        assert profile.frequency_zipf_slope is None  # < 10 queries
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            profile_workload(Workload())

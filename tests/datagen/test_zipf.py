@@ -1,0 +1,84 @@
+"""Tests for Zipf samplers and power-law helpers."""
+
+import pytest
+
+from repro.datagen.zipf import ZipfSampler, fit_power_law_slope, zipf_frequencies
+
+
+class TestZipfSampler:
+    def test_rank_range(self):
+        sampler = ZipfSampler(10, seed=1)
+        samples = sampler.sample_many(500)
+        assert all(1 <= r <= 10 for r in samples)
+
+    def test_head_heavier_than_tail(self):
+        sampler = ZipfSampler(100, exponent=1.2, seed=2)
+        samples = sampler.sample_many(5000)
+        assert samples.count(1) > samples.count(50) + samples.count(51)
+
+    def test_deterministic(self):
+        a = ZipfSampler(50, seed=3).sample_many(100)
+        b = ZipfSampler(50, seed=3).sample_many(100)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = ZipfSampler(50, seed=3).sample_many(100)
+        b = ZipfSampler(50, seed=4).sample_many(100)
+        assert a != b
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(20, exponent=1.0)
+        assert sum(sampler.probability(r) for r in range(1, 21)) == pytest.approx(1.0)
+
+    def test_probability_decreasing(self):
+        sampler = ZipfSampler(20, exponent=1.0)
+        probs = [sampler.probability(r) for r in range(1, 21)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_exponent_zero_uniform(self):
+        sampler = ZipfSampler(4, exponent=0.0)
+        for r in range(1, 5):
+            assert sampler.probability(r) == pytest.approx(0.25)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, exponent=-1)
+        with pytest.raises(ValueError):
+            ZipfSampler(5).probability(6)
+
+
+class TestZipfFrequencies:
+    def test_all_positive(self):
+        freqs = zipf_frequencies(100, 10_000)
+        assert all(f >= 1 for f in freqs)
+
+    def test_head_dominates(self):
+        freqs = zipf_frequencies(100, 10_000)
+        assert freqs[0] > 10 * freqs[-1]
+
+    def test_descending(self):
+        freqs = zipf_frequencies(50, 5_000)
+        assert freqs == sorted(freqs, reverse=True)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            zipf_frequencies(10, 5)
+
+
+class TestFitSlope:
+    def test_recovers_exponent(self):
+        # Perfect Zipf data with exponent 1.0.
+        freqs = [int(10_000 / r) for r in range(1, 200)]
+        slope = fit_power_law_slope(freqs)
+        assert slope == pytest.approx(-1.0, abs=0.05)
+
+    def test_steeper_distribution_steeper_slope(self):
+        shallow = [int(10_000 / r) for r in range(1, 100)]
+        steep = [int(10_000 / r**2) + 1 for r in range(1, 100)]
+        assert fit_power_law_slope(steep) < fit_power_law_slope(shallow)
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            fit_power_law_slope([5])

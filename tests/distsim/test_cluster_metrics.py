@@ -1,0 +1,143 @@
+"""Tests for the two-tier cluster simulation and its metrics."""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.distsim.cluster import (
+    ClusterConfig,
+    TwoTierCluster,
+    find_saturation_rate,
+)
+from repro.distsim.metrics import RunMetrics, smooth_histogram
+from repro.distsim.network import NetworkModel
+
+
+def make_cluster(index_ms=1.0, data_ms=0.5, **config_kwargs):
+    config = ClusterConfig(duration_ms=2_000.0, seed=4, **config_kwargs)
+    return TwoTierCluster(
+        index_service_ms=lambda q: index_ms,
+        data_service_ms=lambda q: data_ms,
+        config=config,
+    )
+
+
+QUERIES = [Query.from_text(f"q{i}") for i in range(5)]
+
+
+class TestNetworkModel:
+    def test_nonnegative_delay(self):
+        net = NetworkModel(base_ms=0.5, jitter_ms=0.2, seed=1)
+        assert all(net.delay_ms() >= 0.5 for _ in range(100))
+
+    def test_zero_jitter_deterministic(self):
+        net = NetworkModel(base_ms=0.7, jitter_ms=0.0)
+        assert net.delay_ms() == 0.7
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            NetworkModel(base_ms=-1)
+
+
+class TestClusterRun:
+    def test_low_load_latency_near_service_plus_network(self):
+        cluster = make_cluster(index_ms=1.0, data_ms=0.5)
+        metrics = cluster.run(QUERIES, arrival_rate_qps=20)
+        assert metrics.completed > 10
+        # 3 network hops (~0.8ms each) + 1.5ms service ≈ 4ms; no queueing.
+        assert 2.0 < metrics.mean_latency_ms() < 10.0
+
+    def test_throughput_tracks_offered_load_when_underloaded(self):
+        cluster = make_cluster(index_ms=0.5, data_ms=0.2)
+        metrics = cluster.run(QUERIES, arrival_rate_qps=100)
+        assert metrics.achieved_rps == pytest.approx(100, rel=0.2)
+
+    def test_overload_saturates_throughput(self):
+        # 4 cores x 1ms service => capacity ~4000 qps; offer 40000.
+        cluster = make_cluster(index_ms=1.0, data_ms=0.1)
+        metrics = cluster.run(QUERIES, arrival_rate_qps=40_000)
+        assert metrics.achieved_rps < 10_000
+        assert metrics.cpu_utilization > 0.9
+
+    def test_faster_structure_lower_utilization_same_load(self):
+        """The paper's CPU story: at the same arrival rate, the cheaper
+        per-query structure shows much lower CPU utilization."""
+        slow = make_cluster(index_ms=1.5).run(QUERIES, 2_000)
+        fast = make_cluster(index_ms=0.4).run(QUERIES, 2_000)
+        assert fast.cpu_utilization < slow.cpu_utilization
+
+    def test_deterministic(self):
+        a = make_cluster().run(QUERIES, 500)
+        b = make_cluster().run(QUERIES, 500)
+        assert a.latencies_ms == b.latencies_ms
+
+    def test_rejects_bad_input(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            cluster.run(QUERIES, 0)
+        with pytest.raises(ValueError):
+            cluster.run([], 10)
+
+
+class TestSaturation:
+    def test_finds_higher_rate_for_faster_structure(self):
+        slow = make_cluster(index_ms=2.0, data_ms=0.2)
+        fast = make_cluster(index_ms=0.5, data_ms=0.2)
+        slow_rate, _ = find_saturation_rate(slow, QUERIES, start_qps=200)
+        fast_rate, _ = find_saturation_rate(fast, QUERIES, start_qps=200)
+        assert fast_rate > slow_rate
+
+    def test_returns_metrics_at_rate(self):
+        cluster = make_cluster()
+        rate, metrics = find_saturation_rate(cluster, QUERIES, start_qps=100)
+        assert metrics.offered_rps == rate
+
+
+class TestMetrics:
+    def make_metrics(self, latencies):
+        return RunMetrics(
+            latencies_ms=tuple(latencies),
+            duration_ms=1000.0,
+            cpu_utilization=0.5,
+            offered_rps=10,
+            completed_in_window=len(latencies),
+        )
+
+    def test_histogram_buckets(self):
+        metrics = self.make_metrics([1, 2, 6, 7, 12])
+        histogram = metrics.latency_histogram(bucket_ms=5.0)
+        assert histogram[0.0] == pytest.approx(0.4)
+        assert histogram[5.0] == pytest.approx(0.4)
+        assert histogram[10.0] == pytest.approx(0.2)
+
+    def test_histogram_fractions_sum_to_one(self):
+        metrics = self.make_metrics([3, 8, 13, 21, 44])
+        assert sum(metrics.latency_histogram().values()) == pytest.approx(1.0)
+
+    def test_fraction_within(self):
+        metrics = self.make_metrics([5, 10, 15, 20])
+        assert metrics.fraction_within(10) == pytest.approx(0.5)
+
+    def test_percentile(self):
+        metrics = self.make_metrics(list(range(1, 101)))
+        assert metrics.percentile_ms(50) == pytest.approx(51, abs=1)
+        with pytest.raises(ValueError):
+            metrics.percentile_ms(0)
+
+    def test_achieved_rps(self):
+        metrics = self.make_metrics([1.0] * 50)
+        assert metrics.achieved_rps == pytest.approx(50.0)
+
+    def test_empty_metrics(self):
+        metrics = self.make_metrics([])
+        assert metrics.mean_latency_ms() == 0.0
+        assert metrics.fraction_within(10) == 0.0
+        assert metrics.latency_histogram() == {}
+
+    def test_smooth_histogram_preserves_buckets(self):
+        histogram = {0.0: 0.5, 5.0: 0.1, 10.0: 0.4}
+        smoothed = smooth_histogram(histogram, window=3)
+        assert set(smoothed) == set(histogram)
+        assert smoothed[5.0] == pytest.approx((0.5 + 0.1 + 0.4) / 3)
+
+    def test_smooth_histogram_empty(self):
+        assert smooth_histogram({}) == {}

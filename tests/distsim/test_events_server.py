@@ -1,0 +1,113 @@
+"""Tests for the DES core and the FCFS server."""
+
+import pytest
+
+from repro.distsim.events import EventQueue
+from repro.distsim.server import Server
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        events = EventQueue()
+        log = []
+        events.schedule(5.0, lambda: log.append("b"))
+        events.schedule(1.0, lambda: log.append("a"))
+        events.run()
+        assert log == ["a", "b"]
+        assert events.now == 5.0
+
+    def test_ties_broken_by_insertion(self):
+        events = EventQueue()
+        log = []
+        events.schedule(1.0, lambda: log.append(1))
+        events.schedule(1.0, lambda: log.append(2))
+        events.run()
+        assert log == [1, 2]
+
+    def test_until_stops_early(self):
+        events = EventQueue()
+        log = []
+        events.schedule(1.0, lambda: log.append("early"))
+        events.schedule(10.0, lambda: log.append("late"))
+        events.run(until=5.0)
+        assert log == ["early"]
+        assert events.now == 5.0
+        assert len(events) == 1
+
+    def test_actions_can_schedule(self):
+        events = EventQueue()
+        log = []
+
+        def chain():
+            log.append(events.now)
+            if events.now < 3:
+                events.schedule(1.0, chain)
+
+        events.schedule(1.0, chain)
+        events.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_rejects_past(self):
+        events = EventQueue()
+        with pytest.raises(ValueError):
+            events.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            events.schedule_at(-0.5, lambda: None)
+
+
+class TestServer:
+    def test_single_job(self):
+        events = EventQueue()
+        server = Server(events, cores=1)
+        done = []
+        server.submit(5.0, lambda: done.append(events.now))
+        events.run()
+        assert done == [5.0]
+        assert server.jobs_done == 1
+
+    def test_fcfs_queueing_single_core(self):
+        events = EventQueue()
+        server = Server(events, cores=1)
+        done = []
+        server.submit(5.0, lambda: done.append(("a", events.now)))
+        server.submit(5.0, lambda: done.append(("b", events.now)))
+        events.run()
+        assert done == [("a", 5.0), ("b", 10.0)]
+
+    def test_parallel_cores(self):
+        events = EventQueue()
+        server = Server(events, cores=2)
+        done = []
+        server.submit(5.0, lambda: done.append(events.now))
+        server.submit(5.0, lambda: done.append(events.now))
+        events.run()
+        assert done == [5.0, 5.0]
+
+    def test_utilization_full(self):
+        events = EventQueue()
+        server = Server(events, cores=1)
+        server.submit(10.0, lambda: None)
+        events.run()
+        assert server.utilization(10.0) == pytest.approx(1.0)
+
+    def test_utilization_half(self):
+        events = EventQueue()
+        server = Server(events, cores=2)
+        server.submit(10.0, lambda: None)
+        events.run()
+        assert server.utilization(10.0) == pytest.approx(0.5)
+
+    def test_queue_length(self):
+        events = EventQueue()
+        server = Server(events, cores=1)
+        for _ in range(3):
+            server.submit(1.0, lambda: None)
+        assert server.queue_length == 2
+
+    def test_rejects_bad_args(self):
+        events = EventQueue()
+        with pytest.raises(ValueError):
+            Server(events, cores=0)
+        server = Server(events)
+        with pytest.raises(ValueError):
+            server.submit(-1.0, lambda: None)

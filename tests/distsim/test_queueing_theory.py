@@ -1,0 +1,89 @@
+"""Validate the discrete-event simulator against closed-form queueing
+theory.
+
+If the DES is correct, an M/M/1 system (Poisson arrivals, exponential
+service, one server) must reproduce the textbook mean response time
+``W = 1 / (mu - lambda)``; an M/D/1 system (deterministic service) must
+show roughly *half* the M/M/1 queueing delay (Pollaczek-Khinchine with
+zero service variance).  These laws pin the simulator's arrival process,
+FCFS discipline, and busy-time accounting all at once.
+"""
+
+import random
+
+import pytest
+
+from repro.core.queries import Query
+from repro.distsim.events import EventQueue
+from repro.distsim.server import Server
+
+QUERY = Query.from_text("q")
+
+
+def simulate_queue(
+    service_sampler, arrival_rate_per_ms, duration_ms=120_000.0, seed=1
+):
+    """Single-server queue fed by Poisson arrivals; returns latencies."""
+    events = EventQueue()
+    server = Server(events, cores=1)
+    rng = random.Random(seed)
+    latencies = []
+
+    def arrival(time):
+        start = events.now
+
+        def done():
+            latencies.append(events.now - start)
+
+        server.submit(service_sampler(), done)
+        next_time = time + rng.expovariate(arrival_rate_per_ms)
+        if next_time < duration_ms:
+            events.schedule_at(next_time, lambda: arrival(next_time))
+
+    events.schedule_at(0.0, lambda: arrival(0.0))
+    events.run(until=duration_ms * 2)
+    # Discard warm-up.
+    return latencies[len(latencies) // 10:], server
+
+
+class TestMM1:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_mean_response_matches_theory(self, rho):
+        mu = 1.0  # service rate per ms (mean service 1 ms)
+        lam = rho * mu
+        rng = random.Random(42)
+        latencies, _ = simulate_queue(
+            lambda: rng.expovariate(mu), arrival_rate_per_ms=lam
+        )
+        expected = 1.0 / (mu - lam)  # M/M/1: W = 1/(mu - lambda)
+        measured = sum(latencies) / len(latencies)
+        assert measured == pytest.approx(expected, rel=0.15)
+
+    def test_utilization_equals_rho(self):
+        mu, lam = 1.0, 0.7
+        rng = random.Random(3)
+        _, server = simulate_queue(
+            lambda: rng.expovariate(mu), arrival_rate_per_ms=lam
+        )
+        assert server.utilization(120_000.0) == pytest.approx(0.7, abs=0.04)
+
+
+class TestMD1:
+    def test_deterministic_service_halves_queueing_delay(self):
+        """Pollaczek-Khinchine: Wq(M/D/1) = Wq(M/M/1) / 2."""
+        mu, lam = 1.0, 0.7
+        rng = random.Random(9)
+        mm1, _ = simulate_queue(
+            lambda: rng.expovariate(mu), arrival_rate_per_ms=lam, seed=5
+        )
+        md1, _ = simulate_queue(lambda: 1.0, arrival_rate_per_ms=lam, seed=5)
+        mm1_wait = sum(mm1) / len(mm1) - 1.0  # queueing delay only
+        md1_wait = sum(md1) / len(md1) - 1.0
+        assert md1_wait == pytest.approx(mm1_wait / 2, rel=0.25)
+
+    def test_low_load_no_queueing(self):
+        latencies, _ = simulate_queue(
+            lambda: 1.0, arrival_rate_per_ms=0.05, seed=2
+        )
+        mean = sum(latencies) / len(latencies)
+        assert mean == pytest.approx(1.0, rel=0.05)

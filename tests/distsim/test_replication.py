@@ -1,0 +1,103 @@
+"""Tests for replicated shard groups: routing, load balancing, failures."""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.distsim.replication import ReplicatedCluster, ReplicationConfig
+
+QUERIES = [Query.from_text(f"q{i}") for i in range(4)]
+
+
+def make_cluster(
+    shards=2, replicas=2, service_ms=1.0, failed=None, routing="least_loaded",
+    seed=3,
+):
+    config = ReplicationConfig(
+        num_shards=shards,
+        replicas_per_shard=replicas,
+        duration_ms=2_000.0,
+        routing=routing,
+        seed=seed,
+    )
+    return ReplicatedCluster(
+        lambda i, q: service_ms, config, failed_replicas=failed
+    )
+
+
+class TestRouting:
+    def test_basic_run(self):
+        result = make_cluster().run(QUERIES, arrival_rate_qps=100)
+        assert result.metrics.completed > 50
+        assert result.failed_queries == 0
+        assert result.availability == 1.0
+
+    def test_replicas_double_capacity(self):
+        # One replica saturates around cores/service = 4000 qps; two keep up.
+        single = make_cluster(shards=1, replicas=1, service_ms=1.0)
+        double = make_cluster(shards=1, replicas=2, service_ms=1.0)
+        rate = 6_000
+        assert (
+            double.run(QUERIES, rate).metrics.achieved_rps
+            > single.run(QUERIES, rate).metrics.achieved_rps
+        )
+
+    def test_least_loaded_beats_random_under_contention(self):
+        # JSQ's advantage appears near saturation (capacity here is
+        # 4 replicas x 4 cores / 2 ms = 8000 qps; offer 95% of it).
+        rate = 7_600
+        random_routing = make_cluster(
+            shards=1, replicas=4, service_ms=2.0, routing="random"
+        ).run(QUERIES, rate)
+        least_loaded = make_cluster(
+            shards=1, replicas=4, service_ms=2.0, routing="least_loaded"
+        ).run(QUERIES, rate)
+        assert (
+            least_loaded.metrics.mean_latency_ms()
+            < random_routing.metrics.mean_latency_ms()
+        )
+
+    def test_deterministic(self):
+        a = make_cluster().run(QUERIES, 200)
+        b = make_cluster().run(QUERIES, 200)
+        assert a.metrics.latencies_ms == b.metrics.latencies_ms
+
+
+class TestFailures:
+    def test_single_replica_failure_is_absorbed(self):
+        result = make_cluster(failed={(0, 0)}).run(QUERIES, 100)
+        assert result.failed_queries == 0
+        assert result.metrics.completed > 50
+
+    def test_whole_shard_down_fails_queries(self):
+        result = make_cluster(failed={(0, 0), (0, 1)}).run(QUERIES, 100)
+        assert result.failed_queries > 0
+        assert result.metrics.completed == 0
+        assert result.availability == 0.0
+
+    def test_failure_shifts_load_to_survivor(self):
+        healthy = make_cluster(shards=1, replicas=2, service_ms=1.0)
+        degraded = make_cluster(
+            shards=1, replicas=2, service_ms=1.0, failed={(0, 1)}
+        )
+        rate = 2_000
+        assert (
+            degraded.run(QUERIES, rate).metrics.cpu_utilization
+            > healthy.run(QUERIES, rate).metrics.cpu_utilization
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            make_cluster(shards=0)
+        with pytest.raises(ValueError):
+            make_cluster(replicas=0)
+        with pytest.raises(ValueError):
+            make_cluster(routing="psychic")
+
+    def test_rejects_bad_run_args(self):
+        cluster = make_cluster()
+        with pytest.raises(ValueError):
+            cluster.run(QUERIES, 0)
+        with pytest.raises(ValueError):
+            cluster.run([], 10)

@@ -1,0 +1,77 @@
+"""Tests for the scatter-gather sharded cluster simulation."""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.distsim.scatter import (
+    ScatterConfig,
+    ScatterGatherCluster,
+    uniform_shard_service,
+)
+
+QUERIES = [Query.from_text(f"q{i}") for i in range(4)]
+
+
+def make_cluster(num_shards, total_ms=2.0, **kwargs):
+    config = ScatterConfig(
+        num_shards=num_shards, duration_ms=2_000.0, seed=3, **kwargs
+    )
+    return ScatterGatherCluster(
+        uniform_shard_service(lambda q: total_ms, num_shards), config
+    )
+
+
+class TestScatterGather:
+    def test_basic_run(self):
+        metrics = make_cluster(4).run(QUERIES, arrival_rate_qps=100)
+        assert metrics.completed > 50
+        assert metrics.mean_latency_ms() > 0
+
+    def test_sharding_divides_cpu_work(self):
+        one = make_cluster(1).run(QUERIES, 200)
+        four = make_cluster(4).run(QUERIES, 200)
+        # Four servers each do 1/4 of the work: per-server utilization drops.
+        assert four.cpu_utilization < one.cpu_utilization
+
+    def test_sharding_cuts_latency_for_heavy_queries(self):
+        one = make_cluster(1, total_ms=8.0).run(QUERIES, 50)
+        four = make_cluster(4, total_ms=8.0).run(QUERIES, 50)
+        assert four.mean_latency_ms() < one.mean_latency_ms()
+
+    def test_straggler_effect_with_jitter(self):
+        """Wide fan-outs pay the max of N network legs: with cheap
+        service, more shards can *hurt* latency."""
+        narrow = make_cluster(
+            1, total_ms=0.1, network_jitter_ms=2.0
+        ).run(QUERIES, 50)
+        wide = make_cluster(
+            16, total_ms=0.1, network_jitter_ms=2.0
+        ).run(QUERIES, 50)
+        assert wide.mean_latency_ms() > narrow.mean_latency_ms()
+
+    def test_throughput_scales_with_shards(self):
+        # At a rate that saturates 1 shard, 4 shards keep up.
+        one = make_cluster(1, total_ms=4.0).run(QUERIES, 1_500)
+        four = make_cluster(4, total_ms=4.0).run(QUERIES, 1_500)
+        assert four.achieved_rps > one.achieved_rps
+
+    def test_deterministic(self):
+        a = make_cluster(3).run(QUERIES, 100)
+        b = make_cluster(3).run(QUERIES, 100)
+        assert a.latencies_ms == b.latencies_ms
+
+    def test_validation(self):
+        cluster = make_cluster(2)
+        with pytest.raises(ValueError):
+            cluster.run(QUERIES, 0)
+        with pytest.raises(ValueError):
+            cluster.run([], 10)
+        with pytest.raises(ValueError):
+            ScatterGatherCluster(
+                uniform_shard_service(lambda q: 1.0, 1),
+                ScatterConfig(num_shards=0),
+            )
+
+    def test_uniform_service_floor(self):
+        service = uniform_shard_service(lambda q: 0.0, 8)
+        assert service(0, QUERIES[0]) == 0.001

@@ -1,0 +1,96 @@
+"""Tests for the distribution figures (Figs 1, 2, 3, 7)."""
+
+import pytest
+
+from repro.experiments import (
+    fig1_bid_lengths,
+    fig2_wordset_zipf,
+    fig3_mt_lengths,
+    fig7_keyword_vs_combo,
+)
+from repro.experiments.common import SMALL
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return fig1_bid_lengths.run(SMALL, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fig2_result():
+    return fig2_wordset_zipf.run(SMALL, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return fig3_mt_lengths.run(SMALL, seed=1)
+
+
+@pytest.fixture(scope="module")
+def fig7_result():
+    return fig7_keyword_vs_combo.run(SMALL, seed=1)
+
+
+class TestFig1:
+    def test_anchors_match_paper(self, fig1_result):
+        assert fig1_result.anchor(3) == pytest.approx(0.62, abs=0.05)
+        assert fig1_result.anchor(5) == pytest.approx(0.96, abs=0.03)
+        assert fig1_result.anchor(8) >= 0.99
+
+    def test_mode_at_three(self, fig1_result):
+        histogram = fig1_result.histogram
+        assert max(histogram, key=histogram.get) == 3
+
+    def test_report_mentions_paper_values(self, fig1_result):
+        report = fig1_bid_lengths.format_report(fig1_result)
+        assert "62" in report and "Fig 1" in report
+
+
+class TestFig2:
+    def test_slope_near_zipf(self, fig2_result):
+        assert -1.7 < fig2_result.slope < -0.4
+
+    def test_frequencies_descending(self, fig2_result):
+        ranked = fig2_result.ranked_frequencies
+        assert ranked == sorted(ranked, reverse=True)
+
+    def test_long_tail(self, fig2_result):
+        assert fig2_result.median_frequency <= 3
+
+    def test_report(self, fig2_result):
+        report = fig2_wordset_zipf.format_report(fig2_result)
+        assert "slope" in report
+
+
+class TestFig3:
+    def test_mt_falls_off_slower(self, fig3_result):
+        assert fig3_result.mt_drop_off < fig3_result.bid_drop_off
+
+    def test_both_peak_at_three(self, fig3_result):
+        assert max(fig3_result.bid_histogram, key=fig3_result.bid_histogram.get) == 3
+        assert max(fig3_result.mt_histogram, key=fig3_result.mt_histogram.get) == 3
+
+    def test_report(self, fig3_result):
+        report = fig3_mt_lengths.format_report(fig3_result)
+        assert "MT" in report
+
+
+class TestFig7:
+    def test_keywords_more_skewed(self, fig7_result):
+        assert (
+            fig7_result.mean_popular_keyword_bucket
+            > fig7_result.mean_popular_wordset_bucket
+        )
+
+    def test_bucket_reduction_substantial(self, fig7_result):
+        # Paper: ~30x at 180M ads; at small scale still clearly > 2x.
+        assert fig7_result.bucket_reduction > 2.0
+
+    def test_series_descending(self, fig7_result):
+        assert fig7_result.keyword_frequencies == sorted(
+            fig7_result.keyword_frequencies, reverse=True
+        )
+
+    def test_report(self, fig7_result):
+        report = fig7_keyword_vs_combo.format_report(fig7_result)
+        assert "3000" in report

@@ -1,0 +1,41 @@
+"""Tests for the impact-ordering extension experiment (§I-B claim)."""
+
+import pytest
+
+from repro.experiments import ext_impact
+from repro.experiments.common import Scale
+
+TINY = Scale(
+    name="tiny-impact",
+    num_ads=1_000,
+    num_distinct_queries=150,
+    total_query_frequency=3_000,
+    trace_length=400,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_impact.run(TINY, seed=3)
+
+
+class TestExtImpact:
+    def test_top_k_always_agreed(self, result):
+        assert result.agreement_checked == result.queries
+
+    def test_pruning_never_costs_more(self, result):
+        assert result.total_time_savings >= -0.01
+
+    def test_savings_marginal_confirming_paper(self, result):
+        """The §I-B claim: in-index ranking machinery buys little for
+        broad match — well under a 25% win."""
+        assert result.total_time_savings < 0.25
+
+    def test_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        assert "ext-impact" in EXPERIMENTS
+
+    def test_report(self, result):
+        report = ext_impact.format_report(result)
+        assert "I-B" in report and "savings" in report

@@ -1,0 +1,70 @@
+"""Tests for the match-types extension experiment."""
+
+import pytest
+
+from repro.experiments import ext_matchtypes
+from repro.experiments.common import Scale
+
+TINY = Scale(
+    name="tiny-mt",
+    num_ads=800,
+    num_distinct_queries=150,
+    total_query_frequency=2_000,
+    trace_length=400,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ext_matchtypes.run(TINY, seed=4)
+
+
+class TestExtMatchTypes:
+    def test_semantics_nest(self, result):
+        """broad ⊇ phrase ⊇ exact in match counts."""
+        broad = result.by_name("broad").total_matches
+        phrase = result.by_name("phrase").total_matches
+        exact = result.by_name("exact").total_matches
+        assert broad >= phrase >= exact > 0
+
+    def test_identical_traversal(self, result):
+        """All three semantics share the same probe/scan pattern."""
+        broad = result.by_name("broad").stats
+        phrase = result.by_name("phrase").stats
+        exact = result.by_name("exact").stats
+        assert broad.random_accesses == phrase.random_accesses
+        assert broad.bytes_scanned == exact.bytes_scanned
+
+    def test_dedicated_table_agrees_on_exact(self, result):
+        assert (
+            result.by_name("exact (dedicated table)").total_matches
+            == result.by_name("exact").total_matches
+        )
+
+    def test_report(self, result):
+        report = ext_matchtypes.format_report(result)
+        assert "exact" in report and "broad" in report
+
+
+class TestExactMatchTable:
+    def test_oracle_equivalence(self):
+        from repro.core.ads import AdCorpus, AdInfo, Advertisement
+        from repro.core.matching import MatchType, naive_match
+        from repro.core.queries import Query
+        from repro.experiments.ext_matchtypes import ExactMatchTable
+
+        ads = [
+            Advertisement.from_text("used books", AdInfo(listing_id=1)),
+            Advertisement.from_text("books used", AdInfo(listing_id=2)),
+            Advertisement.from_text("books", AdInfo(listing_id=3)),
+        ]
+        corpus = AdCorpus(ads)
+        table = ExactMatchTable(corpus)
+        for qtext in ("used books", "books used", "books", "cheap books"):
+            q = Query.from_text(qtext)
+            got = sorted(a.info.listing_id for a in table.query_exact(q))
+            want = sorted(
+                a.info.listing_id
+                for a in naive_match(corpus, q, MatchType.EXACT)
+            )
+            assert got == want

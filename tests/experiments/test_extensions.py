@@ -1,0 +1,105 @@
+"""Tests for the extension experiments (beyond the paper's evaluation)."""
+
+import pytest
+
+from repro.experiments import ext_drift, ext_sharding, ext_structures
+from repro.experiments.common import Scale
+
+TINY = Scale(
+    name="tiny-ext",
+    num_ads=1_200,
+    num_distinct_queries=200,
+    total_query_frequency=4_000,
+    trace_length=500,
+)
+
+
+class TestExtStructures:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_structures.run(TINY, seed=1)
+
+    def test_three_structures_measured(self, result):
+        names = {m.name for m in result.short_queries}
+        assert names == {"hash table", "trie", "compressed (EF)"}
+
+    def test_all_did_work(self, result):
+        for m in result.short_queries + result.long_queries:
+            assert m.stats.random_accesses > 0
+
+    def test_trie_fewer_random_accesses_on_long_queries(self, result):
+        trie = result.by_name("trie", long=True)
+        hashed = result.by_name("hash table", long=True)
+        assert trie.stats.random_accesses < hashed.stats.random_accesses
+
+    def test_compressed_smallest_lookup(self, result):
+        compressed = result.by_name("compressed (EF)")
+        hashed = result.by_name("hash table")
+        assert compressed.lookup_bytes < hashed.lookup_bytes
+
+    def test_report(self, result):
+        report = ext_structures.format_report(result)
+        assert "trie" in report and "compressed" in report
+
+
+class TestExtDrift:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_drift.run(TINY, seed=1)
+
+    def test_sweep_covers_zero_to_full_drift(self, result):
+        fractions = [p.drift_fraction for p in result.points]
+        assert fractions[0] == 0.0 and fractions[-1] == 1.0
+
+    def test_fresh_never_much_worse_than_stale(self, result):
+        # Small tolerance: the greedy cover is heuristic, so a freshly
+        # optimized mapping can trail the stale one by noise at low drift.
+        for point in result.points:
+            assert point.fresh_gain >= point.stale_gain - 0.03
+
+    def test_full_drift_reopt_beats_stale(self, result):
+        last = result.points[-1]
+        assert last.fresh_gain > last.stale_gain
+
+    def test_zero_drift_stale_equals_fresh(self, result):
+        first = result.points[0]
+        assert first.stale_gain == pytest.approx(first.fresh_gain, abs=1e-9)
+
+    def test_gains_nonnegative(self, result):
+        for point in result.points:
+            assert point.fresh_gain >= -1e-9
+
+    def test_report(self, result):
+        assert "drift" in ext_drift.format_report(result)
+
+
+class TestExtSharding:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ext_sharding.run(TINY, seed=1)
+
+    def test_shard_sweep(self, result):
+        assert [p.num_shards for p in result.points] == [1, 2, 4, 8]
+
+    def test_per_shard_cpu_decreases(self, result):
+        utils = [p.cpu_utilization for p in result.points]
+        assert utils[-1] < utils[0]
+
+    def test_balanced_partitions(self, result):
+        for point in result.points:
+            assert point.balance_factor < 2.5
+
+    def test_latency_helped_by_first_split(self, result):
+        one, two = result.points[0], result.points[1]
+        assert two.mean_latency_ms <= one.mean_latency_ms * 1.5
+
+    def test_report(self, result):
+        assert "shards" in ext_sharding.format_report(result)
+
+
+class TestRunnerRegistration:
+    def test_extensions_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        for name in ("ext-structures", "ext-drift", "ext-sharding"):
+            assert name in EXPERIMENTS

@@ -1,0 +1,47 @@
+"""Tests for the experiment runner CLI."""
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.experiments.common import SMALL
+
+
+class TestRunner:
+    def test_all_ids_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "tab-inverted",
+            "tab-multiserver",
+            "tab-counters",
+            "tab-compression",
+            "ext-structures",
+            "ext-drift",
+            "ext-sharding",
+            "ext-matchtypes",
+            "ext-hwcompare",
+            "ext-impact",
+        }
+
+    def test_every_module_has_run_and_format(self):
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)
+            assert callable(module.format_report)
+
+    def test_run_experiment_returns_report(self):
+        report = run_experiment("fig1", SMALL, seed=0)
+        assert "Fig 1" in report
+
+    def test_main_single_experiment(self, capsys):
+        assert main(["fig3", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "MT" in out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

@@ -1,0 +1,94 @@
+"""End-to-end integration: generate -> optimize -> compress -> serve.
+
+Exercises the full production pipeline across module boundaries and checks
+global invariants: every structure stage returns identical results, cost
+never regresses through optimization, and the compressed artifact is exact.
+"""
+
+import pytest
+
+from repro.compress.compressed_hash import CompressedWordSetIndex
+from repro.core.matching import MatchType, naive_broad_match, naive_match
+from repro.cost.model import CostModel
+from repro.cost.workload_cost import total_cost
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.invindex.counting import CountingInvertedIndex
+from repro.invindex.nonredundant import NonRedundantInvertedIndex
+from repro.optimize.mapping import OptimizerConfig, optimize_mapping
+from repro.optimize.remap import build_index, long_phrase_mapping
+
+MODEL = CostModel()
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    generated = generate_corpus(CorpusConfig(num_ads=2_500, seed=33))
+    workload = generate_workload(
+        generated,
+        QueryConfig(num_distinct=400, total_frequency=8_000, seed=5),
+    )
+    corpus = generated.corpus
+    mapping = optimize_mapping(
+        corpus, workload, MODEL, OptimizerConfig(max_words=10)
+    )
+    optimized = build_index(corpus, mapping)
+    compressed = CompressedWordSetIndex.from_index(optimized, suffix_bits=14)
+    return corpus, workload, optimized, compressed
+
+
+class TestFullPipeline:
+    def test_all_stages_agree_with_oracle(self, pipeline):
+        corpus, workload, optimized, compressed = pipeline
+        identity = build_index(corpus, None)
+        inverted = NonRedundantInvertedIndex.from_corpus(corpus)
+        counting = CountingInvertedIndex.from_corpus(corpus)
+        for query, _ in list(workload)[:150]:
+            expected = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            for structure in (identity, optimized, compressed, inverted, counting):
+                got = sorted(
+                    a.info.listing_id for a in structure.query_broad(query)
+                )
+                assert got == expected, type(structure).__name__
+
+    def test_optimization_never_regresses_cost(self, pipeline):
+        corpus, workload, optimized, _ = pipeline
+        identity = build_index(corpus, None)
+        long_only = build_index(corpus, long_phrase_mapping(corpus, 10))
+        cost_identity = total_cost(identity, workload, MODEL)
+        cost_long = total_cost(long_only, workload, MODEL)
+        cost_opt = total_cost(optimized, workload, MODEL)
+        assert cost_opt <= cost_long + 1e-6
+        assert cost_long <= cost_identity + 1e-6
+
+    def test_optimized_index_invariants(self, pipeline):
+        _, _, optimized, _ = pipeline
+        optimized.check_invariants()
+
+    def test_compressed_smaller_entropy_than_hash_model(self, pipeline):
+        _, _, optimized, compressed = pipeline
+        hash_bits = optimized.hash_table_bytes() * 8
+        assert compressed.entropy_bits() < hash_bits
+
+    def test_match_types_after_optimization(self, pipeline):
+        corpus, workload, optimized, _ = pipeline
+        for query, _ in list(workload)[:60]:
+            for mt in (MatchType.EXACT, MatchType.PHRASE):
+                got = sorted(
+                    a.info.listing_id for a in optimized.query(query, mt)
+                )
+                expected = sorted(
+                    a.info.listing_id for a in naive_match(corpus, query, mt)
+                )
+                assert got == expected
+
+
+class TestRunnerSmoke:
+    def test_runner_all_cheap_experiments(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["fig1", "fig2", "fig3", "--scale", "small"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("====") >= 3

@@ -1,0 +1,187 @@
+"""Correctness tests for the three inverted-index baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.invindex import (
+    CountingInvertedIndex,
+    NonRedundantInvertedIndex,
+    RedundantInvertedIndex,
+)
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+BASELINES = [
+    NonRedundantInvertedIndex,
+    CountingInvertedIndex,
+    RedundantInvertedIndex,
+]
+
+
+@pytest.fixture()
+def corpus():
+    return AdCorpus(
+        [
+            ad("used books", 1),
+            ad("comic books", 2),
+            ad("books", 3),
+            ad("cheap used books", 4),
+            ad("cheap flights", 5),
+        ]
+    )
+
+
+@pytest.mark.parametrize("cls", BASELINES)
+class TestBroadMatchCorrectness:
+    def test_paper_example(self, cls, corpus):
+        index = cls.from_corpus(corpus)
+        result = index.query_broad(Query.from_text("cheap used books"))
+        assert {a.info.listing_id for a in result} == {1, 3, 4}
+
+    def test_no_match(self, cls, corpus):
+        index = cls.from_corpus(corpus)
+        assert index.query_broad(Query.from_text("red shoes")) == []
+
+    def test_single_word_query(self, cls, corpus):
+        index = cls.from_corpus(corpus)
+        result = index.query_broad(Query.from_text("books"))
+        assert {a.info.listing_id for a in result} == {3}
+
+    def test_no_duplicates_in_results(self, cls, corpus):
+        index = cls.from_corpus(corpus)
+        result = index.query_broad(Query.from_text("cheap used comic books"))
+        ids = [a.info.listing_id for a in result]
+        assert len(ids) == len(set(ids))
+
+    def test_len(self, cls, corpus):
+        assert len(cls.from_corpus(corpus)) == 5
+
+
+class TestNonRedundantStructure:
+    def test_each_ad_in_exactly_one_list(self, corpus):
+        index = NonRedundantInvertedIndex.from_corpus(corpus)
+        total = sum(len(p) for p in index.lists.values())
+        assert total == len(corpus)
+
+    def test_indexed_under_rarest_word(self, corpus):
+        index = NonRedundantInvertedIndex.from_corpus(corpus)
+        # "cheap used books": cheap has corpus freq 2 < used 2? used=2,
+        # cheap=2, books=4 -> tie broken lexically: cheap.
+        assert any(p.ad.info.listing_id == 4 for p in index.lists["cheap"])
+
+    def test_insert_rejects_foreign_word(self):
+        index = NonRedundantInvertedIndex()
+        with pytest.raises(ValueError):
+            index.insert(ad("used books"), "flights")
+
+    def test_index_bytes(self, corpus):
+        index = NonRedundantInvertedIndex.from_corpus(corpus)
+        assert index.index_bytes() == 8 * len(corpus)
+
+    def test_list_lengths_ranked(self, corpus):
+        index = NonRedundantInvertedIndex.from_corpus(corpus)
+        ranked = index.list_lengths_ranked()
+        assert ranked == sorted(ranked, reverse=True)
+
+
+class TestCountingStructure:
+    def test_fully_redundant(self, corpus):
+        index = CountingInvertedIndex.from_corpus(corpus)
+        total = sum(len(p) for p in index.lists.values())
+        assert total == sum(len(a.words) for a in corpus)
+
+    def test_posting_bytes_include_count(self, corpus):
+        index = CountingInvertedIndex.from_corpus(corpus)
+        plist = index.lists["books"]
+        assert plist.posting_bytes() == 9
+
+    def test_no_merge_traverses_same_postings(self, corpus):
+        from repro.cost.accounting import AccessTracker
+
+        t1, t2 = AccessTracker(), AccessTracker()
+        i1 = CountingInvertedIndex.from_corpus(corpus, tracker=t1)
+        i2 = CountingInvertedIndex.from_corpus(corpus, tracker=t2)
+        q = Query.from_text("cheap used books")
+        i1.query_broad(q)
+        i2.query_broad_no_merge(q)
+        assert (
+            t1.stats.postings_traversed == t2.stats.postings_traversed
+        )
+        assert t1.stats.bytes_scanned == t2.stats.bytes_scanned
+
+
+class TestAccounting:
+    def test_counting_reads_more_bytes_than_nonredundant_on_frequent_words(self):
+        """The crux of Section VII-A: frequent query words explode the
+        counting index's traversal volume."""
+        from repro.cost.accounting import AccessTracker
+
+        ads = [ad(f"books w{i}", i) for i in range(200)]
+        ads.append(ad("books", 999))
+        corpus = AdCorpus(ads)
+        t_nr, t_cnt = AccessTracker(), AccessTracker()
+        nr = NonRedundantInvertedIndex.from_corpus(corpus, tracker=t_nr)
+        cnt = CountingInvertedIndex.from_corpus(corpus, tracker=t_cnt)
+        q = Query.from_text("books w5")
+        assert {a.info.listing_id for a in nr.query_broad(q)} == {5, 999}
+        assert {a.info.listing_id for a in cnt.query_broad(q)} == {5, 999}
+        # The counting index must traverse the 201-long "books" list; the
+        # non-redundant index indexed those ads under their rare w_i word.
+        assert t_cnt.stats.postings_traversed > t_nr.stats.postings_traversed
+
+    def test_tracker_queries_counted(self, corpus):
+        from repro.cost.accounting import AccessTracker
+
+        tracker = AccessTracker()
+        index = RedundantInvertedIndex.from_corpus(corpus, tracker=tracker)
+        index.query_broad(Query.from_text("books"))
+        index.query_broad(Query.from_text("flights"))
+        assert tracker.stats.queries == 2
+
+
+# ---------------------------------------------------------------------- #
+# Property-based equivalence across all four structures.
+
+words_alphabet = [f"w{i}" for i in range(10)]
+
+
+def phrase_strategy(max_len=4):
+    return st.lists(
+        st.sampled_from(words_alphabet), min_size=1, max_size=max_len
+    ).map(" ".join)
+
+
+@st.composite
+def corpus_and_queries(draw):
+    phrases = draw(st.lists(phrase_strategy(), min_size=1, max_size=20))
+    ads = [ad(p, i) for i, p in enumerate(phrases)]
+    queries = draw(st.lists(phrase_strategy(max_len=6), min_size=1, max_size=6))
+    return ads, [Query.from_text(q) for q in queries]
+
+
+class TestCrossStructureEquivalence:
+    @given(corpus_and_queries())
+    @settings(max_examples=100, deadline=None)
+    def test_all_structures_agree_with_oracle(self, data):
+        from repro.core.wordset_index import WordSetIndex
+
+        ads, queries = data
+        corpus = AdCorpus(ads)
+        structures = [cls.from_corpus(corpus) for cls in BASELINES]
+        structures.append(WordSetIndex.from_corpus(corpus))
+        for query in queries:
+            expected = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            for structure in structures:
+                got = sorted(
+                    a.info.listing_id for a in structure.query_broad(query)
+                )
+                assert got == expected, type(structure).__name__

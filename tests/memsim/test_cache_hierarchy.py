@@ -1,0 +1,81 @@
+"""Tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.memsim.cache import Cache, CacheHierarchy
+from repro.memsim.counters import run_traced_workload
+from repro.memsim.layout import IndexLayout
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+class TestHierarchy:
+    def test_l1_hit_never_reaches_l2(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        hierarchy.access(0)  # L1 hit
+        assert hierarchy.l1.hits == 1
+        assert hierarchy.l2.accesses == 1  # only the first (miss) went down
+
+    def test_l1_miss_goes_to_l2(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        hierarchy.access(1 << 20)
+        assert hierarchy.l2.accesses == 2
+
+    def test_l2_can_absorb_l1_capacity_misses(self):
+        # Working set fits L2 but not L1: second pass misses L1, hits L2.
+        hierarchy = CacheHierarchy(
+            l1=Cache(size_bytes=4 * 64 * 2, associativity=2),
+            l2=Cache(size_bytes=64 * 1024, associativity=8),
+        )
+        addresses = list(range(0, 64 * 64, 64))
+        for address in addresses:
+            hierarchy.access(address)
+        l2_misses_first = hierarchy.l2.misses
+        for address in addresses:
+            hierarchy.access(address)
+        assert hierarchy.l1.misses > len(addresses)  # L1 thrashes
+        assert hierarchy.l2.misses == l2_misses_first  # L2 holds it all
+
+    def test_misses_property_is_l2(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        assert hierarchy.misses == hierarchy.l2.misses == 1
+        assert hierarchy.l1_misses == 1
+
+    def test_span_accesses(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0, size=200)  # 4 lines
+        assert hierarchy.l1.accesses == 4
+
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                l1=Cache(size_bytes=4096, associativity=4, line_bytes=32),
+                l2=Cache(size_bytes=8192, associativity=4, line_bytes=64),
+            )
+
+
+class TestTracedWorkloadWithHierarchy:
+    def test_counters_include_l1(self):
+        corpus = AdCorpus([ad(f"w{i} x{i}", i) for i in range(30)])
+        layout = IndexLayout(WordSetIndex.from_corpus(corpus))
+        queries = [Query.from_text(f"w{i} x{i} extra") for i in range(30)]
+        counters = run_traced_workload(
+            layout, queries, cache=CacheHierarchy()
+        )
+        assert counters.l1_misses >= counters.l2_misses > 0
+
+    def test_single_level_reports_zero_l1(self):
+        corpus = AdCorpus([ad("a b", 1)])
+        layout = IndexLayout(WordSetIndex.from_corpus(corpus))
+        counters = run_traced_workload(
+            layout, [Query.from_text("a b")], cache=Cache()
+        )
+        assert counters.l1_misses == 0

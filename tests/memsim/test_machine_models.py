@@ -1,0 +1,143 @@
+"""Tests for the TLB, cache, and branch-predictor models."""
+
+import pytest
+
+from repro.memsim.branch import BranchPredictor
+from repro.memsim.cache import Cache
+from repro.memsim.tlb import Tlb
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        assert tlb.misses == 1
+        assert tlb.hits == 0
+
+    def test_repeat_access_hits(self):
+        tlb = Tlb()
+        tlb.access(0x1000)
+        tlb.access(0x1008)
+        assert tlb.hits == 1
+
+    def test_span_touches_both_pages(self):
+        tlb = Tlb(page_size=4096)
+        tlb.access(4090, size=20)  # crosses a page boundary
+        assert tlb.misses == 2
+
+    def test_lru_eviction(self):
+        tlb = Tlb(entries=2, page_size=4096)
+        tlb.access(0 * 4096)
+        tlb.access(1 * 4096)
+        tlb.access(2 * 4096)  # evicts page 0
+        tlb.access(0 * 4096)
+        assert tlb.misses == 4
+
+    def test_lru_refresh(self):
+        tlb = Tlb(entries=2, page_size=4096)
+        tlb.access(0 * 4096)
+        tlb.access(1 * 4096)
+        tlb.access(0 * 4096)  # refresh page 0
+        tlb.access(2 * 4096)  # evicts page 1, not 0
+        tlb.access(0 * 4096)
+        assert tlb.hits == 2
+
+    def test_cold_walks_cost_more(self):
+        tlb = Tlb(entries=4, page_size=4096, page_table_reach=16)
+        # Two misses to far-apart regions: both cold.
+        tlb.access(0)
+        tlb.access(10_000 * 4096)
+        cold_cycles = tlb.walk_cycles
+        # A nearby page in the first region: warm walk.
+        tlb.access(1 * 4096)
+        warm_delta = tlb.walk_cycles - cold_cycles
+        assert warm_delta == tlb.walk_cycles_warm
+        assert cold_cycles == 2 * tlb.walk_cycles_cold
+
+    def test_miss_rate(self):
+        tlb = Tlb()
+        assert tlb.miss_rate() == 0.0
+        tlb.access(0)
+        tlb.access(0)
+        assert tlb.miss_rate() == 0.5
+
+    def test_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            Tlb(entries=0)
+
+
+class TestCache:
+    def test_first_access_misses(self):
+        cache = Cache()
+        cache.access(0)
+        assert cache.misses == 1
+
+    def test_same_line_hits(self):
+        cache = Cache(line_bytes=64)
+        cache.access(0)
+        cache.access(63)
+        assert cache.hits == 1
+
+    def test_adjacent_line_misses(self):
+        cache = Cache(line_bytes=64)
+        cache.access(0)
+        cache.access(64)
+        assert cache.misses == 2
+
+    def test_span_touches_lines(self):
+        cache = Cache(line_bytes=64)
+        cache.access(0, size=200)  # lines 0..3
+        assert cache.misses == 4
+
+    def test_associativity_conflict(self):
+        cache = Cache(size_bytes=2 * 64 * 4, associativity=2, line_bytes=64)
+        # 4 sets, 2 ways.  Three lines mapping to set 0:
+        stride = 4 * 64
+        cache.access(0 * stride)
+        cache.access(1 * stride)
+        cache.access(2 * stride)  # evicts line 0
+        cache.access(0 * stride)
+        assert cache.misses == 4
+
+    def test_working_set_within_capacity_all_hits_on_second_pass(self):
+        cache = Cache(size_bytes=64 * 1024, associativity=8, line_bytes=64)
+        for address in range(0, 32 * 1024, 64):
+            cache.access(address)
+        misses_first = cache.misses
+        for address in range(0, 32 * 1024, 64):
+            cache.access(address)
+        assert cache.misses == misses_first
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=1000, associativity=8, line_bytes=64)
+
+
+class TestBranchPredictor:
+    def test_biased_branch_rarely_mispredicts(self):
+        predictor = BranchPredictor()
+        for _ in range(100):
+            predictor.branch("site", True)
+        assert predictor.mispredictions <= 2
+
+    def test_alternating_branch_mispredicts_heavily(self):
+        predictor = BranchPredictor()
+        for i in range(100):
+            predictor.branch("site", i % 2 == 0)
+        assert predictor.misprediction_rate() > 0.4
+
+    def test_sites_independent(self):
+        predictor = BranchPredictor()
+        for _ in range(50):
+            predictor.branch("a", True)
+            predictor.branch("b", False)
+        assert predictor.mispredictions <= 4
+
+    def test_counts(self):
+        predictor = BranchPredictor()
+        predictor.branch("x", True)
+        assert predictor.predictions == 1
+
+    def test_rejects_bad_initial(self):
+        with pytest.raises(ValueError):
+            BranchPredictor(initial=7)

@@ -1,0 +1,320 @@
+"""Tests for the mapping types, long-phrase remap, and the full optimizer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query, Workload
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.model import CostModel
+from repro.cost.workload_cost import cost_node, total_cost
+from repro.optimize.mapping import (
+    Group,
+    Mapping,
+    OptimizerConfig,
+    corpus_groups,
+    locator_access_profile,
+    node_size_bound,
+    node_weight,
+    optimize_mapping,
+)
+from repro.optimize.remap import build_index, long_phrase_mapping
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+MODEL = CostModel()
+
+
+class TestMappingType:
+    def test_identity(self):
+        corpus = AdCorpus([ad("a b", 1), ad("c", 2)])
+        mapping = Mapping.identity(corpus)
+        assert mapping.locator_for(frozenset({"a", "b"})) == frozenset({"a", "b"})
+        assert mapping.remapped_count() == 0
+
+    def test_rejects_non_subset(self):
+        with pytest.raises(ValueError):
+            Mapping({frozenset({"a"}): frozenset({"b"})})
+
+    def test_rejects_empty_locator(self):
+        with pytest.raises(ValueError):
+            Mapping({frozenset({"a"}): frozenset()})
+
+    def test_rejects_overlong_locator(self):
+        with pytest.raises(ValueError):
+            Mapping({frozenset({"a", "b"}): frozenset({"a", "b"})}, max_words=1)
+
+    def test_locator_for_unmapped_is_identity(self):
+        mapping = Mapping({})
+        assert mapping.locator_for(frozenset({"x"})) == frozenset({"x"})
+
+    def test_counters(self):
+        mapping = Mapping(
+            {
+                frozenset({"a", "b"}): frozenset({"a"}),
+                frozenset({"a"}): frozenset({"a"}),
+            }
+        )
+        assert mapping.remapped_count() == 1
+        assert mapping.num_locators() == 1
+
+
+class TestGroups:
+    def test_corpus_groups_partition(self):
+        corpus = AdCorpus([ad("a b", 1), ad("b a", 2), ad("c", 3)])
+        groups = corpus_groups(corpus)
+        assert len(groups) == 2
+        sizes = sorted(len(g.ads) for g in groups)
+        assert sizes == [1, 2]
+
+    def test_group_entry_bytes(self):
+        corpus = AdCorpus([ad("a b", 1)])
+        (group,) = corpus_groups(corpus)
+        assert group.entry_bytes == 3 + corpus[0].size_bytes()
+
+
+class TestAccessProfile:
+    def test_profile_counts_superset_queries_by_length(self):
+        locators = {frozenset({"a"}), frozenset({"a", "b"})}
+        workload = Workload(
+            [
+                (Query.from_text("a b"), 3),
+                (Query.from_text("a c"), 2),
+                (Query.from_text("z"), 9),
+            ]
+        )
+        profile = locator_access_profile(locators, workload, max_words=None)
+        assert profile[frozenset({"a"})] == {2: 5}
+        assert profile[frozenset({"a", "b"})] == {2: 3}
+
+    def test_max_words_limits_enumeration(self):
+        locators = {frozenset({"a", "b", "c"})}
+        workload = Workload([(Query.from_text("a b c"), 1)])
+        profile = locator_access_profile(locators, workload, max_words=2)
+        # 3-word locator can never be probed when max_words=2.
+        assert frozenset({"a", "b", "c"}) not in profile
+
+
+class TestNodeWeight:
+    def test_zero_when_unaccessed(self):
+        group = corpus_groups(AdCorpus([ad("a b", 1)]))[0]
+        assert node_weight(frozenset({"a"}), [group], {}, MODEL) == 0.0
+
+    def test_early_termination_in_weight(self):
+        g_short = corpus_groups(AdCorpus([ad("a b", 1)]))[0]
+        g_long = corpus_groups(AdCorpus([ad("a b c d", 2)]))[0]
+        access = {2: 10}  # only 2-word queries
+        w_short = node_weight(frozenset({"a"}), [g_short], access, MODEL)
+        w_both = node_weight(frozenset({"a"}), [g_short, g_long], access, MODEL)
+        # The 4-word group is never scanned by 2-word queries.
+        assert w_both == pytest.approx(w_short)
+
+    def test_monotone_in_members_for_long_queries(self):
+        g1 = corpus_groups(AdCorpus([ad("a b", 1)]))[0]
+        g2 = corpus_groups(AdCorpus([ad("a c", 2)]))[0]
+        access = {5: 4}
+        w1 = node_weight(frozenset({"a"}), [g1], access, MODEL)
+        w12 = node_weight(frozenset({"a"}), [g1, g2], access, MODEL)
+        assert w12 > w1
+
+
+class TestNodeSizeBound:
+    def test_small_for_memory_costs(self):
+        assert 2 <= node_size_bound(MODEL, avg_group_bytes=50.0) <= 50
+
+    def test_degenerate_avg(self):
+        assert node_size_bound(MODEL, 0.0) == 2
+
+
+class TestLongPhraseMapping:
+    def make_corpus(self):
+        return AdCorpus(
+            [
+                ad("a b", 1),
+                ad("a b c d e", 2),  # long (max_words=3)
+                ad("x y z w v u", 3),  # long, no short subset exists
+            ]
+        )
+
+    def test_long_groups_remapped(self):
+        corpus = self.make_corpus()
+        mapping = long_phrase_mapping(corpus, max_words=3)
+        long_set = frozenset({"a", "b", "c", "d", "e"})
+        locator = mapping.locator_for(long_set)
+        assert len(locator) <= 3
+        assert locator <= long_set
+
+    def test_prefers_existing_locator(self):
+        corpus = self.make_corpus()
+        mapping = long_phrase_mapping(corpus, max_words=3)
+        assert mapping.locator_for(
+            frozenset({"a", "b", "c", "d", "e"})
+        ) == frozenset({"a", "b"})
+
+    def test_synthesizes_when_no_subset(self):
+        corpus = self.make_corpus()
+        mapping = long_phrase_mapping(corpus, max_words=3)
+        orphan = frozenset({"x", "y", "z", "w", "v", "u"})
+        locator = mapping.locator_for(orphan)
+        assert len(locator) == 3 and locator <= orphan
+
+    def test_short_groups_identity(self):
+        corpus = self.make_corpus()
+        mapping = long_phrase_mapping(corpus, max_words=3)
+        assert mapping.locator_for(frozenset({"a", "b"})) == frozenset({"a", "b"})
+
+    def test_rejects_bad_max_words(self):
+        with pytest.raises(ValueError):
+            long_phrase_mapping(AdCorpus(), 0)
+
+    def test_index_under_mapping_is_correct(self):
+        corpus = self.make_corpus()
+        mapping = long_phrase_mapping(corpus, max_words=3)
+        index = build_index(corpus, mapping)
+        index.check_invariants()
+        for qtext in ("a b c d e f", "x y z w v u t", "a b"):
+            q = Query.from_text(qtext)
+            got = sorted(a.info.listing_id for a in index.query_broad(q))
+            want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
+            assert got == want
+
+
+class TestOptimizeMapping:
+    def make_setup(self):
+        corpus = AdCorpus(
+            [
+                ad("books", 1),
+                ad("used books", 2),
+                ad("cheap used books", 3),
+                ad("rare stamps", 4),
+            ]
+        )
+        workload = Workload(
+            [
+                (Query.from_text("cheap used books"), 50),
+                (Query.from_text("used books"), 20),
+                (Query.from_text("rare stamps france"), 5),
+            ]
+        )
+        return corpus, workload
+
+    def test_produces_valid_mapping(self):
+        corpus, workload = self.make_setup()
+        mapping = optimize_mapping(corpus, workload, MODEL)
+        index = build_index(corpus, mapping)
+        index.check_invariants()
+
+    def test_correctness_preserved(self):
+        corpus, workload = self.make_setup()
+        mapping = optimize_mapping(corpus, workload, MODEL)
+        index = build_index(corpus, mapping)
+        for query, _ in workload:
+            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            want = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            assert got == want
+
+    def test_optimized_no_worse_than_identity_on_node_cost(self):
+        corpus, workload = self.make_setup()
+        mapping = optimize_mapping(corpus, workload, MODEL)
+        optimized = build_index(corpus, mapping)
+        identity = build_index(corpus, None)
+        assert cost_node(optimized, workload, MODEL) <= cost_node(
+            identity, workload, MODEL
+        ) + 1e-9
+
+    def test_co_accessed_nodes_merged(self):
+        # Every query hitting "cheap used books" also hits "used books";
+        # merging them saves a random access per query — the optimizer
+        # must exploit that (the paper's Case 2 argument).
+        corpus, workload = self.make_setup()
+        mapping = optimize_mapping(corpus, workload, MODEL)
+        index = build_index(corpus, mapping)
+        assert index.stats().num_nodes < 4
+
+    def test_empty_corpus(self):
+        mapping = optimize_mapping(AdCorpus(), Workload(), MODEL)
+        assert len(mapping) == 0
+
+    def test_long_phrases_get_short_locators(self):
+        corpus = AdCorpus([ad("a b c d e f g h i j k l", 1), ad("a b", 2)])
+        workload = Workload([(Query.from_text("a b"), 1)])
+        config = OptimizerConfig(max_words=4)
+        mapping = optimize_mapping(corpus, workload, MODEL, config)
+        long_set = frozenset("abcdefghijkl".split()) | {
+            "a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"
+        }
+        # Re-derive the actual word-set from the corpus.
+        long_set = corpus[0].words
+        assert len(mapping.locator_for(long_set)) <= 4
+
+    def test_total_cost_never_worse_with_same_max_words(self):
+        corpus, workload = self.make_setup()
+        config = OptimizerConfig(max_words=None)
+        mapping = optimize_mapping(corpus, workload, MODEL, config)
+        optimized = build_index(corpus, mapping)
+        identity = build_index(corpus, None)
+        assert total_cost(optimized, workload, MODEL) <= total_cost(
+            identity, workload, MODEL
+        ) + 1e-9
+
+
+words_alphabet = [f"w{i}" for i in range(8)]
+
+
+def phrase_strategy(max_len=4):
+    return st.lists(
+        st.sampled_from(words_alphabet), min_size=1, max_size=max_len
+    ).map(" ".join)
+
+
+@st.composite
+def setup_strategy(draw):
+    phrases = draw(st.lists(phrase_strategy(), min_size=1, max_size=15))
+    ads = [ad(p, i) for i, p in enumerate(phrases)]
+    queries = draw(
+        st.lists(phrase_strategy(max_len=6), min_size=1, max_size=6)
+    )
+    freqs = draw(
+        st.lists(
+            st.integers(1, 100), min_size=len(queries), max_size=len(queries)
+        )
+    )
+    workload = Workload(
+        [(Query.from_text(q), f) for q, f in zip(queries, freqs)]
+    )
+    return AdCorpus(ads), workload
+
+
+class TestOptimizerProperties:
+    @given(setup_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_optimized_index_always_correct(self, setup):
+        corpus, workload = setup
+        mapping = optimize_mapping(corpus, workload, MODEL)
+        index = build_index(corpus, mapping)
+        index.check_invariants()
+        for query, _ in workload:
+            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            want = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            assert got == want
+
+    @given(setup_strategy())
+    @settings(max_examples=25, deadline=None)
+    def test_node_cost_never_above_identity(self, setup):
+        corpus, workload = setup
+        config = OptimizerConfig(max_words=None, withdrawal=True)
+        mapping = optimize_mapping(corpus, workload, MODEL, config)
+        optimized = build_index(corpus, mapping)
+        identity = build_index(corpus, None)
+        assert cost_node(optimized, workload, MODEL) <= cost_node(
+            identity, workload, MODEL
+        ) + 1e-6

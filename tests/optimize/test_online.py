@@ -1,0 +1,133 @@
+"""Tests for online maintenance (insert/delete + periodic re-optimization)."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query, Workload
+from repro.cost.model import CostModel
+from repro.optimize.mapping import OptimizerConfig
+from repro.optimize.online import MaintainedIndex
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+MODEL = CostModel()
+
+
+@pytest.fixture()
+def maintained():
+    corpus = AdCorpus(
+        [ad("books", 1), ad("used books", 2), ad("cheap used books", 3)]
+    )
+    workload = Workload(
+        [
+            (Query.from_text("cheap used books"), 10),
+            (Query.from_text("books"), 5),
+        ]
+    )
+    return MaintainedIndex(
+        corpus,
+        workload,
+        MODEL,
+        config=OptimizerConfig(max_words=4),
+        reopt_threshold=0,
+    )
+
+
+class TestInsertion:
+    def test_insert_short_ad_queryable(self, maintained):
+        maintained.insert(ad("rare coins", 10))
+        result = maintained.query_broad(Query.from_text("rare coins shop"))
+        assert 10 in {a.info.listing_id for a in result}
+        maintained.index.check_invariants()
+
+    def test_insert_follows_existing_group(self, maintained):
+        maintained.insert(ad("used books", 20))
+        node = maintained.index.node_for(frozenset({"used", "books"}))
+        ids = {e.ad.info.listing_id for e in node.entries}
+        assert {2, 20} <= ids
+
+    def test_insert_long_ad_gets_short_locator(self, maintained):
+        long_ad = ad("w1 w2 w3 w4 w5 w6 w7", 30)
+        maintained.insert(long_ad)
+        placement = maintained.index.placement()
+        assert len(placement[long_ad.words]) <= 4
+        result = maintained.query_broad(
+            Query.from_text("w1 w2 w3 w4 w5 w6 w7 w8")
+        )
+        assert 30 in {a.info.listing_id for a in result}
+        maintained.index.check_invariants()
+
+    def test_insert_long_ad_prefers_existing_subset_locator(self, maintained):
+        maintained.insert(ad("alpha beta", 40))
+        long_ad = ad("alpha beta gamma delta epsilon zeta", 41)
+        maintained.insert(long_ad)
+        locator = maintained.index.placement()[long_ad.words]
+        assert locator == frozenset({"alpha", "beta"})
+
+
+class TestDeletion:
+    def test_delete_removes_from_results(self, maintained):
+        victim = ad("used books", 2)
+        assert maintained.delete(victim)
+        result = maintained.query_broad(Query.from_text("cheap used books"))
+        assert 2 not in {a.info.listing_id for a in result}
+        maintained.index.check_invariants()
+
+    def test_delete_absent_returns_false(self, maintained):
+        assert not maintained.delete(ad("nonexistent phrase", 99))
+
+
+class TestReoptimization:
+    def test_threshold_triggers_reopt(self):
+        corpus = AdCorpus([ad("a b", 1)])
+        workload = Workload([(Query.from_text("a b"), 1)])
+        maintained = MaintainedIndex(
+            corpus, workload, MODEL, reopt_threshold=3
+        )
+        for i in range(3):
+            maintained.insert(ad(f"new{i} phrase", 10 + i))
+        assert maintained.reopt_count == 1
+        assert maintained.mutations_since_reopt == 0
+        maintained.index.check_invariants()
+
+    def test_manual_reopt_with_new_workload(self, maintained):
+        new_workload = Workload([(Query.from_text("books"), 100)])
+        maintained.reoptimize(new_workload)
+        assert maintained.reopt_count == 1
+        maintained.index.check_invariants()
+
+    def test_results_stable_across_reopt(self):
+        ads = [ad("books", 1), ad("used books", 2), ad("old maps", 3)]
+        corpus = AdCorpus(ads)
+        workload = Workload([(Query.from_text("used books"), 5)])
+        maintained = MaintainedIndex(corpus, workload, MODEL, reopt_threshold=0)
+        q = Query.from_text("cheap used books")
+        before = sorted(a.info.listing_id for a in maintained.query_broad(q))
+        maintained.reoptimize()
+        after = sorted(a.info.listing_id for a in maintained.query_broad(q))
+        assert before == after == [1, 2]
+
+
+class TestChurnEquivalence:
+    def test_mixed_churn_matches_oracle(self):
+        corpus = AdCorpus([ad(f"base w{i}", i) for i in range(10)])
+        workload = Workload([(Query.from_text("base w1 w2"), 5)])
+        maintained = MaintainedIndex(corpus, workload, MODEL, reopt_threshold=7)
+        live = list(corpus)
+        for i in range(20):
+            new_ad = ad(f"churn{i % 4} base", 100 + i)
+            maintained.insert(new_ad)
+            live.append(new_ad)
+            if i % 3 == 0:
+                victim = live.pop(0)
+                maintained.delete(victim)
+        maintained.index.check_invariants()
+        for qtext in ("base w1 churn0", "base churn1 churn2", "nothing here"):
+            q = Query.from_text(qtext)
+            got = sorted(a.info.listing_id for a in maintained.query_broad(q))
+            want = sorted(a.info.listing_id for a in naive_broad_match(live, q))
+            assert got == want

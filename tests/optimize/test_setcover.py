@@ -1,0 +1,184 @@
+"""Tests for the generic weighted set cover solvers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimize.setcover import (
+    CandidateSet,
+    exact_weighted_set_cover,
+    fixed_weight,
+    greedy_weighted_set_cover,
+    harmonic,
+    withdrawal_improve,
+)
+
+
+def cand(name, elements, weight):
+    return CandidateSet(
+        name=name, elements=frozenset(elements), weight_fn=fixed_weight(weight)
+    )
+
+
+def cost(solution):
+    return sum(chosen.weight for chosen in solution)
+
+
+def covered(solution):
+    out = set()
+    for chosen in solution:
+        out |= chosen.covered
+    return out
+
+
+class TestGreedy:
+    def test_trivial_single_set(self):
+        sol = greedy_weighted_set_cover({1, 2}, [cand("a", {1, 2}, 1.0)])
+        assert covered(sol) == {1, 2}
+        assert cost(sol) == 1.0
+
+    def test_picks_cheaper_ratio(self):
+        sets = [
+            cand("big", {1, 2, 3, 4}, 4.0),  # ratio 1.0
+            cand("cheap", {1, 2, 3, 4}, 2.0),  # ratio 0.5
+        ]
+        sol = greedy_weighted_set_cover({1, 2, 3, 4}, sets)
+        assert [c.candidate.name for c in sol] == ["cheap"]
+
+    def test_classic_greedy_suboptimality(self):
+        # The textbook example where greedy pays ~H_k times optimum.
+        universe = {1, 2, 3, 4}
+        sets = [
+            cand("opt1", {1, 2}, 1.0 + 1e-6),
+            cand("opt2", {3, 4}, 1.0 + 1e-6),
+            cand("g1", {1, 2, 3}, 1.0),
+            cand("g2", {4}, 1.0),
+        ]
+        sol = greedy_weighted_set_cover(universe, sets)
+        assert covered(sol) == universe
+
+    def test_empty_universe(self):
+        assert greedy_weighted_set_cover(set(), [cand("a", {1}, 1.0)]) == []
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            greedy_weighted_set_cover({1, 2}, [cand("a", {1}, 1.0)])
+
+    def test_residual_weights_reprice(self):
+        # A residual-aware candidate whose weight is proportional to the
+        # covered elements.
+        per_element = CandidateSet(
+            name="lin",
+            elements=frozenset({1, 2, 3}),
+            weight_fn=lambda els: 10.0 * len(els),
+        )
+        cheap_pair = cand("pair", {1, 2}, 1.0)
+        sol = greedy_weighted_set_cover({1, 2, 3}, [per_element, cheap_pair])
+        # pair is taken first (ratio 0.5 vs 10); lin then covers only {3}
+        # and must be priced at 10, not 30.
+        assert cost(sol) == pytest.approx(11.0)
+
+    def test_solution_sets_disjoint_coverage(self):
+        sets = [cand("a", {1, 2}, 1.0), cand("b", {2, 3}, 1.0)]
+        sol = greedy_weighted_set_cover({1, 2, 3}, sets)
+        seen = set()
+        for chosen in sol:
+            assert not (chosen.covered & seen)
+            seen |= chosen.covered
+
+
+class TestExact:
+    def test_finds_optimum(self):
+        universe = {1, 2, 3, 4}
+        sets = [
+            cand("all", universe, 3.0),
+            cand("a", {1, 2}, 1.0),
+            cand("b", {3, 4}, 1.0),
+        ]
+        sol = exact_weighted_set_cover(universe, sets)
+        assert cost(sol) == pytest.approx(2.0)
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            exact_weighted_set_cover({1, 2}, [cand("a", {1}, 1.0)])
+
+    def test_empty_universe(self):
+        assert exact_weighted_set_cover(set(), []) == []
+
+
+def random_instance(rng, n_elements, n_sets, max_set_size):
+    universe = list(range(n_elements))
+    sets = []
+    for i in range(n_sets):
+        size = rng.randint(1, max_set_size)
+        elements = frozenset(rng.sample(universe, min(size, n_elements)))
+        sets.append(cand(i, elements, rng.uniform(0.5, 5.0)))
+    # Guarantee coverability with singletons.
+    for e in universe:
+        sets.append(cand(f"s{e}", {e}, rng.uniform(2.0, 6.0)))
+    return set(universe), sets
+
+
+class TestApproximationBound:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_greedy_within_harmonic_of_optimal(self, seed):
+        """Chvátal's guarantee: greedy <= H_k * OPT for set size <= k."""
+        rng = random.Random(seed)
+        k = 3
+        universe, sets = random_instance(rng, 6, 6, max_set_size=k)
+        greedy_cost = cost(greedy_weighted_set_cover(universe, sets))
+        opt_cost = cost(exact_weighted_set_cover(universe, sets))
+        assert greedy_cost <= harmonic(k) * opt_cost + 1e-9
+
+    def test_harmonic_values(self):
+        assert harmonic(1) == 1.0
+        assert harmonic(3) == pytest.approx(1 + 0.5 + 1 / 3)
+
+
+class TestWithdrawal:
+    def test_removes_redundant_set(self):
+        universe = {1, 2}
+        sets = [cand("a", {1, 2}, 1.0), cand("b", {2}, 0.5)]
+        # Force a bad starting solution with a redundant member.
+        from repro.optimize.setcover import ChosenSet
+
+        bad = [
+            ChosenSet(candidate=sets[0], covered=frozenset({1, 2})),
+            ChosenSet(candidate=sets[1], covered=frozenset({2})),
+        ]
+        improved = withdrawal_improve(universe, sets, bad)
+        assert cost(improved) <= cost(bad)
+        assert covered(improved) == universe
+
+    def test_replaces_with_cheaper(self):
+        universe = {1, 2}
+        expensive = cand("exp", {1, 2}, 10.0)
+        cheap = cand("cheap", {1, 2}, 1.0)
+        from repro.optimize.setcover import ChosenSet
+
+        bad = [ChosenSet(candidate=expensive, covered=frozenset(universe))]
+        improved = withdrawal_improve(universe, [expensive, cheap], bad)
+        assert cost(improved) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_worse_than_greedy(self, seed):
+        rng = random.Random(100 + seed)
+        universe, sets = random_instance(rng, 8, 10, max_set_size=4)
+        greedy = greedy_weighted_set_cover(universe, sets)
+        improved = withdrawal_improve(universe, sets, greedy)
+        assert cost(improved) <= cost(greedy) + 1e-9
+        assert covered(improved) == universe
+
+
+class TestPropertyBased:
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_always_covers(self, seed):
+        rng = random.Random(seed)
+        universe, sets = random_instance(rng, 10, 8, max_set_size=5)
+        sol = greedy_weighted_set_cover(universe, sets)
+        assert covered(sol) == universe
+        # Disjoint coverage partitions the universe.
+        assert sum(len(c.covered) for c in sol) == len(universe)

@@ -1,0 +1,114 @@
+"""Tests for the LRU result cache, including invalidation correctness."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.serving.result_cache import CachedIndex
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def cached():
+    corpus = AdCorpus([ad("used books", 1), ad("books", 2)])
+    return CachedIndex(WordSetIndex.from_corpus(corpus), capacity=8)
+
+
+class TestCaching:
+    def test_hit_on_repeat(self, cached):
+        q = Query.from_text("cheap used books")
+        first = cached.query_broad(q)
+        second = cached.query_broad(q)
+        assert [a.info.listing_id for a in first] == [
+            a.info.listing_id for a in second
+        ]
+        assert cached.stats.hits == 1
+        assert cached.stats.misses == 1
+
+    def test_word_order_shares_entry(self, cached):
+        cached.query_broad(Query.from_text("used books"))
+        cached.query_broad(Query.from_text("books used"))
+        assert cached.stats.hits == 1
+
+    def test_caller_cannot_corrupt_cache(self, cached):
+        q = Query.from_text("used books")
+        result = cached.query_broad(q)
+        result.clear()  # mutate the returned list
+        again = cached.query_broad(q)
+        assert len(again) == 2
+
+    def test_lru_eviction(self):
+        corpus = AdCorpus([ad(f"w{i}", i) for i in range(10)])
+        cached = CachedIndex(WordSetIndex.from_corpus(corpus), capacity=2)
+        for i in range(3):
+            cached.query_broad(Query.from_text(f"w{i}"))
+        cached.query_broad(Query.from_text("w0"))  # evicted -> miss
+        assert cached.stats.misses == 4
+        assert cached.cached_queries == 2
+
+    def test_rejects_bad_capacity(self, cached):
+        with pytest.raises(ValueError):
+            CachedIndex(cached.index, capacity=0)
+
+
+class TestInvalidation:
+    def test_insert_invalidates(self, cached):
+        q = Query.from_text("cheap used books")
+        cached.query_broad(q)
+        cached.insert(ad("cheap books", 3))
+        result = cached.query_broad(q)
+        assert 3 in {a.info.listing_id for a in result}
+        assert cached.stats.invalidations == 1
+
+    def test_delete_invalidates(self, cached):
+        q = Query.from_text("cheap used books")
+        cached.query_broad(q)
+        assert cached.delete(ad("used books", 1))
+        result = cached.query_broad(q)
+        assert 1 not in {a.info.listing_id for a in result}
+
+    def test_failed_delete_keeps_cache(self, cached):
+        q = Query.from_text("used books")
+        cached.query_broad(q)
+        assert not cached.delete(ad("absent", 99))
+        cached.query_broad(q)
+        assert cached.stats.hits == 1
+
+
+class TestPowerLawHitRate:
+    def test_small_cache_high_hit_rate_on_zipf_workload(self):
+        """The design premise: power-law query frequencies make a small
+        cache absorb most traffic."""
+        generated = generate_corpus(CorpusConfig(num_ads=1_000, seed=3))
+        workload = generate_workload(
+            generated,
+            QueryConfig(num_distinct=500, total_frequency=20_000, seed=1),
+        )
+        cached = CachedIndex(
+            WordSetIndex.from_corpus(generated.corpus), capacity=100
+        )
+        for query in workload.sample_stream(3_000, seed=2):
+            cached.query_broad(query)
+        # 100 slots over 500 distinct Zipf queries: well above 100/500.
+        assert cached.stats.hit_rate() > 0.5
+
+    def test_results_always_match_oracle(self):
+        generated = generate_corpus(CorpusConfig(num_ads=400, seed=5))
+        corpus = generated.corpus
+        cached = CachedIndex(WordSetIndex.from_corpus(corpus), capacity=16)
+        workload = generate_workload(
+            generated, QueryConfig(num_distinct=60, total_frequency=600, seed=2)
+        )
+        for query in workload.sample_stream(300, seed=3):
+            got = sorted(a.info.listing_id for a in cached.query_broad(query))
+            want = sorted(
+                a.info.listing_id for a in naive_broad_match(corpus, query)
+            )
+            assert got == want

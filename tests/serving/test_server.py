@@ -1,0 +1,156 @@
+"""Tests for the end-to-end ad server pipeline."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.core.sharded import ShardedWordSetIndex
+from repro.core.tree_index import TrieWordSetIndex
+from repro.core.wordset_index import WordSetIndex
+from repro.serving.server import AdServer, serve_trace
+
+
+def ad(text, listing_id, bid=100, campaign=None, exclusions=()):
+    return Advertisement.from_text(
+        text,
+        AdInfo(
+            listing_id=listing_id,
+            campaign_id=campaign if campaign is not None else listing_id,
+            bid_price_micros=bid,
+            exclusion_phrases=tuple(exclusions),
+        ),
+    )
+
+
+@pytest.fixture()
+def corpus():
+    return AdCorpus(
+        [
+            ad("used books", 1, bid=300),
+            ad("books", 2, bid=200),
+            ad("cheap used books", 3, bid=500),
+            ad("used books", 4, bid=100, exclusions=("free",)),
+        ]
+    )
+
+
+@pytest.fixture()
+def server(corpus):
+    return AdServer(WordSetIndex.from_corpus(corpus), slots=2)
+
+
+class TestServe:
+    def test_returns_top_slots_by_bid(self, server):
+        result = server.serve(Query.from_text("cheap used books"))
+        assert [a.info.listing_id for a in result.ads] == [3, 1]
+
+    def test_exclusion_filter(self, server):
+        result = server.serve(Query.from_text("free used books"))
+        assert 4 not in {a.info.listing_id for a in result.ads}
+        assert server.stats.filtered_exclusion == 1
+
+    def test_no_candidates(self, server):
+        result = server.serve(Query.from_text("red shoes"))
+        assert result.ads == []
+
+    def test_stats_accumulate(self, server):
+        server.serve(Query.from_text("used books"))
+        server.serve(Query.from_text("books"))
+        assert server.stats.queries == 2
+        assert server.stats.impressions >= 2
+        assert server.stats.fill_rate() > 0
+
+    def test_serve_trace(self, server):
+        queries = [Query.from_text("used books")] * 5
+        stats = serve_trace(server, queries)
+        assert stats.queries == 5
+
+
+class TestBudgets:
+    def test_budget_filters_when_exhausted(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus),
+            slots=2,
+            campaign_budgets_micros={3: 600},
+        )
+        q = Query.from_text("cheap used books")
+        first = server.serve(q)
+        assert 3 in {a.info.listing_id for a in first.ads}
+        server.record_click(first, slot=0)  # charges campaign 3
+        # Budget now below the bid: campaign must stop serving.
+        assert server.budget_remaining(3) < 500
+        second = server.serve(q)
+        assert 3 not in {a.info.listing_id for a in second.ads}
+        assert server.stats.filtered_budget >= 1
+
+    def test_click_revenue_recorded(self, server):
+        result = server.serve(Query.from_text("cheap used books"))
+        price = server.record_click(result, slot=0)
+        assert price > 0
+        assert server.stats.revenue_micros == price
+        assert server.stats.clicks == 1
+
+    def test_click_clipped_to_budget(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus),
+            slots=1,
+            campaign_budgets_micros={3: 50},
+        )
+        # Budget 50 < bid 500: the campaign cannot serve at all.
+        result = server.serve(Query.from_text("cheap used books"))
+        assert 3 not in {a.info.listing_id for a in result.ads}
+
+    def test_exhausted_campaigns(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus),
+            slots=1,
+            campaign_budgets_micros={1: 0},
+        )
+        assert server.exhausted_campaigns() == [1]
+
+
+class TestFrequencyCap:
+    def test_cap_limits_repeat_impressions(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus), slots=1, frequency_cap=2
+        )
+        q = Query.from_text("cheap used books")
+        shown = [server.serve(q, user_id="u1").ads for _ in range(4)]
+        # Listing 3 wins twice, then is capped; listing 1 takes over.
+        assert [a[0].info.listing_id for a in shown] == [3, 3, 1, 1]
+        assert server.stats.filtered_frequency_cap > 0
+
+    def test_cap_is_per_user(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus), slots=1, frequency_cap=1
+        )
+        q = Query.from_text("cheap used books")
+        assert server.serve(q, user_id="a").ads[0].info.listing_id == 3
+        assert server.serve(q, user_id="b").ads[0].info.listing_id == 3
+
+    def test_no_user_id_no_cap(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus), slots=1, frequency_cap=1
+        )
+        q = Query.from_text("cheap used books")
+        assert server.serve(q).ads[0].info.listing_id == 3
+        assert server.serve(q).ads[0].info.listing_id == 3
+
+
+class TestPluggableRetrieval:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda c: WordSetIndex.from_corpus(c),
+            lambda c: TrieWordSetIndex.from_corpus(c),
+            lambda c: ShardedWordSetIndex.from_corpus(c, num_shards=3),
+        ],
+    )
+    def test_same_slate_any_structure(self, corpus, factory):
+        server = AdServer(factory(corpus), slots=2)
+        result = server.serve(Query.from_text("cheap used books"))
+        assert [a.info.listing_id for a in result.ads] == [3, 1]
+
+    def test_rejects_bad_slots(self, corpus):
+        with pytest.raises(ValueError):
+            AdServer(WordSetIndex.from_corpus(corpus), slots=0)

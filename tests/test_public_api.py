@@ -1,0 +1,102 @@
+"""Public-API integrity: exports resolve, carry docs, and stay consistent."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.cost",
+    "repro.invindex",
+    "repro.optimize",
+    "repro.compress",
+    "repro.memsim",
+    "repro.distsim",
+    "repro.datagen",
+    "repro.serving",
+]
+
+
+class TestExports:
+    def test_root_all_resolves(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__all__, f"{module_name} exports nothing"
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_all_sorted_and_unique(self, module_name):
+        module = importlib.import_module(module_name)
+        names = list(module.__all__)
+        assert names == sorted(names), f"{module_name}.__all__ unsorted"
+        assert len(names) == len(set(names))
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+
+class TestDocumentation:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES + ["repro"])
+    def test_module_docstrings(self, module_name):
+        module = importlib.import_module(module_name)
+        assert module.__doc__ and len(module.__doc__.strip()) > 20
+
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_public_classes_and_functions_documented(self, module_name):
+        module = importlib.import_module(module_name)
+        undocumented = []
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                if not (obj.__doc__ and obj.__doc__.strip()):
+                    undocumented.append(name)
+        assert not undocumented, f"{module_name}: {undocumented}"
+
+    def test_public_methods_documented_on_core_types(self):
+        from repro.core.wordset_index import WordSetIndex
+
+        undocumented = [
+            name
+            for name, member in inspect.getmembers(WordSetIndex)
+            if not name.startswith("_")
+            and callable(member)
+            and not (member.__doc__ and member.__doc__.strip())
+        ]
+        assert not undocumented, undocumented
+
+
+class TestInterchangeability:
+    def test_all_retrieval_structures_share_query_broad(self):
+        """The serving layer's pluggability contract."""
+        from repro.compress.compressed_hash import CompressedWordSetIndex
+        from repro.core.impact_index import ImpactOrderedIndex
+        from repro.core.sharded import ShardedWordSetIndex
+        from repro.core.tree_index import TrieWordSetIndex
+        from repro.core.wordset_index import WordSetIndex
+        from repro.invindex import (
+            CountingInvertedIndex,
+            NonRedundantInvertedIndex,
+            RedundantInvertedIndex,
+        )
+        from repro.serving.result_cache import CachedIndex
+
+        for cls in (
+            WordSetIndex,
+            TrieWordSetIndex,
+            ShardedWordSetIndex,
+            ImpactOrderedIndex,
+            CompressedWordSetIndex,
+            CachedIndex,
+            NonRedundantInvertedIndex,
+            CountingInvertedIndex,
+            RedundantInvertedIndex,
+        ):
+            assert callable(getattr(cls, "query_broad"))
