@@ -1,0 +1,113 @@
+"""Benches for the probe-pruning fast path and the batch query engine.
+
+The acceptance gate for the fast path: on a long-query broad-match
+workload it must cut hash probes by at least 3x versus the paper's
+unpruned enumeration while returning bit-identical results.  The full
+comparison document is persisted to ``BENCH_PR1.json`` at the repo root
+(also produced standalone by ``python -m repro.perf.bench``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.accounting import AccessTracker
+from repro.perf.batch import BatchQueryEngine
+from repro.perf.bench import make_long_queries, run_fastpath_bench
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+QUERY_LEN = 12
+NUM_QUERIES = 60
+
+
+@pytest.fixture(scope="module")
+def long_queries(generated, workload):
+    return make_long_queries(
+        generated, workload, NUM_QUERIES, QUERY_LEN, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def fast_index(corpus):
+    return WordSetIndex.from_corpus(corpus)
+
+
+@pytest.fixture(scope="module")
+def naive_index(corpus):
+    return WordSetIndex.from_corpus(corpus, fast_path=False)
+
+
+def replay_ids(index, queries):
+    return [
+        sorted(ad.info.listing_id for ad in index.query_broad(q))
+        for q in queries
+    ]
+
+
+def test_fastpath_results_identical(fast_index, naive_index, long_queries):
+    assert replay_ids(fast_index, long_queries) == replay_ids(
+        naive_index, long_queries
+    )
+
+
+def test_fastpath_probe_reduction_at_least_3x(corpus, long_queries):
+    fast_tracker = AccessTracker()
+    fast = WordSetIndex.from_corpus(corpus, tracker=fast_tracker)
+    naive_tracker = AccessTracker()
+    naive = WordSetIndex.from_corpus(
+        corpus, tracker=naive_tracker, fast_path=False
+    )
+    assert replay_ids(fast, long_queries) == replay_ids(naive, long_queries)
+    fast_probes = fast_tracker.stats.hash_probes
+    naive_probes = naive_tracker.stats.hash_probes
+    assert fast_probes > 0
+    assert naive_probes >= 3 * fast_probes, (
+        f"probe reduction only {naive_probes / fast_probes:.2f}x"
+    )
+
+
+def test_bench_fastpath_replay(benchmark, fast_index, long_queries):
+    total = benchmark.pedantic(
+        lambda: sum(len(r) for r in replay_ids(fast_index, long_queries)),
+        rounds=3,
+        iterations=1,
+    )
+    assert total >= 0
+
+
+def test_bench_naive_replay(benchmark, naive_index, long_queries):
+    total = benchmark.pedantic(
+        lambda: sum(len(r) for r in replay_ids(naive_index, long_queries)),
+        rounds=3,
+        iterations=1,
+    )
+    assert total >= 0
+
+
+def test_bench_batch_engine(benchmark, corpus, long_queries):
+    from repro.core.sharded import ShardedWordSetIndex
+
+    sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=4)
+    engine = BatchQueryEngine(sharded)
+    batch = long_queries + long_queries[: NUM_QUERIES // 2]
+
+    results = benchmark.pedantic(
+        lambda: engine.query_broad_batch(batch), rounds=3, iterations=1
+    )
+    assert len(results) == len(batch)
+    assert engine.stats.dedup_rate() > 0
+
+
+def test_full_bench_document_persisted():
+    """Run the standalone benchmark driver and pin the acceptance gates on
+    the persisted ``BENCH_PR1.json`` document."""
+    results = run_fastpath_bench(
+        num_ads=2_000, num_queries=60, query_len=QUERY_LEN, seed=11
+    )
+    assert results["identical_results"]
+    assert results["probe_reduction"] >= 3.0
+    out = REPO_ROOT / "BENCH_PR1.json"
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -33,11 +33,11 @@ def test_bench_cached_index(benchmark, plain_index, trace):
     def replay():
         for query in trace[:500]:
             cached.query_broad(query)
-        return cached.stats.hit_rate()
+        return cached.cache_stats.hit_rate()
 
     benchmark(replay)
     # The Zipf head must make the cache worthwhile.
-    assert cached.stats.hit_rate() > 0.3
+    assert cached.cache_stats.hit_rate() > 0.3
 
 
 def test_bench_sharded_query(benchmark, corpus, trace):

@@ -13,7 +13,6 @@ Run with::
 
 import random
 
-from repro.core.queries import Query
 from repro.core.wordset_index import WordSetIndex
 from repro.datagen.corpus import CorpusConfig, generate_corpus
 from repro.datagen.querygen import QueryConfig, generate_workload

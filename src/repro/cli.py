@@ -6,27 +6,35 @@ Everything an operator needs without writing Python::
         [--workload trace.tsv --optimize --max-words 10]
     python -m repro.cli query index.jsonl "cheap used books" \
         [--match broad|phrase|exact] [--top 5]
+    python -m repro.cli batch index.jsonl queries.txt \
+        [--match broad] [--shards 4] [--workers 4] [--show]
     python -m repro.cli explain index.jsonl "cheap used books"
     python -m repro.cli stats index.jsonl
 
 ``build`` imports a corpus (CSV; see :mod:`repro.datagen.importers`),
 optionally optimizes the mapping against an imported workload, and writes
-a snapshot.  ``query``/``explain``/``stats`` operate on snapshots.
+a snapshot.  ``query``/``batch``/``explain``/``stats`` operate on
+snapshots; ``batch`` reads one query per line (``-`` for stdin), dedups
+identical word-sets, and optionally re-shards the corpus for worker-pool
+fan-out.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.core.explain import explain_broad_match
 from repro.core.matching import MatchType
 from repro.core.queries import Query
+from repro.core.sharded import ShardedWordSetIndex
 from repro.cost.model import CostModel
 from repro.datagen.importers import load_corpus_csv, load_workload_tsv
 from repro.datagen.stats import profile_corpus, profile_workload
 from repro.optimize.mapping import Mapping, OptimizerConfig, optimize_mapping
 from repro.optimize.remap import long_phrase_mapping
+from repro.perf.batch import BatchQueryEngine
 from repro.persist import load_index, save_index
 
 
@@ -82,6 +90,46 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"phrase {' '.join(ad.phrase)!r}"
         )
     print(f"({len(results)} {args.match}-match result(s))")
+    return 0
+
+
+def _read_batch_queries(path: str) -> list[Query]:
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    return [Query.from_text(line) for line in lines if line.strip()]
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    loaded = load_index(args.index)
+    queries = _read_batch_queries(args.queries)
+    if not queries:
+        print("error: no queries in input", file=sys.stderr)
+        return 2
+    index = loaded.index
+    if args.shards is not None:
+        index = ShardedWordSetIndex.from_corpus(
+            loaded.corpus,
+            num_shards=args.shards,
+            mapping=loaded.mapping.as_dict(),
+        )
+    engine = BatchQueryEngine(index, max_workers=args.workers)
+    start = time.perf_counter()
+    batches = engine.query_batch(queries, _match_type(args.match))
+    elapsed = time.perf_counter() - start
+    if args.show:
+        for query, results in zip(queries, batches):
+            print(f"{' '.join(query.tokens)!r}: {len(results)} result(s)")
+    total = sum(len(results) for results in batches)
+    stats = engine.stats
+    print(
+        f"{stats.queries:,} queries ({stats.distinct_wordsets:,} distinct, "
+        f"{stats.dedup_rate():.0%} deduped) -> {total:,} results "
+        f"in {elapsed * 1e3:.1f} ms "
+        f"({stats.queries / max(elapsed, 1e-9):,.0f} qps)"
+    )
     return 0
 
 
@@ -144,6 +192,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--top", type=int, default=10)
     query.set_defaults(handler=_cmd_query)
+
+    batch = sub.add_parser(
+        "batch", help="run a file of queries as one deduplicated batch"
+    )
+    batch.add_argument("index")
+    batch.add_argument(
+        "queries", help="file with one query per line ('-' for stdin)"
+    )
+    batch.add_argument(
+        "--match", choices=("broad", "phrase", "exact"), default="broad"
+    )
+    batch.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="re-shard the corpus and fan out across shards",
+    )
+    batch.add_argument(
+        "--workers", type=int, default=None, help="worker-pool width"
+    )
+    batch.add_argument(
+        "--show", action="store_true", help="print per-query result counts"
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     explain = sub.add_parser("explain", help="profile one broad-match query")
     explain.add_argument("index")

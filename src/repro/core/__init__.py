@@ -22,6 +22,9 @@ from repro.core.subset_enum import (
     bounded_subsets,
     lookup_count,
     lookup_count_bounded,
+    sized_subsets,
+    subset_count,
+    truncate_query,
 )
 from repro.core.tokens import fold_duplicates, tokenize, unfold_token
 from repro.core.tree_index import TrieWordSetIndex
@@ -52,7 +55,10 @@ __all__ = [
     "lookup_count_bounded",
     "naive_broad_match",
     "phrase_match",
+    "sized_subsets",
+    "subset_count",
     "tokenize",
+    "truncate_query",
     "unfold_token",
     "wordhash",
 ]

@@ -15,8 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.queries import Query
-from repro.core.subset_enum import bounded_subsets, truncate_query
-from repro.core.wordhash import wordhash
 from repro.core.wordset_index import HASH_BUCKET_BYTES, WordSetIndex
 from repro.cost.model import CostModel
 
@@ -45,6 +43,11 @@ class QueryExplanation:
     hash_probes: int
     empty_probes: int
     node_visits: tuple[NodeVisit, ...]
+    #: Words that survived the fast path's indexed-vocabulary prefilter
+    #: (every query word when the index runs unpruned).
+    candidate_words: tuple[str, ...] = ()
+    #: True when the index's probe-pruning fast path produced the plan.
+    pruned: bool = False
     model: CostModel = field(default_factory=CostModel)
 
     @property
@@ -77,6 +80,13 @@ class QueryExplanation:
         lines = [
             f"query: {sorted(self.query_words)}"
             + (" (truncated)" if self.truncated else ""),
+        ]
+        if self.pruned:
+            lines.append(
+                f"prefilter: {len(self.candidate_words)}/"
+                f"{len(self.query_words)} words indexed"
+            )
+        lines += [
             f"hash probes: {self.hash_probes} "
             f"({self.empty_probes} empty) -> {self.probe_cost_ns():.0f} ns",
             f"node visits: {len(self.node_visits)} -> "
@@ -102,28 +112,22 @@ def explain_broad_match(
 ) -> QueryExplanation:
     """Profile one broad-match execution against ``index``."""
     model = model or CostModel()
-    words = truncate_query(
-        query.words, index.max_query_words, index._word_freq_fn
-    )
-    truncated = words != query.words
-    probe_bound = len(words)
-    if index.max_words is not None:
-        probe_bound = min(probe_bound, index.max_words)
+    plan = index.probe_plan(query.words)
+    words = plan.words
 
     probes = 0
     empty = 0
     visits: list[NodeVisit] = []
     visited: set[int] = set()
-    for subset in bounded_subsets(words, probe_bound):
-        key = wordhash(subset)
+    for key in index._probe_keys(plan):
         probes += 1
         if key in visited:
             continue
+        visited.add(key)
         node = index.nodes.get(key)
         if node is None:
             empty += 1
             continue
-        visited.add(key)
         matched, scanned = node.scan(words)
         entries_scanned = sum(
             1 for e in node.entries if e.word_count <= len(words)
@@ -141,9 +145,11 @@ def explain_broad_match(
         )
     return QueryExplanation(
         query_words=words,
-        truncated=truncated,
+        truncated=plan.truncated,
         hash_probes=probes,
         empty_probes=empty,
         node_visits=tuple(visits),
+        candidate_words=plan.candidates,
+        pruned=plan.pruned,
         model=model,
     )

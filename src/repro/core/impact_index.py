@@ -23,7 +23,6 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.queries import Query
-from repro.core.subset_enum import bounded_subsets, truncate_query
 from repro.core.wordhash import wordhash
 from repro.core.wordset_index import HASH_BUCKET_BYTES, WordSetIndex
 from repro.cost.accounting import AccessTracker
@@ -85,30 +84,31 @@ class ImpactOrderedIndex:
     def query_top_k(self, query: Query, k: int) -> list[Advertisement]:
         """Top-k broad matches by bid price with max-score node pruning.
 
-        Probes all candidate subsets (that cost is unavoidable — pruning
-        cannot know a node's ceiling without finding the node), then scans
-        hit nodes in descending bid ceiling, stopping once ``k`` results
-        are held and the next ceiling cannot beat the k-th bid.
+        Probes every subset of the inner index's probe plan (that cost is
+        unavoidable — pruning cannot know a node's ceiling without finding
+        the node — and using the same plan as the plain baseline keeps the
+        comparison about *scanning* only), then scans hit nodes in
+        descending bid ceiling, stopping once ``k`` results are held and
+        the next ceiling cannot beat the k-th bid.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        words = truncate_query(query.words, self._inner.max_query_words, None)
-        bound = len(words)
-        if self._inner.max_words is not None:
-            bound = min(bound, self._inner.max_words)
+        plan = self._inner.probe_plan(query.words)
+        words = plan.words
         tracker = self.tracker
 
         candidates: list[tuple[int, int]] = []  # (-max_bid, key)
         visited: set[int] = set()
-        for subset in bounded_subsets(words, bound):
-            key = wordhash(subset)
+        for key in self._inner._probe_keys(plan):
             if tracker is not None:
                 tracker.hash_probe(HASH_BUCKET_BYTES)
             if key in visited:
                 continue
             visited.add(key)
             node = self._inner.nodes.get(key)
-            if node is not None and node.locator == subset:
+            if node is not None:
+                # Collision-bucket nodes are kept: ``node.scan`` verifies
+                # stored phrases, exactly as the plain probe path does.
                 candidates.append((-self._max_bid.get(key, 0), key))
         candidates.sort()
 

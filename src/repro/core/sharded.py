@@ -34,6 +34,7 @@ class ShardedWordSetIndex:
         max_words: int | None = None,
         max_query_words: int = 16,
         trackers: list[AccessTracker] | None = None,
+        fast_path: bool = True,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
@@ -45,6 +46,7 @@ class ShardedWordSetIndex:
                 max_words=max_words,
                 max_query_words=max_query_words,
                 tracker=trackers[i] if trackers else None,
+                fast_path=fast_path,
             )
             for i in range(num_shards)
         ]
@@ -57,9 +59,13 @@ class ShardedWordSetIndex:
         mapping: Mapping[frozenset[str], frozenset[str]] | None = None,
         max_words: int | None = None,
         trackers: list[AccessTracker] | None = None,
+        fast_path: bool = True,
     ) -> ShardedWordSetIndex:
         sharded = cls(
-            num_shards, max_words=max_words, trackers=trackers
+            num_shards,
+            max_words=max_words,
+            trackers=trackers,
+            fast_path=fast_path,
         )
         for ad in corpus:
             locator = mapping.get(ad.words) if mapping is not None else None
@@ -92,6 +98,18 @@ class ShardedWordSetIndex:
         for shard in self.shards:
             results.extend(shard.query(query, match_type))
         return results
+
+    def query_broad_batch(
+        self, queries: Iterable[Query], max_workers: int | None = None
+    ) -> list[list[Advertisement]]:
+        """Batched scatter-gather: dedup identical word-sets across the
+        batch, then run each shard's probe pass on a worker-pool thread
+        (see :class:`repro.perf.batch.BatchQueryEngine`).  Per-query
+        results equal sequential ``query_broad``, in input order."""
+        from repro.perf.batch import BatchQueryEngine
+
+        engine = BatchQueryEngine(self, max_workers=max_workers)
+        return engine.query_broad_batch(list(queries))
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)

@@ -16,12 +16,22 @@ from __future__ import annotations
 
 from itertools import combinations
 from math import comb
-from collections.abc import Callable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 
 
 def lookup_count(query_len: int) -> int:
     """Number of hash probes without re-mapping: ``2^q - 1``."""
     return (1 << query_len) - 1
+
+
+def subset_count(num_words: int, sizes: Iterable[int]) -> int:
+    """Number of subsets of a ``num_words``-set with sizes in ``sizes``.
+
+    Generalizes :func:`lookup_count_bounded` to non-contiguous size lists —
+    the probe count of a pruned :class:`~repro.perf.prefilter.ProbePlan`,
+    which skips subset sizes no node locator has.
+    """
+    return sum(comb(num_words, size) for size in sizes)
 
 
 def lookup_count_bounded(query_len: int, max_words: int) -> int:
@@ -41,9 +51,20 @@ def bounded_subsets(
     Subsets are yielded smallest-first; within a size the order is
     deterministic (sorted words) so traces and costs are reproducible.
     """
+    bound = min(max_size, len(words))
+    yield from sized_subsets(words, range(1, bound + 1))
+
+
+def sized_subsets(
+    words: frozenset[str], sizes: Iterable[int]
+) -> Iterator[frozenset[str]]:
+    """Yield subsets of ``words`` whose sizes are in ``sizes``, in the same
+    canonical order as :func:`bounded_subsets` (ascending sizes, sorted
+    words lexicographic within a size)."""
     ordered = sorted(words)
-    bound = min(max_size, len(ordered))
-    for size in range(1, bound + 1):
+    for size in sizes:
+        if size < 1 or size > len(ordered):
+            continue
         for combo in combinations(ordered, size):
             yield frozenset(combo)
 

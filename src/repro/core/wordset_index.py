@@ -23,9 +23,18 @@ from repro.core.ads import AdCorpus, Advertisement
 from repro.core.data_node import DataNode
 from repro.core.matching import MatchType, exact_match, phrase_match
 from repro.core.queries import Query
-from repro.core.subset_enum import bounded_subsets, truncate_query
+from repro.core.subset_enum import sized_subsets, truncate_query
 from repro.core.wordhash import wordhash
 from repro.cost.accounting import AccessTracker
+from repro.perf.memohash import hashed_index_subsets, word_contrib
+from repro.perf.prefilter import ProbePlan, naive_plan, plan_probes
+
+#: The canonical hash at import time.  ``_probe`` compares the module
+#: binding against this to detect a swapped-in hash function (tests patch
+#: ``wordset_index.wordhash`` to force collisions) and fall back from the
+#: memoized-contribution combine to hashing materialized subsets, so probes
+#: always use the same function that placed the nodes.
+_CANONICAL_WORDHASH = wordhash
 
 #: Default cap on query words considered during subset enumeration — the
 #: paper's "heuristic cutoff for extremely long queries" (Section IV-B).
@@ -71,6 +80,15 @@ class WordSetIndex:
     tracker:
         Optional :class:`AccessTracker` receiving the memory operations of
         every query.
+    fast_path:
+        When True (the default), queries are probe-pruned: subset
+        enumeration runs only over query words that appear in some node
+        locator, only at subset sizes some locator actually has, with
+        memoized per-word hashing (see :mod:`repro.perf`).  Results are
+        identical to the naive enumeration; only the probe count (and
+        its tracker accounting) shrinks.  ``False`` keeps the paper's
+        unpruned Section IV-B enumeration — the reference behaviour the
+        benchmarks compare against.
     """
 
     def __init__(
@@ -78,6 +96,7 @@ class WordSetIndex:
         max_words: int | None = None,
         max_query_words: int = DEFAULT_MAX_QUERY_WORDS,
         tracker: AccessTracker | None = None,
+        fast_path: bool = True,
     ) -> None:
         if max_words is not None and max_words < 1:
             raise ValueError("max_words must be >= 1")
@@ -86,12 +105,22 @@ class WordSetIndex:
         self.max_words = max_words
         self.max_query_words = max_query_words
         self.tracker = tracker
+        self.fast_path = fast_path
         self._nodes: dict[int, DataNode] = {}
         #: word-set -> locator it is currently mapped to (identity unless
         #: a mapping re-mapped it).  Needed for deletion and invariants.
         self._placement: dict[frozenset[str], frozenset[str]] = {}
         self._num_ads = 0
         self._word_freq_fn = None  # selectivity for query truncation
+        #: word -> number of live *placement* locators containing it; the
+        #: keys are the locator vocabulary the prefilter intersects queries
+        #: with.  Counting placements (one per live word-set group), not
+        #: nodes, is what keeps pruning exact under hash collisions: a
+        #: colliding group's locator can differ from the node's own.
+        self._vocab_refcount: dict[str, int] = {}
+        #: locator size -> number of live placements with that size; lets
+        #: probe plans cap and skip subset sizes no locator has.
+        self._size_histogram: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -104,6 +133,7 @@ class WordSetIndex:
         max_words: int | None = None,
         max_query_words: int = DEFAULT_MAX_QUERY_WORDS,
         tracker: AccessTracker | None = None,
+        fast_path: bool = True,
     ) -> WordSetIndex:
         """Build an index, optionally under a re-mapping.
 
@@ -111,7 +141,10 @@ class WordSetIndex:
         at; word-sets absent from the mapping are placed at themselves.
         """
         index = cls(
-            max_words=max_words, max_query_words=max_query_words, tracker=tracker
+            max_words=max_words,
+            max_query_words=max_query_words,
+            tracker=tracker,
+            fast_path=fast_path,
         )
         if isinstance(corpus, AdCorpus):
             index._word_freq_fn = corpus.word_frequency
@@ -145,8 +178,32 @@ class WordSetIndex:
             node = DataNode(locator)
             self._nodes[key] = node
         node.add(ad)
+        if established is None:
+            self._register_locator(locator)
         self._placement[ad.words] = locator
         self._num_ads += 1
+
+    def _register_locator(self, locator: frozenset[str]) -> None:
+        refs = self._vocab_refcount
+        for word in locator:
+            refs[word] = refs.get(word, 0) + 1
+        size = len(locator)
+        self._size_histogram[size] = self._size_histogram.get(size, 0) + 1
+
+    def _unregister_locator(self, locator: frozenset[str]) -> None:
+        refs = self._vocab_refcount
+        for word in locator:
+            remaining = refs[word] - 1
+            if remaining:
+                refs[word] = remaining
+            else:
+                del refs[word]
+        size = len(locator)
+        remaining = self._size_histogram[size] - 1
+        if remaining:
+            self._size_histogram[size] = remaining
+        else:
+            del self._size_histogram[size]
 
     def _check_locator(self, ad: Advertisement, locator: frozenset[str]) -> None:
         if not locator:
@@ -179,6 +236,7 @@ class WordSetIndex:
         self._num_ads -= 1
         if not any(e.ad.words == ad.words for e in node.entries):
             del self._placement[ad.words]
+            self._unregister_locator(locator)
         if not node.entries:
             del self._nodes[key]
         return True
@@ -198,18 +256,41 @@ class WordSetIndex:
         """
         return self._probe(query, match_type)
 
-    def _probe(self, query: Query, match_type: MatchType) -> list[Advertisement]:
-        words = truncate_query(
-            query.words, self.max_query_words, self._word_freq_fn
+    def probe_plan(self, words: frozenset[str]) -> ProbePlan:
+        """The probe plan a broad-match over ``words`` executes.
+
+        On the fast path the plan prunes to locator-vocabulary words and
+        locator sizes actually present; with ``fast_path=False`` it is the
+        paper's unpruned Section IV-B enumeration.  ``explain`` and the
+        analytic cost model replay the same plan, so measured and modeled
+        probe counts always agree.
+        """
+        truncated = truncate_query(
+            words, self.max_query_words, self._word_freq_fn
         )
-        probe_bound = len(words)
-        if self.max_words is not None:
-            probe_bound = min(probe_bound, self.max_words)
+        was_cut = truncated != words
+        if self.fast_path:
+            return plan_probes(
+                truncated,
+                self._vocab_refcount,
+                self._size_histogram,
+                self.max_words,
+                truncated=was_cut,
+            )
+        return naive_plan(truncated, self.max_words, truncated=was_cut)
+
+    def probe_count(self, query: Query) -> int:
+        """Exact number of hash probes ``query_broad(query)`` performs."""
+        return self.probe_plan(query.words).probe_count()
+
+    def _probe(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        plan = self.probe_plan(query.words)
+        words = plan.words
         tracker = self.tracker
         results: list[Advertisement] = []
         visited: set[int] = set()
-        for subset in bounded_subsets(words, probe_bound):
-            key = wordhash(subset)
+        nodes = self._nodes
+        for key in self._probe_keys(plan):
             if tracker is not None:
                 tracker.hash_probe(HASH_BUCKET_BYTES)
             if key in visited:
@@ -217,20 +298,51 @@ class WordSetIndex:
                 # the node again would duplicate results.
                 continue
             visited.add(key)
-            node = self._nodes.get(key)
-            if node is None or node.locator != subset:
-                # Either an empty bucket, or a bucket created by a different
-                # (hash-colliding) word-set: a real implementation detects
-                # the latter by comparing stored signatures/phrases; we only
-                # probe on, never report, so results stay exact either way.
-                if node is not None:
-                    results.extend(
-                        self._scan_node(node, query, words, match_type)
-                    )
-                continue
-            results.extend(self._scan_node(node, query, words, match_type))
+            node = nodes.get(key)
+            if node is not None:
+                # The bucket may belong to a different (hash-colliding)
+                # word-set than the probed subset; scanning verifies stored
+                # phrases against the query words, so results stay exact
+                # either way and the subset itself never needs
+                # materializing.
+                results.extend(self._scan_node(node, query, words, match_type))
         if tracker is not None:
             tracker.query_done()
+        return results
+
+    def _probe_keys(self, plan: ProbePlan) -> Iterable[int]:
+        """Hash keys for every probe of ``plan``, in enumeration order."""
+        if wordhash is _CANONICAL_WORDHASH:
+            contribs = [word_contrib(word) for word in plan.candidates]
+            return (key for key, _ in hashed_index_subsets(contribs, plan.sizes))
+        # The module-level hash was swapped (collision-forcing tests do
+        # this); memoized contributions would disagree with node placement.
+        return (
+            wordhash(subset)
+            for subset in sized_subsets(plan.candidates, plan.sizes)
+        )
+
+    def query_broad_batch(
+        self, queries: Iterable[Query]
+    ) -> list[list[Advertisement]]:
+        """Broad-match a batch, computing each distinct word-set once.
+
+        Queries that fold to the same word-set (order and duplicate words
+        are irrelevant for broad match) share one probe pass; per-word hash
+        contributions are shared across the whole batch through the memo
+        cache.  Returns one (independent) result list per input query, in
+        input order.
+        """
+        queries = list(queries)
+        distinct: dict[frozenset[str], list[int]] = {}
+        for position, query in enumerate(queries):
+            distinct.setdefault(query.words, []).append(position)
+        results: list[list[Advertisement]] = [[] for _ in queries]
+        for words in sorted(distinct, key=sorted):
+            positions = distinct[words]
+            matched = self.query_broad(queries[positions[0]])
+            for position in positions:
+                results[position] = list(matched)
         return results
 
     def _scan_node(
@@ -269,6 +381,19 @@ class WordSetIndex:
     def placement(self) -> dict[frozenset[str], frozenset[str]]:
         """Current word-set -> locator mapping (identity if never remapped)."""
         return dict(self._placement)
+
+    def indexed_vocabulary(self) -> frozenset[str]:
+        """Words appearing in at least one live node locator — the set the
+        prefilter intersects queries with."""
+        return frozenset(self._vocab_refcount)
+
+    def locator_size_histogram(self) -> dict[int, int]:
+        """Locator size -> number of live placements with that size."""
+        return dict(self._size_histogram)
+
+    def max_locator_size(self) -> int:
+        """Largest locator size present (0 when the index is empty)."""
+        return max(self._size_histogram, default=0)
 
     def node_for(self, words: frozenset[str]) -> DataNode | None:
         """The node currently holding ads with word-set ``words``."""
@@ -309,11 +434,14 @@ class WordSetIndex:
             for entry in node.entries:
                 total += 1
                 words = entry.ad.words
-                assert node.locator <= words, "locator not a subset of ad words"
-                assert self._placement.get(words) is not None, (
+                locator = self._placement.get(words)
+                assert locator is not None, (
                     "indexed ad missing from placement map"
                 )
-                assert wordhash(self._placement[words]) == key, (
+                # The *placement* locator governs each entry; the node's own
+                # locator can differ for residents that hash-collided in.
+                assert locator <= words, "locator not a subset of ad words"
+                assert wordhash(locator) == key, (
                     "condition IV violated: word-set split across nodes"
                 )
                 seen_sets.add(words)
@@ -321,3 +449,20 @@ class WordSetIndex:
                 assert len(node.locator) <= self.max_words
         assert total == self._num_ads, "ad count mismatch (conditions I/II)"
         assert seen_sets == set(self._placement), "placement map out of sync"
+        # The fast-path pruning state must mirror the live *placement*
+        # locators exactly, or the prefilter would skip probes that can hit
+        # (node locators are not enough: a hash-colliding group's locator
+        # never becomes the shared node's own locator).
+        expected_refs: dict[str, int] = {}
+        expected_sizes: dict[int, int] = {}
+        for locator in self._placement.values():
+            for word in locator:
+                expected_refs[word] = expected_refs.get(word, 0) + 1
+            size = len(locator)
+            expected_sizes[size] = expected_sizes.get(size, 0) + 1
+        assert self._vocab_refcount == expected_refs, (
+            "locator vocabulary refcounts out of sync"
+        )
+        assert self._size_histogram == expected_sizes, (
+            "locator size histogram out of sync"
+        )

@@ -9,6 +9,7 @@ from repro.cost.accounting import AccessStats, AccessTracker
 from repro.cost.model import CostModel
 from repro.cost.workload_cost import (
     cost_hash,
+    cost_hash_index,
     cost_node,
     cost_node_single,
     total_cost,
@@ -19,6 +20,7 @@ __all__ = [
     "AccessTracker",
     "CostModel",
     "cost_hash",
+    "cost_hash_index",
     "cost_node",
     "cost_node_single",
     "total_cost",

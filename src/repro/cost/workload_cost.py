@@ -53,6 +53,26 @@ def cost_hash(
     return total
 
 
+def cost_hash_index(
+    index: WordSetIndex, workload: Workload, model: CostModel
+) -> float:
+    """Hash-probe cost of the probes ``index`` actually executes.
+
+    The probe-pruning fast path (:mod:`repro.perf`) skips subsets that
+    cannot address any node, so the executed probe count depends on the
+    index's locator vocabulary and size histogram, not just ``max_words``.
+    Pricing the index's own :meth:`~repro.core.wordset_index.WordSetIndex.
+    probe_plan` keeps the analytic cost equal to the tracker-measured cost
+    on both the pruned and the naive path.
+    """
+    total = 0.0
+    probe_cost = model.cost_random() + model.cost_scan(model.mem_hash_bytes)
+    for query, frequency in workload:
+        probes = index.probe_plan(query.words).probe_count()
+        total += frequency * probes * probe_cost
+    return total
+
+
 def _node_scan_cost(node: DataNode, query_len: int, model: CostModel) -> float:
     """Sequential cost of one probe into ``node`` for a ``query_len`` query."""
     return model.cost_scan(node.scan_bytes_for_query_len(query_len))
@@ -99,7 +119,13 @@ def cost_node(
 def total_cost(
     index: WordSetIndex, workload: Workload, model: CostModel
 ) -> float:
-    """``Cost(WL, M) = Cost_Hash + Cost_Node``."""
-    return cost_hash(workload, model, index.max_words) + cost_node(
+    """``Cost(WL, M) = Cost_Hash + Cost_Node``.
+
+    Uses the index's executed probe plan for the hash term so the analytic
+    cost reconciles with an :class:`~repro.cost.accounting.AccessTracker`
+    measurement whether or not the fast path is on; for a
+    ``fast_path=False`` index this equals the closed-form ``cost_hash``.
+    """
+    return cost_hash_index(index, workload, model) + cost_node(
         index, workload, model
     )

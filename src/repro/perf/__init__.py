@@ -1,0 +1,44 @@
+"""Performance fast paths for broad-match query processing.
+
+The paper bounds the number of hash probes per query analytically
+(Section IV-B: ``Σ C(|Q|, i)`` after re-mapping); this subpackage makes the
+*executed* probe count approach the number of probes that can possibly hit:
+
+* :mod:`repro.perf.prefilter` — probe planning: intersect the query with
+  the indexed locator vocabulary and cap/skip subset sizes using the
+  index's locator-size histogram, so subsets that cannot address any node
+  are never generated;
+* :mod:`repro.perf.memohash` — memoized per-word hash contributions and
+  incremental subset-hash enumeration, so each probed subset costs an O(1)
+  XOR combine instead of re-hashing its words;
+* :mod:`repro.perf.batch` — :class:`BatchQueryEngine`: deduplicates
+  identical word-sets across a batch of queries and fans work out across
+  :class:`~repro.core.sharded.ShardedWordSetIndex` shards via a worker
+  pool;
+* :mod:`repro.perf.bench` — the fast-path benchmark driver that persists
+  probe-count and latency results (``BENCH_PR1.json``).
+
+All fast paths are result-identical to the naive enumeration; the property
+tests in ``tests/perf`` and ``benchmarks/test_bench_fastpath.py`` pin this.
+"""
+
+from repro.perf.batch import BatchQueryEngine, BatchStats
+from repro.perf.memohash import (
+    clear_contrib_cache,
+    hashed_index_subsets,
+    hashed_subsets,
+    word_contrib,
+)
+from repro.perf.prefilter import ProbePlan, naive_plan, plan_probes
+
+__all__ = [
+    "BatchQueryEngine",
+    "BatchStats",
+    "ProbePlan",
+    "clear_contrib_cache",
+    "hashed_index_subsets",
+    "hashed_subsets",
+    "naive_plan",
+    "plan_probes",
+    "word_contrib",
+]

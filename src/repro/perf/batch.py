@@ -1,0 +1,166 @@
+"""Batched query serving: dedup shared work, fan out across shards.
+
+Production sponsored-search frontends aggregate concurrent requests into
+micro-batches.  Within one batch two structural savings apply:
+
+* **word-set dedup** — broad match only sees the query's word-set, and
+  power-law traffic repeats the head queries constantly, so a batch
+  usually contains far fewer distinct word-sets than queries.  Each
+  distinct set is probed once and the result fanned back to every
+  position that asked for it.
+* **shard-parallel scatter** — against a
+  :class:`~repro.core.sharded.ShardedWordSetIndex`, each shard's probe
+  pass over the deduplicated batch runs on a worker-pool thread.  Results
+  are gathered in shard order, so the per-query union is identical to the
+  sequential scatter-gather.
+
+The engine works with any retrieval structure exposing ``query_broad``
+(hash index, trie, cached, compressed); shard fan-out engages when the
+structure has a ``shards`` attribute.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.ads import Advertisement
+from repro.core.matching import MatchType
+from repro.core.queries import Query
+
+
+@dataclass(slots=True)
+class BatchStats:
+    """Aggregate counters over every batch the engine processed."""
+
+    batches: int = 0
+    queries: int = 0
+    distinct_wordsets: int = 0
+
+    def dedup_rate(self) -> float:
+        """Fraction of queries answered from another query's probe pass."""
+        if not self.queries:
+            return 0.0
+        return 1.0 - self.distinct_wordsets / self.queries
+
+
+class BatchQueryEngine:
+    """Deduplicating, shard-parallel batch frontend over a retrieval
+    structure.
+
+    Parameters
+    ----------
+    index:
+        Any structure with ``query_broad`` (and ``query`` for non-broad
+        match types).  A ``shards`` attribute (list of per-shard indexes)
+        enables worker-pool fan-out.
+    max_workers:
+        Worker-pool width for shard fan-out; defaults to
+        ``min(num_shards, cpu_count)``.  ``1`` forces sequential scatter.
+    """
+
+    def __init__(self, index, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.index = index
+        self.max_workers = max_workers
+        self.stats = BatchStats()
+
+    # ------------------------------------------------------------------ #
+
+    def query_broad_batch(
+        self, queries: Sequence[Query]
+    ) -> list[list[Advertisement]]:
+        """Broad-match every query; one independent result list per input
+        position, in input order."""
+        return self.query_batch(queries, MatchType.BROAD)
+
+    def query_batch(
+        self, queries: Sequence[Query], match_type: MatchType
+    ) -> list[list[Advertisement]]:
+        """Process a batch under any match semantics.
+
+        Broad match dedups on the word-set; phrase and exact match verify
+        token order, so they dedup on the exact token sequence instead.
+        """
+        queries = list(queries)
+        if match_type is MatchType.BROAD:
+            key_of = _wordset_key
+        else:
+            key_of = _token_key
+        groups: dict[object, list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(key_of(query), []).append(position)
+        # Deterministic processing order: sorted keys keep similar word-sets
+        # adjacent (shared memoized hash contributions stay hot) and make
+        # traces reproducible across runs regardless of set iteration order.
+        ordered_keys = sorted(groups, key=sorted)
+        representatives = [queries[groups[key][0]] for key in ordered_keys]
+
+        shards = getattr(self.index, "shards", None)
+        if shards:
+            per_rep = self._scatter_shards(shards, representatives, match_type)
+        else:
+            per_rep = [
+                self._query_one(self.index, query, match_type)
+                for query in representatives
+            ]
+
+        results: list[list[Advertisement]] = [[] for _ in queries]
+        for key, matched in zip(ordered_keys, per_rep):
+            for position in groups[key]:
+                results[position] = list(matched)
+        self.stats.batches += 1
+        self.stats.queries += len(queries)
+        self.stats.distinct_wordsets += len(representatives)
+        return results
+
+    # ------------------------------------------------------------------ #
+
+    def _scatter_shards(
+        self,
+        shards: Sequence,
+        representatives: Sequence[Query],
+        match_type: MatchType,
+    ) -> list[list[Advertisement]]:
+        """Run every shard over the whole deduplicated batch, one shard per
+        worker, and gather per-query unions in shard order."""
+
+        def run_shard(shard) -> list[list[Advertisement]]:
+            return [
+                self._query_one(shard, query, match_type)
+                for query in representatives
+            ]
+
+        workers = self.max_workers
+        if workers is None:
+            workers = min(len(shards), os.cpu_count() or 1)
+        if workers <= 1 or len(shards) == 1:
+            per_shard = [run_shard(shard) for shard in shards]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                per_shard = list(pool.map(run_shard, shards))
+        return [
+            [
+                ad
+                for shard_results in per_shard
+                for ad in shard_results[i]
+            ]
+            for i in range(len(representatives))
+        ]
+
+    @staticmethod
+    def _query_one(index, query: Query, match_type: MatchType):
+        if match_type is MatchType.BROAD:
+            return index.query_broad(query)
+        return index.query(query, match_type)
+
+
+def _wordset_key(query: Query) -> frozenset[str]:
+    return query.words
+
+
+def _token_key(query: Query) -> tuple[str, ...]:
+    return query.tokens

@@ -8,8 +8,12 @@ words, the cache flushes wholesale on mutation (mutations are rare relative
 to queries — the same asymmetry the paper leans on for deletions).
 
 ``CachedIndex`` wraps any structure exposing ``query_broad`` (and
-optionally ``insert``/``delete``), preserving the interchangeable-retrieval
-contract of :class:`repro.serving.server.AdServer`.
+optionally ``query``/``insert``/``delete``) and is a true drop-in for
+:class:`repro.serving.server.AdServer`'s pluggable-index contract: all
+three match types are cached (phrase/exact keyed on the exact token
+sequence, since they verify word order), ``stats()``/``__len__`` and
+mutations delegate, and unknown attributes fall through to the wrapped
+structure.  Cache counters live on :attr:`CachedIndex.cache_stats`.
 """
 
 from __future__ import annotations
@@ -18,7 +22,12 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.core.ads import Advertisement
+from repro.core.matching import MatchType
 from repro.core.queries import Query
+
+#: Cache key: broad match folds to the word-set; phrase/exact verify token
+#: order, so they key on the exact token sequence.
+_CacheKey = tuple[MatchType, object]
 
 
 @dataclass(slots=True)
@@ -40,29 +49,48 @@ class CachedIndex:
             raise ValueError("capacity must be >= 1")
         self.index = index
         self.capacity = capacity
-        self._cache: OrderedDict[frozenset[str], list[Advertisement]] = (
+        self._cache: OrderedDict[_CacheKey, list[Advertisement]] = (
             OrderedDict()
         )
-        self.stats = CacheStats()
+        self.cache_stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Queries
 
     def query_broad(self, query: Query) -> list[Advertisement]:
-        key = query.words
+        return self.query(query, MatchType.BROAD)
+
+    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        """Process a query under any match semantics, through the cache."""
+        if match_type is MatchType.BROAD:
+            key: _CacheKey = (match_type, query.words)
+        else:
+            key = (match_type, query.tokens)
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
-            self.stats.hits += 1
+            self.cache_stats.hits += 1
             return list(cached)
-        self.stats.misses += 1
-        result = self.index.query_broad(query)
+        self.cache_stats.misses += 1
+        if match_type is MatchType.BROAD:
+            result = self.index.query_broad(query)
+        else:
+            result = self.index.query(query, match_type)
         self._cache[key] = list(result)
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
         return result
 
+    def query_broad_batch(self, queries) -> list[list[Advertisement]]:
+        """Batched broad match through the cache: each distinct word-set
+        pays at most one miss, repeats within the batch hit."""
+        return [self.query_broad(query) for query in queries]
+
+    # ------------------------------------------------------------------ #
     # Mutations pass through and invalidate.
 
-    def insert(self, ad: Advertisement, **kwargs) -> None:
-        self.index.insert(ad, **kwargs)
+    def insert(self, ad: Advertisement, locator=None, **kwargs) -> None:
+        self.index.insert(ad, locator=locator, **kwargs)
         self.invalidate()
 
     def delete(self, ad: Advertisement) -> bool:
@@ -75,10 +103,28 @@ class CachedIndex:
         """Drop every cached result (corpus changed)."""
         if self._cache:
             self._cache.clear()
-        self.stats.invalidations += 1
+        self.cache_stats.invalidations += 1
+
+    # ------------------------------------------------------------------ #
+    # Delegation
+
+    def stats(self):
+        """Structural statistics of the wrapped index (not cache counters —
+        those are :attr:`cache_stats`)."""
+        return self.index.stats()
 
     def __len__(self) -> int:
         return len(self.index)
+
+    def __getattr__(self, name: str):
+        # True drop-in behaviour: anything the cache layer does not define
+        # (``nodes``, ``placement``, ``check_invariants``, ``probe_plan``,
+        # ...) falls through to the wrapped structure.  Dunder/private
+        # lookups are excluded so failed internal protocol probes surface
+        # normally.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self.index, name)
 
     @property
     def cached_queries(self) -> int:

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.core.ads import Advertisement
 from repro.core.matching import passes_exclusions
 from repro.core.queries import Query
+from repro.perf.batch import BatchQueryEngine
 from repro.serving.auction import AuctionOutcome, run_gsp_auction
 
 
@@ -72,6 +73,9 @@ class AdServer:
         Optional quality score per ad for the GSP ranking.
     frequency_cap:
         Max times one listing may be shown to the same user id.
+    batch_workers:
+        Worker-pool width for :meth:`serve_batch` retrieval fan-out over a
+        sharded index (None = one worker per shard, up to the CPU count).
     """
 
     def __init__(
@@ -82,6 +86,7 @@ class AdServer:
         campaign_budgets_micros: dict[int, int] | None = None,
         quality_fn: Callable[[Advertisement], float] | None = None,
         frequency_cap: int | None = None,
+        batch_workers: int | None = None,
     ) -> None:
         if slots < 1:
             raise ValueError("slots must be >= 1")
@@ -90,8 +95,10 @@ class AdServer:
         self.reserve_micros = reserve_micros
         self.quality_fn = quality_fn
         self.frequency_cap = frequency_cap
+        self.batch_workers = batch_workers
         self._budgets = dict(campaign_budgets_micros or {})
         self._seen: dict[tuple[object, int], int] = {}
+        self._batch_engine: BatchQueryEngine | None = None
         self.stats = ServingStats()
 
     # ------------------------------------------------------------------ #
@@ -113,6 +120,35 @@ class AdServer:
     def serve(self, query: Query, user_id: object = None) -> ServeResult:
         """Run the full pipeline for one query."""
         candidates = self.index.query_broad(query)
+        return self._finish(query, candidates, user_id)
+
+    def serve_batch(
+        self, queries: Iterable[Query], user_id: object = None
+    ) -> list[ServeResult]:
+        """Serve a micro-batch: batched retrieval, then the sequential
+        filter/auction pipeline per query.
+
+        Retrieval deduplicates identical word-sets and fans out across
+        shards via the worker pool (:class:`BatchQueryEngine`); filters,
+        budgets, frequency caps, and auctions then run in input order, so
+        every stateful outcome (budget pacing, caps) is identical to
+        calling :meth:`serve` query by query.
+        """
+        queries = list(queries)
+        if self._batch_engine is None or self._batch_engine.index is not self.index:
+            self._batch_engine = BatchQueryEngine(
+                self.index, max_workers=self.batch_workers
+            )
+        candidate_lists = self._batch_engine.query_broad_batch(queries)
+        return [
+            self._finish(query, candidates, user_id)
+            for query, candidates in zip(queries, candidate_lists)
+        ]
+
+    def _finish(
+        self, query: Query, candidates: list[Advertisement], user_id: object
+    ) -> ServeResult:
+        """Filters -> auction -> stats for one query's candidate set."""
         self.stats.queries += 1
         self.stats.candidates += len(candidates)
 

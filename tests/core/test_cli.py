@@ -101,6 +101,62 @@ class TestQuery:
         assert "0 broad-match result(s)" in capsys.readouterr().out
 
 
+class TestBatch:
+    @pytest.fixture()
+    def queries_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "cheap used books\n"
+            "used books cheap\n"  # same word-set -> deduped
+            "\n"
+            "books\n"
+            "zz qq\n"
+        )
+        return path
+
+    def test_batch_summary(self, snapshot, queries_file, capsys):
+        assert main(["batch", str(snapshot), str(queries_file)]) == 0
+        out = capsys.readouterr().out
+        assert "4 queries (3 distinct, 25% deduped)" in out
+        assert "qps" in out
+
+    def test_batch_show_per_query(self, snapshot, queries_file, capsys):
+        assert main(
+            ["batch", str(snapshot), str(queries_file), "--show"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "'cheap used books': 3 result(s)" in out
+        assert "'zz qq': 0 result(s)" in out
+
+    def test_batch_sharded_with_workers(self, snapshot, queries_file, capsys):
+        assert main(
+            [
+                "batch", str(snapshot), str(queries_file),
+                "--shards", "2", "--workers", "2", "--show",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "'cheap used books': 3 result(s)" in out
+
+    def test_batch_exact_match(self, snapshot, queries_file, capsys):
+        assert main(
+            ["batch", str(snapshot), str(queries_file), "--match", "exact"]
+        ) == 0
+        assert "-> 2 results" in capsys.readouterr().out
+
+    def test_batch_stdin(self, snapshot, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO("books\n"))
+        assert main(["batch", str(snapshot), "-"]) == 0
+        assert "1 queries" in capsys.readouterr().out
+
+    def test_batch_empty_input_errors(self, snapshot, tmp_path):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n")
+        assert main(["batch", str(snapshot), str(empty)]) == 2
+
+
 class TestExplainAndStats:
     def test_explain(self, snapshot, capsys):
         assert main(["explain", str(snapshot), "cheap used books"]) == 0

@@ -62,6 +62,53 @@ class TestForcedCollisions:
         assert 3 not in {a.info.listing_id for a in index.query_broad(q)}
         assert len(index) == 9
 
+    def test_delete_under_remapping_with_colliding_wordsets(self, monkeypatch):
+        """Regression: two word-sets sharing one node through a hash
+        collision, one of them re-mapped.  Deleting either group must
+        unregister *its own* placement locator (not the node's), keep the
+        other group queryable, and only drop the node when empty."""
+        from repro.core.wordhash import wordhash as real
+
+        remap_locator = frozenset({"used", "books"})
+        colliding = frozenset({"maps"})
+
+        def fake(words):
+            if words == colliding:
+                return real(remap_locator)
+            return real(words)
+
+        monkeypatch.setattr(wsi, "wordhash", fake)
+
+        remapped = ad("cheap used books", 1)
+        other = ad("maps", 2)
+        index = WordSetIndex.from_corpus(
+            AdCorpus([remapped, other]),
+            mapping={remapped.words: remap_locator},
+        )
+        # One shared node; both groups found through their own locators.
+        assert index.stats().num_nodes == 1
+        index.check_invariants()
+        assert [a.info.listing_id for a in index.query_broad(
+            Query.from_text("cheap used books today")
+        )] == [1]
+
+        assert index.delete(remapped)
+        index.check_invariants()
+        assert len(index) == 1
+        # The survivor's size-1 locator must still be probed (the old
+        # node-locator bookkeeping dropped the wrong refcounts here).
+        assert [a.info.listing_id for a in index.query_broad(
+            Query.from_text("old maps")
+        )] == [2]
+        assert index.query_broad(Query.from_text("cheap used books")) == []
+
+        assert index.delete(other)
+        index.check_invariants()
+        assert len(index) == 0
+        assert index.stats().num_nodes == 0
+        assert index.indexed_vocabulary() == frozenset()
+        assert index.locator_size_histogram() == {}
+
 
 class TestUnicodeAndEdgeInputs:
     def test_unicode_bid_phrases(self):

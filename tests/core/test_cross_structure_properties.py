@@ -8,7 +8,6 @@ lookup (random suffix size and encoding), and the impact index — and
 requires byte-identical result sets from all of them.
 """
 
-import string
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -89,10 +89,23 @@ class TestSharding:
     def test_per_shard_trackers(self, corpus):
         trackers = [AccessTracker() for _ in range(3)]
         sharded = ShardedWordSetIndex.from_corpus(
-            corpus, num_shards=3, trackers=trackers
+            corpus, num_shards=3, trackers=trackers, fast_path=False
         )
         sharded.query_broad(Query.from_text("w1 common x1"))
         assert all(t.stats.hash_probes > 0 for t in trackers)
+
+    def test_per_shard_trackers_fast_path(self, corpus):
+        # On the fast path, shards whose locator vocabulary cannot cover a
+        # size-3 subset (every locator here has 3 words) skip all probes;
+        # every shard still records the query.
+        trackers = [AccessTracker() for _ in range(3)]
+        sharded = ShardedWordSetIndex.from_corpus(
+            corpus, num_shards=3, trackers=trackers
+        )
+        results = sharded.query_broad(Query.from_text("w1 common x1"))
+        assert {a.info.listing_id for a in results} == {1}
+        assert all(t.stats.queries == 1 for t in trackers)
+        assert sum(t.stats.hash_probes for t in trackers) >= 1
 
 
 words_alphabet = [f"w{i}" for i in range(9)]

@@ -99,3 +99,31 @@ class TestTruncateQuery:
     def test_deterministic_without_selectivity(self):
         words = frozenset(f"w{i}" for i in range(8))
         assert truncate_query(words, 3) == truncate_query(words, 3)
+
+    def test_no_selectivity_keeps_lexicographically_first(self):
+        # The documented fallback: no frequency data means the sorted-word
+        # prefix, independent of set iteration order.
+        words = frozenset({"delta", "alpha", "echo", "bravo", "charlie"})
+        assert truncate_query(words, 2) == frozenset({"alpha", "bravo"})
+
+    def test_equal_frequencies_tie_break_on_word(self):
+        # All words equally selective: the (frequency, word) sort key must
+        # fall back to lexicographic order, not hash order.
+        words = frozenset({"zebra", "apple", "mango", "kiwi"})
+        kept = truncate_query(words, 2, selectivity=lambda w: 7)
+        assert kept == frozenset({"apple", "kiwi"})
+
+    def test_partial_tie_mixes_frequency_then_word(self):
+        freq = {"rare": 1, "tie1": 5, "tie2": 5, "common": 100}
+        kept = truncate_query(
+            frozenset(freq), 3, selectivity=freq.__getitem__
+        )
+        assert kept == frozenset({"rare", "tie1", "tie2"})
+
+    def test_tie_breaking_is_stable_across_calls(self):
+        words = frozenset(f"word{i}" for i in range(20))
+        results = {
+            truncate_query(words, 5, selectivity=lambda w: 3)
+            for _ in range(10)
+        }
+        assert len(results) == 1

@@ -1,6 +1,5 @@
 """Tests for the WordSetIndex, including property tests against the oracle."""
 
-import string
 
 import pytest
 from hypothesis import given, settings
@@ -165,13 +164,34 @@ class TestLongQueries:
         tracker = AccessTracker()
         ads = [ad("a b", 1)]
         # Without max_words, a 10-word query does 2^10-1 probes; with
-        # max_words=2 only C(10,1)+C(10,2) = 55.
+        # max_words=2 only C(10,1)+C(10,2) = 55.  fast_path=False is the
+        # paper's reference enumeration the formula describes.
         index = WordSetIndex.from_corpus(
-            AdCorpus(ads), max_words=2, tracker=tracker, max_query_words=10
+            AdCorpus(ads),
+            max_words=2,
+            tracker=tracker,
+            max_query_words=10,
+            fast_path=False,
         )
         q = Query.from_text("a b " + " ".join(f"x{i}" for i in range(8)))
         index.query_broad(q)
         assert tracker.stats.hash_probes == 55
+
+    def test_fast_path_prunes_probes_identically(self):
+        # Same setup on the fast path: only {a, b} are indexed words and
+        # the single locator has size 2, so one probe suffices — with the
+        # same results.
+        tracker = AccessTracker()
+        index = WordSetIndex.from_corpus(
+            AdCorpus([ad("a b", 1)]),
+            max_words=2,
+            tracker=tracker,
+            max_query_words=10,
+        )
+        q = Query.from_text("a b " + " ".join(f"x{i}" for i in range(8)))
+        assert [a.info.listing_id for a in index.query_broad(q)] == [1]
+        assert tracker.stats.hash_probes == 1
+        assert index.probe_count(q) == 1
 
 
 class TestStatsAndAccounting:
@@ -187,12 +207,27 @@ class TestStatsAndAccounting:
     def test_tracker_counts_probes_and_scans(self):
         tracker = AccessTracker()
         index = WordSetIndex.from_corpus(
-            AdCorpus([ad("used books", 1)]), tracker=tracker
+            AdCorpus([ad("used books", 1)]),
+            tracker=tracker,
+            fast_path=False,
         )
         index.query_broad(Query.from_text("used books"))
         # 3 subsets probed for a 2-word query; 1 node scanned.
         assert tracker.stats.hash_probes == 3
         assert tracker.stats.random_accesses == 4  # 3 probes + 1 node
+        assert tracker.stats.queries == 1
+        assert tracker.stats.bytes_scanned > 0
+
+    def test_tracker_counts_pruned_probes(self):
+        # The fast path skips the size-1 probes (the only locator has two
+        # words): a single probe, still one node scanned.
+        tracker = AccessTracker()
+        index = WordSetIndex.from_corpus(
+            AdCorpus([ad("used books", 1)]), tracker=tracker
+        )
+        index.query_broad(Query.from_text("used books"))
+        assert tracker.stats.hash_probes == 1
+        assert tracker.stats.random_accesses == 2  # 1 probe + 1 node
         assert tracker.stats.queries == 1
         assert tracker.stats.bytes_scanned > 0
 

@@ -1,7 +1,5 @@
 """Incremental-build coverage for the inverted baselines."""
 
-import pytest
-
 from repro.core.ads import AdCorpus, AdInfo, Advertisement
 from repro.core.queries import Query
 from repro.core.wordset_index import WordSetIndex

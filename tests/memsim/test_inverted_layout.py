@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.ads import AdCorpus, AdInfo, Advertisement
 from repro.core.queries import Query
-from repro.core.wordhash import fnv1a
 from repro.datagen.corpus import CorpusConfig, generate_corpus
 from repro.datagen.querygen import QueryConfig, generate_workload
 from repro.invindex.nonredundant import NonRedundantInvertedIndex

@@ -3,14 +3,13 @@
 import pytest
 
 from repro.core.ads import AdCorpus, AdInfo, Advertisement
-from repro.core.queries import Query
 from repro.core.wordhash import wordhash
 from repro.core.wordset_index import WordSetIndex
 from repro.cost.model import CostModel
 from repro.datagen.corpus import CorpusConfig, generate_corpus
 from repro.datagen.querygen import QueryConfig, generate_workload
 from repro.memsim.counters import run_traced_workload
-from repro.memsim.layout import BUCKET_BYTES, IndexLayout
+from repro.memsim.layout import IndexLayout
 from repro.optimize.mapping import OptimizerConfig, optimize_mapping
 from repro.optimize.remap import build_index
 

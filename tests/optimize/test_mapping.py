@@ -7,11 +7,9 @@ from hypothesis import strategies as st
 from repro.core.ads import AdCorpus, AdInfo, Advertisement
 from repro.core.matching import naive_broad_match
 from repro.core.queries import Query, Workload
-from repro.core.wordset_index import WordSetIndex
 from repro.cost.model import CostModel
 from repro.cost.workload_cost import cost_node, total_cost
 from repro.optimize.mapping import (
-    Group,
     Mapping,
     OptimizerConfig,
     corpus_groups,

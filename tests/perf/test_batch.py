@@ -1,0 +1,130 @@
+"""Tests for the deduplicating, shard-parallel batch query engine."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import MatchType
+from repro.core.queries import Query
+from repro.core.sharded import ShardedWordSetIndex
+from repro.core.wordset_index import WordSetIndex
+from repro.perf.batch import BatchQueryEngine
+from repro.serving.result_cache import CachedIndex
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def corpus():
+    return AdCorpus(
+        [ad(f"w{i % 7} common x{i}", i) for i in range(40)]
+        + [ad("common", 100)]
+    )
+
+
+def ids(results):
+    return [sorted(a.info.listing_id for a in batch) for batch in results]
+
+
+class TestDedup:
+    def test_same_wordset_computed_once(self, corpus):
+        index = WordSetIndex.from_corpus(corpus)
+        engine = BatchQueryEngine(index)
+        batch = [
+            Query.from_text("w1 common x1"),
+            Query.from_text("common w1 x1"),  # same word-set, other order
+            Query.from_text("common"),
+        ]
+        results = engine.query_broad_batch(batch)
+        assert engine.stats.queries == 3
+        assert engine.stats.distinct_wordsets == 2
+        assert engine.stats.dedup_rate() == pytest.approx(1 / 3)
+        assert ids(results)[0] == ids(results)[1]
+
+    def test_results_are_independent_copies(self, corpus):
+        engine = BatchQueryEngine(WordSetIndex.from_corpus(corpus))
+        q = Query.from_text("common")
+        first, second = engine.query_broad_batch([q, q])
+        first.clear()
+        assert second  # clearing one position must not affect the other
+
+    def test_stats_accumulate_across_batches(self, corpus):
+        engine = BatchQueryEngine(WordSetIndex.from_corpus(corpus))
+        engine.query_broad_batch([Query.from_text("common")])
+        engine.query_broad_batch([Query.from_text("common")])
+        assert engine.stats.batches == 2
+        assert engine.stats.queries == 2
+
+    def test_empty_batch(self, corpus):
+        engine = BatchQueryEngine(WordSetIndex.from_corpus(corpus))
+        assert engine.query_broad_batch([]) == []
+
+
+class TestOrderEquivalence:
+    def queries(self):
+        return [
+            Query.from_text(t)
+            for t in (
+                "w1 common x1",
+                "common",
+                "w2 common x2",
+                "no match here",
+                "common w1 x1",
+            )
+        ]
+
+    def test_matches_sequential_single_index(self, corpus):
+        index = WordSetIndex.from_corpus(corpus)
+        engine = BatchQueryEngine(index)
+        batch = engine.query_broad_batch(self.queries())
+        sequential = [index.query_broad(q) for q in self.queries()]
+        assert ids(batch) == ids(sequential)
+
+    @pytest.mark.parametrize("max_workers", [None, 1, 2])
+    def test_matches_sequential_sharded(self, corpus, max_workers):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=3)
+        engine = BatchQueryEngine(sharded, max_workers=max_workers)
+        batch = engine.query_broad_batch(self.queries())
+        sequential = [sharded.query_broad(q) for q in self.queries()]
+        assert ids(batch) == ids(sequential)
+        # Shard-order gather: exact result order matches scatter-gather.
+        assert [
+            [a.info.listing_id for a in b] for b in batch
+        ] == [[a.info.listing_id for a in s] for s in sequential]
+
+    def test_sharded_convenience_method(self, corpus):
+        sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=2)
+        got = sharded.query_broad_batch(self.queries())
+        want = [sharded.query_broad(q) for q in self.queries()]
+        assert ids(got) == ids(want)
+
+
+class TestMatchTypes:
+    def test_phrase_and_exact_dedup_on_tokens(self):
+        index = WordSetIndex.from_corpus(
+            AdCorpus([ad("used books", 1), ad("books used", 2)])
+        )
+        engine = BatchQueryEngine(index)
+        batch = [
+            Query.from_text("used books"),
+            Query.from_text("books used"),  # same word-set, different tokens
+        ]
+        exact = engine.query_batch(batch, MatchType.EXACT)
+        assert ids(exact) == [[1], [2]]
+        # Token-keyed dedup: two distinct token sequences, no sharing.
+        assert engine.stats.distinct_wordsets == 2
+
+    def test_broad_through_cache_wrapper(self, corpus):
+        cached = CachedIndex(WordSetIndex.from_corpus(corpus), capacity=8)
+        engine = BatchQueryEngine(cached)
+        q = Query.from_text("common")
+        engine.query_broad_batch([q, q, q])
+        # Engine dedups before the cache sees repeats: one miss total.
+        assert cached.cache_stats.misses == 1
+
+
+class TestValidation:
+    def test_rejects_bad_worker_count(self, corpus):
+        with pytest.raises(ValueError):
+            BatchQueryEngine(WordSetIndex.from_corpus(corpus), max_workers=0)

@@ -1,0 +1,94 @@
+"""Property test: the probe-pruning fast path is result-identical.
+
+The tentpole guarantee of the fast path is that it changes *only* the
+probe count, never the answer.  Random corpora (with and without
+re-mapping) and random query batches are checked three ways against each
+other: pruned index, unpruned index, and the brute-force oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.perf.batch import BatchQueryEngine
+
+ALPHABET = [f"w{i}" for i in range(10)]
+
+
+def phrase_strategy(max_len=5):
+    return st.lists(
+        st.sampled_from(ALPHABET), min_size=1, max_size=max_len
+    ).map(" ".join)
+
+
+@st.composite
+def corpus_queries_and_mapping(draw):
+    phrases = draw(st.lists(phrase_strategy(), min_size=1, max_size=20))
+    ads = [
+        Advertisement.from_text(p, AdInfo(listing_id=i))
+        for i, p in enumerate(phrases)
+    ]
+    queries = draw(
+        st.lists(phrase_strategy(max_len=7), min_size=1, max_size=6)
+    )
+    # Optionally re-map some long word-sets to a locator subset, so the
+    # property also covers pruning under non-identity placement.
+    mapping = {}
+    for ad in ads:
+        if len(ad.words) >= 3 and draw(st.booleans()):
+            keep = draw(
+                st.integers(min_value=1, max_value=len(ad.words) - 1)
+            )
+            mapping[ad.words] = frozenset(sorted(ad.words)[:keep])
+    return ads, [Query.from_text(q) for q in queries], mapping
+
+
+@settings(max_examples=60, deadline=None)
+@given(corpus_queries_and_mapping())
+def test_fast_naive_and_oracle_agree(data):
+    ads, queries, mapping = data
+    corpus = AdCorpus(ads)
+    fast = WordSetIndex.from_corpus(corpus, mapping=mapping or None)
+    naive = WordSetIndex.from_corpus(
+        corpus, mapping=mapping or None, fast_path=False
+    )
+    fast.check_invariants()
+    engine = BatchQueryEngine(fast)
+    batched = engine.query_broad_batch(queries)
+    for query, from_batch in zip(queries, batched):
+        want = sorted(
+            a.info.listing_id for a in naive_broad_match(corpus, query)
+        )
+        got_fast = sorted(
+            a.info.listing_id for a in fast.query_broad(query)
+        )
+        got_naive = sorted(
+            a.info.listing_id for a in naive.query_broad(query)
+        )
+        got_batch = sorted(a.info.listing_id for a in from_batch)
+        assert got_fast == got_naive == got_batch == want
+        # Pruning can only remove probes, never add them.
+        assert fast.probe_count(query) <= naive.probe_count(query)
+
+
+@settings(max_examples=30, deadline=None)
+@given(corpus_queries_and_mapping())
+def test_equivalence_survives_deletions(data):
+    ads, queries, mapping = data
+    corpus = AdCorpus(ads)
+    fast = WordSetIndex.from_corpus(corpus, mapping=mapping or None)
+    survivors = [ad for i, ad in enumerate(ads) if i % 3 != 0]
+    for i, ad in enumerate(ads):
+        if i % 3 == 0:
+            assert fast.delete(ad)
+    fast.check_invariants()
+    remaining = AdCorpus(survivors)
+    for query in queries:
+        want = sorted(
+            a.info.listing_id for a in naive_broad_match(remaining, query)
+        )
+        got = sorted(a.info.listing_id for a in fast.query_broad(query))
+        assert got == want

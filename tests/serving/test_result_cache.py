@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.ads import AdCorpus, AdInfo, Advertisement
-from repro.core.matching import naive_broad_match
+from repro.core.matching import MatchType, naive_broad_match
 from repro.core.queries import Query
 from repro.core.wordset_index import WordSetIndex
 from repro.datagen.corpus import CorpusConfig, generate_corpus
@@ -29,13 +29,13 @@ class TestCaching:
         assert [a.info.listing_id for a in first] == [
             a.info.listing_id for a in second
         ]
-        assert cached.stats.hits == 1
-        assert cached.stats.misses == 1
+        assert cached.cache_stats.hits == 1
+        assert cached.cache_stats.misses == 1
 
     def test_word_order_shares_entry(self, cached):
         cached.query_broad(Query.from_text("used books"))
         cached.query_broad(Query.from_text("books used"))
-        assert cached.stats.hits == 1
+        assert cached.cache_stats.hits == 1
 
     def test_caller_cannot_corrupt_cache(self, cached):
         q = Query.from_text("used books")
@@ -50,7 +50,7 @@ class TestCaching:
         for i in range(3):
             cached.query_broad(Query.from_text(f"w{i}"))
         cached.query_broad(Query.from_text("w0"))  # evicted -> miss
-        assert cached.stats.misses == 4
+        assert cached.cache_stats.misses == 4
         assert cached.cached_queries == 2
 
     def test_rejects_bad_capacity(self, cached):
@@ -65,7 +65,7 @@ class TestInvalidation:
         cached.insert(ad("cheap books", 3))
         result = cached.query_broad(q)
         assert 3 in {a.info.listing_id for a in result}
-        assert cached.stats.invalidations == 1
+        assert cached.cache_stats.invalidations == 1
 
     def test_delete_invalidates(self, cached):
         q = Query.from_text("cheap used books")
@@ -79,7 +79,74 @@ class TestInvalidation:
         cached.query_broad(q)
         assert not cached.delete(ad("absent", 99))
         cached.query_broad(q)
-        assert cached.stats.hits == 1
+        assert cached.cache_stats.hits == 1
+
+
+class TestDelegation:
+    """CachedIndex is a true drop-in for the pluggable-index contract."""
+
+    def test_query_with_match_type_is_cached(self, cached):
+        q = Query.from_text("used books")
+        first = cached.query(q, MatchType.EXACT)
+        second = cached.query(q, MatchType.EXACT)
+        assert [a.info.listing_id for a in first] == [1]
+        assert [a.info.listing_id for a in second] == [1]
+        assert cached.cache_stats.hits == 1
+
+    def test_match_types_do_not_share_entries(self, cached):
+        q = Query.from_text("cheap used books")
+        broad = cached.query(q, MatchType.BROAD)
+        exact = cached.query(q, MatchType.EXACT)
+        assert len(broad) == 2 and exact == []
+        assert cached.cache_stats.misses == 2
+
+    def test_phrase_keyed_on_token_order(self, cached):
+        # Broad match folds word order away; phrase match must not.
+        a = cached.query(Query.from_text("used books"), MatchType.PHRASE)
+        b = cached.query(Query.from_text("books used"), MatchType.PHRASE)
+        # "used books" (1) is a phrase of the first ordering only; the
+        # one-word phrase "books" (2) sits inside both.
+        assert sorted(x.info.listing_id for x in a) == [1, 2]
+        assert sorted(x.info.listing_id for x in b) == [2]
+        assert cached.cache_stats.hits == 0
+
+    def test_stats_forwards_to_index(self, cached):
+        stats = cached.stats()
+        assert stats.num_ads == 2
+        assert stats.num_nodes == 2
+
+    def test_len_delegates(self, cached):
+        assert len(cached) == len(cached.index) == 2
+
+    def test_insert_and_delete_pass_through(self, cached):
+        cached.insert(ad("rare maps", 7))
+        assert len(cached) == 3
+        assert cached.delete(ad("rare maps", 7))
+        assert len(cached) == 2
+
+    def test_insert_forwards_locator(self, cached):
+        cached.insert(ad("very cheap used books", 8), locator=frozenset({"used"}))
+        assert cached.index.placement()[
+            frozenset({"very", "cheap", "used", "books"})
+        ] == frozenset({"used"})
+
+    def test_unknown_attributes_fall_through(self, cached):
+        assert cached.probe_count(Query.from_text("used books")) >= 1
+        cached.check_invariants()
+        with pytest.raises(AttributeError):
+            cached.no_such_attribute
+
+    def test_private_attributes_do_not_fall_through(self, cached):
+        with pytest.raises(AttributeError):
+            cached._not_a_real_attr
+
+    def test_batch_pays_one_miss_per_wordset(self, cached):
+        q1 = Query.from_text("used books")
+        q2 = Query.from_text("books used")
+        results = cached.query_broad_batch([q1, q2, q1])
+        assert [len(r) for r in results] == [2, 2, 2]
+        assert cached.cache_stats.misses == 1
+        assert cached.cache_stats.hits == 2
 
 
 class TestPowerLawHitRate:
@@ -97,7 +164,7 @@ class TestPowerLawHitRate:
         for query in workload.sample_stream(3_000, seed=2):
             cached.query_broad(query)
         # 100 slots over 500 distinct Zipf queries: well above 100/500.
-        assert cached.stats.hit_rate() > 0.5
+        assert cached.cache_stats.hit_rate() > 0.5
 
     def test_results_always_match_oracle(self):
         generated = generate_corpus(CorpusConfig(num_ads=400, seed=5))

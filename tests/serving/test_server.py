@@ -154,3 +154,81 @@ class TestPluggableRetrieval:
     def test_rejects_bad_slots(self, corpus):
         with pytest.raises(ValueError):
             AdServer(WordSetIndex.from_corpus(corpus), slots=0)
+
+
+class TestServeBatch:
+    QUERIES = (
+        "cheap used books",
+        "books",
+        "used books cheap",  # same word-set as the first
+        "red shoes",
+    )
+
+    def queries(self):
+        return [Query.from_text(t) for t in self.QUERIES]
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda c: WordSetIndex.from_corpus(c),
+            lambda c: ShardedWordSetIndex.from_corpus(c, num_shards=3),
+        ],
+    )
+    def test_batch_equals_sequential_serving(self, corpus, factory):
+        batch_server = AdServer(factory(corpus), slots=2)
+        seq_server = AdServer(factory(corpus), slots=2)
+        batched = batch_server.serve_batch(self.queries())
+        sequential = [seq_server.serve(q) for q in self.queries()]
+        assert [
+            [a.info.listing_id for a in r.ads] for r in batched
+        ] == [[a.info.listing_id for a in r.ads] for r in sequential]
+        assert batch_server.stats == seq_server.stats
+
+    def test_batch_respects_budget_filter(self, corpus):
+        # A campaign whose budget cannot cover its bid is filtered during
+        # batched serving exactly as during sequential serving.
+        budgets = {3: 100}  # listing 3 bids 500
+        batch_server = AdServer(
+            WordSetIndex.from_corpus(corpus),
+            slots=1,
+            campaign_budgets_micros=dict(budgets),
+        )
+        seq_server = AdServer(
+            WordSetIndex.from_corpus(corpus),
+            slots=1,
+            campaign_budgets_micros=dict(budgets),
+        )
+        queries = [Query.from_text("cheap used books")] * 3
+        batched = batch_server.serve_batch(queries)
+        sequential = [seq_server.serve(q) for q in queries]
+        assert [
+            [a.info.listing_id for a in r.ads] for r in batched
+        ] == [[a.info.listing_id for a in r.ads] for r in sequential]
+        assert all(r.ads[0].info.listing_id == 1 for r in batched)
+        assert batch_server.stats == seq_server.stats
+        assert batch_server.stats.filtered_budget == 3
+
+    def test_batch_respects_frequency_cap(self, corpus):
+        server = AdServer(
+            WordSetIndex.from_corpus(corpus), slots=1, frequency_cap=2
+        )
+        queries = [Query.from_text("used books")] * 4
+        results = server.serve_batch(queries, user_id="u1")
+        shown = [r.ads[0].info.listing_id if r.ads else None for r in results]
+        # Listing 1 wins until capped, then the next bidder takes over.
+        assert shown[:2] == [1, 1]
+        assert all(s != 1 for s in shown[2:])
+
+    def test_engine_rebuilt_when_index_swapped(self, corpus):
+        server = AdServer(WordSetIndex.from_corpus(corpus), slots=2)
+        server.serve_batch([Query.from_text("books")])
+        first_engine = server._batch_engine
+        server.index = ShardedWordSetIndex.from_corpus(corpus, num_shards=2)
+        result = server.serve_batch([Query.from_text("cheap used books")])
+        assert server._batch_engine is not first_engine
+        assert [a.info.listing_id for a in result[0].ads] == [3, 1]
+
+    def test_empty_batch(self, corpus):
+        server = AdServer(WordSetIndex.from_corpus(corpus))
+        assert server.serve_batch([]) == []
+        assert server.stats.queries == 0

@@ -17,6 +17,7 @@ SUBPACKAGES = [
     "repro.distsim",
     "repro.datagen",
     "repro.serving",
+    "repro.perf",
 ]
 
 
