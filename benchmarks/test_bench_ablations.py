@@ -129,7 +129,7 @@ class TestImpactOrderingAblation:
         plain = ImpactOrderedIndex.from_corpus(corpus, tracker=t_plain)
         pruned = ImpactOrderedIndex.from_corpus(corpus, tracker=t_pruned)
         for query in trace[:400]:
-            plain.query_broad(query)
+            plain.query(query)
             pruned.query_top_k(query, 4)
         saving = 1 - t_pruned.stats.modeled_ns(MODEL) / max(
             1, t_plain.stats.modeled_ns(MODEL)
@@ -145,7 +145,7 @@ class TestHashVsTrieAblation:
         def replay():
             total = 0
             for query in trace[:300]:
-                total += len(trie.query_broad(query))
+                total += len(trie.query(query))
             return total
 
         benchmark(replay)
@@ -155,8 +155,8 @@ class TestHashVsTrieAblation:
         hashed = build_index(corpus, None, tracker=hash_tracker)
         trie = TrieWordSetIndex.from_corpus(corpus, tracker=trie_tracker)
         for query in trace[:200]:
-            a = sorted(x.info.listing_id for x in hashed.query_broad(query))
-            b = sorted(x.info.listing_id for x in trie.query_broad(query))
+            a = sorted(x.info.listing_id for x in hashed.query(query))
+            b = sorted(x.info.listing_id for x in trie.query(query))
             assert a == b
         # Both do real work; the trie never pays more random accesses than
         # the hash structure's subset probes on these short queries.

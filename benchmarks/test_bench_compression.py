@@ -30,12 +30,12 @@ def test_bench_compressed_query(benchmark, plain_index, trace):
     def replay():
         total = 0
         for query in trace[:300]:
-            total += len(compressed.query_broad(query))
+            total += len(compressed.query(query))
         return total
 
     compressed_total = benchmark(replay)
     plain_total = sum(
-        len(plain_index.query_broad(q)) for q in trace[:300]
+        len(plain_index.query(q)) for q in trace[:300]
     )
     assert compressed_total == plain_total
 
@@ -62,4 +62,4 @@ def test_bench_lookup_kernel(benchmark, plain_index):
 
 def test_compressed_handles_misses(plain_index):
     compressed = CompressedWordSetIndex.from_index(plain_index, suffix_bits=20)
-    assert compressed.query_broad(Query.from_text("zz yy xx")) == []
+    assert compressed.query(Query.from_text("zz yy xx")) == []

@@ -42,7 +42,7 @@ def naive_index(corpus):
 
 def replay_ids(index, queries):
     return [
-        sorted(ad.info.listing_id for ad in index.query_broad(q))
+        sorted(ad.info.listing_id for ad in index.query(q))
         for q in queries
     ]
 
@@ -99,6 +99,45 @@ def test_bench_batch_engine(benchmark, corpus, long_queries):
     )
     assert len(results) == len(batch)
     assert engine.stats.dedup_rate() > 0
+
+
+def test_noop_instrumentation_overhead_within_5pct(corpus, long_queries):
+    """The observability gate: a disabled registry (``obs=NULL_REGISTRY``
+    normalises to ``None``) must cost <= 5% on the fast-path replay.
+
+    Min-of-N timing on interleaved passes so cache state and CPU clocking
+    hit both variants equally; a small absolute epsilon keeps the gate
+    meaningful when a replay pass is only a few milliseconds.
+    """
+    from time import perf_counter
+
+    from repro.obs import NULL_REGISTRY
+
+    bare = WordSetIndex.from_corpus(corpus)
+    noop = WordSetIndex.from_corpus(corpus, obs=NULL_REGISTRY)
+    assert noop._obs is None  # disabled registry normalised away
+
+    def replay_seconds(index):
+        started = perf_counter()
+        for query in long_queries:
+            index.query(query)
+        return perf_counter() - started
+
+    # Warm both, then interleave timed passes and keep the minimum.
+    replay_seconds(bare)
+    replay_seconds(noop)
+    bare_times, noop_times = [], []
+    for _ in range(5):
+        bare_times.append(replay_seconds(bare))
+        noop_times.append(replay_seconds(noop))
+    bare_best = min(bare_times)
+    noop_best = min(noop_times)
+
+    epsilon = 1e-4  # 0.1 ms absolute slack for timer noise
+    assert noop_best <= bare_best * 1.05 + epsilon, (
+        f"no-op instrumentation overhead "
+        f"{(noop_best / bare_best - 1) * 100:.1f}% exceeds 5%"
+    )
 
 
 def test_full_bench_document_persisted():

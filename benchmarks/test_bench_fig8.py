@@ -17,7 +17,7 @@ from repro.optimize.remap import build_index
 
 def replay_bytes(structure, tracker, queries):
     for query in queries:
-        structure.query_broad(query)
+        structure.query(query)
     return tracker.reset().bytes_scanned
 
 

@@ -25,7 +25,7 @@ def query_batch(trace):
 def run_queries(structure, queries):
     total = 0
     for query in queries:
-        total += len(structure.query_broad(query))
+        total += len(structure.query(query))
     return total
 
 
@@ -75,7 +75,7 @@ def test_all_structures_agree(corpus, query_batch):
     ]
     for query in query_batch[:100]:
         results = [
-            sorted(a.info.listing_id for a in s.query_broad(query))
+            sorted(a.info.listing_id for a in s.query(query))
             for s in structures
         ]
         assert all(r == results[0] for r in results)
@@ -83,4 +83,4 @@ def test_all_structures_agree(corpus, query_batch):
 
 def test_query_type_sanity(corpus):
     index = build_index(corpus, None)
-    assert index.query_broad(Query.from_text("zz_unknown_word")) == []
+    assert index.query(Query.from_text("zz_unknown_word")) == []

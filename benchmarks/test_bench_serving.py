@@ -32,7 +32,7 @@ def test_bench_cached_index(benchmark, plain_index, trace):
 
     def replay():
         for query in trace[:500]:
-            cached.query_broad(query)
+            cached.query(query)
         return cached.cache_stats.hit_rate()
 
     benchmark(replay)
@@ -46,7 +46,7 @@ def test_bench_sharded_query(benchmark, corpus, trace):
     def replay():
         total = 0
         for query in trace[:300]:
-            total += len(sharded.query_broad(query))
+            total += len(sharded.query(query))
         return total
 
     sharded_total = benchmark(replay)

@@ -16,6 +16,7 @@ from repro.cost.accounting import AccessTracker
 from repro.cost.model import CostModel
 from repro.datagen.corpus import CorpusConfig, generate_corpus
 from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.obs import MetricsRegistry
 from repro.optimize.mapping import OptimizerConfig, optimize_mapping
 from repro.optimize.remap import build_index
 
@@ -24,7 +25,7 @@ TOP_SLOTS = 4  # ads displayed per query
 
 def serve(index, query, top=TOP_SLOTS):
     """Retrieve, filter, rank: the paper's Section I pipeline sketch."""
-    candidates = index.query_broad(query)
+    candidates = index.query(query)
     eligible = [ad for ad in candidates if passes_exclusions(ad, query)]
     ranked = sorted(eligible, key=lambda ad: -ad.info.bid_price_micros)
     return ranked[:top]
@@ -45,6 +46,8 @@ def main() -> None:
     )
     tracker = AccessTracker()
     index = build_index(corpus, mapping, tracker=tracker)
+    registry = MetricsRegistry()
+    index.bind_obs(registry)  # live metrics alongside the cost model
     identity_tracker = AccessTracker()
     identity = build_index(corpus, None, tracker=identity_tracker)
     print(f"  {len(corpus):,} ads, "
@@ -72,6 +75,15 @@ def main() -> None:
           f"(identity: {identity_stats.modeled_ns(model) / 1e6:.1f} ms)")
     print(f"  random accesses/query: {stats.random_accesses / served:.1f} "
           f"(identity: {identity_stats.random_accesses / served:.1f})")
+
+    snap = registry.snapshot()
+    probes = snap["counters"]["index.probes"]
+    scans = snap["counters"]["index.node_scans"]
+    probe_span = snap["histograms"]["span.probe"]
+    print(f"  hash probes/query:     {probes / served:.1f} "
+          f"({scans / served:.2f} node scans)")
+    print(f"  probe latency p50/p95: {probe_span['p50'] * 1e3:.1f} us / "
+          f"{probe_span['p95'] * 1e3:.1f} us")
 
 
 if __name__ == "__main__":

@@ -55,8 +55,8 @@ def main() -> None:
     )
     checked = 0
     for query, _ in list(workload)[:300]:
-        a = sorted(x.info.listing_id for x in compressed.query_broad(query))
-        b = sorted(x.info.listing_id for x in index.query_broad(query))
+        a = sorted(x.info.listing_id for x in compressed.query(query))
+        b = sorted(x.info.listing_id for x in index.query(query))
         assert a == b, "compressed lookup must be exact"
         checked += 1
     print(f"\nverified {checked} queries identical on compressed vs plain")

@@ -64,7 +64,7 @@ def main() -> None:
     save_index(snapshot, corpus, mapping)
     restarted = load_index(snapshot)
     q = Query.from_text("cheap used books online")
-    before = sorted(a.info.listing_id for a in restarted.index.query_broad(q))
+    before = sorted(a.info.listing_id for a in restarted.index.query(q))
     print(f"after restart, {q.tokens} -> listings {before}")
 
     # 4. Durable serving with an op-log.
@@ -85,9 +85,9 @@ def main() -> None:
         f"recovery replayed {recovered.recovery.replayed_ops} op(s); "
         f"corpus now {len(recovered)} ads"
     )
-    bulk = recovered.query_broad(Query.from_text("used books bulk order"))
+    bulk = recovered.query(Query.from_text("used books bulk order"))
     assert 9 in {a.info.listing_id for a in bulk}
-    assert recovered.query_broad(Query.from_text("flights")) == []
+    assert recovered.query(Query.from_text("flights")) == []
 
     # Compaction folds a fresh optimization into the snapshot.
     new_mapping = optimize_mapping(

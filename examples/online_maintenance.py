@@ -61,7 +61,7 @@ def main() -> None:
         else:  # serve a query, oracle-checked
             query = rng.choice(queries)
             got = sorted(a.info.listing_id
-                         for a in maintained.query_broad(query))
+                         for a in maintained.query(query))
             want = sorted(a.info.listing_id
                           for a in naive_broad_match(live, query))
             assert got == want, f"divergence at step {step}"

@@ -23,7 +23,7 @@ def main() -> None:
     # 2. Broad match: all bid words must appear in the query (the paper's
     # example — "used books" matches "cheap used books" but not "books").
     query = Query.from_text("cheap used books")
-    matches = index.query_broad(query)
+    matches = index.query(query)
     print(f"broad  {query.tokens}: listings "
           f"{sorted(a.info.listing_id for a in matches)}")
 
@@ -37,10 +37,10 @@ def main() -> None:
     # 4. Duplicate words carry meaning: the band "talk talk" is not the
     # word "talk".
     print("broad  ('talk',):", [a.info.listing_id
-                                for a in index.query_broad(Query.from_text("talk"))])
+                                for a in index.query(Query.from_text("talk"))])
     print("broad  ('talk', 'talk'):",
           [a.info.listing_id
-           for a in index.query_broad(Query.from_text("talk talk"))])
+           for a in index.query(Query.from_text("talk talk"))])
 
     # 5. Re-mapping (Figs 4-5): "cheap used books" can live at the node of
     # its subset "used books" without changing any result — one fewer hash
@@ -49,7 +49,7 @@ def main() -> None:
         frozenset({"cheap", "used", "books"}): frozenset({"used", "books"}),
     }
     remapped = WordSetIndex.from_corpus(corpus, mapping=mapping)
-    result = remapped.query_broad(Query.from_text("cheap used books online"))
+    result = remapped.query(Query.from_text("cheap used books online"))
     print(f"after re-mapping: listings "
           f"{sorted(a.info.listing_id for a in result)} "
           f"(nodes: {len(index.nodes)} -> {len(remapped.nodes)})")

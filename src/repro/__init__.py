@@ -11,6 +11,9 @@ Public API highlights:
 * :mod:`repro.compress` — front-coding, delta coding, and the rank/select
   compressed hash replacement of Section VI.
 * :mod:`repro.cost` — the main-memory cost model and access accounting.
+* :mod:`repro.obs` — zero-dependency metrics registry and trace spans wired
+  through every :class:`repro.core.RetrievalIndex` implementation and the
+  serving stack (off-by-default, Prometheus/JSON exposition).
 * :mod:`repro.datagen` — synthetic corpus/workload generators calibrated to
   the paper's published distributions.
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -22,6 +25,7 @@ from repro.core import (
     Advertisement,
     MatchType,
     Query,
+    RetrievalIndex,
     ShardedWordSetIndex,
     TrieWordSetIndex,
     Workload,
@@ -29,6 +33,7 @@ from repro.core import (
     explain_broad_match,
 )
 from repro.cost import AccessTracker, CostModel
+from repro.obs import MetricsRegistry, NullRegistry
 from repro.persist import load_index, save_index
 
 __version__ = "1.0.0"
@@ -40,7 +45,10 @@ __all__ = [
     "AccessTracker",
     "CostModel",
     "MatchType",
+    "MetricsRegistry",
+    "NullRegistry",
     "Query",
+    "RetrievalIndex",
     "ShardedWordSetIndex",
     "TrieWordSetIndex",
     "Workload",

@@ -5,11 +5,14 @@ Everything an operator needs without writing Python::
     python -m repro.cli build --ads ads.csv --out index.jsonl \
         [--workload trace.tsv --optimize --max-words 10]
     python -m repro.cli query index.jsonl "cheap used books" \
-        [--match broad|phrase|exact] [--top 5]
+        [--match broad|phrase|exact] [--top 5] [--metrics-out m.prom]
     python -m repro.cli batch index.jsonl queries.txt \
-        [--match broad] [--shards 4] [--workers 4] [--show]
+        [--match broad] [--shards 4] [--workers 4] [--show] \
+        [--metrics-out m.json]
     python -m repro.cli explain index.jsonl "cheap used books"
-    python -m repro.cli stats index.jsonl
+    python -m repro.cli stats index.jsonl \
+        [--replay queries.txt] [--metrics-format prom|json] \
+        [--metrics-out m.prom]
 
 ``build`` imports a corpus (CSV; see :mod:`repro.datagen.importers`),
 optionally optimizes the mapping against an imported workload, and writes
@@ -32,6 +35,8 @@ from repro.core.sharded import ShardedWordSetIndex
 from repro.cost.model import CostModel
 from repro.datagen.importers import load_corpus_csv, load_workload_tsv
 from repro.datagen.stats import profile_corpus, profile_workload
+from repro.obs import MetricsRegistry
+from repro.obs.export import to_json, to_prometheus, write_metrics
 from repro.optimize.mapping import Mapping, OptimizerConfig, optimize_mapping
 from repro.optimize.remap import long_phrase_mapping
 from repro.perf.batch import BatchQueryEngine
@@ -78,8 +83,24 @@ def _match_type(name: str) -> MatchType:
     }[name]
 
 
+def _metrics_registry(args: argparse.Namespace) -> MetricsRegistry | None:
+    """A live registry when ``--metrics-out`` was passed, else ``None``."""
+    return MetricsRegistry() if getattr(args, "metrics_out", None) else None
+
+
+def _flush_metrics(
+    registry: MetricsRegistry | None, args: argparse.Namespace
+) -> None:
+    if registry is not None:
+        write_metrics(registry, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     loaded = load_index(args.index)
+    registry = _metrics_registry(args)
+    if registry is not None:
+        loaded.index.bind_obs(registry)
     query = Query.from_text(args.query)
     results = loaded.index.query(query, _match_type(args.match))
     results.sort(key=lambda ad: -ad.info.bid_price_micros)
@@ -90,6 +111,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"phrase {' '.join(ad.phrase)!r}"
         )
     print(f"({len(results)} {args.match}-match result(s))")
+    _flush_metrics(registry, args)
     return 0
 
 
@@ -115,7 +137,10 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             mapping=loaded.mapping.as_dict(),
         )
-    engine = BatchQueryEngine(index, max_workers=args.workers)
+    registry = _metrics_registry(args)
+    if registry is not None:
+        index.bind_obs(registry)
+    engine = BatchQueryEngine(index, max_workers=args.workers, obs=registry)
     start = time.perf_counter()
     batches = engine.query_batch(queries, _match_type(args.match))
     elapsed = time.perf_counter() - start
@@ -130,6 +155,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"in {elapsed * 1e3:.1f} ms "
         f"({stats.queries / max(elapsed, 1e-9):,.0f} qps)"
     )
+    _flush_metrics(registry, args)
     return 0
 
 
@@ -152,6 +178,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"hash table bytes:    {stats.hash_table_bytes:,}")
     print(f"node bytes:          {stats.node_bytes:,}")
     print(f"largest node:        {stats.max_node_entries:,} entries")
+    if args.replay:
+        registry = MetricsRegistry()
+        loaded.index.bind_obs(registry)
+        for query in _read_batch_queries(args.replay):
+            loaded.index.query(query)
+        if args.metrics_out:
+            _flush_metrics(registry, args)
+        elif args.metrics_format == "json":
+            print(to_json(registry))
+        else:
+            print(to_prometheus(registry), end="")
     return 0
 
 
@@ -191,6 +228,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--match", choices=("broad", "phrase", "exact"), default="broad"
     )
     query.add_argument("--top", type=int, default=10)
+    query.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write metrics after the query (.json -> JSON snapshot, "
+        "anything else -> Prometheus text exposition)",
+    )
     query.set_defaults(handler=_cmd_query)
 
     batch = sub.add_parser(
@@ -215,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--show", action="store_true", help="print per-query result counts"
     )
+    batch.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write metrics after the batch (.json -> JSON snapshot, "
+        "anything else -> Prometheus text exposition)",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     explain = sub.add_parser("explain", help="profile one broad-match query")
@@ -224,6 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="snapshot statistics")
     stats.add_argument("index")
+    stats.add_argument(
+        "--replay",
+        default=None,
+        help="replay a file of queries ('-' for stdin) with metrics "
+        "enabled and print/write the collected metrics",
+    )
+    stats.add_argument(
+        "--metrics-format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format for --replay output on stdout",
+    )
+    stats.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write --replay metrics to a file instead of stdout",
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     profile = sub.add_parser(

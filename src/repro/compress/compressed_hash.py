@@ -25,6 +25,7 @@ from collections.abc import Iterable
 
 from repro.core.ads import Advertisement
 from repro.core.data_node import DataNode
+from repro.core.matching import MatchType, apply_match_type
 from repro.core.queries import Query
 from repro.core.subset_enum import bounded_subsets
 from repro.core.wordhash import hash_suffix, wordhash
@@ -178,8 +179,27 @@ class CompressedWordSetIndex:
             tracker.query_done()
         return results
 
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        """The shared :class:`RetrievalIndex` surface: broad candidates,
+        then phrase/exact verification on the stored phrases."""
+        return apply_match_type(self.query_broad(query), query, match_type)
+
+    def stats(self) -> dict[str, float]:
+        """Structural statistics (the :class:`RetrievalIndex` surface)."""
+        return {
+            "num_nodes": self.num_nodes(),
+            "node_bytes": self.node_bytes(),
+            "structure_bits": self.structure_bits(),
+            "entropy_bits": self.entropy_bits(),
+        }
+
     # ------------------------------------------------------------------ #
     # Size accounting.
+
+    def __len__(self) -> int:
+        return sum(len(node) for node in self._nodes)
 
     def num_nodes(self) -> int:
         return len(self._nodes)

@@ -16,6 +16,7 @@ from repro.core.matching import (
     naive_broad_match,
     phrase_match,
 )
+from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query, Workload
 from repro.core.sharded import ShardedWordSetIndex
 from repro.core.subset_enum import (
@@ -42,6 +43,7 @@ __all__ = [
     "NodeEntry",
     "Query",
     "QueryExplanation",
+    "RetrievalIndex",
     "ShardedWordSetIndex",
     "TrieWordSetIndex",
     "WordSetIndex",

@@ -22,9 +22,15 @@ import heapq
 from collections.abc import Iterable, Mapping
 
 from repro.core.ads import AdCorpus, Advertisement
+from repro.core.matching import MatchType
+from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.wordhash import wordhash
-from repro.core.wordset_index import HASH_BUCKET_BYTES, WordSetIndex
+from repro.core.wordset_index import (
+    HASH_BUCKET_BYTES,
+    IndexStats,
+    WordSetIndex,
+)
 from repro.cost.accounting import AccessTracker
 
 
@@ -73,13 +79,24 @@ class ImpactOrderedIndex:
     # ------------------------------------------------------------------ #
 
     def query_broad(self, query: Query) -> list[Advertisement]:
-        """Plain broad match (no pruning) — the baseline."""
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
+        return self.query(query)
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        """Plain match without top-k pruning — the baseline."""
         saved = self._inner.tracker
         self._inner.tracker = self.tracker
         try:
-            return self._inner.query_broad(query)
+            return self._inner.query(query, match_type)
         finally:
             self._inner.tracker = saved
+
+    def stats(self) -> IndexStats:
+        """Structural statistics of the underlying hash index."""
+        return self._inner.stats()
 
     def query_top_k(self, query: Query, k: int) -> list[Advertisement]:
         """Top-k broad matches by bid price with max-score node pruning.

@@ -56,6 +56,22 @@ def matches(ad: Advertisement, query: Query, match_type: MatchType) -> bool:
     return exact_match(ad.phrase, query.tokens)
 
 
+def apply_match_type(
+    ads: list[Advertisement], query: Query, match_type: MatchType
+) -> list[Advertisement]:
+    """Narrow a broad-match candidate list to ``match_type`` semantics.
+
+    Broad match returns the list unchanged; phrase and exact match verify
+    token order against each candidate (Section III-B: all three match
+    types share the same probes, only the final verification differs).
+    """
+    if match_type is MatchType.BROAD:
+        return ads
+    if match_type is MatchType.PHRASE:
+        return [ad for ad in ads if phrase_match(ad.phrase, query.tokens)]
+    return [ad for ad in ads if exact_match(ad.phrase, query.tokens)]
+
+
 def passes_exclusions(ad: Advertisement, query: Query) -> bool:
     """Secondary filter: an ad is excluded if any of its exclusion phrases is
     fully contained in the query (Section I-B's keyword-exclusion)."""

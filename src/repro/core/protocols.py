@@ -1,0 +1,67 @@
+"""The shared retrieval surface every index structure conforms to.
+
+Historically each structure grew its own ad-hoc query methods
+(``query_broad``, ``query(query, match_type)`` with a required second
+argument, duck-typed consumers).  :class:`RetrievalIndex` is the one
+contract now: consumers (:class:`~repro.serving.server.AdServer`,
+:class:`~repro.perf.batch.BatchQueryEngine`, the CLI, the experiment
+drivers) type against it, and all five concrete structures —
+``WordSetIndex``, ``TrieWordSetIndex``, ``ShardedWordSetIndex``,
+``ImpactOrderedIndex``, and ``CachedIndex`` — implement it, as do the
+inverted-index baselines and the compressed hash replacement.
+
+``query_broad(q)`` survives as a thin deprecated alias for
+``query(q)``; call sites should migrate to ``query``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Protocol, runtime_checkable
+
+from repro.core.ads import Advertisement
+from repro.core.matching import MatchType
+from repro.core.queries import Query
+
+__all__ = ["RetrievalIndex", "warn_query_broad_deprecated"]
+
+
+@runtime_checkable
+class RetrievalIndex(Protocol):
+    """Anything that can retrieve ads for a query.
+
+    The contract:
+
+    * ``query(query, match_type=MatchType.BROAD)`` returns every matching
+      :class:`~repro.core.ads.Advertisement` (broad match by default;
+      phrase/exact verify token order on the same candidates);
+    * ``stats()`` reports structural statistics (shape is
+      implementation-defined: :class:`~repro.core.wordset_index.IndexStats`
+      for the hash index, a per-shard list for the sharded one, ...);
+    * ``len(index)`` is the number of indexed advertisements.
+    """
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        """All ads matching ``query`` under ``match_type``."""
+        ...
+
+    def stats(self) -> object:
+        """Structural statistics of the index."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of indexed advertisements."""
+        ...
+
+
+def warn_query_broad_deprecated(owner: type) -> None:
+    """Emit the shared ``query_broad`` deprecation warning for ``owner``."""
+    warnings.warn(
+        f"{owner.__name__}.query_broad(query) is deprecated; "
+        f"use {owner.__name__}.query(query) "
+        "(broad match is the default match type)",
+        DeprecationWarning,
+        stacklevel=3,
+    )

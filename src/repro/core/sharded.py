@@ -19,10 +19,12 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.matching import MatchType
+from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.wordhash import wordhash
 from repro.core.wordset_index import IndexStats, WordSetIndex
 from repro.cost.accounting import AccessTracker
+from repro.obs.registry import MetricsRegistry, active_or_none
 
 
 class ShardedWordSetIndex:
@@ -35,21 +37,32 @@ class ShardedWordSetIndex:
         max_query_words: int = 16,
         trackers: list[AccessTracker] | None = None,
         fast_path: bool = True,
+        obs: MetricsRegistry | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if trackers is not None and len(trackers) != num_shards:
             raise ValueError("need one tracker per shard")
         self.num_shards = num_shards
+        # All shards share one registry: per-query totals aggregate across
+        # the scatter exactly as a single-shard index would report them.
+        obs = active_or_none(obs)
         self.shards = [
             WordSetIndex(
                 max_words=max_words,
                 max_query_words=max_query_words,
                 tracker=trackers[i] if trackers else None,
                 fast_path=fast_path,
+                obs=obs,
             )
             for i in range(num_shards)
         ]
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        """Attach one shared metrics registry to every shard."""
+        obs = active_or_none(obs)
+        for shard in self.shards:
+            shard.bind_obs(obs)
 
     @classmethod
     def from_corpus(
@@ -60,12 +73,14 @@ class ShardedWordSetIndex:
         max_words: int | None = None,
         trackers: list[AccessTracker] | None = None,
         fast_path: bool = True,
+        obs: MetricsRegistry | None = None,
     ) -> ShardedWordSetIndex:
         sharded = cls(
             num_shards,
             max_words=max_words,
             trackers=trackers,
             fast_path=fast_path,
+            obs=obs,
         )
         for ad in corpus:
             locator = mapping.get(ad.words) if mapping is not None else None
@@ -86,14 +101,15 @@ class ShardedWordSetIndex:
         return self.shards[self.shard_of(ad.words)].delete(ad)
 
     def query_broad(self, query: Query) -> list[Advertisement]:
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
+        return self.query(query)
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
         """Scatter to every shard, gather the union (disjoint by
         construction — each ad lives in exactly one shard)."""
-        results: list[Advertisement] = []
-        for shard in self.shards:
-            results.extend(shard.query_broad(query))
-        return results
-
-    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
         results: list[Advertisement] = []
         for shard in self.shards:
             results.extend(shard.query(query, match_type))

@@ -26,7 +26,8 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.data_node import DataNode
-from repro.core.matching import MatchType, exact_match, phrase_match
+from repro.core.matching import MatchType, apply_match_type
+from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.subset_enum import truncate_query
 from repro.cost.accounting import AccessTracker
@@ -143,9 +144,13 @@ class TrieWordSetIndex:
     # Query processing
 
     def query_broad(self, query: Query) -> list[Advertisement]:
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
         return self._query(query, MatchType.BROAD)
 
-    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
         return self._query(query, match_type)
 
     def _query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
@@ -187,11 +192,7 @@ class TrieWordSetIndex:
                     stack.append((child, i + 1, depth + 1))
         if tracker is not None:
             tracker.query_done()
-        if match_type is MatchType.BROAD:
-            return results
-        if match_type is MatchType.PHRASE:
-            return [a for a in results if phrase_match(a.phrase, query.tokens)]
-        return [a for a in results if exact_match(a.phrase, query.tokens)]
+        return apply_match_type(results, query, match_type)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -205,6 +206,15 @@ class TrieWordSetIndex:
 
     def placement(self) -> dict[frozenset[str], frozenset[str]]:
         return dict(self._placement)
+
+    def stats(self) -> dict[str, int]:
+        """Structural statistics (the :class:`RetrievalIndex` surface)."""
+        return {
+            "num_ads": self._num_ads,
+            "num_data_nodes": self._num_data_nodes,
+            "num_distinct_wordsets": len(self._placement),
+            "trie_nodes": self.trie_size(),
+        }
 
     def trie_size(self) -> int:
         """Total number of trie nodes (including the root)."""

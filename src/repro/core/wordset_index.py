@@ -18,14 +18,17 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.data_node import DataNode
-from repro.core.matching import MatchType, exact_match, phrase_match
+from repro.core.matching import MatchType, apply_match_type
+from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.subset_enum import sized_subsets, truncate_query
 from repro.core.wordhash import wordhash
 from repro.cost.accounting import AccessTracker
+from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.memohash import hashed_index_subsets, word_contrib
 from repro.perf.prefilter import ProbePlan, naive_plan, plan_probes
 
@@ -89,6 +92,12 @@ class WordSetIndex:
         its tracker accounting) shrinks.  ``False`` keeps the paper's
         unpruned Section IV-B enumeration — the reference behaviour the
         benchmarks compare against.
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`.  When
+        enabled, every query records ``index.probes``,
+        ``index.node_scans``, ``index.candidates``, ``index.results``
+        counters plus ``span.probe`` / ``span.scan`` timing histograms.
+        ``None`` (or a disabled registry) keeps the hot path unchanged.
     """
 
     def __init__(
@@ -97,6 +106,7 @@ class WordSetIndex:
         max_query_words: int = DEFAULT_MAX_QUERY_WORDS,
         tracker: AccessTracker | None = None,
         fast_path: bool = True,
+        obs: MetricsRegistry | None = None,
     ) -> None:
         if max_words is not None and max_words < 1:
             raise ValueError("max_words must be >= 1")
@@ -106,6 +116,8 @@ class WordSetIndex:
         self.max_query_words = max_query_words
         self.tracker = tracker
         self.fast_path = fast_path
+        self._obs: MetricsRegistry | None = None
+        self.bind_obs(obs)
         self._nodes: dict[int, DataNode] = {}
         #: word-set -> locator it is currently mapped to (identity unless
         #: a mapping re-mapped it).  Needed for deletion and invariants.
@@ -134,6 +146,7 @@ class WordSetIndex:
         max_query_words: int = DEFAULT_MAX_QUERY_WORDS,
         tracker: AccessTracker | None = None,
         fast_path: bool = True,
+        obs: MetricsRegistry | None = None,
     ) -> WordSetIndex:
         """Build an index, optionally under a re-mapping.
 
@@ -145,6 +158,7 @@ class WordSetIndex:
             max_query_words=max_query_words,
             tracker=tracker,
             fast_path=fast_path,
+            obs=obs,
         )
         if isinstance(corpus, AdCorpus):
             index._word_freq_fn = corpus.word_frequency
@@ -242,13 +256,37 @@ class WordSetIndex:
         return True
 
     # ------------------------------------------------------------------ #
+    # Observability
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a metrics registry.
+
+        Pre-registers every counter this index records so a snapshot taken
+        before the first query already shows them at zero.
+        """
+        obs = active_or_none(obs)
+        self._obs = obs
+        if obs is not None:
+            obs.counter("index.queries", help="Queries processed")
+            obs.counter("index.probes", help="Hash-table probes issued")
+            obs.counter("index.node_scans", help="Data nodes scanned")
+            obs.counter(
+                "index.candidates",
+                help="Node entries small enough to be match candidates",
+            )
+            obs.counter("index.results", help="Matching ads returned")
+
+    # ------------------------------------------------------------------ #
     # Query processing
 
     def query_broad(self, query: Query) -> list[Advertisement]:
-        """All ads whose word-set is a subset of the query's words."""
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
         return self._probe(query, MatchType.BROAD)
 
-    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
         """Process a query under any of the three match semantics.
 
         Phrase- and exact-match reuse the same probes; only the final
@@ -284,6 +322,9 @@ class WordSetIndex:
         return self.probe_plan(query.words).probe_count()
 
     def _probe(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+        obs = self._obs
+        if obs is not None:
+            return self._probe_observed(query, match_type, obs)
         plan = self.probe_plan(query.words)
         words = plan.words
         tracker = self.tracker
@@ -308,6 +349,55 @@ class WordSetIndex:
                 results.extend(self._scan_node(node, query, words, match_type))
         if tracker is not None:
             tracker.query_done()
+        return results
+
+    def _probe_observed(
+        self, query: Query, match_type: MatchType, obs: MetricsRegistry
+    ) -> list[Advertisement]:
+        """The :meth:`_probe` loop with per-query metrics recording.
+
+        Kept as a separate method so the uninstrumented hot path carries
+        zero extra work beyond one ``is not None`` check; the measured
+        probe counter always equals the closed-form
+        :meth:`probe_count` because the enumeration yields exactly the
+        plan's subsets.
+        """
+        started = perf_counter()
+        plan = self.probe_plan(query.words)
+        words = plan.words
+        tracker = self.tracker
+        results: list[Advertisement] = []
+        visited: set[int] = set()
+        nodes = self._nodes
+        probes = 0
+        node_scans = 0
+        candidates = 0
+        scan_seconds = 0.0
+        for key in self._probe_keys(plan):
+            probes += 1
+            if tracker is not None:
+                tracker.hash_probe(HASH_BUCKET_BYTES)
+            if key in visited:
+                continue
+            visited.add(key)
+            node = nodes.get(key)
+            if node is not None:
+                node_scans += 1
+                candidates += sum(
+                    1 for e in node.entries if e.word_count <= len(words)
+                )
+                scan_started = perf_counter()
+                results.extend(self._scan_node(node, query, words, match_type))
+                scan_seconds += perf_counter() - scan_started
+        if tracker is not None:
+            tracker.query_done()
+        obs.counter("index.queries").inc()
+        obs.counter("index.probes").inc(probes)
+        obs.counter("index.node_scans").inc(node_scans)
+        obs.counter("index.candidates").inc(candidates)
+        obs.counter("index.results").inc(len(results))
+        obs.histogram("span.scan").observe(scan_seconds * 1e3)
+        obs.histogram("span.probe").observe((perf_counter() - started) * 1e3)
         return results
 
     def _probe_keys(self, plan: ProbePlan) -> Iterable[int]:
@@ -340,7 +430,7 @@ class WordSetIndex:
         results: list[list[Advertisement]] = [[] for _ in queries]
         for words in sorted(distinct, key=sorted):
             positions = distinct[words]
-            matched = self.query_broad(queries[positions[0]])
+            matched = self.query(queries[positions[0]])
             for position in positions:
                 results[position] = list(matched)
         return results
@@ -359,13 +449,7 @@ class WordSetIndex:
             tracker.candidate(
                 sum(1 for e in node.entries if e.word_count <= len(probe_words))
             )
-        if match_type is MatchType.BROAD:
-            return matched
-        if match_type is MatchType.PHRASE:
-            return [
-                ad for ad in matched if phrase_match(ad.phrase, query.tokens)
-            ]
-        return [ad for ad in matched if exact_match(ad.phrase, query.tokens)]
+        return apply_match_type(matched, query, match_type)
 
     # ------------------------------------------------------------------ #
     # Introspection

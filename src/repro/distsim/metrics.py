@@ -10,6 +10,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass
 
+from repro.obs.registry import Histogram, uniform_histogram
+
 BUCKET_MS = 5.0
 
 
@@ -37,16 +39,21 @@ class RunMetrics:
             return 0.0
         return self.completed_in_window / (self.duration_ms / 1000.0)
 
+    def to_histogram(self, bucket_ms: float = BUCKET_MS) -> Histogram:
+        """The latencies as a shared :class:`repro.obs.registry.Histogram`
+        with uniform left-closed ``bucket_ms`` buckets — the same
+        instrument every other layer of the stack records into, so the
+        simulated-cluster latency distribution and, e.g., the ad server's
+        span timings expose identical percentile semantics."""
+        return uniform_histogram(
+            self.latencies_ms, bucket_ms, name="distsim.latency_ms"
+        )
+
     def latency_histogram(self, bucket_ms: float = BUCKET_MS) -> dict[float, float]:
         """Fraction of queries per latency bucket (bucket start -> frac)."""
         if not self.latencies_ms:
             return {}
-        counts: dict[float, int] = {}
-        for latency in self.latencies_ms:
-            bucket = (latency // bucket_ms) * bucket_ms
-            counts[bucket] = counts.get(bucket, 0) + 1
-        total = len(self.latencies_ms)
-        return {bucket: counts[bucket] / total for bucket in sorted(counts)}
+        return self.to_histogram(bucket_ms).bucket_fractions()
 
     def fraction_within(self, threshold_ms: float) -> float:
         """Fraction of requests completed within ``threshold_ms``."""

@@ -65,7 +65,7 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ExtImpactResult:
 
     agreement = 0
     for query in queries:
-        all_matches = plain_index.query_broad(query)
+        all_matches = plain_index.query(query)
         top = sorted(
             all_matches, key=lambda ad: -ad.info.bid_price_micros
         )[:TOP_K]

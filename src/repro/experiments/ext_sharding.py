@@ -71,7 +71,7 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ExtShardingResult:
                 zip(sharded.shards, trackers)
             ):
                 tracker.reset()
-                shard.query_broad(query)
+                shard.query(query)
                 service_tables[i][query] = max(
                     0.001, tracker.reset().modeled_ns(MODEL) * MS_PER_NS
                 )

@@ -53,7 +53,7 @@ def _measure(structures, queries) -> list[StructureMeasurement]:
     for name, structure, tracker, lookup_bytes in structures:
         tracker.reset()
         for query in queries:
-            structure.query_broad(query)
+            structure.query(query)
         out.append(
             StructureMeasurement(
                 name=name, stats=tracker.reset(), lookup_bytes=lookup_bytes

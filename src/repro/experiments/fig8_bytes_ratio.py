@@ -45,7 +45,7 @@ def _replay_bytes(structure_factory, corpus, queries) -> int:
     tracker = AccessTracker()
     structure = structure_factory(corpus, tracker)
     for query in queries:
-        structure.query_broad(query)
+        structure.query(query)
     return tracker.stats.bytes_scanned
 
 

@@ -51,7 +51,7 @@ def _modeled_ns_table(structure, queries: list[Query]) -> dict[Query, float]:
     tracker = structure.tracker
     for query in set(queries):
         tracker.reset()
-        structure.query_broad(query)
+        structure.query(query)
         table[query] = tracker.reset().modeled_ns(MODEL)
     return table
 

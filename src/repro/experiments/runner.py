@@ -5,6 +5,11 @@ Usage::
     python -m repro.experiments.runner                # all, small scale
     python -m repro.experiments.runner fig8 fig10     # a subset
     python -m repro.experiments.runner --scale medium # bigger inputs
+    python -m repro.experiments.runner fig9 --metrics-out runs.prom
+
+``--metrics-out`` records one ``span.experiment.<id>`` wall-clock sample
+per experiment into a shared :class:`repro.obs.MetricsRegistry` and writes
+it on exit (``.json`` -> JSON snapshot, else Prometheus exposition).
 """
 
 from __future__ import annotations
@@ -33,6 +38,8 @@ from repro.experiments import (
     tab_multiserver,
 )
 from repro.experiments.common import SCALES, SMALL
+from repro.obs import MetricsRegistry
+from repro.obs.export import write_metrics
 
 #: Paper artifacts first, then extension studies (`ext-*`) that go beyond
 #: the paper's evaluation.
@@ -82,18 +89,35 @@ def main(argv: list[str] | None = None) -> int:
         help="input sizes (default: small)",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write per-experiment wall-clock spans to this file "
+        "(.json -> JSON snapshot, else Prometheus exposition)",
+    )
     args = parser.parse_args(argv)
 
     names = list(EXPERIMENTS) if args.experiments in ("all", ["all"], []) else (
         args.experiments if isinstance(args.experiments, list) else [args.experiments]
     )
     scale = SCALES[args.scale]
+    registry = MetricsRegistry() if args.metrics_out else None
     for name in names:
         started = time.perf_counter()
-        report = run_experiment(name, scale, seed=args.seed)
+        if registry is not None:
+            with registry.span(f"experiment.{name}"):
+                report = run_experiment(name, scale, seed=args.seed)
+            registry.counter(
+                "experiments.completed", "Experiments run to completion"
+            ).inc()
+        else:
+            report = run_experiment(name, scale, seed=args.seed)
         elapsed = time.perf_counter() - started
         print(f"==== {name} (scale={scale.name}, {elapsed:.1f}s) " + "=" * 20)
         print(report)
+    if registry is not None:
+        write_metrics(registry, args.metrics_out)
+        print(f"wrote metrics to {args.metrics_out}")
     return 0
 
 

@@ -61,7 +61,7 @@ def run(scale: Scale = SMALL, seed: int = 0) -> ThroughputResult:
     _, corpus, workload = standard_setup(scale, seed=seed)
     queries = workload.sample_stream(scale.trace_length, seed=seed + 5)
 
-    def replay(structure, method="query_broad") -> AccessStats:
+    def replay(structure, method="query") -> AccessStats:
         for query in queries:
             getattr(structure, method)(query)
         return structure.tracker.reset()

@@ -9,8 +9,10 @@
 * :class:`RedundantInvertedIndex` — the naive union-and-verify structure
   sketched in the introduction (every word indexed, phrases verified).
 
-All three implement the same ``query_broad`` interface as
-:class:`repro.core.WordSetIndex` and report their work to an
+All three implement the shared :class:`repro.core.RetrievalIndex`
+protocol (``query``/``stats``/``__len__``) like
+:class:`repro.core.WordSetIndex` — keeping ``query_broad`` as their
+primary, non-deprecated entry point — and report their work to an
 :class:`~repro.cost.accounting.AccessTracker`.
 """
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.core.ads import AdCorpus, Advertisement
+from repro.core.matching import MatchType, apply_match_type
 from repro.core.queries import Query
 from repro.invindex.postings import PostingList
 from repro.cost.accounting import AccessTracker
@@ -83,6 +84,21 @@ class CountingInvertedIndex:
         if tracker is not None:
             tracker.query_done()
         return results
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        """The shared :class:`RetrievalIndex` surface: broad candidates,
+        then phrase/exact verification on the stored phrases."""
+        return apply_match_type(self.query_broad(query), query, match_type)
+
+    def stats(self) -> dict[str, int]:
+        """Structural statistics (the :class:`RetrievalIndex` surface)."""
+        return {
+            "num_ads": self._num_ads,
+            "num_posting_lists": len(self._lists),
+            "total_postings": sum(len(p) for p in self._lists.values()),
+        }
 
     def query_broad_no_merge(self, query: Query) -> None:
         """Traverse every required posting once without any merging.

@@ -1,0 +1,87 @@
+"""Exposition formats for a :class:`~repro.obs.registry.MetricsRegistry`.
+
+Two renderings of the same snapshot:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# TYPE`` headers, cumulative ``_bucket{le="..."}`` series, ``_sum``
+  and ``_count``), suitable for a scrape endpoint or a textfile collector;
+* :func:`to_json` — the registry's JSON snapshot, suitable for
+  ``--metrics-out`` files and programmatic assertions.
+
+Metric names here use dots as namespace separators (``index.probes``,
+``span.auction``); the Prometheus rendering sanitises them to the legal
+``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset and prefixes everything with
+``repro_``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def prometheus_name(name: str) -> str:
+    """``index.probes`` -> ``repro_index_probes``."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return "repro_" + sanitized
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, int) or value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render every instrument in the Prometheus text format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        name = prometheus_name(metric.name)
+        if metric.help:
+            lines.append(f"# HELP {name} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {metric.value}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            for bound, bucket_count in zip(
+                metric.bounds, metric.bucket_counts
+            ):
+                cumulative += bucket_count
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{cumulative}"
+                )
+            lines.append(f'{name}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_metrics(
+    registry: MetricsRegistry, path: str | os.PathLike[str]
+) -> None:
+    """Write the registry to ``path``; ``.json`` selects the JSON
+    snapshot, anything else the Prometheus text exposition."""
+    path = os.fspath(path)
+    if path.endswith(".json"):
+        payload = to_json(registry) + "\n"
+    else:
+        payload = to_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)

@@ -1,0 +1,505 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+One registry instance is the unit of observation: every instrumented
+component (index, cache, batch engine, ad server, simulators) records into
+the registry it was handed at construction, so a single query's path
+through the whole serving pipeline lands in one correlated snapshot.
+
+Design constraints, in priority order:
+
+1. **Off is free.**  Components normalise a disabled registry (``None`` or
+   :data:`NULL_REGISTRY`) to ``None`` and guard every record site with one
+   ``is not None`` check, so the uninstrumented hot path is byte-for-byte
+   the seed code path.  The fast-path benchmark gates this at <= 5%.
+2. **Zero dependencies.**  Plain stdlib; no prometheus_client, no numpy.
+3. **Cheap when on.**  Instruments are resolved once (``registry.counter``
+   get-or-creates), observations are integer adds / one bisect.
+
+Percentiles (p50/p95/p99) are derived from the fixed buckets by linear
+interpolation inside the winning bucket, clamped to the observed min/max —
+so an empty histogram reports 0.0 and a single-sample histogram reports
+exactly that sample.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from time import perf_counter
+from types import TracebackType
+from typing import TypeVar
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "Span",
+    "uniform_histogram",
+]
+
+#: Default span-latency buckets, in milliseconds: roughly geometric from
+#: 1 microsecond to 10 seconds, matching the sub-millisecond scale of
+#: in-memory probes and the multi-millisecond scale of simulated clusters.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1000.0,
+    2500.0,
+    5000.0,
+    10000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, cache occupancy)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with percentile estimation.
+
+    ``bounds`` are ascending bucket edges; an implicit overflow bucket
+    catches everything above the last edge.  ``closed`` selects which edge
+    a value landing exactly on a bound belongs to: ``"right"`` is the
+    Prometheus ``le`` convention (bucket covers ``(lo, hi]``), ``"left"``
+    gives the floor-style ``[lo, hi)`` buckets the distsim latency plots
+    use.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "help",
+        "bounds",
+        "bucket_counts",
+        "count",
+        "sum",
+        "_min",
+        "_max",
+        "_closed_left",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        help: str = "",
+        closed: str = "right",
+    ) -> None:
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if any(b >= c for b, c in zip(ordered, ordered[1:])):
+            raise ValueError("bucket bounds must be strictly ascending")
+        if closed not in ("right", "left"):
+            raise ValueError("closed must be 'right' or 'left'")
+        self.name = name
+        self.help = help
+        self.bounds = ordered
+        self.bucket_counts = [0] * (len(ordered) + 1)  # last = overflow
+        self.count = 0
+        self.sum = 0.0
+        self._min = 0.0
+        self._max = 0.0
+        self._closed_left = closed == "left"
+
+    def observe(self, value: float) -> None:
+        if self._closed_left:
+            index = bisect_right(self.bounds, value)
+        else:
+            index = bisect_left(self.bounds, value)
+        self.bucket_counts[index] += 1
+        if self.count:
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+        else:
+            self._min = value
+            self._max = value
+        self.count += 1
+        self.sum += value
+
+    # -------------------------------------------------------------- #
+    # Derived values
+
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimate the ``p``-th percentile from the bucket counts.
+
+        Linear interpolation inside the winning bucket, clamped to the
+        observed ``[min, max]`` range.  Empty histograms report 0.0; a
+        single observation reports exactly itself.
+        """
+        if not 0.0 < p <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if not self.count:
+            return 0.0
+        target = self.count * (p / 100.0)
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = self.bounds[index - 1] if index > 0 else 0.0
+                hi = (
+                    self.bounds[index]
+                    if index < len(self.bounds)
+                    else self._max
+                )
+                fraction = (target - cumulative) / bucket_count
+                estimate = lo + (hi - lo) * fraction
+                return min(max(estimate, self._min), self._max)
+            cumulative += bucket_count
+        return self._max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def bucket_fractions(self) -> dict[float, float]:
+        """Non-empty buckets as ``{lower edge: fraction of samples}``.
+
+        The overflow bucket (values above the last bound) is keyed by the
+        last bound itself.  This is the shape the distsim latency plots
+        (paper Fig 9) consume.
+        """
+        if not self.count:
+            return {}
+        fractions: dict[float, float] = {}
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if not bucket_count:
+                continue
+            lower = self.bounds[index - 1] if index > 0 else 0.0
+            if index == len(self.bounds):
+                lower = self.bounds[-1]
+            fractions[lower] = bucket_count / self.count
+        return fractions
+
+    def snapshot(self) -> dict[str, object]:
+        buckets: dict[str, int] = {}
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            buckets[repr(bound)] = cumulative
+        buckets["+Inf"] = self.count
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self._min if self.count else 0.0,
+            "max": self._max if self.count else 0.0,
+            "mean": self.mean(),
+            "p50": self.p50 if self.count else 0.0,
+            "p95": self.p95 if self.count else 0.0,
+            "p99": self.p99 if self.count else 0.0,
+            "buckets": buckets,
+        }
+
+
+def uniform_histogram(
+    samples: Iterable[float], bucket_width: float, name: str = "uniform"
+) -> Histogram:
+    """Build a left-closed histogram with uniform ``bucket_width`` buckets
+    covering every sample — the shared replacement for the bespoke
+    floor-bucketing the distsim metrics used to hand-roll."""
+    if bucket_width <= 0:
+        raise ValueError("bucket_width must be positive")
+    values = list(samples)
+    top = max(values, default=0.0)
+    num_buckets = max(1, int(top // bucket_width) + 1)
+    bounds = tuple(bucket_width * i for i in range(1, num_buckets + 1))
+    histogram = Histogram(name, bounds=bounds, closed="left")
+    for value in values:
+        histogram.observe(value)
+    return histogram
+
+
+class Span:
+    """Times a ``with`` block into a latency histogram (milliseconds)."""
+
+    __slots__ = ("_histogram", "_started")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self._histogram = histogram
+        self._started = 0.0
+
+    def __enter__(self) -> Span:
+        self._started = perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self._histogram.observe((perf_counter() - self._started) * 1e3)
+
+
+Metric = Counter | Gauge | Histogram
+
+#: Constrained instrument type for the registry's get-or-create helper.
+_M = TypeVar("_M", Counter, Gauge, Histogram)
+
+#: Histogram-name prefix every span records under; ``span("probe")`` times
+#: into the histogram ``span.probe``.
+SPAN_PREFIX = "span."
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as one unit."""
+
+    #: Components check this once at construction: a falsy value means the
+    #: registry may be treated as absent and skipped entirely.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    # -------------------------------------------------------------- #
+    # Instrument access (get-or-create)
+
+    def _get_or_create(
+        self, name: str, cls: type[_M], make: Callable[[], _M]
+    ) -> _M:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.get(name)
+                if metric is None:
+                    metric = make()
+                    self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, help=help)
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help=help))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        help: str = "",
+        closed: str = "right",
+    ) -> Histogram:
+        metric = self._get_or_create(
+            name,
+            Histogram,
+            lambda: Histogram(name, bounds=bounds, help=help, closed=closed),
+        )
+        return metric
+
+    def span(self, name: str) -> Span:
+        """A context manager timing its block into ``span.<name>`` (ms)."""
+        return Span(self.histogram(SPAN_PREFIX + name))
+
+    # -------------------------------------------------------------- #
+    # Inspection
+
+    def collect(self) -> list[Metric]:
+        """Every registered instrument, sorted by name."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self.collect())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def value(self, name: str) -> float:
+        """Convenience: current value of a counter/gauge (0 if absent)."""
+        metric = self._metrics.get(name)
+        if metric is None or isinstance(metric, Histogram):
+            return 0.0
+        return metric.value
+
+    def reset(self) -> None:
+        """Zero every instrument in place (a fresh observation window).
+
+        Instruments are kept, not dropped: components cache direct
+        references to their counters at :func:`bind_obs` time, so the
+        registry must never invalidate them.
+        """
+        with self._lock:
+            for metric in self._metrics.values():
+                if isinstance(metric, Histogram):
+                    metric.bucket_counts = [0] * len(metric.bucket_counts)
+                    metric.count = 0
+                    metric.sum = 0.0
+                    metric._min = 0.0
+                    metric._max = 0.0
+                elif isinstance(metric, Counter):
+                    metric.value = 0
+                else:
+                    metric.value = 0.0
+
+    def snapshot(self) -> dict[str, object]:
+        """The JSON-ready snapshot of every instrument.
+
+        Shape::
+
+            {"counters": {name: int},
+             "gauges": {name: float},
+             "histograms": {name: {count, sum, min, max, mean,
+                                   p50, p95, p99, buckets}}}
+        """
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, object] = {}
+        for metric in self.collect():
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = metric.value
+            else:
+                histograms[metric.name] = metric.snapshot()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+class _NullInstrument:
+    """Accepts every instrument method as a no-op."""
+
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every instrument is a shared no-op.
+
+    Components normalise this to ``None`` internally (via
+    :attr:`enabled`), so passing ``NULL_REGISTRY`` costs exactly as much
+    as passing nothing.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS,
+        help: str = "",
+        closed: str = "right",
+    ) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def span(self, name: str) -> Span:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+
+#: The process-wide disabled registry; the default for every component.
+NULL_REGISTRY = NullRegistry()
+
+
+def active_or_none(obs: "MetricsRegistry | None") -> "MetricsRegistry | None":
+    """Normalise a registry argument: ``None`` stays ``None``, a disabled
+    registry becomes ``None``, an enabled one passes through.  Components
+    call this once at construction so their hot paths need only a single
+    ``is not None`` check."""
+    if obs is None or not obs.enabled:
+        return None
+    return obs

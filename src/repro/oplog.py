@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.ads import AdCorpus, Advertisement
+from repro.core.matching import MatchType
 from repro.core.queries import Query
 from repro.core.wordset_index import WordSetIndex
 from repro.optimize.mapping import Mapping
@@ -186,8 +187,17 @@ class DurableIndex:
 
     # ------------------------------------------------------------------ #
 
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        return self._index.query(query, match_type)
+
     def query_broad(self, query: Query) -> list[Advertisement]:
-        return self._index.query_broad(query)
+        """Alias retained for symmetry with the index surface."""
+        return self._index.query(query)
+
+    def stats(self):
+        return self._index.stats()
 
     def __len__(self) -> int:
         return len(self._index)

@@ -24,6 +24,7 @@ separate machine").
 from __future__ import annotations
 
 from repro.core.ads import AdCorpus, Advertisement
+from repro.core.matching import MatchType
 from repro.core.queries import Query, Workload
 from repro.core.wordset_index import WordSetIndex
 from repro.cost.model import CostModel
@@ -83,8 +84,17 @@ class MaintainedIndex:
     def mapping(self) -> Mapping:
         return self._mapping
 
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        return self._index.query(query, match_type)
+
     def query_broad(self, query: Query) -> list[Advertisement]:
-        return self._index.query_broad(query)
+        """Alias retained for symmetry with the index surface."""
+        return self._index.query(query)
+
+    def stats(self):
+        return self._index.stats()
 
     def insert(self, ad: Advertisement) -> None:
         """Place ``ad`` with the local heuristic; maybe trigger reopt."""

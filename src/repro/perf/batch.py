@@ -14,7 +14,7 @@ micro-batches.  Within one batch two structural savings apply:
   are gathered in shard order, so the per-query union is identical to the
   sequential scatter-gather.
 
-The engine works with any retrieval structure exposing ``query_broad``
+The engine works with any :class:`~repro.core.protocols.RetrievalIndex`
 (hash index, trie, cached, compressed); shard fan-out engages when the
 structure has a ``shards`` attribute.
 """
@@ -28,7 +28,9 @@ from dataclasses import dataclass
 
 from repro.core.ads import Advertisement
 from repro.core.matching import MatchType
+from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query
+from repro.obs.registry import MetricsRegistry, active_or_none
 
 
 @dataclass(slots=True)
@@ -53,20 +55,43 @@ class BatchQueryEngine:
     Parameters
     ----------
     index:
-        Any structure with ``query_broad`` (and ``query`` for non-broad
-        match types).  A ``shards`` attribute (list of per-shard indexes)
-        enables worker-pool fan-out.
+        Any :class:`~repro.core.protocols.RetrievalIndex`.  A ``shards``
+        attribute (list of per-shard indexes) enables worker-pool fan-out.
     max_workers:
         Worker-pool width for shard fan-out; defaults to
         ``min(num_shards, cpu_count)``.  ``1`` forces sequential scatter.
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` recording
+        batch counters (``batch.batches``, ``batch.queries``,
+        ``batch.distinct_wordsets``) and the ``span.batch`` histogram.
     """
 
-    def __init__(self, index, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        index: RetrievalIndex,
+        max_workers: int | None = None,
+        obs: MetricsRegistry | None = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.index = index
         self.max_workers = max_workers
         self.stats = BatchStats()
+        self._last_distinct = 0
+        self._obs: MetricsRegistry | None = None
+        self.bind_obs(obs)
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        obs = active_or_none(obs)
+        self._obs = obs
+        if obs is not None:
+            obs.counter("batch.batches", help="Micro-batches processed")
+            obs.counter("batch.queries", help="Queries across all batches")
+            obs.counter(
+                "batch.distinct_wordsets",
+                help="Distinct retrieval keys actually probed",
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -85,6 +110,19 @@ class BatchQueryEngine:
         Broad match dedups on the word-set; phrase and exact match verify
         token order, so they dedup on the exact token sequence instead.
         """
+        obs = self._obs
+        if obs is None:
+            return self._run_batch(queries, match_type)
+        with obs.span("batch"):
+            results = self._run_batch(queries, match_type)
+        obs.counter("batch.batches").inc()
+        obs.counter("batch.queries").inc(len(results))
+        obs.counter("batch.distinct_wordsets").inc(self._last_distinct)
+        return results
+
+    def _run_batch(
+        self, queries: Sequence[Query], match_type: MatchType
+    ) -> list[list[Advertisement]]:
         queries = list(queries)
         if match_type is MatchType.BROAD:
             key_of = _wordset_key
@@ -115,6 +153,7 @@ class BatchQueryEngine:
         self.stats.batches += 1
         self.stats.queries += len(queries)
         self.stats.distinct_wordsets += len(representatives)
+        self._last_distinct = len(representatives)
         return results
 
     # ------------------------------------------------------------------ #
@@ -152,9 +191,9 @@ class BatchQueryEngine:
         ]
 
     @staticmethod
-    def _query_one(index, query: Query, match_type: MatchType):
-        if match_type is MatchType.BROAD:
-            return index.query_broad(query)
+    def _query_one(
+        index: RetrievalIndex, query: Query, match_type: MatchType
+    ) -> list[Advertisement]:
         return index.query(query, match_type)
 
 

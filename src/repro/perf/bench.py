@@ -64,7 +64,7 @@ def _replay(index: WordSetIndex, queries: list[Query]):
     """Run every query; returns (per-query sorted id lists, seconds)."""
     start = time.perf_counter()
     results = [
-        sorted(ad.info.listing_id for ad in index.query_broad(query))
+        sorted(ad.info.listing_id for ad in index.query(query))
         for query in queries
     ]
     return results, time.perf_counter() - start

@@ -7,23 +7,29 @@ since an inserted/deleted ad can affect any cached query containing its
 words, the cache flushes wholesale on mutation (mutations are rare relative
 to queries — the same asymmetry the paper leans on for deletions).
 
-``CachedIndex`` wraps any structure exposing ``query_broad`` (and
-optionally ``query``/``insert``/``delete``) and is a true drop-in for
-:class:`repro.serving.server.AdServer`'s pluggable-index contract: all
-three match types are cached (phrase/exact keyed on the exact token
-sequence, since they verify word order), ``stats()``/``__len__`` and
-mutations delegate, and unknown attributes fall through to the wrapped
-structure.  Cache counters live on :attr:`CachedIndex.cache_stats`.
+``CachedIndex`` wraps any :class:`~repro.core.protocols.RetrievalIndex`
+(and optionally ``insert``/``delete``) and is itself a conforming
+``RetrievalIndex``, a true drop-in for
+:class:`repro.serving.server.AdServer`: all three match types are cached
+(phrase/exact keyed on the exact token sequence, since they verify word
+order), ``stats()``/``__len__`` and mutations delegate, and unknown
+attributes fall through to the wrapped structure.  Cache counters live on
+:attr:`CachedIndex.cache_stats` and — when an ``obs`` registry is attached
+— on the shared ``cache.hits`` / ``cache.misses`` / ``cache.invalidations``
+counters plus the ``span.cache`` lookup-latency histogram.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.core.ads import Advertisement
 from repro.core.matching import MatchType
+from repro.core.protocols import RetrievalIndex, warn_query_broad_deprecated
 from repro.core.queries import Query
+from repro.obs.registry import MetricsRegistry, active_or_none
 
 #: Cache key: broad match folds to the word-set; phrase/exact verify token
 #: order, so they key on the exact token sequence.
@@ -42,9 +48,25 @@ class CacheStats:
 
 
 class CachedIndex:
-    """LRU query-result cache over a broad-match structure."""
+    """LRU query-result cache over any retrieval structure.
 
-    def __init__(self, index, capacity: int = 1024) -> None:
+    Parameters
+    ----------
+    index:
+        The wrapped :class:`~repro.core.protocols.RetrievalIndex`.
+    capacity:
+        Maximum number of cached result lists (LRU eviction).
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry` recording
+        cache hit/miss/invalidation counters and lookup-latency spans.
+    """
+
+    def __init__(
+        self,
+        index: RetrievalIndex,
+        capacity: int = 1024,
+        obs: MetricsRegistry | None = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.index = index
@@ -53,29 +75,56 @@ class CachedIndex:
             OrderedDict()
         )
         self.cache_stats = CacheStats()
+        self._obs: MetricsRegistry | None = None
+        self.bind_obs(obs)
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        obs = active_or_none(obs)
+        self._obs = obs
+        if obs is not None:
+            obs.counter("cache.hits", help="Result-cache hits")
+            obs.counter("cache.misses", help="Result-cache misses")
+            obs.counter(
+                "cache.invalidations",
+                help="Wholesale cache flushes on corpus mutation",
+            )
 
     # ------------------------------------------------------------------ #
     # Queries
 
     def query_broad(self, query: Query) -> list[Advertisement]:
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
         return self.query(query, MatchType.BROAD)
 
-    def query(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
         """Process a query under any match semantics, through the cache."""
+        obs = self._obs
         if match_type is MatchType.BROAD:
             key: _CacheKey = (match_type, query.words)
         else:
             key = (match_type, query.tokens)
+        started = perf_counter() if obs is not None else 0.0
         cached = self._cache.get(key)
         if cached is not None:
             self._cache.move_to_end(key)
             self.cache_stats.hits += 1
+            if obs is not None:
+                obs.counter("cache.hits").inc()
+                obs.histogram("span.cache").observe(
+                    (perf_counter() - started) * 1e3
+                )
             return list(cached)
         self.cache_stats.misses += 1
-        if match_type is MatchType.BROAD:
-            result = self.index.query_broad(query)
-        else:
-            result = self.index.query(query, match_type)
+        if obs is not None:
+            obs.counter("cache.misses").inc()
+            obs.histogram("span.cache").observe(
+                (perf_counter() - started) * 1e3
+            )
+        result = self.index.query(query, match_type)
         self._cache[key] = list(result)
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
@@ -84,7 +133,7 @@ class CachedIndex:
     def query_broad_batch(self, queries) -> list[list[Advertisement]]:
         """Batched broad match through the cache: each distinct word-set
         pays at most one miss, repeats within the batch hit."""
-        return [self.query_broad(query) for query in queries]
+        return [self.query(query) for query in queries]
 
     # ------------------------------------------------------------------ #
     # Mutations pass through and invalidate.
@@ -104,6 +153,8 @@ class CachedIndex:
         if self._cache:
             self._cache.clear()
         self.cache_stats.invalidations += 1
+        if self._obs is not None:
+            self._obs.counter("cache.invalidations").inc()
 
     # ------------------------------------------------------------------ #
     # Delegation

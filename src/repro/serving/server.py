@@ -6,26 +6,54 @@ index: broad-match retrieval produces candidates; secondary criteria
 user) filter them; the GSP auction ranks and prices the survivors; clicks
 charge the winning campaign's budget.
 
-The retrieval structure is pluggable — anything with ``query_broad`` works
-(hash index, trie index, sharded, compressed), which is exactly the
+The retrieval structure is pluggable — any
+:class:`~repro.core.protocols.RetrievalIndex` works (hash index, trie
+index, sharded, compressed, cached), which is exactly the
 interchangeability the library's structures guarantee.
+
+With an :mod:`repro.obs` registry attached, every query records the
+``span.retrieve`` / ``span.filter`` / ``span.auction`` stage timings and
+the ``serve.*`` counters (candidates, per-reason filter drops, impressions,
+clicks, revenue), correlated with whatever the index and cache layers
+recorded for the same query.
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from time import perf_counter
 
 from repro.core.ads import Advertisement
 from repro.core.matching import passes_exclusions
+from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query
+from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.batch import BatchQueryEngine
 from repro.serving.auction import AuctionOutcome, run_gsp_auction
 
 
 @dataclass(slots=True)
 class ServingStats:
-    """Aggregate serving counters."""
+    """Aggregate serving counters.
+
+    Field semantics (audited — each counter states exactly when it moves):
+
+    * ``queries`` — calls into the pipeline (one per served query).
+    * ``candidates`` — ads retrieval returned, *before* any filtering.
+    * ``filtered_exclusion`` — candidates dropped because one of the ad's
+      exclusion phrases was contained in the query.
+    * ``filtered_budget`` — candidates dropped because their campaign's
+      remaining budget cannot cover the ad's bid price.
+    * ``filtered_frequency_cap`` — candidates dropped because this user
+      already saw the listing ``frequency_cap`` times.
+    * ``impressions`` — auction slots actually awarded (ads shown).
+    * ``clicks`` — calls to :meth:`AdServer.record_click`.
+    * ``revenue_micros`` — GSP prices charged **on click** (possibly
+      clipped to the campaign's remaining budget).  Impressions alone
+      never move revenue: sponsored search bills per click, not per
+      impression.
+    """
 
     queries: int = 0
     candidates: int = 0
@@ -37,10 +65,30 @@ class ServingStats:
     revenue_micros: int = 0
 
     def fill_rate(self) -> float:
-        """Mean impressions per query."""
+        """Mean impressions per query (``impressions / queries``)."""
         if not self.queries:
             return 0.0
         return self.impressions / self.queries
+
+    def click_through_rate(self) -> float:
+        """Clicks per impression (``clicks / impressions``)."""
+        if not self.impressions:
+            return 0.0
+        return self.clicks / self.impressions
+
+    def snapshot(self) -> dict[str, float]:
+        """Every counter plus the derived rates, as one flat dict.
+
+        This is the bridge into the shared metrics registry: the keys
+        mirror the ``serve.*`` counter names :class:`AdServer` records
+        when an :mod:`repro.obs` registry is attached.
+        """
+        counters: dict[str, float] = {
+            field.name: getattr(self, field.name) for field in fields(self)
+        }
+        counters["fill_rate"] = self.fill_rate()
+        counters["click_through_rate"] = self.click_through_rate()
+        return counters
 
 
 @dataclass(frozen=True, slots=True)
@@ -56,12 +104,12 @@ class ServeResult:
 
 
 class AdServer:
-    """Serving pipeline over any broad-match retrieval structure.
+    """Serving pipeline over any retrieval structure.
 
     Parameters
     ----------
     index:
-        Object with ``query_broad(query) -> list[Advertisement]``.
+        Any :class:`~repro.core.protocols.RetrievalIndex`.
     slots:
         Ad positions per results page.
     reserve_micros:
@@ -76,17 +124,23 @@ class AdServer:
     batch_workers:
         Worker-pool width for :meth:`serve_batch` retrieval fan-out over a
         sharded index (None = one worker per shard, up to the CPU count).
+    obs:
+        Optional :class:`~repro.obs.registry.MetricsRegistry`; when
+        enabled, serving records the ``serve.*`` counters and the
+        ``retrieve``/``filter``/``auction`` stage spans, and propagates
+        the registry to the internal batch engine.
     """
 
     def __init__(
         self,
-        index,
+        index: RetrievalIndex,
         slots: int = 4,
         reserve_micros: int = 1,
         campaign_budgets_micros: dict[int, int] | None = None,
         quality_fn: Callable[[Advertisement], float] | None = None,
         frequency_cap: int | None = None,
         batch_workers: int | None = None,
+        obs: MetricsRegistry | None = None,
     ) -> None:
         if slots < 1:
             raise ValueError("slots must be >= 1")
@@ -100,6 +154,41 @@ class AdServer:
         self._seen: dict[tuple[object, int], int] = {}
         self._batch_engine: BatchQueryEngine | None = None
         self.stats = ServingStats()
+        self._obs: MetricsRegistry | None = None
+        self.bind_obs(obs)
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        obs = active_or_none(obs)
+        self._obs = obs
+        if self._batch_engine is not None:
+            self._batch_engine.bind_obs(obs)
+        if obs is not None:
+            obs.counter("serve.queries", help="Queries served")
+            obs.counter(
+                "serve.candidates", help="Retrieval candidates before filters"
+            )
+            obs.counter(
+                "serve.filtered.exclusion",
+                help="Candidates dropped by exclusion phrases",
+            )
+            obs.counter(
+                "serve.filtered.budget",
+                help="Candidates dropped by exhausted campaign budgets",
+            )
+            obs.counter(
+                "serve.filtered.frequency_cap",
+                help="Candidates dropped by the per-user frequency cap",
+            )
+            obs.counter("serve.impressions", help="Auction slots awarded")
+            obs.counter(
+                "serve.auctions_unfilled",
+                help="Auctions that awarded no slot at all",
+            )
+            obs.counter("serve.clicks", help="Clicks recorded")
+            obs.counter(
+                "serve.revenue_micros", help="GSP revenue charged on clicks"
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -119,7 +208,12 @@ class AdServer:
 
     def serve(self, query: Query, user_id: object = None) -> ServeResult:
         """Run the full pipeline for one query."""
-        candidates = self.index.query_broad(query)
+        obs = self._obs
+        if obs is None:
+            candidates = self.index.query(query)
+        else:
+            with obs.span("retrieve"):
+                candidates = self.index.query(query)
         return self._finish(query, candidates, user_id)
 
     def serve_batch(
@@ -137,7 +231,7 @@ class AdServer:
         queries = list(queries)
         if self._batch_engine is None or self._batch_engine.index is not self.index:
             self._batch_engine = BatchQueryEngine(
-                self.index, max_workers=self.batch_workers
+                self.index, max_workers=self.batch_workers, obs=self._obs
             )
         candidate_lists = self._batch_engine.query_broad_batch(queries)
         return [
@@ -149,33 +243,63 @@ class AdServer:
         self, query: Query, candidates: list[Advertisement], user_id: object
     ) -> ServeResult:
         """Filters -> auction -> stats for one query's candidate set."""
+        obs = self._obs
         self.stats.queries += 1
         self.stats.candidates += len(candidates)
 
+        filter_started = perf_counter() if obs is not None else 0.0
+        dropped_exclusion = 0
+        dropped_budget = 0
+        dropped_frequency = 0
         eligible: list[Advertisement] = []
         for ad in candidates:
             if not passes_exclusions(ad, query):
-                self.stats.filtered_exclusion += 1
+                dropped_exclusion += 1
                 continue
             if not self._passes_budget(ad):
-                self.stats.filtered_budget += 1
+                dropped_budget += 1
                 continue
             if not self._passes_frequency_cap(ad, user_id):
-                self.stats.filtered_frequency_cap += 1
+                dropped_frequency += 1
                 continue
             eligible.append(ad)
+        self.stats.filtered_exclusion += dropped_exclusion
+        self.stats.filtered_budget += dropped_budget
+        self.stats.filtered_frequency_cap += dropped_frequency
+        if obs is not None:
+            obs.histogram("span.filter").observe(
+                (perf_counter() - filter_started) * 1e3
+            )
 
-        outcome = run_gsp_auction(
-            eligible,
-            slots=self.slots,
-            reserve_micros=self.reserve_micros,
-            quality_fn=self.quality_fn,
-        )
+        if obs is None:
+            outcome = run_gsp_auction(
+                eligible,
+                slots=self.slots,
+                reserve_micros=self.reserve_micros,
+                quality_fn=self.quality_fn,
+            )
+        else:
+            with obs.span("auction"):
+                outcome = run_gsp_auction(
+                    eligible,
+                    slots=self.slots,
+                    reserve_micros=self.reserve_micros,
+                    quality_fn=self.quality_fn,
+                )
         self.stats.impressions += len(outcome.awards)
         if user_id is not None and self.frequency_cap is not None:
             for award in outcome.awards:
                 key = (user_id, award.ad.info.listing_id)
                 self._seen[key] = self._seen.get(key, 0) + 1
+        if obs is not None:
+            obs.counter("serve.queries").inc()
+            obs.counter("serve.candidates").inc(len(candidates))
+            obs.counter("serve.filtered.exclusion").inc(dropped_exclusion)
+            obs.counter("serve.filtered.budget").inc(dropped_budget)
+            obs.counter("serve.filtered.frequency_cap").inc(dropped_frequency)
+            obs.counter("serve.impressions").inc(len(outcome.awards))
+            if not outcome.awards:
+                obs.counter("serve.auctions_unfilled").inc()
         return ServeResult(query=query, outcome=outcome)
 
     def record_click(self, result: ServeResult, slot: int) -> int:
@@ -193,6 +317,9 @@ class AdServer:
             self._budgets[campaign] = budget - price
         self.stats.clicks += 1
         self.stats.revenue_micros += price
+        if self._obs is not None:
+            self._obs.counter("serve.clicks").inc()
+            self._obs.counter("serve.revenue_micros").inc(price)
         return price
 
     def exhausted_campaigns(self) -> list[int]:

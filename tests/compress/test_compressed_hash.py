@@ -61,8 +61,8 @@ class TestQueryEquivalence:
             "no match here",
         ):
             q = Query.from_text(qtext)
-            got = sorted(a.info.listing_id for a in compressed.query_broad(q))
-            want = sorted(a.info.listing_id for a in index.query_broad(q))
+            got = sorted(a.info.listing_id for a in compressed.query(q))
+            want = sorted(a.info.listing_id for a in index.query(q))
             assert got == want
 
     def test_tiny_suffix_forces_merges_but_stays_correct(self):
@@ -72,7 +72,7 @@ class TestQueryEquivalence:
         # At 3 bits there are at most 8 merged nodes for ~50 word-sets.
         assert compressed.num_nodes() <= 8
         q = Query.from_text("common w3 x17")
-        got = sorted(a.info.listing_id for a in compressed.query_broad(q))
+        got = sorted(a.info.listing_id for a in compressed.query(q))
         want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
         assert got == want
 
@@ -156,7 +156,7 @@ class TestPropertyEquivalence:
         index = WordSetIndex.from_corpus(corpus)
         compressed = CompressedWordSetIndex.from_index(index, suffix_bits=bits)
         for q in queries:
-            got = sorted(a.info.listing_id for a in compressed.query_broad(q))
+            got = sorted(a.info.listing_id for a in compressed.query(q))
             want = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, q)
             )

@@ -44,7 +44,7 @@ class TestEncodedBackends:
             index, suffix_bits=12, sig_encoding=sig, offsets_encoding=off
         )
         for query in queries:
-            got = sorted(a.info.listing_id for a in compressed.query_broad(query))
+            got = sorted(a.info.listing_id for a in compressed.query(query))
             want = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, query)
             )

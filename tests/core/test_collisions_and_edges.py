@@ -40,7 +40,7 @@ class TestForcedCollisions:
         assert index.stats().num_nodes <= 4
         for qtext in ("w3 shared", "shared", "other topic now", "no hit"):
             q = Query.from_text(qtext)
-            got = sorted(a.info.listing_id for a in index.query_broad(q))
+            got = sorted(a.info.listing_id for a in index.query(q))
             want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
             assert got == want
 
@@ -50,7 +50,7 @@ class TestForcedCollisions:
         corpus = AdCorpus([ad(f"x{i} y{i}", i) for i in range(12)])
         index = WordSetIndex.from_corpus(corpus)
         q = Query.from_text("x1 y1 x2 y2")
-        ids = [a.info.listing_id for a in index.query_broad(q)]
+        ids = [a.info.listing_id for a in index.query(q)]
         assert len(ids) == len(set(ids))
 
     def test_deletion_under_collisions(self, weak_hash):
@@ -59,7 +59,7 @@ class TestForcedCollisions:
         index = WordSetIndex.from_corpus(corpus)
         assert index.delete(ads[3])
         q = Query.from_text("c3 common")
-        assert 3 not in {a.info.listing_id for a in index.query_broad(q)}
+        assert 3 not in {a.info.listing_id for a in index.query(q)}
         assert len(index) == 9
 
     def test_delete_under_remapping_with_colliding_wordsets(self, monkeypatch):
@@ -88,7 +88,7 @@ class TestForcedCollisions:
         # One shared node; both groups found through their own locators.
         assert index.stats().num_nodes == 1
         index.check_invariants()
-        assert [a.info.listing_id for a in index.query_broad(
+        assert [a.info.listing_id for a in index.query(
             Query.from_text("cheap used books today")
         )] == [1]
 
@@ -97,10 +97,10 @@ class TestForcedCollisions:
         assert len(index) == 1
         # The survivor's size-1 locator must still be probed (the old
         # node-locator bookkeeping dropped the wrong refcounts here).
-        assert [a.info.listing_id for a in index.query_broad(
+        assert [a.info.listing_id for a in index.query(
             Query.from_text("old maps")
         )] == [2]
-        assert index.query_broad(Query.from_text("cheap used books")) == []
+        assert index.query(Query.from_text("cheap used books")) == []
 
         assert index.delete(other)
         index.check_invariants()
@@ -125,7 +125,7 @@ class TestUnicodeAndEdgeInputs:
             ("unrelated query", []),
         ):
             q = Query.from_text(text)
-            got = sorted(a.info.listing_id for a in index.query_broad(q))
+            got = sorted(a.info.listing_id for a in index.query(q))
             want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
             assert got == want == expected
 
@@ -134,19 +134,19 @@ class TestUnicodeAndEdgeInputs:
         a = Advertisement.from_text(f"{long_word} books", AdInfo(listing_id=1))
         index = WordSetIndex.from_corpus(AdCorpus([a]))
         q = Query.from_text(f"{long_word} books cheap")
-        assert [x.info.listing_id for x in index.query_broad(q)] == [1]
+        assert [x.info.listing_id for x in index.query(q)] == [1]
 
     def test_numeric_only_bid(self):
         a = Advertisement.from_text("2024 calendar", AdInfo(listing_id=1))
         index = WordSetIndex.from_corpus(AdCorpus([a]))
         q = Query.from_text("2024 calendar cheap")
-        assert len(index.query_broad(q)) == 1
+        assert len(index.query(q)) == 1
 
     def test_many_duplicate_words(self):
         a = Advertisement.from_text("la la la la la", AdInfo(listing_id=1))
         index = WordSetIndex.from_corpus(AdCorpus([a]))
-        assert index.query_broad(Query.from_text("la la la la")) == []
-        assert len(index.query_broad(Query.from_text("la la la la la"))) == 1
+        assert index.query(Query.from_text("la la la la")) == []
+        assert len(index.query(Query.from_text("la la la la la"))) == 1
 
     def test_single_word_corpus_large(self):
         ads = [ad(f"kw{i:04d}", i) for i in range(500)]
@@ -154,4 +154,4 @@ class TestUnicodeAndEdgeInputs:
         index = WordSetIndex.from_corpus(corpus)
         assert index.stats().num_nodes == 500
         q = Query.from_text("kw0042 kw0123")
-        assert {a.info.listing_id for a in index.query_broad(q)} == {42, 123}
+        assert {a.info.listing_id for a in index.query(q)} == {42, 123}

@@ -92,7 +92,7 @@ class TestEveryStructureAgrees:
             )
             for structure in structures:
                 got = sorted(
-                    a.info.listing_id for a in structure.query_broad(query)
+                    a.info.listing_id for a in structure.query(query)
                 )
                 assert got == expected, type(structure).__name__
 

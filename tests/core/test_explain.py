@@ -33,7 +33,7 @@ class TestExplain:
         query = Query.from_text("cheap used books")
         explanation = explain_broad_match(index, query)
         assert sorted(explanation.matches) == sorted(
-            a.info.listing_id for a in index.query_broad(query)
+            a.info.listing_id for a in index.query(query)
         )
 
     def test_cost_equals_tracked_execution(self, index):
@@ -41,7 +41,7 @@ class TestExplain:
         query = Query.from_text("cheap used books")
         tracker = AccessTracker()
         index.tracker = tracker
-        index.query_broad(query)
+        index.query(query)
         executed = tracker.reset().modeled_ns(model)
         index.tracker = None
         explanation = explain_broad_match(index, query, model)

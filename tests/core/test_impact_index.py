@@ -51,7 +51,7 @@ class TestTopK:
 
     def test_plain_broad_unpruned(self, index):
         q = Query.from_text("cheap used books online")
-        assert len(index.query_broad(q)) == 4
+        assert len(index.query(q)) == 4
 
     def test_pruning_skips_low_ceiling_nodes(self):
         # One high-bid node and many low-bid nodes sharing a query.

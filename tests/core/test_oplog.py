@@ -32,7 +32,7 @@ def durable(paths):
 
 class TestBasicDurability:
     def test_fresh_start_queryable(self, durable):
-        result = durable.query_broad(Query.from_text("cheap used books"))
+        result = durable.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
 
     def test_insert_logged_and_recovered(self, durable, paths):
@@ -41,7 +41,7 @@ class TestBasicDurability:
         durable.close()
         recovered = DurableIndex(snapshot, log)
         assert recovered.recovery.replayed_ops == 1
-        result = recovered.query_broad(Query.from_text("rare maps shop"))
+        result = recovered.query(Query.from_text("rare maps shop"))
         assert 3 in {a.info.listing_id for a in result}
         recovered.close()
 
@@ -50,7 +50,7 @@ class TestBasicDurability:
         assert durable.delete(ad("books", 2))
         durable.close()
         recovered = DurableIndex(snapshot, log)
-        result = recovered.query_broad(Query.from_text("books"))
+        result = recovered.query(Query.from_text("books"))
         assert result == []
         recovered.close()
 
@@ -76,7 +76,7 @@ class TestBasicDurability:
         recovered = DurableIndex(snapshot, log)
         for qtext in ("base w3 churn1", "base churn2 churn5", "nope"):
             q = Query.from_text(qtext)
-            got = sorted(a.info.listing_id for a in recovered.query_broad(q))
+            got = sorted(a.info.listing_id for a in recovered.query(q))
             want = sorted(a.info.listing_id for a in naive_broad_match(live, q))
             assert got == want
         recovered.close()
@@ -158,14 +158,14 @@ class TestCompaction:
             }
         )
         durable.compact(mapping=mapping)
-        result = durable.query_broad(Query.from_text("cheap used books"))
+        result = durable.query(Query.from_text("cheap used books"))
         assert 5 in {a.info.listing_id for a in result}
         durable.close()
         recovered = DurableIndex(snapshot, log)
         assert recovered.recovery.replayed_ops == 0
         assert 5 in {
             a.info.listing_id
-            for a in recovered.query_broad(Query.from_text("cheap used books"))
+            for a in recovered.query(Query.from_text("cheap used books"))
         }
         recovered.close()
 
@@ -178,8 +178,8 @@ class TestCompaction:
         long_ad = ad("p q r s t u", 2)
         durable.insert(long_ad)
         q = Query.from_text("p q r s t u v")
-        assert 2 in {a.info.listing_id for a in durable.query_broad(q)}
+        assert 2 in {a.info.listing_id for a in durable.query(q)}
         durable.close()
         recovered = DurableIndex(snapshot, log)
-        assert 2 in {a.info.listing_id for a in recovered.query_broad(q)}
+        assert 2 in {a.info.listing_id for a in recovered.query(q)}
         recovered.close()

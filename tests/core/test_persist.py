@@ -49,7 +49,7 @@ class TestRoundtrip:
         loaded = load_index(path)
         assert len(loaded.corpus) == 3
         q = Query.from_text("cheap used books online")
-        got = sorted(a.info.listing_id for a in loaded.index.query_broad(q))
+        got = sorted(a.info.listing_id for a in loaded.index.query(q))
         assert got == [1, 2]
         loaded.index.check_invariants()
 

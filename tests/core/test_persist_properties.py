@@ -78,7 +78,7 @@ class TestPersistProperties:
         probe = data.draw(st.integers(0, len(corpus) - 1))
         query = Query(tokens=corpus[probe].phrase)
         got = sorted(
-            a.info.listing_id for a in loaded.index.query_broad(query)
+            a.info.listing_id for a in loaded.index.query(query)
         )
         want = sorted(
             a.info.listing_id for a in naive_broad_match(corpus, query)

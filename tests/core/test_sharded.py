@@ -47,13 +47,13 @@ class TestSharding:
         sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=5)
         for qtext in ("w3 common x16", "common", "nothing here"):
             q = Query.from_text(qtext)
-            got = sorted(a.info.listing_id for a in sharded.query_broad(q))
+            got = sorted(a.info.listing_id for a in sharded.query(q))
             want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
             assert got == want
 
     def test_no_duplicate_results(self, corpus):
         sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=3)
-        result = sharded.query_broad(Query.from_text("w1 common x1 x14"))
+        result = sharded.query(Query.from_text("w1 common x1 x14"))
         ids = [a.info.listing_id for a in result]
         assert len(ids) == len(set(ids))
 
@@ -64,7 +64,7 @@ class TestSharding:
         assert len(sharded) == len(corpus) - 1
         q = Query.from_text(" ".join(victim.phrase))
         assert victim.info.listing_id not in {
-            a.info.listing_id for a in sharded.query_broad(q)
+            a.info.listing_id for a in sharded.query(q)
         }
 
     def test_match_types(self, corpus):
@@ -83,7 +83,7 @@ class TestSharding:
             extended, num_shards=4, mapping=mapping
         )
         q = Query.from_text("w1 common extra words here too")
-        assert 500 in {a.info.listing_id for a in sharded.query_broad(q)}
+        assert 500 in {a.info.listing_id for a in sharded.query(q)}
         sharded.check_invariants()
 
     def test_per_shard_trackers(self, corpus):
@@ -91,7 +91,7 @@ class TestSharding:
         sharded = ShardedWordSetIndex.from_corpus(
             corpus, num_shards=3, trackers=trackers, fast_path=False
         )
-        sharded.query_broad(Query.from_text("w1 common x1"))
+        sharded.query(Query.from_text("w1 common x1"))
         assert all(t.stats.hash_probes > 0 for t in trackers)
 
     def test_per_shard_trackers_fast_path(self, corpus):
@@ -102,7 +102,7 @@ class TestSharding:
         sharded = ShardedWordSetIndex.from_corpus(
             corpus, num_shards=3, trackers=trackers
         )
-        results = sharded.query_broad(Query.from_text("w1 common x1"))
+        results = sharded.query(Query.from_text("w1 common x1"))
         assert {a.info.listing_id for a in results} == {1}
         assert all(t.stats.queries == 1 for t in trackers)
         assert sum(t.stats.hash_probes for t in trackers) >= 1
@@ -142,7 +142,7 @@ class TestShardedProperties:
         corpus = AdCorpus(ads)
         sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=shards)
         for q in queries:
-            got = sorted(a.info.listing_id for a in sharded.query_broad(q))
+            got = sorted(a.info.listing_id for a in sharded.query(q))
             want = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, q)
             )

@@ -23,29 +23,29 @@ def build(ads, **kwargs):
 class TestBasic:
     def test_paper_example(self):
         index = build([ad("used books", 1), ad("comic books", 2)])
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert [a.info.listing_id for a in result] == [1]
 
     def test_no_match(self):
         index = build([ad("used books", 1)])
-        assert index.query_broad(Query.from_text("red shoes")) == []
+        assert index.query(Query.from_text("red shoes")) == []
 
     def test_multiple_ads_same_wordset(self):
         index = build([ad("used books", 1), ad("books used", 2)])
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
 
     def test_empty_index(self):
-        assert TrieWordSetIndex().query_broad(Query.from_text("x")) == []
+        assert TrieWordSetIndex().query(Query.from_text("x")) == []
 
     def test_duplicate_word_semantics(self):
         index = build([ad("talk talk", 1), ad("talk", 2)])
         assert {
             a.info.listing_id
-            for a in index.query_broad(Query.from_text("talk talk"))
+            for a in index.query(Query.from_text("talk talk"))
         } == {1, 2}
         assert {
-            a.info.listing_id for a in index.query_broad(Query.from_text("talk"))
+            a.info.listing_id for a in index.query(Query.from_text("talk"))
         } == {2}
 
     def test_match_types(self):
@@ -65,7 +65,7 @@ class TestRemapping:
             frozenset({"cheap", "used", "books"}): frozenset({"cheap", "books"})
         }
         index = TrieWordSetIndex.from_corpus(AdCorpus(ads), mapping=mapping)
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
         assert index.num_data_nodes == 1
 
@@ -94,7 +94,7 @@ class TestDeletion:
         index = build([a])
         size_before = index.trie_size()
         assert index.delete(a)
-        assert index.query_broad(Query.from_text("solo phrase")) == []
+        assert index.query(Query.from_text("solo phrase")) == []
         assert index.trie_size() < size_before
         assert index.num_data_nodes == 0
 
@@ -103,7 +103,7 @@ class TestDeletion:
         index = build([a1, a2])
         index.delete(a1)
         assert [x.info.listing_id
-                for x in index.query_broad(Query.from_text("a c"))] == [2]
+                for x in index.query(Query.from_text("a c"))] == [2]
 
     def test_delete_absent(self):
         index = build([ad("x", 1)])
@@ -119,7 +119,7 @@ class TestTraversalEfficiency:
             AdCorpus([ad("a b", 1)]), tracker=tracker
         )
         long_query = Query.from_text(" ".join(f"w{i}" for i in range(22)) + " a b")
-        result = index.query_broad(long_query)
+        result = index.query(long_query)
         assert [a.info.listing_id for a in result] == [1]
         # Root tries every query word once, plus the a->b path: far below
         # the hash table's bounded-subset probe count.
@@ -161,10 +161,10 @@ class TestOracleEquivalence:
                 a.info.listing_id for a in naive_broad_match(corpus, query)
             )
             assert sorted(
-                a.info.listing_id for a in trie.query_broad(query)
+                a.info.listing_id for a in trie.query(query)
             ) == expected
             assert sorted(
-                a.info.listing_id for a in hashed.query_broad(query)
+                a.info.listing_id for a in hashed.query(query)
             ) == expected
 
     @given(corpus_and_queries())
@@ -193,7 +193,7 @@ class TestOracleEquivalence:
                 victim = remaining.pop(pos)
                 assert trie.delete(victim)
         for query in queries:
-            got = sorted(a.info.listing_id for a in trie.query_broad(query))
+            got = sorted(a.info.listing_id for a in trie.query(query))
             expected = sorted(
                 a.info.listing_id for a in naive_broad_match(remaining, query)
             )

@@ -23,36 +23,36 @@ def build(ads, **kwargs):
 class TestBasicBroadMatch:
     def test_paper_example(self):
         index = build([ad("used books", 1), ad("comic books", 2)])
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert [a.info.listing_id for a in result] == [1]
 
     def test_subset_bid_not_matched_by_shorter_query(self):
         index = build([ad("used books", 1)])
-        assert index.query_broad(Query.from_text("books")) == []
+        assert index.query(Query.from_text("books")) == []
 
     def test_exact_wordset_match(self):
         index = build([ad("used books", 1)])
-        result = index.query_broad(Query.from_text("books used"))
+        result = index.query(Query.from_text("books used"))
         assert [a.info.listing_id for a in result] == [1]
 
     def test_multiple_ads_same_wordset(self):
         index = build([ad("used books", 1), ad("books used", 2)])
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
 
     def test_no_match(self):
         index = build([ad("used books", 1)])
-        assert index.query_broad(Query.from_text("cheap flights")) == []
+        assert index.query(Query.from_text("cheap flights")) == []
 
     def test_empty_index(self):
         index = WordSetIndex()
-        assert index.query_broad(Query.from_text("anything")) == []
+        assert index.query(Query.from_text("anything")) == []
 
     def test_duplicate_word_semantics(self):
         index = build([ad("talk talk", 1), ad("talk", 2)])
-        only_band = index.query_broad(Query.from_text("talk talk"))
+        only_band = index.query(Query.from_text("talk talk"))
         assert {a.info.listing_id for a in only_band} == {1, 2}
-        just_talk = index.query_broad(Query.from_text("talk"))
+        just_talk = index.query(Query.from_text("talk"))
         assert {a.info.listing_id for a in just_talk} == {2}
 
 
@@ -82,7 +82,7 @@ class TestMappingPlacement:
             frozenset({"cheap", "used", "books"}): frozenset({"cheap", "books"})
         }
         index = WordSetIndex.from_corpus(AdCorpus(ads), mapping=mapping)
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
         assert index.stats().num_nodes == 1
 
@@ -120,7 +120,7 @@ class TestDeletion:
         a = ad("used books", 1)
         index = build([a])
         assert index.delete(a)
-        assert index.query_broad(Query.from_text("used books")) == []
+        assert index.query(Query.from_text("used books")) == []
         assert len(index) == 0
         index.check_invariants()
 
@@ -129,7 +129,7 @@ class TestDeletion:
         mapping = {a2.words: a1.words}
         index = WordSetIndex.from_corpus(AdCorpus([a1, a2]), mapping=mapping)
         assert index.delete(a2)
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1}
         index.check_invariants()
 
@@ -148,7 +148,7 @@ class TestDeletion:
         index = build([a])
         index.delete(a)
         index.insert(a)
-        assert len(index.query_broad(Query.from_text("used books"))) == 1
+        assert len(index.query(Query.from_text("used books"))) == 1
 
 
 class TestLongQueries:
@@ -157,7 +157,7 @@ class TestLongQueries:
         long_query = Query.from_text("red shoes " + " ".join(f"f{i}" for i in range(10)))
         # Truncation may or may not retain the matching words without
         # selectivity data; with corpus frequencies the rare words win.
-        result = index.query_broad(long_query)
+        result = index.query(long_query)
         assert all(a.words <= long_query.words for a in result)
 
     def test_max_words_bounds_probes(self):
@@ -174,7 +174,7 @@ class TestLongQueries:
             fast_path=False,
         )
         q = Query.from_text("a b " + " ".join(f"x{i}" for i in range(8)))
-        index.query_broad(q)
+        index.query(q)
         assert tracker.stats.hash_probes == 55
 
     def test_fast_path_prunes_probes_identically(self):
@@ -189,7 +189,7 @@ class TestLongQueries:
             max_query_words=10,
         )
         q = Query.from_text("a b " + " ".join(f"x{i}" for i in range(8)))
-        assert [a.info.listing_id for a in index.query_broad(q)] == [1]
+        assert [a.info.listing_id for a in index.query(q)] == [1]
         assert tracker.stats.hash_probes == 1
         assert index.probe_count(q) == 1
 
@@ -211,7 +211,7 @@ class TestStatsAndAccounting:
             tracker=tracker,
             fast_path=False,
         )
-        index.query_broad(Query.from_text("used books"))
+        index.query(Query.from_text("used books"))
         # 3 subsets probed for a 2-word query; 1 node scanned.
         assert tracker.stats.hash_probes == 3
         assert tracker.stats.random_accesses == 4  # 3 probes + 1 node
@@ -225,7 +225,7 @@ class TestStatsAndAccounting:
         index = WordSetIndex.from_corpus(
             AdCorpus([ad("used books", 1)]), tracker=tracker
         )
-        index.query_broad(Query.from_text("used books"))
+        index.query(Query.from_text("used books"))
         assert tracker.stats.hash_probes == 1
         assert tracker.stats.random_accesses == 2  # 1 probe + 1 node
         assert tracker.stats.queries == 1
@@ -260,7 +260,7 @@ class TestOracleEquivalence:
         corpus = AdCorpus(ads)
         index = WordSetIndex.from_corpus(corpus)
         for query in queries:
-            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            got = sorted(a.info.listing_id for a in index.query(query))
             expected = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, query)
             )
@@ -303,7 +303,7 @@ class TestOracleEquivalence:
                 assert index.delete(victim)
         index.check_invariants()
         for query in queries:
-            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            got = sorted(a.info.listing_id for a in index.query(query))
             expected = sorted(
                 a.info.listing_id for a in naive_broad_match(remaining, query)
             )

@@ -91,7 +91,7 @@ class TestAnalyticMatchesExecution:
         index._word_freq_fn = None  # execution must not truncate here
         for query, frequency in workload:
             for _ in range(frequency):
-                index.query_broad(query)
+                index.query(query)
         executed = tracker.stats.modeled_ns(model)
         analytic = total_cost(index, workload, model)
         assert executed == pytest.approx(analytic)
@@ -106,7 +106,7 @@ class TestAnalyticMatchesExecution:
         index._word_freq_fn = None
         for query, frequency in workload:
             for _ in range(frequency):
-                index.query_broad(query)
+                index.query(query)
         assert tracker.stats.modeled_ns(model) == pytest.approx(
             total_cost(index, workload, model)
         )
@@ -128,7 +128,7 @@ class TestAnalyticMatchesExecution:
         index._word_freq_fn = None
         for query, frequency in workload:
             for _ in range(frequency):
-                index.query_broad(query)
+                index.query(query)
         assert tracker.stats.modeled_ns(model) == pytest.approx(
             total_cost(index, workload, model)
         )

@@ -92,7 +92,7 @@ class TestCorpusCsv:
             "bid_phrase,listing_id\nused books,1\nbooks,2\n",
         )
         index = WordSetIndex.from_corpus(load_corpus_csv(path))
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
 
 

@@ -49,7 +49,7 @@ class TestFullPipeline:
             )
             for structure in (identity, optimized, compressed, inverted, counting):
                 got = sorted(
-                    a.info.listing_id for a in structure.query_broad(query)
+                    a.info.listing_id for a in structure.query(query)
                 )
                 assert got == expected, type(structure).__name__
 

@@ -42,21 +42,21 @@ def corpus():
 class TestBroadMatchCorrectness:
     def test_paper_example(self, cls, corpus):
         index = cls.from_corpus(corpus)
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 3, 4}
 
     def test_no_match(self, cls, corpus):
         index = cls.from_corpus(corpus)
-        assert index.query_broad(Query.from_text("red shoes")) == []
+        assert index.query(Query.from_text("red shoes")) == []
 
     def test_single_word_query(self, cls, corpus):
         index = cls.from_corpus(corpus)
-        result = index.query_broad(Query.from_text("books"))
+        result = index.query(Query.from_text("books"))
         assert {a.info.listing_id for a in result} == {3}
 
     def test_no_duplicates_in_results(self, cls, corpus):
         index = cls.from_corpus(corpus)
-        result = index.query_broad(Query.from_text("cheap used comic books"))
+        result = index.query(Query.from_text("cheap used comic books"))
         ids = [a.info.listing_id for a in result]
         assert len(ids) == len(set(ids))
 
@@ -109,7 +109,7 @@ class TestCountingStructure:
         i1 = CountingInvertedIndex.from_corpus(corpus, tracker=t1)
         i2 = CountingInvertedIndex.from_corpus(corpus, tracker=t2)
         q = Query.from_text("cheap used books")
-        i1.query_broad(q)
+        i1.query(q)
         i2.query_broad_no_merge(q)
         assert (
             t1.stats.postings_traversed == t2.stats.postings_traversed
@@ -130,8 +130,8 @@ class TestAccounting:
         nr = NonRedundantInvertedIndex.from_corpus(corpus, tracker=t_nr)
         cnt = CountingInvertedIndex.from_corpus(corpus, tracker=t_cnt)
         q = Query.from_text("books w5")
-        assert {a.info.listing_id for a in nr.query_broad(q)} == {5, 999}
-        assert {a.info.listing_id for a in cnt.query_broad(q)} == {5, 999}
+        assert {a.info.listing_id for a in nr.query(q)} == {5, 999}
+        assert {a.info.listing_id for a in cnt.query(q)} == {5, 999}
         # The counting index must traverse the 201-long "books" list; the
         # non-redundant index indexed those ads under their rare w_i word.
         assert t_cnt.stats.postings_traversed > t_nr.stats.postings_traversed
@@ -141,8 +141,8 @@ class TestAccounting:
 
         tracker = AccessTracker()
         index = RedundantInvertedIndex.from_corpus(corpus, tracker=tracker)
-        index.query_broad(Query.from_text("books"))
-        index.query_broad(Query.from_text("flights"))
+        index.query(Query.from_text("books"))
+        index.query(Query.from_text("flights"))
         assert tracker.stats.queries == 2
 
 
@@ -182,6 +182,6 @@ class TestCrossStructureEquivalence:
             )
             for structure in structures:
                 got = sorted(
-                    a.info.listing_id for a in structure.query_broad(query)
+                    a.info.listing_id for a in structure.query(query)
                 )
                 assert got == expected, type(structure).__name__

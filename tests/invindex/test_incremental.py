@@ -17,14 +17,14 @@ class TestIncrementalInserts:
         index = CountingInvertedIndex()
         index.insert(ad("used books", 1))
         index.insert(ad("books", 2))
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
         assert len(index) == 2
 
     def test_redundant_insert_then_query(self):
         index = RedundantInvertedIndex()
         index.insert(ad("used books", 1))
-        result = index.query_broad(Query.from_text("used books today"))
+        result = index.query(Query.from_text("used books today"))
         assert [a.info.listing_id for a in result] == [1]
 
     def test_nonredundant_incremental_key_choice(self):
@@ -32,12 +32,12 @@ class TestIncrementalInserts:
         # the rarest-word policy needs corpus statistics.
         index = NonRedundantInvertedIndex()
         index.insert(ad("used books", 1), key_word="used")
-        result = index.query_broad(Query.from_text("used books"))
+        result = index.query(Query.from_text("used books"))
         assert [a.info.listing_id for a in result] == [1]
 
     def test_build_from_ads_helper(self):
         index = build_from_ads([ad("used books", 1), ad("books", 2)])
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
 
     def test_index_bytes_grow_with_inserts(self):
@@ -52,7 +52,7 @@ class TestIterableConstruction:
     def test_wordset_index_from_plain_iterable(self):
         ads = [ad("used books", 1), ad("books", 2)]
         index = WordSetIndex.from_corpus(iter(ads))
-        result = index.query_broad(Query.from_text("cheap used books"))
+        result = index.query(Query.from_text("cheap used books"))
         assert {a.info.listing_id for a in result} == {1, 2}
 
     def test_truncation_without_corpus_statistics(self):
@@ -61,7 +61,7 @@ class TestIterableConstruction:
         ads = [ad("aa bb", 1)]
         index = WordSetIndex.from_corpus(iter(ads), max_query_words=3)
         q = Query.from_text("aa bb cc dd ee ff")
-        result = index.query_broad(q)
+        result = index.query(q)
         # "aa" and "bb" sort into the first 3 of the 6 words, so the match
         # survives the cutoff.
         assert [a.info.listing_id for a in result] == [1]
@@ -73,6 +73,6 @@ class TestIterableConstruction:
         for x in ads:
             b.insert(x)
         q = Query.from_text("w3 common")
-        assert sorted(x.info.listing_id for x in a.query_broad(q)) == sorted(
-            x.info.listing_id for x in b.query_broad(q)
+        assert sorted(x.info.listing_id for x in a.query(q)) == sorted(
+            x.info.listing_id for x in b.query(q)
         )

@@ -1,0 +1,173 @@
+"""Unit tests for the metrics registry primitives and exposition."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    active_or_none,
+    uniform_histogram,
+)
+from repro.obs.export import prometheus_name, to_json, to_prometheus, write_metrics
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("index.probes")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_rejects_negative_increments(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_name_collision_across_kinds_is_an_error(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10.0)
+        gauge.inc(2.5)
+        gauge.dec(0.5)
+        assert gauge.value == 12.0
+
+
+class TestHistogramPercentiles:
+    def test_empty_histogram_reports_zero(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        assert hist.count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.p50 == 0.0
+        assert hist.p95 == 0.0
+        assert hist.p99 == 0.0
+        assert hist.mean() == 0.0
+
+    def test_single_sample_reports_exactly_that_sample(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0))
+        hist.observe(1.7)
+        assert hist.count == 1
+        assert hist.p50 == pytest.approx(1.7)
+        assert hist.p99 == pytest.approx(1.7)
+        assert hist.mean() == pytest.approx(1.7)
+
+    def test_percentiles_are_monotone_and_clamped(self):
+        hist = Histogram("h", bounds=(1.0, 2.0, 4.0, 8.0))
+        for sample in (0.5, 1.5, 3.0, 3.5, 7.0):
+            hist.observe(sample)
+        values = [hist.percentile(p) for p in (10, 50, 90, 99)]
+        assert values == sorted(values)
+        assert values[0] >= 0.5
+        assert values[-1] <= 7.0
+
+    def test_overflow_samples_land_in_the_inf_bucket(self):
+        hist = Histogram("h", bounds=(1.0,))
+        hist.observe(100.0)
+        assert hist.count == 1
+        # Clamped to the observed max, not to the finite bucket bound.
+        assert hist.p99 == pytest.approx(100.0)
+
+    def test_bounds_must_be_ascending(self):
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", bounds=())
+
+    def test_uniform_histogram_matches_floor_bucketing(self):
+        hist = uniform_histogram([1.0, 2.0, 6.0, 7.0, 12.0], bucket_width=5.0)
+        assert hist.bucket_fractions() == {0.0: 0.4, 5.0: 0.4, 10.0: 0.2}
+
+
+class TestRegistryLifecycle:
+    def test_snapshot_contains_all_sections(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", bounds=(1.0, 2.0)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"c": 3}
+        assert snap["gauges"] == {"g": 1.5}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(5)
+        registry.reset()
+        assert registry.counter("c") is counter
+        assert counter.value == 0
+
+    def test_span_records_elapsed_milliseconds(self):
+        registry = MetricsRegistry()
+        with registry.span("probe"):
+            pass
+        hist = registry.get("span.probe")
+        assert hist.count == 1
+        assert hist.mean() >= 0.0
+
+
+class TestNullRegistry:
+    def test_disabled_and_inert(self):
+        assert not NULL_REGISTRY.enabled
+        NULL_REGISTRY.counter("c").inc(5)
+        with NULL_REGISTRY.span("s"):
+            pass
+        assert NULL_REGISTRY.collect() == []
+        assert NullRegistry().snapshot()["counters"] == {}
+
+    def test_active_or_none_normalisation(self):
+        live = MetricsRegistry()
+        assert active_or_none(live) is live
+        assert active_or_none(None) is None
+        assert active_or_none(NULL_REGISTRY) is None
+
+
+class TestExposition:
+    def test_prometheus_name_sanitisation(self):
+        assert prometheus_name("index.probes") == "repro_index_probes"
+        assert prometheus_name("serve.filtered.budget") == (
+            "repro_serve_filtered_budget"
+        )
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("index.probes", help="Probes issued").inc(7)
+        registry.histogram("span.probe", bounds=(1.0, 2.0)).observe(1.5)
+        text = to_prometheus(registry)
+        assert "# TYPE repro_index_probes counter" in text
+        assert "repro_index_probes_total 7" in text
+        assert '# HELP repro_index_probes Probes issued' in text
+        assert 'repro_span_probe_bucket{le="+Inf"} 1' in text
+        assert "repro_span_probe_count 1" in text
+
+    def test_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        decoded = json.loads(to_json(registry))
+        assert decoded["counters"] == {"c": 2}
+
+    def test_write_metrics_picks_format_by_extension(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(1)
+        json_path = tmp_path / "m.json"
+        prom_path = tmp_path / "m.prom"
+        write_metrics(registry, json_path)
+        write_metrics(registry, prom_path)
+        assert json.loads(json_path.read_text())["counters"] == {"c": 1}
+        assert "repro_c_total 1" in prom_path.read_text()

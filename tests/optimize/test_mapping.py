@@ -177,7 +177,7 @@ class TestLongPhraseMapping:
         index.check_invariants()
         for qtext in ("a b c d e f", "x y z w v u t", "a b"):
             q = Query.from_text(qtext)
-            got = sorted(a.info.listing_id for a in index.query_broad(q))
+            got = sorted(a.info.listing_id for a in index.query(q))
             want = sorted(a.info.listing_id for a in naive_broad_match(corpus, q))
             assert got == want
 
@@ -212,7 +212,7 @@ class TestOptimizeMapping:
         mapping = optimize_mapping(corpus, workload, MODEL)
         index = build_index(corpus, mapping)
         for query, _ in workload:
-            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            got = sorted(a.info.listing_id for a in index.query(query))
             want = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, query)
             )
@@ -299,7 +299,7 @@ class TestOptimizerProperties:
         index = build_index(corpus, mapping)
         index.check_invariants()
         for query, _ in workload:
-            got = sorted(a.info.listing_id for a in index.query_broad(query))
+            got = sorted(a.info.listing_id for a in index.query(query))
             want = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, query)
             )

@@ -40,7 +40,7 @@ def maintained():
 class TestInsertion:
     def test_insert_short_ad_queryable(self, maintained):
         maintained.insert(ad("rare coins", 10))
-        result = maintained.query_broad(Query.from_text("rare coins shop"))
+        result = maintained.query(Query.from_text("rare coins shop"))
         assert 10 in {a.info.listing_id for a in result}
         maintained.index.check_invariants()
 
@@ -55,7 +55,7 @@ class TestInsertion:
         maintained.insert(long_ad)
         placement = maintained.index.placement()
         assert len(placement[long_ad.words]) <= 4
-        result = maintained.query_broad(
+        result = maintained.query(
             Query.from_text("w1 w2 w3 w4 w5 w6 w7 w8")
         )
         assert 30 in {a.info.listing_id for a in result}
@@ -73,7 +73,7 @@ class TestDeletion:
     def test_delete_removes_from_results(self, maintained):
         victim = ad("used books", 2)
         assert maintained.delete(victim)
-        result = maintained.query_broad(Query.from_text("cheap used books"))
+        result = maintained.query(Query.from_text("cheap used books"))
         assert 2 not in {a.info.listing_id for a in result}
         maintained.index.check_invariants()
 
@@ -106,9 +106,9 @@ class TestReoptimization:
         workload = Workload([(Query.from_text("used books"), 5)])
         maintained = MaintainedIndex(corpus, workload, MODEL, reopt_threshold=0)
         q = Query.from_text("cheap used books")
-        before = sorted(a.info.listing_id for a in maintained.query_broad(q))
+        before = sorted(a.info.listing_id for a in maintained.query(q))
         maintained.reoptimize()
-        after = sorted(a.info.listing_id for a in maintained.query_broad(q))
+        after = sorted(a.info.listing_id for a in maintained.query(q))
         assert before == after == [1, 2]
 
 
@@ -128,6 +128,6 @@ class TestChurnEquivalence:
         maintained.index.check_invariants()
         for qtext in ("base w1 churn0", "base churn1 churn2", "nothing here"):
             q = Query.from_text(qtext)
-            got = sorted(a.info.listing_id for a in maintained.query_broad(q))
+            got = sorted(a.info.listing_id for a in maintained.query(q))
             want = sorted(a.info.listing_id for a in naive_broad_match(live, q))
             assert got == want

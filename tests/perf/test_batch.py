@@ -78,7 +78,7 @@ class TestOrderEquivalence:
         index = WordSetIndex.from_corpus(corpus)
         engine = BatchQueryEngine(index)
         batch = engine.query_broad_batch(self.queries())
-        sequential = [index.query_broad(q) for q in self.queries()]
+        sequential = [index.query(q) for q in self.queries()]
         assert ids(batch) == ids(sequential)
 
     @pytest.mark.parametrize("max_workers", [None, 1, 2])
@@ -86,7 +86,7 @@ class TestOrderEquivalence:
         sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=3)
         engine = BatchQueryEngine(sharded, max_workers=max_workers)
         batch = engine.query_broad_batch(self.queries())
-        sequential = [sharded.query_broad(q) for q in self.queries()]
+        sequential = [sharded.query(q) for q in self.queries()]
         assert ids(batch) == ids(sequential)
         # Shard-order gather: exact result order matches scatter-gather.
         assert [
@@ -96,7 +96,7 @@ class TestOrderEquivalence:
     def test_sharded_convenience_method(self, corpus):
         sharded = ShardedWordSetIndex.from_corpus(corpus, num_shards=2)
         got = sharded.query_broad_batch(self.queries())
-        want = [sharded.query_broad(q) for q in self.queries()]
+        want = [sharded.query(q) for q in self.queries()]
         assert ids(got) == ids(want)
 
 

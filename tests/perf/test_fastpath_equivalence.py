@@ -63,10 +63,10 @@ def test_fast_naive_and_oracle_agree(data):
             a.info.listing_id for a in naive_broad_match(corpus, query)
         )
         got_fast = sorted(
-            a.info.listing_id for a in fast.query_broad(query)
+            a.info.listing_id for a in fast.query(query)
         )
         got_naive = sorted(
-            a.info.listing_id for a in naive.query_broad(query)
+            a.info.listing_id for a in naive.query(query)
         )
         got_batch = sorted(a.info.listing_id for a in from_batch)
         assert got_fast == got_naive == got_batch == want
@@ -90,5 +90,5 @@ def test_equivalence_survives_deletions(data):
         want = sorted(
             a.info.listing_id for a in naive_broad_match(remaining, query)
         )
-        got = sorted(a.info.listing_id for a in fast.query_broad(query))
+        got = sorted(a.info.listing_id for a in fast.query(query))
         assert got == want

@@ -93,7 +93,7 @@ class TestIndexProbePlan:
         for text in ("cheap used books", "maps of spain", "nothing here"):
             query = Query.from_text(text)
             before = tracker.stats.hash_probes
-            index.query_broad(query)
+            index.query(query)
             measured = tracker.stats.hash_probes - before
             assert measured == index.probe_count(query)
 

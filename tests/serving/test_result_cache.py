@@ -24,8 +24,8 @@ def cached():
 class TestCaching:
     def test_hit_on_repeat(self, cached):
         q = Query.from_text("cheap used books")
-        first = cached.query_broad(q)
-        second = cached.query_broad(q)
+        first = cached.query(q)
+        second = cached.query(q)
         assert [a.info.listing_id for a in first] == [
             a.info.listing_id for a in second
         ]
@@ -33,23 +33,23 @@ class TestCaching:
         assert cached.cache_stats.misses == 1
 
     def test_word_order_shares_entry(self, cached):
-        cached.query_broad(Query.from_text("used books"))
-        cached.query_broad(Query.from_text("books used"))
+        cached.query(Query.from_text("used books"))
+        cached.query(Query.from_text("books used"))
         assert cached.cache_stats.hits == 1
 
     def test_caller_cannot_corrupt_cache(self, cached):
         q = Query.from_text("used books")
-        result = cached.query_broad(q)
+        result = cached.query(q)
         result.clear()  # mutate the returned list
-        again = cached.query_broad(q)
+        again = cached.query(q)
         assert len(again) == 2
 
     def test_lru_eviction(self):
         corpus = AdCorpus([ad(f"w{i}", i) for i in range(10)])
         cached = CachedIndex(WordSetIndex.from_corpus(corpus), capacity=2)
         for i in range(3):
-            cached.query_broad(Query.from_text(f"w{i}"))
-        cached.query_broad(Query.from_text("w0"))  # evicted -> miss
+            cached.query(Query.from_text(f"w{i}"))
+        cached.query(Query.from_text("w0"))  # evicted -> miss
         assert cached.cache_stats.misses == 4
         assert cached.cached_queries == 2
 
@@ -61,24 +61,24 @@ class TestCaching:
 class TestInvalidation:
     def test_insert_invalidates(self, cached):
         q = Query.from_text("cheap used books")
-        cached.query_broad(q)
+        cached.query(q)
         cached.insert(ad("cheap books", 3))
-        result = cached.query_broad(q)
+        result = cached.query(q)
         assert 3 in {a.info.listing_id for a in result}
         assert cached.cache_stats.invalidations == 1
 
     def test_delete_invalidates(self, cached):
         q = Query.from_text("cheap used books")
-        cached.query_broad(q)
+        cached.query(q)
         assert cached.delete(ad("used books", 1))
-        result = cached.query_broad(q)
+        result = cached.query(q)
         assert 1 not in {a.info.listing_id for a in result}
 
     def test_failed_delete_keeps_cache(self, cached):
         q = Query.from_text("used books")
-        cached.query_broad(q)
+        cached.query(q)
         assert not cached.delete(ad("absent", 99))
-        cached.query_broad(q)
+        cached.query(q)
         assert cached.cache_stats.hits == 1
 
 
@@ -162,7 +162,7 @@ class TestPowerLawHitRate:
             WordSetIndex.from_corpus(generated.corpus), capacity=100
         )
         for query in workload.sample_stream(3_000, seed=2):
-            cached.query_broad(query)
+            cached.query(query)
         # 100 slots over 500 distinct Zipf queries: well above 100/500.
         assert cached.cache_stats.hit_rate() > 0.5
 
@@ -174,7 +174,7 @@ class TestPowerLawHitRate:
             generated, QueryConfig(num_distinct=60, total_frequency=600, seed=2)
         )
         for query in workload.sample_stream(300, seed=3):
-            got = sorted(a.info.listing_id for a in cached.query_broad(query))
+            got = sorted(a.info.listing_id for a in cached.query(query))
             want = sorted(
                 a.info.listing_id for a in naive_broad_match(corpus, query)
             )
