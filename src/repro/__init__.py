@@ -14,6 +14,9 @@ Public API highlights:
 * :mod:`repro.obs` — zero-dependency metrics registry and trace spans wired
   through every :class:`repro.core.RetrievalIndex` implementation and the
   serving stack (off-by-default, Prometheus/JSON exposition).
+* :mod:`repro.oplog` / :mod:`repro.faults` — crash-safe snapshot + op-log
+  durability (WAL discipline, generation-stamped compaction) and the
+  deterministic fault-injection harness that proves the recovery protocol.
 * :mod:`repro.datagen` — synthetic corpus/workload generators calibrated to
   the paper's published distributions.
 * :mod:`repro.experiments` — one module per paper table/figure.
@@ -33,7 +36,9 @@ from repro.core import (
     explain_broad_match,
 )
 from repro.cost import AccessTracker, CostModel
+from repro.faults import FaultInjector, InjectedCrash
 from repro.obs import MetricsRegistry, NullRegistry
+from repro.oplog import DurableIndex
 from repro.persist import load_index, save_index
 
 __version__ = "1.0.0"
@@ -44,6 +49,9 @@ __all__ = [
     "Advertisement",
     "AccessTracker",
     "CostModel",
+    "DurableIndex",
+    "FaultInjector",
+    "InjectedCrash",
     "MatchType",
     "MetricsRegistry",
     "NullRegistry",

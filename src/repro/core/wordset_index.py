@@ -233,6 +233,18 @@ class WordSetIndex:
                 f"{self.max_words}"
             )
 
+    def contains(self, ad: Advertisement) -> bool:
+        """True when ``ad`` is indexed — the non-mutating validation
+        half of :meth:`delete`, so write-ahead logging can check
+        membership *before* committing a delete record."""
+        locator = self._placement.get(ad.words)
+        if locator is None:
+            return False
+        node = self._nodes.get(wordhash(locator))
+        return node is not None and any(
+            entry.ad == ad for entry in node.entries
+        )
+
     def delete(self, ad: Advertisement) -> bool:
         """Remove ``ad``; returns False if it was not indexed.
 

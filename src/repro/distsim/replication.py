@@ -11,6 +11,14 @@ failure injection:
   of join-shortest-queue);
 * failed replicas are skipped by the router; a query only fails when every
   replica of some shard is down, making availability measurable.
+
+Failures can be declared statically (``failed_replicas``) or injected
+dynamically through a :class:`~repro.faults.FaultInjector`: the
+``replica.s<shard>r<replica>.boot`` point downs a replica at bring-up,
+and the per-server ``server.s<shard>r<replica>`` point (see
+:class:`~repro.distsim.server.Server`) drops an in-flight shard write,
+failing that query.  With a :mod:`repro.obs` registry attached the run
+reports ``replication.queries`` and ``replication.failed_queries``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from repro.distsim.events import EventQueue
 from repro.distsim.metrics import RunMetrics
 from repro.distsim.network import NetworkModel
 from repro.distsim.server import Server
+from repro.faults.injector import FaultInjector, active_injector
+from repro.obs.registry import MetricsRegistry, active_or_none
 
 
 @dataclass(frozen=True, slots=True)
@@ -59,6 +69,8 @@ class ReplicatedCluster:
         shard_service_ms: Callable[[int, Query], float],
         config: ReplicationConfig = ReplicationConfig(),
         failed_replicas: set[tuple[int, int]] | None = None,
+        obs: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if config.num_shards < 1 or config.replicas_per_shard < 1:
             raise ValueError("need at least one shard and one replica")
@@ -68,6 +80,16 @@ class ReplicatedCluster:
         self.config = config
         #: (shard, replica) pairs that are down.
         self.failed_replicas = failed_replicas or set()
+        self._faults = active_injector(faults)
+        self._obs = active_or_none(obs)
+        if self._obs is not None:
+            self._obs.counter(
+                "replication.queries", help="Queries offered to the cluster"
+            )
+            self._obs.counter(
+                "replication.failed_queries",
+                help="Queries lost to replica failures",
+            )
 
     def run(
         self, queries: Sequence[Query], arrival_rate_qps: float
@@ -86,7 +108,12 @@ class ReplicatedCluster:
         for shard in range(config.num_shards):
             group: list[Server | None] = []
             for replica in range(config.replicas_per_shard):
-                if (shard, replica) in self.failed_replicas:
+                down = (shard, replica) in self.failed_replicas
+                if not down:
+                    down = self._faults.should_fail(
+                        f"replica.s{shard}r{replica}.boot"
+                    )
+                if down:
                     group.append(None)
                 else:
                     group.append(
@@ -94,6 +121,7 @@ class ReplicatedCluster:
                             events,
                             cores=config.cores_per_server,
                             name=f"s{shard}r{replica}",
+                            faults=self._faults,
                         )
                     )
             replicas.append(group)
@@ -115,10 +143,17 @@ class ReplicatedCluster:
             least = min(s.load for s in alive)
             return rng.choice([s for s in alive if s.load == least])
 
-        def arrival(query_index: int, arrival_time: float) -> None:
+        def record_failure() -> None:
             nonlocal failed
+            failed += 1
+            if self._obs is not None:
+                self._obs.counter("replication.failed_queries").inc()
+
+        def arrival(query_index: int, arrival_time: float) -> None:
             query = queries[query_index % len(queries)]
             start = events.now
+            if self._obs is not None:
+                self._obs.counter("replication.queries").inc()
             targets = [route(shard) for shard in range(config.num_shards)]
             next_time = arrival_time + rng.expovariate(1.0 / mean_gap_ms)
             if next_time < duration:
@@ -126,14 +161,21 @@ class ReplicatedCluster:
                     next_time, lambda: arrival(query_index + 1, next_time)
                 )
             if any(target is None for target in targets):
-                failed += 1  # some shard entirely down: query unanswerable
+                record_failure()  # some shard entirely down: unanswerable
                 return
-            pending = {"count": config.num_shards}
+            pending = {"count": config.num_shards, "lost": False}
 
             def shard_done() -> None:
                 pending["count"] -= 1
-                if pending["count"] == 0:
+                if pending["count"] == 0 and not pending["lost"]:
                     events.schedule(network.delay_ms(), complete)
+
+            def shard_lost() -> None:
+                # An injected in-flight drop: the query can never gather
+                # every shard answer, so it fails exactly once.
+                if not pending["lost"]:
+                    pending["lost"] = True
+                    record_failure()
 
             def complete() -> None:
                 latencies.append(events.now - start)
@@ -143,7 +185,7 @@ class ReplicatedCluster:
                 service = self.shard_service_ms(shard, query)
 
                 def submit(s=server, svc=service) -> None:
-                    s.submit(svc, shard_done)
+                    s.submit(svc, shard_done, on_fail=shard_lost)
 
                 events.schedule(network.delay_ms(), submit)
 

@@ -7,6 +7,25 @@ retrieval work, and the response completes when the **slowest** shard has
 answered — the straggler effect that makes wide fan-outs latency-fragile
 even as they divide CPU work.
 
+Wide fan-outs are also *failure*-fragile: one dropped RPC stalls the whole
+query.  The cluster therefore supports the standard production defences,
+off by default so the base simulation is unchanged:
+
+* **bounded retry with exponential backoff** (``max_retries``,
+  ``retry_backoff_ms``) against transient per-shard failures (injected
+  through the ``server.<shard>`` fault point of
+  :class:`~repro.distsim.server.Server`);
+* a **per-shard timeout** (``shard_timeout_ms``) measured from dispatch,
+  covering network, queueing, service, and every retry of that leg;
+* **graceful partial results** (``allow_partial``/``min_shards``): when
+  some shards fail outright, the gather completes with the shards that
+  answered instead of failing the query — the degradation every serving
+  stack prefers over an empty ad slate.
+
+Outcomes are reported through :mod:`repro.obs` counters:
+``partial_results``, ``scatter.retries``, ``scatter.shard_timeouts``,
+``scatter.shard_failures``, ``scatter.failed_queries``.
+
 Per-shard service times come from the same cost-model tables as the
 two-tier cluster, scaled by each shard's share of the work.
 """
@@ -22,6 +41,8 @@ from repro.distsim.events import EventQueue
 from repro.distsim.metrics import RunMetrics
 from repro.distsim.network import NetworkModel
 from repro.distsim.server import Server
+from repro.faults.injector import FaultInjector, active_injector
+from repro.obs.registry import MetricsRegistry, active_or_none
 
 
 @dataclass(frozen=True, slots=True)
@@ -32,6 +53,16 @@ class ScatterConfig:
     network_base_ms: float = 0.5
     network_jitter_ms: float = 0.3
     seed: int = 0
+    #: Per-shard deadline from dispatch (covers retries); None = no timeout.
+    shard_timeout_ms: float | None = None
+    #: Re-dispatches after a failed leg before the leg is given up.
+    max_retries: int = 0
+    #: First backoff delay; doubles per retry (bounded exponential).
+    retry_backoff_ms: float = 1.0
+    #: Complete queries with the shards that answered instead of failing.
+    allow_partial: bool = False
+    #: Minimum successful shards for a usable partial result (default 1).
+    min_shards: int | None = None
 
 
 class ScatterGatherCluster:
@@ -41,11 +72,46 @@ class ScatterGatherCluster:
         self,
         shard_service_ms: Callable[[int, Query], float],
         config: ScatterConfig = ScatterConfig(),
+        obs: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         if config.num_shards < 1:
             raise ValueError("need at least one shard")
+        if config.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if config.retry_backoff_ms < 0:
+            raise ValueError("retry_backoff_ms must be >= 0")
+        if config.min_shards is not None and not (
+            1 <= config.min_shards <= config.num_shards
+        ):
+            raise ValueError("min_shards must be in [1, num_shards]")
         self.shard_service_ms = shard_service_ms
         self.config = config
+        self._faults = active_injector(faults)
+        self._obs = active_or_none(obs)
+        if self._obs is not None:
+            self._obs.counter(
+                "partial_results",
+                help="Queries answered by fewer than all shards",
+            )
+            self._obs.counter(
+                "scatter.retries", help="Shard legs re-dispatched"
+            )
+            self._obs.counter(
+                "scatter.shard_timeouts", help="Shard legs that timed out"
+            )
+            self._obs.counter(
+                "scatter.shard_failures",
+                help="Shard legs given up after retries/timeout",
+            )
+            self._obs.counter(
+                "scatter.failed_queries",
+                help="Queries with too few shard answers to complete",
+            )
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        if self._obs is not None:
+            self._obs.counter(name).inc(amount)
 
     def run(self, queries: Sequence[Query], arrival_rate_qps: float) -> RunMetrics:
         if arrival_rate_qps <= 0:
@@ -59,35 +125,88 @@ class ScatterGatherCluster:
         )
         rng = random.Random(config.seed + 1)
         servers = [
-            Server(events, cores=config.cores_per_server, name=f"shard{i}")
+            Server(
+                events,
+                cores=config.cores_per_server,
+                name=f"shard{i}",
+                faults=self._faults,
+            )
             for i in range(config.num_shards)
         ]
         latencies: list[float] = []
         finish_times: list[float] = []
         duration = config.duration_ms
         mean_gap_ms = 1000.0 / arrival_rate_qps
+        min_required = (
+            config.min_shards if config.min_shards is not None else 1
+        )
 
         def arrival(query_index: int, arrival_time: float) -> None:
             query = queries[query_index % len(queries)]
             start = events.now
-            pending = {"count": config.num_shards}
-
-            def shard_done() -> None:
-                pending["count"] -= 1
-                if pending["count"] == 0:
-                    events.schedule(network.delay_ms(), complete)
+            state = {"ok": 0, "failed": 0}
+            settled = [False] * config.num_shards
 
             def complete() -> None:
                 latencies.append(events.now - start)
                 finish_times.append(events.now)
 
-            for i, server in enumerate(servers):
-                service = self.shard_service_ms(i, query)
+            def gather() -> None:
+                if state["failed"] == 0:
+                    events.schedule(network.delay_ms(), complete)
+                elif config.allow_partial and state["ok"] >= min_required:
+                    self._count("partial_results")
+                    events.schedule(network.delay_ms(), complete)
+                else:
+                    self._count("scatter.failed_queries")
 
-                def submit(s=server, svc=service) -> None:
-                    s.submit(svc, shard_done)
+            def settle(shard: int, success: bool) -> None:
+                if settled[shard]:
+                    return
+                settled[shard] = True
+                state["ok" if success else "failed"] += 1
+                if not success:
+                    self._count("scatter.shard_failures")
+                if state["ok"] + state["failed"] == config.num_shards:
+                    gather()
+
+            def dispatch(shard: int, attempt: int) -> None:
+                def submit() -> None:
+                    if settled[shard]:
+                        return  # the leg's deadline already expired
+                    service = self.shard_service_ms(shard, query)
+                    servers[shard].submit(
+                        service,
+                        on_done=lambda: settle(shard, True),
+                        on_fail=lambda: leg_failed(shard, attempt),
+                    )
 
                 events.schedule(network.delay_ms(), submit)
+
+            def leg_failed(shard: int, attempt: int) -> None:
+                if settled[shard]:
+                    return
+                if attempt < config.max_retries:
+                    self._count("scatter.retries")
+                    backoff = config.retry_backoff_ms * (2**attempt)
+                    events.schedule(
+                        backoff, lambda: dispatch(shard, attempt + 1)
+                    )
+                else:
+                    settle(shard, False)
+
+            def expire(shard: int) -> None:
+                if not settled[shard]:
+                    self._count("scatter.shard_timeouts")
+                    settle(shard, False)
+
+            for i in range(config.num_shards):
+                dispatch(i, attempt=0)
+                if config.shard_timeout_ms is not None:
+                    events.schedule(
+                        config.shard_timeout_ms,
+                        lambda shard=i: expire(shard),
+                    )
 
             next_time = arrival_time + rng.expovariate(1.0 / mean_gap_ms)
             if next_time < duration:

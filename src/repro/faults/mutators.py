@@ -1,0 +1,79 @@
+"""File mutators: corrupt persisted state the way real failures do.
+
+Two corruption modes dominate in practice and both have a distinct
+correct response in the recovery protocol:
+
+* **torn write** (power loss mid-append): the final record is a prefix
+  of itself.  Recovery must truncate it and carry on — losing the torn
+  op is correct, refusing to start is not.
+* **bit flip** (storage rot, bad RAM on the write path): a record in
+  the *middle* of the file no longer matches its checksum.  Recovery
+  must refuse to replay past it — silently serving a diverged corpus is
+  the one unforgivable outcome.
+
+Both mutators are deterministic (no randomness) so every corrupted-file
+test is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["bit_flip", "tear_tail", "truncate_at"]
+
+
+def truncate_at(path: str | Path, size: int) -> None:
+    """Truncate ``path`` to exactly ``size`` bytes (a crash-consistent
+    prefix, the strongest guarantee an append-only log ever gives)."""
+    path = Path(path)
+    if size < 0:
+        raise ValueError("size must be >= 0")
+    data = path.read_bytes()
+    path.write_bytes(data[:size])
+
+
+def tear_tail(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Simulate a torn final write: keep only ``keep_fraction`` of the
+    last line (and drop its newline).  Returns the new file size.
+
+    A file whose last line is complete gets that line torn; an empty
+    file is left alone (nothing was being written).
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        return 0
+    body = data.rstrip(b"\n")
+    start = body.rfind(b"\n") + 1  # 0 when the file has a single line
+    last = body[start:]
+    keep = int(len(last) * keep_fraction)
+    torn = data[:start] + last[:keep]
+    path.write_bytes(torn)
+    return len(torn)
+
+
+def bit_flip(path: str | Path, offset: int | None = None, bit: int = 0) -> int:
+    """Flip one bit of one byte; returns the byte offset that changed.
+
+    ``offset`` defaults to the middle byte of the file — deep enough
+    that the damage lands *before* the tail, which is the case the
+    recovery protocol must hard-fail on.  Negative offsets index from
+    the end, like ``bytes`` slicing.
+    """
+    if not 0 <= bit <= 7:
+        raise ValueError("bit must be in [0, 7]")
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"cannot bit-flip empty file {path}")
+    if offset is None:
+        offset = len(data) // 2
+    if offset < 0:
+        offset += len(data)
+    if not 0 <= offset < len(data):
+        raise ValueError(f"offset {offset} outside file of {len(data)} bytes")
+    data[offset] ^= 1 << bit
+    path.write_bytes(bytes(data))
+    return offset

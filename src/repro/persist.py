@@ -17,15 +17,22 @@ and mapping alongside it for further optimization.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.ads import AdCorpus, AdInfo, Advertisement
 from repro.core.wordset_index import WordSetIndex
+from repro.faults.injector import FaultInjector, InjectedCrash, active_injector
 from repro.optimize.mapping import Mapping
 
 FORMAT_VERSION = 1
+
+#: Distinguishes temp files of concurrent savers within one process; the
+#: pid handles concurrent processes.
+_TEMP_COUNTER = itertools.count()
 
 
 class PersistenceError(ValueError):
@@ -37,6 +44,10 @@ class LoadedIndex:
     corpus: AdCorpus
     mapping: Mapping
     index: WordSetIndex
+    #: Snapshot generation: bumped on every compaction so op-log records
+    #: from before the compaction are recognisably stale (see
+    #: :mod:`repro.oplog` and ``docs/durability.md``).
+    generation: int = 0
 
 
 def _ad_record(ad: Advertisement) -> dict:
@@ -64,9 +75,22 @@ def save_index(
     corpus: AdCorpus,
     mapping: Mapping | None = None,
     max_query_words: int = 16,
+    generation: int = 0,
+    faults: FaultInjector | None = None,
 ) -> None:
-    """Write corpus + mapping to ``path`` (atomic: temp file + rename)."""
+    """Write corpus + mapping to ``path``, atomically and durably.
+
+    The write is crash-safe in the strict sense: a unique temp file (so
+    concurrent savers never collide) is fully written and **fsynced
+    before** the atomic ``rename``, then the directory entry is synced
+    best-effort — a power loss at any instant leaves either the old
+    complete file or the new complete file, never a torn or empty one.
+
+    Crashpoints (see ``docs/durability.md``): ``save.tmp_written``,
+    ``save.tmp_synced``, ``save.renamed``.
+    """
     path = Path(path)
+    faults = active_injector(faults)
     mapping = mapping if mapping is not None else Mapping({})
     remapped = {
         words: locator
@@ -76,22 +100,55 @@ def save_index(
     header = {
         "format": "repro-wordset-index",
         "version": FORMAT_VERSION,
+        "generation": generation,
         "num_ads": len(corpus),
         "num_remapped": len(remapped),
         "max_words": mapping.max_words,
         "max_query_words": max_query_words,
     }
     digest = hashlib.sha256()
-    temp = path.with_suffix(path.suffix + ".tmp")
-    with temp.open("w", encoding="utf-8") as handle:
-        for record in _records(header, corpus, remapped):
-            line = json.dumps(record, sort_keys=True)
-            digest.update(line.encode("utf-8"))
-            handle.write(line + "\n")
-        handle.write(
-            json.dumps({"sha256": digest.hexdigest()}, sort_keys=True) + "\n"
-        )
-    temp.replace(path)
+    temp = path.with_name(
+        f".{path.name}.{os.getpid()}.{next(_TEMP_COUNTER)}.tmp"
+    )
+    try:
+        with temp.open("w", encoding="utf-8") as handle:
+            for record in _records(header, corpus, remapped):
+                line = json.dumps(record, sort_keys=True)
+                digest.update(line.encode("utf-8"))
+                handle.write(line + "\n")
+            handle.write(
+                json.dumps({"sha256": digest.hexdigest()}, sort_keys=True)
+                + "\n"
+            )
+            faults.crashpoint("save.tmp_written")
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.crashpoint("save.tmp_synced")
+        temp.replace(path)
+    except BaseException as exc:
+        # A real power loss would leave the temp file behind; an
+        # injected crash must too, so recovery is tested against the
+        # true on-disk state.  Ordinary errors clean up after themselves.
+        if not isinstance(exc, InjectedCrash):
+            temp.unlink(missing_ok=True)
+        raise
+    faults.crashpoint("save.renamed")
+    _fsync_directory(path.parent)
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Best-effort directory fsync so the rename itself is durable.
+    Platforms that refuse O_RDONLY directory fds simply skip it."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def _records(header, corpus, remapped):
@@ -170,4 +227,9 @@ def load_index(path: str | Path) -> LoadedIndex:
         max_words=mapping.max_words,
         max_query_words=header["max_query_words"],
     )
-    return LoadedIndex(corpus=corpus, mapping=mapping, index=index)
+    return LoadedIndex(
+        corpus=corpus,
+        mapping=mapping,
+        index=index,
+        generation=int(header.get("generation", 0)),
+    )

@@ -53,6 +53,8 @@ class ServingStats:
       clipped to the campaign's remaining budget).  Impressions alone
       never move revenue: sponsored search bills per click, not per
       impression.
+    * ``retrieval_errors`` — retrieval raised and the server degraded to
+      an empty candidate set (only with ``degrade_on_error=True``).
     """
 
     queries: int = 0
@@ -63,6 +65,7 @@ class ServingStats:
     impressions: int = 0
     clicks: int = 0
     revenue_micros: int = 0
+    retrieval_errors: int = 0
 
     def fill_rate(self) -> float:
         """Mean impressions per query (``impressions / queries``)."""
@@ -124,6 +127,12 @@ class AdServer:
     batch_workers:
         Worker-pool width for :meth:`serve_batch` retrieval fan-out over a
         sharded index (None = one worker per shard, up to the CPU count).
+    degrade_on_error:
+        When True, a retrieval failure (an index mid-recovery, a shard
+        fan-out dying) serves an empty candidate set — an unfilled
+        auction — instead of propagating, and counts
+        ``serve.retrieval_errors``.  Off by default: silent degradation
+        must be an explicit operator choice.
     obs:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; when
         enabled, serving records the ``serve.*`` counters and the
@@ -140,6 +149,7 @@ class AdServer:
         quality_fn: Callable[[Advertisement], float] | None = None,
         frequency_cap: int | None = None,
         batch_workers: int | None = None,
+        degrade_on_error: bool = False,
         obs: MetricsRegistry | None = None,
     ) -> None:
         if slots < 1:
@@ -150,6 +160,7 @@ class AdServer:
         self.quality_fn = quality_fn
         self.frequency_cap = frequency_cap
         self.batch_workers = batch_workers
+        self.degrade_on_error = degrade_on_error
         self._budgets = dict(campaign_budgets_micros or {})
         self._seen: dict[tuple[object, int], int] = {}
         self._batch_engine: BatchQueryEngine | None = None
@@ -189,6 +200,10 @@ class AdServer:
             obs.counter(
                 "serve.revenue_micros", help="GSP revenue charged on clicks"
             )
+            obs.counter(
+                "serve.retrieval_errors",
+                help="Queries degraded to empty results by retrieval errors",
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -209,12 +224,24 @@ class AdServer:
     def serve(self, query: Query, user_id: object = None) -> ServeResult:
         """Run the full pipeline for one query."""
         obs = self._obs
-        if obs is None:
-            candidates = self.index.query(query)
-        else:
-            with obs.span("retrieve"):
+        try:
+            if obs is None:
                 candidates = self.index.query(query)
+            else:
+                with obs.span("retrieve"):
+                    candidates = self.index.query(query)
+        except Exception:
+            if not self.degrade_on_error:
+                raise
+            candidates = self._degraded()
         return self._finish(query, candidates, user_id)
+
+    def _degraded(self) -> list[Advertisement]:
+        """Count one degraded query; serve the empty candidate set."""
+        self.stats.retrieval_errors += 1
+        if self._obs is not None:
+            self._obs.counter("serve.retrieval_errors").inc()
+        return []
 
     def serve_batch(
         self, queries: Iterable[Query], user_id: object = None
@@ -227,13 +254,27 @@ class AdServer:
         budgets, frequency caps, and auctions then run in input order, so
         every stateful outcome (budget pacing, caps) is identical to
         calling :meth:`serve` query by query.
+
+        With ``degrade_on_error`` set, a failing batched retrieval falls
+        back to per-query retrieval so one poisoned word-set degrades
+        only its own queries, not the whole batch.
         """
         queries = list(queries)
         if self._batch_engine is None or self._batch_engine.index is not self.index:
             self._batch_engine = BatchQueryEngine(
                 self.index, max_workers=self.batch_workers, obs=self._obs
             )
-        candidate_lists = self._batch_engine.query_broad_batch(queries)
+        try:
+            candidate_lists = self._batch_engine.query_broad_batch(queries)
+        except Exception:
+            if not self.degrade_on_error:
+                raise
+            candidate_lists = []
+            for query in queries:
+                try:
+                    candidate_lists.append(self.index.query(query))
+                except Exception:
+                    candidate_lists.append(self._degraded())
         return [
             self._finish(query, candidates, user_id)
             for query, candidates in zip(queries, candidate_lists)

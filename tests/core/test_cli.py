@@ -186,3 +186,71 @@ class TestProfile:
         ) == 0
         out = capsys.readouterr().out
         assert "== workload ==" in out and "traffic" in out
+
+
+class TestRecover:
+    @pytest.fixture()
+    def durable_paths(self, tmp_path):
+        from repro.core.ads import AdCorpus, AdInfo, Advertisement
+        from repro.oplog import DurableIndex
+
+        snapshot = tmp_path / "snapshot.jsonl"
+        log = tmp_path / "ops.log"
+        seed = AdCorpus(
+            [
+                Advertisement.from_text(
+                    "used books", AdInfo(listing_id=1)
+                )
+            ]
+        )
+        durable = DurableIndex(snapshot, log, corpus=seed)
+        durable.insert(
+            Advertisement.from_text(
+                "cheap maps", AdInfo(listing_id=2)
+            )
+        )
+        durable.close()
+        return snapshot, log
+
+    def test_plain_recover_reports(self, durable_paths, capsys):
+        snapshot, log = durable_paths
+        assert main(["recover", str(snapshot), str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed ops:         1" in out
+        assert "live ads:             2" in out
+        assert "snapshot generation:  0" in out
+
+    def test_recover_verify_ok(self, durable_paths, capsys):
+        snapshot, log = durable_paths
+        assert main(["recover", str(snapshot), str(log), "--verify"]) == 0
+        assert "verify OK: 2 ads retrievable" in capsys.readouterr().out
+
+    def test_recover_compact_bumps_generation(self, durable_paths, capsys):
+        snapshot, log = durable_paths
+        assert main(["recover", str(snapshot), str(log), "--compact"]) == 0
+        out = capsys.readouterr().out
+        assert "compacted into generation 1" in out
+        assert log.read_text() == ""
+        # Second invocation sees the new generation and an empty log.
+        assert main(["recover", str(snapshot), str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot generation:  1" in out
+        assert "replayed ops:         0" in out
+
+    def test_recover_truncates_torn_tail(self, durable_paths, capsys):
+        from repro.faults import tear_tail
+
+        snapshot, log = durable_paths
+        tear_tail(log, keep_fraction=0.5)
+        assert main(["recover", str(snapshot), str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "torn tail truncated:  True" in out
+        assert "replayed ops:         0" in out
+
+    def test_recover_unreadable_snapshot_fails(self, tmp_path, capsys):
+        snapshot = tmp_path / "snapshot.jsonl"
+        snapshot.write_text("not json\n")
+        log = tmp_path / "ops.log"
+        log.write_text("")
+        assert main(["recover", str(snapshot), str(log)]) == 1
+        assert "recovery FAILED" in capsys.readouterr().err

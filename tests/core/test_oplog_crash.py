@@ -1,0 +1,375 @@
+"""Crashpoint-catalog tests: every named crashpoint in the durability
+path is crashed, recovered from, and checked against a no-crash oracle.
+
+The oracle is the in-memory truth: the set of ads whose mutations are
+*durable* at the instant of the crash under the WAL discipline — an op
+whose log record reached the file survives the crash; an op that crashed
+before (or during) its log write is lost.  After recovery the corpus and
+the broad-match query results must match that oracle exactly.
+
+Includes the two named pre-PR regressions:
+
+* **torn-tail restart-twice** — crash mid-append, restart (recovery
+  tolerates the torn tail), mutate, restart again.  Pre-PR the second
+  restart raised ``PersistenceError`` because the torn line was left in
+  the log and new records landed after it.
+* **compact-crash stale-replay** — crash between compaction's snapshot
+  rename and log truncation.  Pre-PR recovery replayed the (already
+  compacted) log onto the fresh snapshot, duplicating every logged ad.
+"""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.matching import naive_broad_match
+from repro.core.queries import Query
+from repro.faults import FaultInjector, InjectedCrash, bit_flip, tear_tail
+from repro.obs import MetricsRegistry
+from repro.oplog import DurableIndex
+from repro.persist import PersistenceError
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+def ids(ads):
+    return sorted(a.info.listing_id for a in ads)
+
+
+PROBES = ("base seed books", "crash op books", "books gone", "nothing here")
+
+
+def assert_matches_oracle(durable, oracle_ads):
+    """Corpus and broad-match results must equal the oracle exactly."""
+    assert ids(durable.corpus) == ids(oracle_ads)
+    assert len(durable) == len(oracle_ads)
+    for text in PROBES:
+        query = Query.from_text(text)
+        got = ids(durable.query(query))
+        want = ids(naive_broad_match(oracle_ads, query))
+        assert got == want, f"query {text!r} diverged from oracle"
+
+
+@pytest.fixture()
+def paths(tmp_path):
+    return tmp_path / "snapshot.jsonl", tmp_path / "ops.log"
+
+
+@pytest.fixture()
+def injector():
+    return FaultInjector()
+
+
+def fresh(paths, injector, listing_ids=(1, 2)):
+    snapshot, log = paths
+    corpus = AdCorpus([ad(f"base seed w{i}", i) for i in listing_ids])
+    return DurableIndex(snapshot, log, corpus=corpus, faults=injector)
+
+
+class TestAppendCrashpoints:
+    """Crashes inside one mutation, at each point of the WAL sequence."""
+
+    @pytest.mark.parametrize(
+        ("point", "op_survives"),
+        [
+            ("oplog.append.start", False),   # nothing reached the log
+            ("oplog.append.torn", False),    # half a record reached it
+            ("oplog.append.synced", True),   # full record on disk
+            ("oplog.insert.logged", True),   # logged, not yet applied
+        ],
+    )
+    def test_insert_crash(self, paths, injector, point, op_survives):
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("complete op", 10))
+        new_ad = ad("crash op", 11)
+        with injector.arm(point):
+            with pytest.raises(InjectedCrash):
+                durable.insert(new_ad)
+        durable.close()
+
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("complete op", 10)]
+        if op_survives:
+            oracle.append(new_ad)
+        recovered = DurableIndex(snapshot, log)
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+    @pytest.mark.parametrize(
+        ("point", "op_survives"),
+        [
+            ("oplog.append.start", False),
+            ("oplog.append.torn", False),
+            ("oplog.append.synced", True),
+            ("oplog.delete.logged", True),
+        ],
+    )
+    def test_delete_crash(self, paths, injector, point, op_survives):
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        victim = ad("base seed w2", 2)
+        with injector.arm(point):
+            with pytest.raises(InjectedCrash):
+                durable.delete(victim)
+        durable.close()
+
+        oracle = [ad("base seed w1", 1)]
+        if not op_survives:
+            oracle.append(victim)
+        recovered = DurableIndex(snapshot, log)
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+    def test_crashed_op_never_half_applied(self, paths, injector):
+        """A crash after logging but before applying must not leave the
+        *running* process half-mutated either: corpus and index agree."""
+        durable = fresh(paths, injector)
+        with injector.arm("oplog.insert.logged"):
+            with pytest.raises(InjectedCrash):
+                durable.insert(ad("crash op", 11))
+        # Memory was never mutated (log-then-apply): index and corpus
+        # both still hold exactly the seed ads.
+        assert ids(durable.corpus) == [1, 2]
+        assert len(durable) == 2
+        durable.close()
+
+
+class TestSaveCrashpoints:
+    """Crashes inside atomic snapshot writes."""
+
+    @pytest.mark.parametrize(
+        "point", ["save.tmp_written", "save.tmp_synced"]
+    )
+    def test_crash_before_rename_preserves_old_snapshot(
+        self, paths, injector, point
+    ):
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("complete op", 10))
+        with injector.arm(point):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        durable.close()
+
+        # The old snapshot + full log are intact: nothing is lost.
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("complete op", 10)]
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.generation == 0
+        assert recovered.recovery.replayed_ops == 1
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+    def test_crash_leaves_unique_temp_that_never_blocks(self, paths, injector):
+        """A crashed save leaves its temp file behind (as power loss
+        would) — but unique temp names mean the next save never collides
+        with or renames the stale garbage."""
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        with injector.arm("save.tmp_written"):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        leftovers = list(snapshot.parent.glob(f".{snapshot.name}.*.tmp"))
+        assert leftovers, "crashed save should leave its temp file"
+        durable.compact()  # must succeed despite the leftover
+        durable.close()
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.generation == durable.generation
+        assert ids(recovered.corpus) == [1, 2]
+        recovered.close()
+
+    def test_crash_after_rename_is_fully_durable(self, paths, injector):
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("complete op", 10))
+        with injector.arm("save.renamed"):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        durable.close()
+
+        # Snapshot renamed => compaction is effective; the stale log is
+        # skipped by the generation check.
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("complete op", 10)]
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.generation == 1
+        assert recovered.recovery.stale_ops_skipped == 1
+        assert recovered.recovery.replayed_ops == 0
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+
+class TestCompactionCrashpoints:
+    def test_regression_compact_crash_stale_replay(self, paths, injector):
+        """THE pre-PR compaction bug: crash between snapshot rename and
+        log truncation used to replay the already-compacted ops onto the
+        fresh snapshot, duplicating every logged ad."""
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        for i in range(5):
+            durable.insert(ad(f"crash op round{i}", 10 + i))
+        with injector.arm("compact.snapshot_written"):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        durable.close()
+
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2)] + [
+            ad(f"crash op round{i}", 10 + i) for i in range(5)
+        ]
+        recovered = DurableIndex(snapshot, log)
+        # Pre-PR: len == 12 (the five inserts applied twice).
+        assert_matches_oracle(recovered, oracle)
+        assert recovered.recovery.stale_ops_skipped == 5
+        assert recovered.recovery.replayed_ops == 0
+        assert recovered.recovery.generation == 1
+        recovered.close()
+
+    def test_compact_crash_then_mutate_then_recover(self, paths, injector):
+        """After recovering from a compaction crash, new mutations land
+        in the new generation and replay cleanly."""
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("crash op", 10))
+        with injector.arm("compact.snapshot_written"):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        durable.close()
+
+        middle = DurableIndex(snapshot, log)
+        middle.insert(ad("books after recovery", 20))
+        middle.close()
+
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("crash op", 10), ad("books after recovery", 20)]
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.replayed_ops == 1
+        assert recovered.recovery.stale_ops_skipped == 0
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+    def test_crash_after_truncation_loses_nothing(self, paths, injector):
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("crash op", 10))
+        with injector.arm("compact.log_truncated"):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        durable.close()
+
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("crash op", 10)]
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.replayed_ops == 0
+        assert recovered.recovery.stale_ops_skipped == 0
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+    def test_completed_compaction_bumps_generation(self, paths, injector):
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("crash op", 10))
+        durable.compact()
+        assert durable.generation == 1
+        durable.compact()
+        assert durable.generation == 2
+        durable.close()
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.generation == 2
+        assert ids(recovered.corpus) == [1, 2, 10]
+        recovered.close()
+
+
+class TestTornTailRecovery:
+    def test_regression_torn_tail_restart_twice(self, paths, injector):
+        """THE pre-PR torn-tail bug: recovery tolerated the torn line but
+        left it in the log; new records then landed after it and the
+        *second* restart refused to start."""
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("complete op", 10))
+        with injector.arm("oplog.append.torn"):
+            with pytest.raises(InjectedCrash):
+                durable.insert(ad("crash op", 11))
+        durable.close()
+
+        first = DurableIndex(snapshot, log)
+        assert first.recovery.truncated_tail
+        first.insert(ad("books after crash", 12))  # lands after the tear
+        first.close()
+
+        # Pre-PR this raised PersistenceError("... valid records after it").
+        second = DurableIndex(snapshot, log)
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("complete op", 10), ad("books after crash", 12)]
+        assert not second.recovery.truncated_tail
+        assert second.recovery.replayed_ops == 2
+        assert_matches_oracle(second, oracle)
+        second.close()
+
+    def test_mutator_torn_tail_truncated_on_disk(self, paths, injector):
+        """The tear_tail mutator (external corruption, not a crashpoint)
+        exercises the same truncate-before-append path."""
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        durable.insert(ad("complete op", 10))
+        durable.insert(ad("torn away", 11))
+        durable.close()
+        tear_tail(log, keep_fraction=0.6)
+
+        recovered = DurableIndex(snapshot, log)
+        assert recovered.recovery.truncated_tail
+        assert recovered.recovery.replayed_ops == 1
+        # The log on disk is clean again: exactly the replayed records.
+        assert len(log.read_text().splitlines()) == 1
+        oracle = [ad("base seed w1", 1), ad("base seed w2", 2),
+                  ad("complete op", 10)]
+        assert_matches_oracle(recovered, oracle)
+        recovered.close()
+
+    def test_mid_log_bit_flip_still_hard_fails(self, paths, injector):
+        """Generation ids and tail-truncation must not weaken the
+        mid-log integrity guarantee: a bit flip before the tail refuses
+        to start."""
+        snapshot, log = paths
+        durable = fresh(paths, injector)
+        for i in range(6):
+            durable.insert(ad(f"crash op round{i}", 10 + i))
+        durable.close()
+        bit_flip(log, offset=len(log.read_text()) // 3)
+        with pytest.raises(PersistenceError, match="valid records after"):
+            DurableIndex(snapshot, log)
+
+
+class TestObservability:
+    def test_recovery_counters(self, paths):
+        snapshot, log = paths
+        registry = MetricsRegistry()
+        injector = FaultInjector(obs=registry)
+        durable = fresh(paths, injector)
+        durable.insert(ad("complete op", 10))
+        with injector.arm("compact.snapshot_written"):
+            with pytest.raises(InjectedCrash):
+                durable.compact()
+        durable.close()
+
+        recovered = DurableIndex(
+            snapshot, log, obs=registry, faults=injector
+        )
+        assert registry.value("faults_injected") == 1
+        assert registry.value("recoveries") == 1
+        assert registry.value("stale_ops_skipped") == 1
+        recovered.close()
+
+    def test_torn_tail_counter(self, paths):
+        snapshot, log = paths
+        registry = MetricsRegistry()
+        durable = fresh(paths, FaultInjector())
+        durable.insert(ad("complete op", 10))
+        durable.close()
+        tear_tail(log)
+        recovered = DurableIndex(snapshot, log, obs=registry)
+        assert registry.value("durability.torn_tails_truncated") == 1
+        assert registry.value("recoveries") == 1
+        recovered.close()

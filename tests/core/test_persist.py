@@ -152,3 +152,78 @@ class TestCorruption:
         path.write_text("not json at all\nmore garbage\n")
         with pytest.raises(PersistenceError):
             load_index(path)
+
+
+class TestAtomicSave:
+    """Crash-safety of save_index: unique temps, fsync-before-rename."""
+
+    def test_save_fsyncs_file_before_rename(
+        self, tmp_path, corpus, monkeypatch
+    ):
+        import os as _os
+
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            "repro.persist.os.fsync",
+            lambda fd: (synced.append(fd), real_fsync(fd))[1],
+        )
+        renamed = []
+        from pathlib import Path as _Path
+
+        real_replace = _Path.replace
+        monkeypatch.setattr(
+            _Path,
+            "replace",
+            lambda self, target: (
+                renamed.append(len(synced)),
+                real_replace(self, target),
+            )[1],
+        )
+        save_index(tmp_path / "index.jsonl", corpus)
+        # At least one fsync happened strictly before the rename.
+        assert renamed and renamed[0] >= 1
+
+    def test_concurrent_saves_use_distinct_temps(self, tmp_path, corpus):
+        """Two interleaved savers must never write the same temp file
+        (the pre-fix code used a fixed `<path>.tmp` for every saver)."""
+        from repro.faults import FaultInjector, InjectedCrash
+
+        path = tmp_path / "index.jsonl"
+        injector = FaultInjector()
+        with injector.arm("save.tmp_written"):
+            with pytest.raises(InjectedCrash):
+                save_index(path, corpus, faults=injector)
+        first_temp = list(tmp_path.glob(".index.jsonl.*.tmp"))
+        assert len(first_temp) == 1
+        # A second saver runs to completion despite the leftover temp.
+        save_index(path, corpus)
+        loaded = load_index(path)
+        assert len(loaded.corpus) == len(corpus)
+        # The crashed saver's temp is untouched, not renamed into place.
+        assert first_temp[0].exists()
+
+    def test_ordinary_errors_clean_up_their_temp(self, tmp_path):
+        class Explosive:
+            def __iter__(self):
+                raise RuntimeError("boom")
+
+            def __len__(self):
+                return 0
+
+        path = tmp_path / "index.jsonl"
+        with pytest.raises(RuntimeError):
+            save_index(path, Explosive())
+        assert list(tmp_path.glob(".index.jsonl.*.tmp")) == []
+
+    def test_generation_roundtrips_through_header(self, tmp_path, corpus):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus, generation=7)
+        assert load_index(path).generation == 7
+
+    def test_generation_defaults_to_zero_for_old_files(
+        self, tmp_path, corpus
+    ):
+        path = tmp_path / "index.jsonl"
+        save_index(path, corpus)
+        assert load_index(path).generation == 0

@@ -232,3 +232,77 @@ class TestServeBatch:
         server = AdServer(WordSetIndex.from_corpus(corpus))
         assert server.serve_batch([]) == []
         assert server.stats.queries == 0
+
+
+class _BrokenIndex:
+    """A retrieval index whose single-query path always raises."""
+
+    def __init__(self, inner):
+        self._inner = inner
+
+    def query(self, query):
+        raise RuntimeError("retrieval exploded")
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestDegradeOnError:
+    def test_retrieval_errors_propagate_by_default(self, corpus):
+        server = AdServer(
+            _BrokenIndex(WordSetIndex.from_corpus(corpus)), slots=2
+        )
+        with pytest.raises(RuntimeError, match="retrieval exploded"):
+            server.serve(Query.from_text("used books"))
+
+    def test_degraded_serve_returns_empty_slate(self, corpus):
+        server = AdServer(
+            _BrokenIndex(WordSetIndex.from_corpus(corpus)),
+            slots=2,
+            degrade_on_error=True,
+        )
+        result = server.serve(Query.from_text("used books"))
+        assert result.ads == []
+        assert server.stats.retrieval_errors == 1
+        assert server.stats.queries == 1
+
+    def test_degraded_errors_count_into_obs(self, corpus):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        server = AdServer(
+            _BrokenIndex(WordSetIndex.from_corpus(corpus)),
+            slots=2,
+            degrade_on_error=True,
+        )
+        server.bind_obs(registry)
+        server.serve(Query.from_text("used books"))
+        server.serve(Query.from_text("books"))
+        assert registry.value("serve.retrieval_errors") == 2
+
+    def test_batch_falls_back_per_query_on_engine_failure(self, corpus):
+        index = WordSetIndex.from_corpus(corpus)
+        server = AdServer(index, slots=2, degrade_on_error=True)
+
+        # Sabotage only the batch engine; per-query retrieval still works.
+        class BrokenEngine:
+            def __init__(self, index):
+                self.index = index
+
+            def query_broad_batch(self, queries):
+                raise RuntimeError("batch engine down")
+
+        server._batch_engine = BrokenEngine(index)
+        queries = [
+            Query.from_text("used books"),
+            Query.from_text("cheap used books"),
+        ]
+        results = server.serve_batch(queries)
+        sequential = AdServer(
+            WordSetIndex.from_corpus(corpus), slots=2
+        )
+        expected = [
+            sequential.serve(q).ads for q in queries
+        ]
+        assert [r.ads for r in results] == expected
+        assert server.stats.retrieval_errors == 0

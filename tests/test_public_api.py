@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.datagen",
     "repro.serving",
     "repro.perf",
+    "repro.faults",
 ]
 
 
