@@ -1,0 +1,115 @@
+"""Rank/select microbenchmarks for the two bit-array implementations.
+
+``repro.compress.bitvector.BitVector`` is the list-of-ints broadword
+structure from PR 2; ``repro.segment.bits.PackedBits`` is the
+buffer-backed variant the packed segment maps straight off disk.  Both
+must agree bit-for-bit on ``rank1``/``select1``, and the select inner
+loop (clear-lowest-set-bit walk) is what these benches keep honest —
+it sits on the packed segment's node-lookup path.
+"""
+
+import random
+
+import pytest
+
+from repro.compress.bitvector import BitVector
+from repro.segment.bits import PackedBits, pack_bits
+
+N_BITS = 1 << 17
+DENSITY = 0.04  # sparse, like a B^sig occupancy vector
+N_CALLS = 2_000
+
+
+@pytest.fixture(scope="module")
+def positions():
+    rng = random.Random(42)
+    return sorted(
+        rng.sample(range(N_BITS), int(N_BITS * DENSITY))
+    )
+
+
+@pytest.fixture(scope="module")
+def bitvector(positions):
+    return BitVector.from_positions(N_BITS, positions)
+
+
+@pytest.fixture(scope="module")
+def packedbits(positions):
+    return PackedBits.from_buffer(
+        memoryview(pack_bits(N_BITS, positions)), N_BITS
+    )
+
+
+@pytest.fixture(scope="module")
+def rank_points():
+    rng = random.Random(7)
+    return [rng.randrange(N_BITS + 1) for _ in range(N_CALLS)]
+
+
+@pytest.fixture(scope="module")
+def select_points(positions):
+    rng = random.Random(8)
+    return [rng.randrange(1, len(positions) + 1) for _ in range(N_CALLS)]
+
+
+def test_implementations_agree(bitvector, packedbits, positions, rank_points):
+    assert bitvector.ones == packedbits.ones == len(positions)
+    for i in rank_points[:500]:
+        assert bitvector.rank1(i) == packedbits.rank1(i)
+    for j in range(1, len(positions) + 1, 97):
+        expected = positions[j - 1]
+        assert bitvector.select1(j) == expected
+        assert packedbits.select1(j) == expected
+
+
+def test_select0_matches_linear_oracle(bitvector, positions):
+    ones = set(positions)
+    zeros = [i for i in range(N_BITS) if i not in ones]
+    for j in range(1, len(zeros) + 1, 4_999):
+        assert bitvector.select0(j) == zeros[j - 1]
+
+
+def _replay_rank(bits, points):
+    total = 0
+    for i in points:
+        total += bits.rank1(i)
+    return total
+
+
+def _replay_select(bits, points):
+    total = 0
+    for j in points:
+        total += bits.select1(j)
+    return total
+
+
+def test_bench_bitvector_rank1(benchmark, bitvector, rank_points):
+    total = benchmark.pedantic(
+        lambda: _replay_rank(bitvector, rank_points), rounds=3, iterations=1
+    )
+    assert total > 0
+
+
+def test_bench_packedbits_rank1(benchmark, packedbits, rank_points):
+    total = benchmark.pedantic(
+        lambda: _replay_rank(packedbits, rank_points), rounds=3, iterations=1
+    )
+    assert total > 0
+
+
+def test_bench_bitvector_select1(benchmark, bitvector, select_points):
+    total = benchmark.pedantic(
+        lambda: _replay_select(bitvector, select_points),
+        rounds=3,
+        iterations=1,
+    )
+    assert total > 0
+
+
+def test_bench_packedbits_select1(benchmark, packedbits, select_points):
+    total = benchmark.pedantic(
+        lambda: _replay_select(packedbits, select_points),
+        rounds=3,
+        iterations=1,
+    )
+    assert total > 0

@@ -14,7 +14,8 @@ Everything an operator needs without writing Python::
         [--replay queries.txt] [--metrics-format prom|json] \
         [--metrics-out m.prom]
     python -m repro.cli recover snapshot.jsonl ops.log \
-        [--verify] [--compact]
+        [--verify] [--compact] [--pack index.seg]
+    python -m repro.cli pack index.jsonl index.seg [--suffix-bits 18]
 
 ``build`` imports a corpus (CSV; see :mod:`repro.datagen.importers`),
 optionally optimizes the mapping against an imported workload, and writes
@@ -25,7 +26,11 @@ fan-out.  ``recover`` runs snapshot + op-log crash recovery, reports what
 replay found (truncated torn tail, stale-generation ops skipped), and
 with ``--verify`` proves every recovered ad is retrievable against a
 freshly rebuilt oracle index; ``--compact`` then folds the log into a
-new snapshot generation.
+new snapshot generation, and ``--pack`` emits a packed segment of the
+recovered state so cold start becomes recover-once/serve-packed.
+``pack`` freezes a snapshot into a segment file; ``query --segment``
+and ``stats --segment`` serve directly off a segment via
+:class:`~repro.segment.PackedSegmentIndex`.
 """
 
 from __future__ import annotations
@@ -102,22 +107,38 @@ def _flush_metrics(
         print(f"wrote metrics to {args.metrics_out}")
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
+def _open_index(args: argparse.Namespace, registry: MetricsRegistry | None):
+    """The retrieval index named by ``args.index``: a packed segment when
+    ``--segment`` was passed, otherwise a loaded snapshot's index.
+    Returns ``(index, close_callable)``."""
+    if getattr(args, "segment", False):
+        from repro.segment import PackedSegmentIndex
+
+        packed = PackedSegmentIndex(args.index, obs=registry)
+        return packed, packed.close
     loaded = load_index(args.index)
-    registry = _metrics_registry(args)
     if registry is not None:
         loaded.index.bind_obs(registry)
-    query = Query.from_text(args.query)
-    results = loaded.index.query(query, _match_type(args.match))
-    results.sort(key=lambda ad: -ad.info.bid_price_micros)
-    for ad in results[: args.top]:
-        print(
-            f"listing {ad.info.listing_id}  "
-            f"bid {ad.info.bid_price_micros}  "
-            f"phrase {' '.join(ad.phrase)!r}"
-        )
-    print(f"({len(results)} {args.match}-match result(s))")
-    _flush_metrics(registry, args)
+    return loaded.index, lambda: None
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    registry = _metrics_registry(args)
+    index, close = _open_index(args, registry)
+    try:
+        query = Query.from_text(args.query)
+        results = index.query(query, _match_type(args.match))
+        results.sort(key=lambda ad: -ad.info.bid_price_micros)
+        for ad in results[: args.top]:
+            print(
+                f"listing {ad.info.listing_id}  "
+                f"bid {ad.info.bid_price_micros}  "
+                f"phrase {' '.join(ad.phrase)!r}"
+            )
+        print(f"({len(results)} {args.match}-match result(s))")
+        _flush_metrics(registry, args)
+    finally:
+        close()
     return 0
 
 
@@ -175,6 +196,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if args.segment:
+        return _cmd_stats_segment(args)
     loaded = load_index(args.index)
     stats = loaded.index.stats()
     print(f"ads:                 {stats.num_ads:,}")
@@ -189,12 +212,59 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         loaded.index.bind_obs(registry)
         for query in _read_batch_queries(args.replay):
             loaded.index.query(query)
-        if args.metrics_out:
-            _flush_metrics(registry, args)
-        elif args.metrics_format == "json":
-            print(to_json(registry))
-        else:
-            print(to_prometheus(registry), end="")
+        _emit_replay_metrics(registry, args)
+    return 0
+
+
+def _cmd_stats_segment(args: argparse.Namespace) -> int:
+    from repro.segment import PackedSegmentIndex
+
+    with PackedSegmentIndex(args.index) as packed:
+        stats = packed.stats()
+        print(f"ads:                 {stats['num_ads']:,}")
+        print(f"packed nodes:        {stats['num_nodes']:,}")
+        print(f"generation:          {stats['generation']}")
+        print(f"suffix bits:         {stats['suffix_bits']}")
+        print(f"segment bytes:       {stats['segment_bytes']:,}")
+        print(f"node bytes:          {stats['node_bytes']:,}")
+        print(f"B^sig bits:          {stats['bsig_bits']:,}")
+        print(f"B^off bits:          {stats['boff_bits']:,}")
+        print(f"resident bytes:      {stats['resident_bytes']:,}")
+        if args.replay:
+            registry = MetricsRegistry()
+            packed.bind_obs(registry)
+            for query in _read_batch_queries(args.replay):
+                packed.query(query)
+            _emit_replay_metrics(registry, args)
+    return 0
+
+
+def _emit_replay_metrics(
+    registry: MetricsRegistry, args: argparse.Namespace
+) -> None:
+    if args.metrics_out:
+        _flush_metrics(registry, args)
+    elif args.metrics_format == "json":
+        print(to_json(registry))
+    else:
+        print(to_prometheus(registry), end="")
+
+
+def _cmd_pack(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.segment import SegmentBuilder
+
+    loaded = load_index(args.index)
+    builder = SegmentBuilder(loaded.index, suffix_bits=args.suffix_bits)
+    builder.write(args.out, generation=loaded.generation)
+    size = os.path.getsize(args.out)
+    print(
+        f"packed {len(loaded.index):,} ads "
+        f"({len(loaded.index.nodes):,} nodes -> "
+        f"suffix bits {builder.suffix_bits}) into {args.out} "
+        f"({size:,} bytes)"
+    )
     return 0
 
 
@@ -247,6 +317,13 @@ def _cmd_recover(args: argparse.Namespace) -> int:
             f"compacted into generation {durable.generation} "
             f"(log truncated)"
         )
+    if args.pack and status == 0:
+        from repro.segment import SegmentBuilder
+
+        SegmentBuilder(durable.index).write(
+            args.pack, generation=durable.generation
+        )
+        print(f"packed recovered index into {args.pack}")
     durable.close()
     return status
 
@@ -280,9 +357,16 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--max-words", type=int, default=None)
     build.set_defaults(handler=_cmd_build)
 
-    query = sub.add_parser("query", help="run one query against a snapshot")
+    query = sub.add_parser(
+        "query", help="run one query against a snapshot or packed segment"
+    )
     query.add_argument("index")
     query.add_argument("query")
+    query.add_argument(
+        "--segment",
+        action="store_true",
+        help="treat INDEX as a packed segment file (serve via mmap)",
+    )
     query.add_argument(
         "--match", choices=("broad", "phrase", "exact"), default="broad"
     )
@@ -330,8 +414,15 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("query")
     explain.set_defaults(handler=_cmd_explain)
 
-    stats = sub.add_parser("stats", help="snapshot statistics")
+    stats = sub.add_parser(
+        "stats", help="snapshot or packed-segment statistics"
+    )
     stats.add_argument("index")
+    stats.add_argument(
+        "--segment",
+        action="store_true",
+        help="treat INDEX as a packed segment file",
+    )
     stats.add_argument(
         "--replay",
         default=None,
@@ -367,7 +458,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="fold the recovered log into a fresh snapshot generation",
     )
+    recover.add_argument(
+        "--pack",
+        default=None,
+        metavar="SEGMENT",
+        help="write a packed segment of the recovered index, so cold "
+        "start is recover-once/serve-packed",
+    )
     recover.set_defaults(handler=_cmd_recover)
+
+    pack = sub.add_parser(
+        "pack", help="freeze a snapshot into a packed segment file"
+    )
+    pack.add_argument("index", help="snapshot path")
+    pack.add_argument("out", help="segment output path")
+    pack.add_argument(
+        "--suffix-bits",
+        type=int,
+        default=None,
+        help="B^sig suffix width (default: adaptive to node count)",
+    )
+    pack.set_defaults(handler=_cmd_pack)
 
     profile = sub.add_parser(
         "profile", help="Section I-B diagnostics for a corpus/workload"

@@ -21,22 +21,40 @@ tunes.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Container, Iterable, Mapping
 
 from repro.core.ads import Advertisement
 from repro.core.data_node import DataNode
 from repro.core.matching import MatchType, apply_match_type
 from repro.core.queries import Query
-from repro.core.subset_enum import bounded_subsets
+from repro.core.subset_enum import sized_subsets
 from repro.core.wordhash import hash_suffix, wordhash
 from repro.core.wordset_index import WordSetIndex
 from repro.compress.bitvector import BitVector
 from repro.compress.sizing import h0_bits
 from repro.cost.accounting import AccessTracker
+from repro.perf.memohash import hashed_index_subsets, word_contrib
+from repro.perf.prefilter import ProbePlan, plan_for_query
+
+#: Import-time binding of the canonical hash, compared against the module
+#: binding so collision-forcing tests that swap ``wordhash`` fall back from
+#: memoized contributions to hashing materialized subsets (same guard as
+#: :mod:`repro.core.wordset_index`).
+_CANONICAL_WORDHASH = wordhash
 
 
 class CompressedWordSetIndex:
-    """A read-only broad-match index backed by the Fig 6 bit-arrays."""
+    """A read-only broad-match index backed by the Fig 6 bit-arrays.
+
+    With ``vocabulary`` and ``size_histogram`` supplied (the
+    :meth:`from_index` path does this automatically), queries run the
+    same :class:`~repro.perf.prefilter.ProbePlan` pruning and memoized
+    subset hashing as ``WordSetIndex(fast_path=True)``.  Built from raw
+    nodes without that state, pruning stays off: a node's own locator is
+    not enough to reconstruct the *placement* locators of hash-colliding
+    groups, and pruning against incomplete locator state could skip a
+    probe that must hit.
+    """
 
     def __init__(
         self,
@@ -47,6 +65,9 @@ class CompressedWordSetIndex:
         tracker: AccessTracker | None = None,
         sig_encoding: str = "plain",
         offsets_encoding: str = "plain",
+        vocabulary: Container[str] | None = None,
+        size_histogram: Mapping[int, int] | None = None,
+        fast_path: bool = True,
     ) -> None:
         if not 1 <= suffix_bits <= 48:
             raise ValueError("suffix_bits must be in [1, 48]")
@@ -62,6 +83,11 @@ class CompressedWordSetIndex:
         self.max_words = max_words
         self.max_query_words = max_query_words
         self.tracker = tracker
+        self._vocabulary = vocabulary
+        self._size_histogram = size_histogram
+        self.fast_path = (
+            fast_path and vocabulary is not None and size_histogram is not None
+        )
         merged: dict[int, DataNode] = {}
         for node in nodes:
             suffix = hash_suffix(wordhash(node.locator), suffix_bits)
@@ -93,6 +119,11 @@ class CompressedWordSetIndex:
             tracker=tracker,
             sig_encoding=sig_encoding,
             offsets_encoding=offsets_encoding,
+            # The source index's *placement* locator state makes pruning
+            # exact on the compressed path too (see the class docstring).
+            vocabulary=index.indexed_vocabulary(),
+            size_histogram=index.locator_size_histogram(),
+            fast_path=index.fast_path,
         )
 
     def _build_bitarrays(self) -> None:
@@ -145,27 +176,50 @@ class CompressedWordSetIndex:
         assert self._offsets[rank - 1] == offset
         return node
 
+    def probe_plan(self, words: frozenset[str]) -> ProbePlan:
+        """The probe plan a broad-match over ``words`` executes — the
+        shared :func:`~repro.perf.prefilter.plan_for_query` pipeline, so
+        the compressed path prunes exactly like the dict-backed index."""
+        return plan_for_query(
+            words,
+            fast_path=self.fast_path,
+            vocabulary=self._vocabulary if self._vocabulary is not None else (),
+            size_histogram=(
+                self._size_histogram if self._size_histogram is not None else {}
+            ),
+            max_words=self.max_words,
+            max_query_words=self.max_query_words,
+        )
+
+    def _probe_keys(self, plan: ProbePlan) -> Iterable[int]:
+        """Hash keys for every probe of ``plan``, in enumeration order,
+        assembled from memoized per-word contributions when the canonical
+        hash is in effect."""
+        if wordhash is _CANONICAL_WORDHASH:
+            contribs = [word_contrib(word) for word in plan.candidates]
+            return (key for key, _ in hashed_index_subsets(contribs, plan.sizes))
+        return (
+            wordhash(subset)
+            for subset in sized_subsets(plan.candidates, plan.sizes)
+        )
+
     def query_broad(self, query: Query) -> list[Advertisement]:
         """Broad match over the compressed structure (verified, exact)."""
-        words = query.words
-        if len(words) > self.max_query_words:
-            words = frozenset(sorted(words)[: self.max_query_words])
-        bound = len(words)
-        if self.max_words is not None:
-            bound = min(bound, self.max_words)
+        plan = self.probe_plan(query.words)
+        words = plan.words
         tracker = self.tracker
         results: list[Advertisement] = []
         visited: set[int] = set()
-        for subset in bounded_subsets(words, bound):
-            sw = hash_suffix(wordhash(subset), self.suffix_bits)
+        for key in self._probe_keys(plan):
+            sw = hash_suffix(key, self.suffix_bits)
             if tracker is not None:
                 # Two random bit-array touches: B^sig probe + B^off select.
                 tracker.hash_probe(1)
             if sw in visited:
                 continue
+            visited.add(sw)
             if not self.bsig[sw]:
                 continue
-            visited.add(sw)
             rank = self.bsig.rank1(sw + 1)
             node = self._nodes[rank - 1]
             matched, scanned = node.scan(words)

@@ -25,12 +25,12 @@ from repro.core.data_node import DataNode
 from repro.core.matching import MatchType, apply_match_type
 from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
-from repro.core.subset_enum import sized_subsets, truncate_query
+from repro.core.subset_enum import sized_subsets
 from repro.core.wordhash import wordhash
 from repro.cost.accounting import AccessTracker
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.memohash import hashed_index_subsets, word_contrib
-from repro.perf.prefilter import ProbePlan, naive_plan, plan_probes
+from repro.perf.prefilter import ProbePlan, plan_for_query
 
 #: The canonical hash at import time.  ``_probe`` compares the module
 #: binding against this to detect a swapped-in hash function (tests patch
@@ -315,19 +315,15 @@ class WordSetIndex:
         analytic cost model replay the same plan, so measured and modeled
         probe counts always agree.
         """
-        truncated = truncate_query(
-            words, self.max_query_words, self._word_freq_fn
+        return plan_for_query(
+            words,
+            fast_path=self.fast_path,
+            vocabulary=self._vocab_refcount,
+            size_histogram=self._size_histogram,
+            max_words=self.max_words,
+            max_query_words=self.max_query_words,
+            selectivity=self._word_freq_fn,
         )
-        was_cut = truncated != words
-        if self.fast_path:
-            return plan_probes(
-                truncated,
-                self._vocab_refcount,
-                self._size_histogram,
-                self.max_words,
-                truncated=was_cut,
-            )
-        return naive_plan(truncated, self.max_words, truncated=was_cut)
 
     def probe_count(self, query: Query) -> int:
         """Exact number of hash probes ``query_broad(query)`` performs."""
@@ -482,6 +478,12 @@ class WordSetIndex:
         """Words appearing in at least one live node locator — the set the
         prefilter intersects queries with."""
         return frozenset(self._vocab_refcount)
+
+    def locator_vocabulary_refcounts(self) -> dict[str, int]:
+        """Word -> number of live placement locators containing it (the
+        refcounted form of :meth:`indexed_vocabulary`, persisted into
+        packed segment headers)."""
+        return dict(self._vocab_refcount)
 
     def locator_size_histogram(self) -> dict[int, int]:
         """Locator size -> number of live placements with that size."""

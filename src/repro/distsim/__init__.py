@@ -16,6 +16,7 @@ from repro.distsim.replication import (
 from repro.distsim.scatter import (
     ScatterConfig,
     ScatterGatherCluster,
+    measured_shard_service,
     uniform_shard_service,
 )
 from repro.distsim.server import Server
@@ -33,6 +34,7 @@ __all__ = [
     "Server",
     "TwoTierCluster",
     "find_saturation_rate",
+    "measured_shard_service",
     "smooth_histogram",
     "uniform_shard_service",
 ]

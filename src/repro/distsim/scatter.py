@@ -33,6 +33,7 @@ two-tier cluster, scaled by each shard's share of the work.
 from __future__ import annotations
 
 import random
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -236,5 +237,24 @@ def uniform_shard_service(
 
     def service(_shard: int, query: Query) -> float:
         return max(0.001, total_service_ms(query) / num_shards)
+
+    return service
+
+
+def measured_shard_service(
+    shards: Sequence[object],
+) -> Callable[[int, Query], float]:
+    """Service-time callable backed by *live* shard indexes.
+
+    Instead of an analytic cost model, time each shard's actual
+    ``query()`` call (e.g. a :class:`~repro.segment.SegmentedIndex` per
+    shard) and feed the measured milliseconds into the simulator, so
+    scatter-gather tail behaviour reflects the real packed serving path.
+    """
+
+    def service(shard: int, query: Query) -> float:
+        start = time.perf_counter()
+        shards[shard].query(query)  # type: ignore[attr-defined]
+        return max(0.001, (time.perf_counter() - start) * 1000.0)
 
     return service

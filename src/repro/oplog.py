@@ -383,6 +383,11 @@ class DurableIndex:
         return self._corpus
 
     @property
+    def index(self) -> WordSetIndex:
+        """The live in-memory index (read-only uses: packing, stats)."""
+        return self._index
+
+    @property
     def log_ops(self) -> int:
         return self._sequence
 

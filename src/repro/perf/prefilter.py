@@ -24,10 +24,10 @@ query), so dropping the probe drops no matches.
 
 from __future__ import annotations
 
-from collections.abc import Container, Mapping
+from collections.abc import Callable, Container, Mapping
 from dataclasses import dataclass
 
-from repro.core.subset_enum import subset_count
+from repro.core.subset_enum import subset_count, truncate_query
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,6 +77,33 @@ def plan_probes(
         sizes=sizes,
         pruned=True,
     )
+
+
+def plan_for_query(
+    words: frozenset[str],
+    *,
+    fast_path: bool,
+    vocabulary: Container[str],
+    size_histogram: Mapping[int, int],
+    max_words: int | None,
+    max_query_words: int,
+    selectivity: Callable[[str], int] | None = None,
+) -> ProbePlan:
+    """The full query-to-plan pipeline shared by every index front-end.
+
+    Applies the long-query cutoff, then builds either the pruned plan
+    (against the index's locator vocabulary and size histogram) or the
+    paper's naive enumeration.  ``WordSetIndex.probe_plan``,
+    ``CompressedWordSetIndex``, and ``PackedSegmentIndex`` all call this
+    one function, so the three query paths can never drift apart.
+    """
+    cut = truncate_query(words, max_query_words, selectivity)
+    was_cut = cut != words
+    if fast_path:
+        return plan_probes(
+            cut, vocabulary, size_histogram, max_words, truncated=was_cut
+        )
+    return naive_plan(cut, max_words, truncated=was_cut)
 
 
 def naive_plan(

@@ -1,0 +1,32 @@
+"""Packed serving segments: the compressed index as the live query path.
+
+PR 2 built :class:`~repro.compress.compressed_hash.CompressedWordSetIndex`
+as an offline size study; this package makes the compressed form
+*servable*: :class:`SegmentBuilder` freezes a
+:class:`~repro.core.wordset_index.WordSetIndex` into one contiguous,
+checksummed, mmap-able file (front-coded phrases, delta-coded bids,
+``B^sig``/``B^off`` rank-select addressing — the paper's Fig 6 layout),
+:class:`PackedSegmentIndex` serves queries straight off the mapping, and
+:class:`SegmentedIndex` layers a mutable overlay with tombstones and
+crash-safe :meth:`~SegmentedIndex.compact` on top so the packed path
+supports the full insert/delete/query surface.
+"""
+
+from repro.segment.bits import PackedBits, pack_bits
+from repro.segment.builder import SegmentBuilder, default_suffix_bits
+from repro.segment.format import SegmentFormatError
+from repro.segment.overlay import SegmentedIndex, ShardedSegmentedIndex
+from repro.segment.packed import PackedSegmentIndex
+from repro.segment.sizing import deep_sizeof
+
+__all__ = [
+    "PackedBits",
+    "PackedSegmentIndex",
+    "SegmentBuilder",
+    "SegmentFormatError",
+    "SegmentedIndex",
+    "ShardedSegmentedIndex",
+    "deep_sizeof",
+    "default_suffix_bits",
+    "pack_bits",
+]

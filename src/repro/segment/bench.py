@@ -1,0 +1,176 @@
+"""Packed-segment benchmark: resident bytes and latency vs the dict index.
+
+Builds the same synthetic corpus and long-query broad-match workload as
+:mod:`repro.perf.bench`, packs the index into a segment file, and
+replays the workload against both serving paths:
+
+* **equivalence** — every query must return the identical multiset of
+  listing ids (sorted per query; raw order legitimately differs because
+  suffix merging and front-coding reorder node entries);
+* **resident bytes** — deep-counted Python object graph for the dict
+  index vs mapped-file-plus-auxiliaries for the packed one (gate: the
+  packed path must be >= 4x smaller);
+* **latency** — min-of-N interleaved replays of the full workload on
+  each path (gate: packed within 1.25x of the dict fast path).
+
+Results land in ``BENCH_PR4.json`` at the repo root::
+
+    PYTHONPATH=src python -m repro.segment.bench --out BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.perf.bench import make_long_queries
+from repro.segment.builder import SegmentBuilder
+from repro.segment.packed import DEFAULT_CACHE_BYTES, PackedSegmentIndex
+from repro.segment.sizing import deep_sizeof
+
+
+def replay_ids(index: Any, queries: list[Query]) -> list[list[int]]:
+    """Sorted listing ids per query — the equivalence fingerprint."""
+    return [
+        sorted(ad.info.listing_id for ad in index.query(query))
+        for query in queries
+    ]
+
+
+def _timed_replay(index: Any, queries: list[Query]) -> float:
+    start = time.perf_counter()
+    for query in queries:
+        index.query(query)
+    return time.perf_counter() - start
+
+
+def run_segment_bench(
+    num_ads: int = 50_000,
+    num_queries: int = 120,
+    query_len: int = 12,
+    rounds: int = 5,
+    seed: int = 0,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+    segment_path: str | Path | None = None,
+) -> dict[str, Any]:
+    """Execute the packed-vs-dict comparison; returns the results doc."""
+    generated = generate_corpus(CorpusConfig(num_ads=num_ads, seed=seed))
+    workload = generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=max(200, num_queries),
+            total_frequency=10 * max(200, num_queries),
+            seed=seed + 1,
+        ),
+    )
+    queries = make_long_queries(
+        generated, workload, num_queries, query_len, seed=seed + 2
+    )
+
+    index = WordSetIndex.from_corpus(generated.corpus)
+
+    own_tempdir = segment_path is None
+    if own_tempdir:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-segment-bench-")
+        segment_path = Path(tempdir.name) / "bench.seg"
+    segment_path = Path(segment_path)
+    SegmentBuilder(index).write(segment_path)
+    packed = PackedSegmentIndex(segment_path, cache_bytes=cache_bytes)
+    try:
+        dict_results = replay_ids(index, queries)
+        packed_results = replay_ids(packed, queries)
+        identical = dict_results == packed_results
+        if not identical:
+            raise AssertionError(
+                "packed-segment results diverged from the dict index"
+            )
+
+        dict_resident = deep_sizeof(index)
+        packed_resident = packed.resident_bytes()
+
+        # Interleaved min-of-N: alternate paths each round so drift in
+        # machine load hits both equally; min is the stable estimator.
+        dict_seconds = min(
+            _timed_replay(index, queries) for _ in range(rounds)
+        )
+        packed_seconds = min(
+            _timed_replay(packed, queries) for _ in range(rounds)
+        )
+
+        stats = packed.stats()
+    finally:
+        packed.close()
+        if own_tempdir:
+            tempdir.cleanup()
+
+    return {
+        "benchmark": "packed-segment",
+        "config": {
+            "num_ads": num_ads,
+            "num_queries": num_queries,
+            "query_len": query_len,
+            "rounds": rounds,
+            "seed": seed,
+            "cache_bytes": cache_bytes,
+        },
+        "identical_results": identical,
+        "dict": {
+            "resident_bytes": dict_resident,
+            "seconds": dict_seconds,
+        },
+        "packed": {
+            "resident_bytes": packed_resident,
+            "segment_bytes": stats["segment_bytes"],
+            "suffix_bits": stats["suffix_bits"],
+            "num_nodes": stats["num_nodes"],
+            "cached_nodes": stats["cached_nodes"],
+            "cache_bytes_used": stats["cache_bytes_used"],
+            "seconds": packed_seconds,
+        },
+        "resident_reduction": dict_resident / max(1, packed_resident),
+        "latency_ratio": packed_seconds / max(1e-9, dict_seconds),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.segment.bench",
+        description="Packed-segment resident/latency benchmark (writes JSON).",
+    )
+    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--num-ads", type=int, default=50_000)
+    parser.add_argument("--num-queries", type=int, default=120)
+    parser.add_argument("--query-len", type=int, default=12)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache-bytes", type=int, default=DEFAULT_CACHE_BYTES)
+    args = parser.parse_args(argv)
+    results = run_segment_bench(
+        num_ads=args.num_ads,
+        num_queries=args.num_queries,
+        query_len=args.query_len,
+        rounds=args.rounds,
+        seed=args.seed,
+        cache_bytes=args.cache_bytes,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"resident reduction: {results['resident_reduction']:.1f}x  "
+        f"latency ratio: {results['latency_ratio']:.2f}x"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

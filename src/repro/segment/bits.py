@@ -1,0 +1,177 @@
+"""Rank/select over externally-owned bit buffers (the zero-copy B^sig/B^off).
+
+:class:`repro.compress.bitvector.BitVector` owns its words as a Python
+list; a packed segment cannot afford that copy — its bit-arrays live in
+the mapped file.  :class:`PackedBits` runs the same broadword rank/select
+algorithms over *any* indexable u64 word source, normally a
+``memoryview.cast("Q")`` straight over the mmap (big-endian hosts fall
+back to materializing the words, correctness over zero-copy).
+
+Only the directories (superblock cumulative ranks + sampled select
+positions) are built in memory at load time — one pass over the words,
+a few percent of the raw bits.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections.abc import Iterable, Sequence
+from typing import cast
+
+WORD_BITS = 64
+SUPERBLOCK_WORDS = 8  # 512-bit superblocks, matching BitVector
+SELECT_SAMPLE = 512  # sample every 512th one-bit
+
+
+def pack_bits(length: int, one_positions: Iterable[int]) -> bytes:
+    """Serialize a bit-array as little-endian u64 words.
+
+    Bit ``i`` of the array is bit ``i % 64`` of word ``i // 64``; in the
+    little-endian byte layout that is simply bit ``i % 8`` of byte
+    ``i // 8``, so the packing is byte-addressed.
+    """
+    positions = sorted(set(one_positions))
+    if positions and (positions[0] < 0 or positions[-1] >= length):
+        raise ValueError("bit position out of range")
+    out = bytearray(((length + WORD_BITS - 1) // WORD_BITS) * 8)
+    for pos in positions:
+        out[pos >> 3] |= 1 << (pos & 7)
+    return bytes(out)
+
+
+class PackedBits:
+    """Immutable rank/select directory over a borrowed u64 word buffer."""
+
+    __slots__ = ("_n", "_words", "_num_words", "_super_ranks", "_samples", "_ones")
+
+    def __init__(self, words: Sequence[int], n_bits: int) -> None:
+        if n_bits < 0:
+            raise ValueError("n_bits must be >= 0")
+        needed = (n_bits + WORD_BITS - 1) // WORD_BITS
+        if len(words) < needed:
+            raise ValueError(
+                f"word buffer holds {len(words)} words, need {needed}"
+            )
+        self._n = n_bits
+        self._words = words
+        self._num_words = needed
+        super_ranks = [0]
+        samples: list[tuple[int, int]] = []
+        running = 0
+        for i in range(needed):
+            count = words[i].bit_count()
+            if count and (
+                not samples
+                or running // SELECT_SAMPLE != (running + count) // SELECT_SAMPLE
+            ):
+                samples.append((running, i))
+            running += count
+            if (i + 1) % SUPERBLOCK_WORDS == 0:
+                super_ranks.append(running)
+        self._super_ranks = super_ranks
+        self._samples = samples
+        self._ones = running
+
+    @classmethod
+    def from_buffer(cls, buf: memoryview, n_bits: int) -> PackedBits:
+        """Wrap a little-endian u64 byte buffer (e.g. an mmap slice).
+
+        On little-endian hosts the buffer is reinterpreted in place; a
+        big-endian host pays one materializing pass instead of reading
+        every word wrong.
+        """
+        if len(buf) % 8:
+            raise ValueError("bit buffer length must be a multiple of 8")
+        if sys.byteorder == "little":
+            words = cast("Sequence[int]", buf.cast("Q"))
+        else:  # pragma: no cover - exercised only on big-endian hosts
+            raw = bytes(buf)
+            words = [
+                int.from_bytes(raw[i : i + 8], "little")
+                for i in range(0, len(raw), 8)
+            ]
+        return cls(words, n_bits)
+
+    def release(self) -> None:
+        """Release the underlying buffer view (before closing an mmap)."""
+        words = self._words
+        if isinstance(words, memoryview):
+            words.release()
+        self._words = ()
+        self._num_words = 0
+        self._n = 0
+        self._ones = 0
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self._n:
+            raise IndexError(i)
+        return (self._words[i >> 6] >> (i & 63)) & 1
+
+    @property
+    def ones(self) -> int:
+        """Total number of 1-bits."""
+        return self._ones
+
+    @property
+    def words(self) -> Sequence[int]:
+        """The raw u64 words — exposed so hot loops can inline bit tests."""
+        return self._words
+
+    def rank1(self, i: int) -> int:
+        """Number of 1-bits in the prefix ``B[0:i]`` (exclusive of ``i``)."""
+        if not 0 <= i <= self._n:
+            raise IndexError(i)
+        word_index, bit_index = divmod(i, WORD_BITS)
+        words = self._words
+        base = (word_index // SUPERBLOCK_WORDS) * SUPERBLOCK_WORDS
+        rank = self._super_ranks[word_index // SUPERBLOCK_WORDS]
+        for w in range(base, word_index):
+            rank += words[w].bit_count()
+        if bit_index:
+            rank += (words[word_index] & ((1 << bit_index) - 1)).bit_count()
+        return rank
+
+    def rank0(self, i: int) -> int:
+        """Number of 0-bits in the prefix ``B[0:i]``."""
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th (1-based) 1-bit.
+
+        Sample-guided word scan; the in-word select clears the lowest set
+        bit ``need - 1`` times and isolates the survivor — no per-bit
+        loop (see the matching :class:`BitVector` micro-optimization).
+        """
+        if not 1 <= j <= self._ones:
+            raise ValueError(f"select1({j}) out of range (ones={self._ones})")
+        start_word = 0
+        for seen, word_index in self._samples:
+            if seen < j:
+                start_word = word_index
+            else:
+                break
+        words = self._words
+        base = (start_word // SUPERBLOCK_WORDS) * SUPERBLOCK_WORDS
+        seen = self._super_ranks[start_word // SUPERBLOCK_WORDS]
+        for w in range(base, start_word):
+            seen += words[w].bit_count()
+        for w in range(start_word, self._num_words):
+            word = words[w]
+            count = word.bit_count()
+            if seen + count >= j:
+                for _ in range(j - seen - 1):
+                    word &= word - 1
+                return w * WORD_BITS + (word & -word).bit_length() - 1
+            seen += count
+        raise AssertionError("unreachable: select beyond counted ones")
+
+    def size_bits(self) -> int:
+        """Raw bits plus the in-memory directory overhead."""
+        raw = self._num_words * WORD_BITS
+        directory = len(self._super_ranks) * 64 + len(self._samples) * 128
+        return raw + directory

@@ -1,0 +1,371 @@
+"""``SegmentedIndex``: a packed segment plus a mutable overlay.
+
+The packed segment is immutable; serving still needs inserts and
+deletes.  The classic LSM-style answer:
+
+* **inserts** land in a small in-memory :class:`WordSetIndex` overlay;
+* **deletes** of overlay ads are plain deletes; deletes of segment ads
+  record a *tombstone* (a count per exact ad, since the corpus permits
+  duplicate ads) that query results are filtered against;
+* **queries** union the segment's results (minus tombstones) with the
+  overlay's;
+* :meth:`compact` folds overlay + tombstones into a fresh segment file
+  written atomically beside the old one, then swaps the mapping — the
+  crash-consistency story mirrors :mod:`repro.oplog`, with crashpoints
+  at every decision point so the fault harness can prove that a crash
+  mid-compaction leaves a servable index (the old mapped file remains
+  valid even after the rename replaces its directory entry).
+
+:class:`ShardedSegmentedIndex` runs one ``SegmentedIndex`` per shard,
+partitioned by the same ``wordhash(words) % num_shards`` rule as
+:class:`~repro.core.sharded.ShardedWordSetIndex`, and exposes
+``.shards`` so :class:`~repro.perf.batch.BatchQueryEngine` scatters
+batches across shards automatically.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+from typing import Any
+
+from repro.core.ads import AdCorpus, Advertisement
+from repro.core.matching import MatchType
+from repro.core.protocols import warn_query_broad_deprecated
+from repro.core.queries import Query
+from repro.core.wordhash import wordhash
+from repro.core.wordset_index import WordSetIndex
+from repro.faults.injector import FaultInjector, active_injector
+from repro.obs.registry import MetricsRegistry, active_or_none
+from repro.segment.builder import SegmentBuilder
+from repro.segment.format import (
+    CRASH_COMPACT_START,
+    CRASH_COMPACT_SWAPPED,
+    CRASH_COMPACT_WRITTEN,
+)
+from repro.segment.packed import PackedSegmentIndex
+
+
+class SegmentedIndex:
+    """Mutable serving index over an immutable packed segment."""
+
+    def __init__(
+        self,
+        segment: PackedSegmentIndex | str | Path,
+        obs: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        if not isinstance(segment, PackedSegmentIndex):
+            segment = PackedSegmentIndex(Path(segment))
+        self._segment = segment
+        self._faults = active_injector(faults)
+        self._obs: MetricsRegistry | None = None
+        self._overlay = self._fresh_overlay()
+        self._tombstones: Counter[Advertisement] = Counter()
+        self.bind_obs(obs)
+
+    def _fresh_overlay(self) -> WordSetIndex:
+        return WordSetIndex(
+            max_words=self._segment.max_words,
+            max_query_words=self._segment.max_query_words,
+            fast_path=self._segment.fast_path,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Observability
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        obs = active_or_none(obs)
+        self._obs = obs
+        self._segment.bind_obs(obs)
+        if obs is not None:
+            obs.counter(
+                "segment.compactions", help="Completed segment compactions"
+            )
+            self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        obs = self._obs
+        if obs is not None:
+            obs.gauge(
+                "segment.overlay_ads", help="Ads in the mutable overlay"
+            ).set(float(len(self._overlay)))
+            obs.gauge(
+                "segment.tombstones", help="Pending segment-ad deletions"
+            ).set(float(sum(self._tombstones.values())))
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+
+    def insert(
+        self, ad: Advertisement, locator: frozenset[str] | None = None
+    ) -> None:
+        """Add ``ad``. Re-inserting a tombstoned segment ad resurrects the
+        segment copy instead of duplicating it in the overlay
+        (``Advertisement`` equality covers every field, so the copies are
+        indistinguishable)."""
+        if self._tombstones.get(ad, 0) > 0 and locator is None:
+            self._tombstones[ad] -= 1
+            if not self._tombstones[ad]:
+                del self._tombstones[ad]
+        else:
+            self._overlay.insert(ad, locator)
+        self._update_gauges()
+
+    def delete(self, ad: Advertisement) -> bool:
+        """Remove one occurrence of ``ad``; False if not indexed."""
+        if self._overlay.delete(ad):
+            self._update_gauges()
+            return True
+        live_in_segment = self._segment.lookup_count(ad) - self._tombstones.get(
+            ad, 0
+        )
+        if live_in_segment > 0:
+            self._tombstones[ad] += 1
+            self._update_gauges()
+            return True
+        return False
+
+    def contains(self, ad: Advertisement) -> bool:
+        if self._overlay.contains(ad):
+            return True
+        return self._segment.lookup_count(ad) > self._tombstones.get(ad, 0)
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
+        return self.query(query)
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        """Segment results (tombstones filtered) + overlay results."""
+        results = self._segment.query(query, match_type)
+        if self._tombstones:
+            results = self._filter_tombstones(results)
+        results.extend(self._overlay.query(query, match_type))
+        return results
+
+    def _filter_tombstones(
+        self, results: list[Advertisement]
+    ) -> list[Advertisement]:
+        """Drop up to ``tombstones[ad]`` occurrences of each dead ad."""
+        remaining = dict(self._tombstones)
+        kept: list[Advertisement] = []
+        for ad in results:
+            pending = remaining.get(ad, 0)
+            if pending > 0:
+                remaining[ad] = pending - 1
+            else:
+                kept.append(ad)
+        return kept
+
+    # ------------------------------------------------------------------ #
+    # Compaction
+
+    def live_ads(self) -> Iterator[Advertisement]:
+        """Every live ad: segment minus tombstones, then the overlay."""
+        remaining = dict(self._tombstones)
+        for ad in self._segment.iter_ads():
+            pending = remaining.get(ad, 0)
+            if pending > 0:
+                remaining[ad] = pending - 1
+            else:
+                yield ad
+        for node in self._overlay.nodes.values():
+            for entry in node.entries:
+                yield entry.ad
+
+    def _live_placements(self) -> dict[frozenset[str], frozenset[str]]:
+        placements = self._segment.placements()
+        placements.update(self._overlay.placement())
+        return placements
+
+    def compact(
+        self,
+        path: str | Path | None = None,
+        suffix_bits: int | None = None,
+    ) -> Path:
+        """Fold overlay and tombstones into a fresh segment and swap to it.
+
+        Crash-safe end to end: the new file is written atomically (old
+        segment untouched until the rename), and a crash *anywhere* —
+        including after the rename but before the in-memory swap — leaves
+        a process whose mapped old segment is still fully servable, and a
+        disk whose segment file is one complete generation or the other.
+        Crashpoints: ``segment.compact.start`` / ``.written`` /
+        ``.swapped``.
+        """
+        target = Path(path) if path is not None else self._segment.path
+        self._faults.crashpoint(CRASH_COMPACT_START)
+        fresh = self._fresh_overlay()
+        placements = self._live_placements()
+        for ad in self.live_ads():
+            fresh.insert(ad, placements.get(ad.words))
+        builder = SegmentBuilder(fresh, suffix_bits=suffix_bits)
+        builder.write(
+            target,
+            generation=self._segment.generation + 1,
+            faults=self._faults,
+        )
+        self._faults.crashpoint(CRASH_COMPACT_WRITTEN)
+        replacement = PackedSegmentIndex(
+            target, tracker=self._segment.tracker
+        )
+        old = self._segment
+        self._segment = replacement
+        self._overlay = self._fresh_overlay()
+        self._tombstones.clear()
+        old.close()
+        obs = self._obs
+        if obs is not None:
+            obs.counter("segment.compactions").inc()
+            self._segment.bind_obs(obs)
+            self._update_gauges()
+        self._faults.crashpoint(CRASH_COMPACT_SWAPPED)
+        return target
+
+    # ------------------------------------------------------------------ #
+    # Introspection / lifecycle
+
+    @property
+    def segment(self) -> PackedSegmentIndex:
+        """The current immutable segment."""
+        return self._segment
+
+    @property
+    def overlay(self) -> WordSetIndex:
+        """The mutable overlay index."""
+        return self._overlay
+
+    def tombstone_count(self) -> int:
+        return sum(self._tombstones.values())
+
+    def __len__(self) -> int:
+        return len(self._segment) - self.tombstone_count() + len(self._overlay)
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "num_ads": len(self),
+            "segment": self._segment.stats(),
+            "overlay_ads": len(self._overlay),
+            "tombstones": self.tombstone_count(),
+        }
+
+    def close(self) -> None:
+        self._segment.close()
+
+    def __enter__(self) -> SegmentedIndex:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+class ShardedSegmentedIndex:
+    """Segmented serving sharded by ``wordhash(words) % num_shards``.
+
+    The partitioning rule matches
+    :class:`~repro.core.sharded.ShardedWordSetIndex`, so a packed
+    deployment shards identically to the in-memory distributed
+    simulation.  Exposes ``.shards`` — the batch engine's scatter
+    heuristic picks it up without any adapter.
+    """
+
+    def __init__(self, shards: Sequence[SegmentedIndex]) -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards: list[SegmentedIndex] = list(shards)
+
+    @classmethod
+    def pack_corpus(
+        cls,
+        corpus: AdCorpus,
+        directory: str | Path,
+        num_shards: int,
+        mapping: dict[frozenset[str], frozenset[str]] | None = None,
+        max_words: int | None = None,
+        max_query_words: int = 16,
+        suffix_bits: int | None = None,
+        obs: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
+    ) -> ShardedSegmentedIndex:
+        """Partition ``corpus``, pack one segment file per shard into
+        ``directory`` (``shard-NNN.seg``), and open them all."""
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        partitions: list[WordSetIndex] = [
+            WordSetIndex(max_words=max_words, max_query_words=max_query_words)
+            for _ in range(num_shards)
+        ]
+        for ad in corpus:
+            locator = mapping.get(ad.words) if mapping else None
+            partitions[wordhash(ad.words) % num_shards].insert(ad, locator)
+        shards: list[SegmentedIndex] = []
+        try:
+            for i, partition in enumerate(partitions):
+                path = directory / f"shard-{i:03d}.seg"
+                SegmentBuilder(partition, suffix_bits=suffix_bits).write(
+                    path, faults=faults
+                )
+                shards.append(
+                    SegmentedIndex(path, obs=obs, faults=faults)
+                )
+        except BaseException:
+            for shard in shards:
+                shard.close()
+            raise
+        return cls(shards)
+
+    def shard_of(self, words: frozenset[str]) -> int:
+        return wordhash(words) % len(self.shards)
+
+    def insert(
+        self, ad: Advertisement, locator: frozenset[str] | None = None
+    ) -> None:
+        self.shards[self.shard_of(ad.words)].insert(ad, locator)
+
+    def delete(self, ad: Advertisement) -> bool:
+        return self.shards[self.shard_of(ad.words)].delete(ad)
+
+    def contains(self, ad: Advertisement) -> bool:
+        return self.shards[self.shard_of(ad.words)].contains(ad)
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
+        return self.query(query)
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        results: list[Advertisement] = []
+        for shard in self.shards:
+            results.extend(shard.query(query, match_type))
+        return results
+
+    def compact_all(self) -> list[Path]:
+        """Compact every shard in place."""
+        return [shard.compact() for shard in self.shards]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def stats(self) -> list[dict[str, Any]]:
+        return [shard.stats() for shard in self.shards]
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> ShardedSegmentedIndex:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

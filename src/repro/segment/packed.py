@@ -1,0 +1,608 @@
+"""``PackedSegmentIndex``: the mmap-backed, zero-copy serving index.
+
+Opens a segment file written by :class:`repro.segment.builder.SegmentBuilder`
+and answers queries directly off the mapping: no node objects are
+materialized at load, and a probe decodes only the node records it
+actually scans (early-terminating on the word-count order, so a short
+query never touches long phrases).
+
+The query path is the Fig 6 lookup with the PR 1 probe plan in front:
+
+1. :func:`repro.perf.prefilter.plan_for_query` prunes subset enumeration
+   using the locator vocabulary and size histogram persisted in the
+   segment header — the packed path plans probes *identically* to the
+   ``WordSetIndex`` it was built from;
+2. each probe key's ``s``-bit suffix tests one bit of ``B^sig`` (inlined
+   word access, no function call on the miss path);
+3. a hit ranks ``B^sig`` into the node-offset directory — ``B^off``
+   materialized as a flat ``array('Q')`` at load time, the classic fully
+   sampled select dictionary, so locating a node is one list index
+   instead of a bit scan — and decodes the node record, front-decoding
+   phrases and delta-decoding bids incrementally.
+
+Serving reality check: a Python-level entry decode can never race a
+pointer chase through live objects, so the index keeps a **bounded
+decoded-node cache** (the block-cache every packed serving tier runs,
+cf. the Baidu system the issue cites).  Nodes are admitted fully decoded
+until ``cache_bytes`` is spent, after which admission stops — no
+eviction churn, strictly bounded, and the cache is charged to
+:meth:`resident_bytes` so the space accounting stays honest.  Hot nodes
+then serve at materialized-object speed while the corpus stays packed.
+
+Implements the :class:`repro.core.protocols.RetrievalIndex` protocol.
+The structure is immutable; for inserts/deletes compose it with a
+mutable overlay via :class:`repro.segment.overlay.SegmentedIndex`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import mmap
+from array import array
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+from time import perf_counter
+from typing import Any
+
+from repro.core.ads import AdInfo, Advertisement
+from repro.core.matching import MatchType, apply_match_type
+from repro.core.protocols import warn_query_broad_deprecated
+from repro.core.queries import Query
+from repro.core.subset_enum import sized_subsets
+from repro.core.wordhash import hash_suffix, wordhash
+from repro.cost.accounting import AccessTracker
+from repro.obs.registry import MetricsRegistry, active_or_none
+from repro.perf.memohash import hashed_index_subsets, word_contrib
+from repro.perf.prefilter import ProbePlan, plan_for_query
+from repro.segment.bits import PackedBits
+from repro.segment.format import (
+    SegmentFormatError,
+    read_header,
+    read_varint,
+    section_bounds,
+)
+from repro.segment.sizing import deep_sizeof
+
+#: Import-time binding of the canonical hash — same collision-test guard
+#: as :mod:`repro.core.wordset_index`.
+_CANONICAL_WORDHASH = wordhash
+
+#: Default decoded-node cache budget. Sized for a hot working set (the
+#: nodes a real workload actually probes), not the corpus — the whole
+#: point of the packed tier is that resident state is O(traffic), while
+#: the dict index is O(corpus).
+DEFAULT_CACHE_BYTES = 8 << 20
+
+_NEW_AD = object.__new__
+_SET = object.__setattr__
+
+
+class PackedSegmentIndex:
+    """Read-only broad-match index served from a mapped segment file."""
+
+    def __init__(
+        self,
+        path: str | Path,
+        tracker: AccessTracker | None = None,
+        obs: MetricsRegistry | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> None:
+        self.path = Path(path)
+        self.tracker = tracker
+        self._obs: MetricsRegistry | None = None
+        self._closed = False
+        self._views: list[memoryview] = []
+        self._cache_budget = max(0, cache_bytes)
+        self._cache_used = 0
+        self._cache_open = self._cache_budget > 0
+        self._node_cache: dict[int, list[Advertisement]] = {}
+        # Phrase intern table: duplicate bids colocate in a node
+        # (condition IV places all ads of one word-set together), so ads
+        # sharing a phrase share one tuple and one words frozenset.
+        self._phrase_cache: dict[
+            tuple[str, ...], tuple[tuple[str, ...], frozenset[str]]
+        ] = {}
+        try:
+            with self.path.open("rb") as handle:
+                try:
+                    self._mmap = mmap.mmap(
+                        handle.fileno(), 0, access=mmap.ACCESS_READ
+                    )
+                except ValueError as exc:
+                    raise SegmentFormatError(
+                        f"cannot map segment {self.path}: {exc}"
+                    ) from exc
+        except OSError as exc:
+            raise SegmentFormatError(
+                f"cannot open segment {self.path}: {exc}"
+            ) from exc
+        try:
+            self._load()
+        except BaseException:
+            self.close()
+            raise
+        self.bind_obs(obs)
+
+    def _load(self) -> None:
+        view = memoryview(self._mmap)
+        self._views.append(view)
+        header, payload_start = read_header(view)
+        payload = view[payload_start:]
+        self._views.append(payload)
+
+        bsig_off, bsig_bits = section_bounds(header, "bsig")
+        boff_off, boff_bits = section_bounds(header, "boff")
+        nodes_off, nodes_len = section_bounds(header, "nodes")
+        if len(payload) != nodes_off + nodes_len:
+            raise SegmentFormatError(
+                "segment payload truncated or oversized"
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != header.get("payload_sha256"):
+            raise SegmentFormatError(
+                "segment checksum mismatch: file corrupt"
+            )
+
+        bsig_view = payload[bsig_off:boff_off]
+        boff_view = payload[boff_off:nodes_off]
+        nodes_view = payload[nodes_off:]
+        self._views.extend((bsig_view, boff_view, nodes_view))
+        self.bsig = PackedBits.from_buffer(bsig_view, bsig_bits)
+        self.boff = PackedBits.from_buffer(boff_view, boff_bits)
+        self._nodes_buf = nodes_view
+        self._nodes_len = nodes_len
+
+        # Fully materialized select directory over B^off: the j-th set
+        # bit's position (the j-th node's byte offset), extracted in one
+        # linear pass.  Node lookup becomes rank1(B^sig) + one index.
+        offsets = array("Q")
+        boff_words = self.boff.words
+        for word_index in range(len(boff_view) // 8):
+            word = boff_words[word_index]
+            base = word_index * 64
+            while word:
+                low = word & -word
+                offsets.append(base + low.bit_length() - 1)
+                word ^= low
+        self._node_offsets = offsets
+
+        try:
+            self.suffix_bits = int(header["suffix_bits"])
+            raw_max_words = header["max_words"]
+            self.max_words = (
+                None if raw_max_words is None else int(raw_max_words)
+            )
+            self.max_query_words = int(header["max_query_words"])
+            self.fast_path = bool(header.get("fast_path", True))
+            self.generation = int(header.get("generation", 0))
+            self._num_ads = int(header["num_ads"])
+            self._num_nodes = int(header["num_nodes"])
+            self._vocab = {
+                str(word): int(count)
+                for word, count in dict(header["vocab"]).items()
+            }
+            self._size_histogram = {
+                int(size): int(count)
+                for size, count in dict(header["size_histogram"]).items()
+            }
+            self._placements = {
+                frozenset(str(w) for w in words): frozenset(
+                    str(w) for w in locator
+                )
+                for words, locator in list(header["placements"])
+            }
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SegmentFormatError(
+                f"segment header missing or malformed field: {exc}"
+            ) from exc
+        if not 1 <= self.suffix_bits <= 48:
+            raise SegmentFormatError("suffix_bits out of range in header")
+        if self.bsig.ones != self._num_nodes or len(offsets) != self._num_nodes:
+            raise SegmentFormatError(
+                "bit-array population disagrees with header node count"
+            )
+        # Token intern table, seeded with the vocabulary strings already
+        # resident in the header state: decoded phrases share one string
+        # object per distinct token instead of one per occurrence.
+        self._token_intern = {word: word for word in self._vocab}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+
+    def close(self) -> None:
+        """Release every exported view and unmap the file."""
+        if self._closed:
+            return
+        self._closed = True
+        self._node_cache.clear()
+        self._phrase_cache.clear()
+        for packed in (getattr(self, "bsig", None), getattr(self, "boff", None)):
+            if packed is not None:
+                packed.release()
+        for view in self._views:
+            view.release()
+        self._views.clear()
+        self._mmap.close()
+
+    def __enter__(self) -> PackedSegmentIndex:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def bind_obs(self, obs: MetricsRegistry | None) -> None:
+        """Attach (or detach, with ``None``) a metrics registry."""
+        obs = active_or_none(obs)
+        self._obs = obs
+        if obs is not None:
+            obs.counter("segment.queries", help="Queries served off segments")
+            obs.counter("segment.probes", help="B^sig probes issued")
+            obs.counter("segment.node_scans", help="Packed nodes scanned")
+            obs.counter(
+                "segment.entries_scanned",
+                help="Entries examined during node scans",
+            )
+            obs.counter("segment.results", help="Matching ads returned")
+            obs.counter(
+                "segment.cache_hits", help="Node scans served decoded"
+            )
+            obs.counter(
+                "segment.cache_misses", help="Node scans that paid a decode"
+            )
+            obs.gauge(
+                "segment.bytes", help="Mapped segment file size"
+            ).set(float(len(self._mmap)))
+            obs.gauge(
+                "segment.cache_bytes", help="Decoded-node cache residency"
+            ).set(float(self._cache_used))
+
+    # ------------------------------------------------------------------ #
+    # Query processing
+
+    def probe_plan(self, words: frozenset[str]) -> ProbePlan:
+        """The shared :func:`plan_for_query` pipeline over the header's
+        persisted prefilter state — probe-for-probe identical to the
+        source ``WordSetIndex``."""
+        return plan_for_query(
+            words,
+            fast_path=self.fast_path,
+            vocabulary=self._vocab,
+            size_histogram=self._size_histogram,
+            max_words=self.max_words,
+            max_query_words=self.max_query_words,
+        )
+
+    def _probe_keys(self, plan: ProbePlan) -> Iterable[int]:
+        if wordhash is _CANONICAL_WORDHASH:
+            contribs = [word_contrib(word) for word in plan.candidates]
+            return (key for key, _ in hashed_index_subsets(contribs, plan.sizes))
+        return (
+            wordhash(subset)
+            for subset in sized_subsets(plan.candidates, plan.sizes)
+        )
+
+    def query_broad(self, query: Query) -> list[Advertisement]:
+        """Deprecated alias for :meth:`query` (broad is the default)."""
+        warn_query_broad_deprecated(type(self))
+        return self.query(query)
+
+    def query(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement]:
+        """Broad match off the mapped file; phrase/exact verify on top."""
+        obs = self._obs
+        started = perf_counter() if obs is not None else 0.0
+        plan = self.probe_plan(query.words)
+        words = plan.words
+        query_len = len(words)
+        tracker = self.tracker
+        suffix_mask = (1 << self.suffix_bits) - 1
+        sig_words = self.bsig.words
+        rank1 = self.bsig.rank1
+        cache = self._node_cache
+        results: list[Advertisement] = []
+        append = results.append
+        visited: set[int] = set()
+        probes = 0
+        node_scans = 0
+        entries_scanned = 0
+        cache_hits = 0
+        for key in self._probe_keys(plan):
+            probes += 1
+            suffix = key & suffix_mask
+            if suffix in visited:
+                continue
+            visited.add(suffix)
+            # Inlined B^sig bit test: the overwhelmingly common miss costs
+            # one word load, no call.
+            if not (sig_words[suffix >> 6] >> (suffix & 63)) & 1:
+                continue
+            node_index = rank1(suffix + 1) - 1
+            node_scans += 1
+            ads = cache.get(node_index)
+            if ads is not None:
+                cache_hits += 1
+                scanned = 0
+                for ad in ads:
+                    ad_words = ad.words
+                    if len(ad_words) > query_len:
+                        break
+                    scanned += 1
+                    if ad_words <= words:
+                        append(ad)
+                entries_scanned += scanned
+                if tracker is not None:
+                    tracker.hash_probe(8)
+                    tracker.candidate(scanned)
+            else:
+                ads = self._admit(node_index)
+                if ads is None:
+                    chunk = self._node_chunk(node_index)
+                    ads, consumed = self._decode_entries(chunk, query_len)
+                    if tracker is not None:
+                        tracker.random_access(consumed)
+                entries_scanned += len(ads)
+                for ad in ads:
+                    ad_words = ad.words
+                    if len(ad_words) > query_len:
+                        break
+                    if ad_words <= words:
+                        append(ad)
+                if tracker is not None:
+                    tracker.hash_probe(8)
+                    tracker.candidate(len(ads))
+        if tracker is not None:
+            tracker.query_done()
+        if obs is not None:
+            obs.counter("segment.queries").inc()
+            obs.counter("segment.probes").inc(probes)
+            obs.counter("segment.node_scans").inc(node_scans)
+            obs.counter("segment.entries_scanned").inc(entries_scanned)
+            obs.counter("segment.results").inc(len(results))
+            obs.counter("segment.cache_hits").inc(cache_hits)
+            obs.counter("segment.cache_misses").inc(node_scans - cache_hits)
+            obs.gauge("segment.cache_bytes").set(float(self._cache_used))
+            obs.histogram("span.segment_query").observe(
+                (perf_counter() - started) * 1e3
+            )
+        return apply_match_type(results, query, match_type)
+
+    # ------------------------------------------------------------------ #
+    # Node decoding
+
+    def _node_chunk(self, node_index: int) -> bytes:
+        """The node's exact byte range, copied out of the mapping (a few
+        hundred bytes; ``bytes`` indexing is what makes the varint loop
+        fast)."""
+        offsets = self._node_offsets
+        start = offsets[node_index]
+        end = (
+            offsets[node_index + 1]
+            if node_index + 1 < len(offsets)
+            else self._nodes_len
+        )
+        return bytes(self._nodes_buf[start:end])
+
+    def _decode_entries(
+        self, chunk: bytes, max_word_count: int | None
+    ) -> tuple[list[Advertisement], int]:
+        """Decode one node record into materialized ads (entry order).
+
+        ``max_word_count`` stops the scan at the first entry longer than
+        the query (entries are stored word-count-ordered); ``None``
+        decodes every entry (cache admission, :meth:`iter_ads`,
+        compaction).  Returns the ads and the bytes consumed.
+
+        The hot loop inlines the one-byte varint case — the overwhelming
+        majority — and falls back to :func:`read_varint` for multi-byte
+        values.  Ads are built by direct slot assignment (what the frozen
+        dataclass ``__init__`` does anyway) so duplicate bids share one
+        interned phrase tuple and words frozenset.
+        """
+        intern = self._token_intern
+        phrase_cache = self._phrase_cache
+        pos = 0
+        num_entries = chunk[pos]
+        pos += 1
+        if num_entries >= 128:
+            num_entries, pos = read_varint(chunk, pos - 1)
+        prices_len = chunk[pos]
+        pos += 1
+        if prices_len >= 128:
+            prices_len, pos = read_varint(chunk, pos - 1)
+        price_pos = pos
+        pos += prices_len
+        previous: tuple[str, ...] = ()
+        price = 0
+        ads: list[Advertisement] = []
+        for index in range(num_entries):
+            word_count = chunk[pos]
+            pos += 1
+            if word_count >= 128:
+                word_count, pos = read_varint(chunk, pos - 1)
+            if max_word_count is not None and word_count > max_word_count:
+                break
+            raw = chunk[price_pos]
+            price_pos += 1
+            if raw >= 128:
+                raw, price_pos = read_varint(chunk, price_pos - 1)
+            delta = (raw >> 1) ^ -(raw & 1)
+            price = delta if index == 0 else price + delta
+            shared = chunk[pos]
+            pos += 1
+            if shared >= 128:
+                shared, pos = read_varint(chunk, pos - 1)
+            num_suffix = chunk[pos]
+            pos += 1
+            if num_suffix >= 128:
+                num_suffix, pos = read_varint(chunk, pos - 1)
+            tokens = list(previous[:shared])
+            for _ in range(num_suffix):
+                token_len = chunk[pos]
+                pos += 1
+                if token_len >= 128:
+                    token_len, pos = read_varint(chunk, pos - 1)
+                end = pos + token_len
+                token = chunk[pos:end].decode("utf-8")
+                pos = end
+                tokens.append(intern.setdefault(token, token))
+            phrase = tuple(tokens)
+            previous = phrase
+            shared_phrase = phrase_cache.get(phrase)
+            if shared_phrase is None:
+                shared_phrase = (phrase, frozenset(phrase))
+                phrase_cache[phrase] = shared_phrase
+            phrase, word_set = shared_phrase
+            raw_listing = chunk[pos]
+            pos += 1
+            if raw_listing >= 128:
+                raw_listing, pos = read_varint(chunk, pos - 1)
+            raw_campaign = chunk[pos]
+            pos += 1
+            if raw_campaign >= 128:
+                raw_campaign, pos = read_varint(chunk, pos - 1)
+            num_exclusions = chunk[pos]
+            pos += 1
+            if num_exclusions >= 128:
+                num_exclusions, pos = read_varint(chunk, pos - 1)
+            exclusions: tuple[str, ...] = ()
+            if num_exclusions:
+                decoded: list[str] = []
+                for _ in range(num_exclusions):
+                    text_len = chunk[pos]
+                    pos += 1
+                    if text_len >= 128:
+                        text_len, pos = read_varint(chunk, pos - 1)
+                    end = pos + text_len
+                    decoded.append(chunk[pos:end].decode("utf-8"))
+                    pos = end
+                exclusions = tuple(decoded)
+            ad = _NEW_AD(Advertisement)
+            _SET(ad, "phrase", phrase)
+            _SET(
+                ad,
+                "info",
+                AdInfo(
+                    listing_id=(raw_listing >> 1) ^ -(raw_listing & 1),
+                    campaign_id=(raw_campaign >> 1) ^ -(raw_campaign & 1),
+                    bid_price_micros=price,
+                    exclusion_phrases=exclusions,
+                ),
+            )
+            _SET(ad, "words", word_set)
+            ads.append(ad)
+        return ads, pos
+
+    def _admit(self, node_index: int) -> list[Advertisement] | None:
+        """Decode a node fully and cache it if the budget allows.
+
+        Admission is first-come until ``cache_bytes`` is spent, then
+        stops for good — no eviction churn, a strict bound, and (unlike
+        LRU) no pathological thrash under cyclic workloads.  Returns the
+        decoded ads either way, or ``None`` when admission has stopped so
+        the caller uses the early-terminating direct scan instead.
+        """
+        if not self._cache_open:
+            return None
+        ads, _ = self._decode_entries(self._node_chunk(node_index), None)
+        # Conservative charge: a per-node deep walk double-counts objects
+        # shared across nodes, so the bound errs toward over-charging.
+        charge = deep_sizeof(ads)
+        if self._cache_used + charge <= self._cache_budget:
+            self._node_cache[node_index] = ads
+            self._cache_used += charge
+        else:
+            self._cache_open = False
+        return ads
+
+    # ------------------------------------------------------------------ #
+    # Point access
+
+    def _node_index_for(self, locator: frozenset[str]) -> int | None:
+        """Index of the node a locator addresses, or ``None``."""
+        suffix = hash_suffix(wordhash(locator), self.suffix_bits)
+        if not self.bsig[suffix]:
+            return None
+        return self.bsig.rank1(suffix + 1) - 1
+
+    def lookup_count(self, ad: Advertisement) -> int:
+        """Occurrences of exactly ``ad`` stored in the segment.
+
+        A point lookup, not a query: the header's persisted placements
+        route the ad's word-set to the one node that could hold it.
+        """
+        locator = self._placements.get(ad.words, ad.words)
+        node_index = self._node_index_for(locator)
+        if node_index is None:
+            return 0
+        candidates = self._node_cache.get(node_index)
+        if candidates is None:
+            candidates, _ = self._decode_entries(
+                self._node_chunk(node_index), len(ad.words)
+            )
+        return sum(1 for candidate in candidates if candidate == ad)
+
+    def iter_ads(self) -> Iterator[Advertisement]:
+        """Every stored ad, in node order (full sequential decode)."""
+        for node_index in range(self._num_nodes):
+            ads = self._node_cache.get(node_index)
+            if ads is None:
+                ads, _ = self._decode_entries(
+                    self._node_chunk(node_index), None
+                )
+            yield from ads
+
+    def placements(self) -> dict[frozenset[str], frozenset[str]]:
+        """The persisted non-identity word-set -> locator placements."""
+        return dict(self._placements)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+
+    def __len__(self) -> int:
+        return self._num_ads
+
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    def segment_bytes(self) -> int:
+        """Size of the mapped file."""
+        return len(self._mmap)
+
+    def cache_bytes_used(self) -> int:
+        """Charged residency of the decoded-node cache."""
+        return self._cache_used
+
+    def resident_bytes(self) -> int:
+        """Honest resident footprint: the mapped file plus every
+        Python-side auxiliary object — header dicts, rank directories,
+        the node-offset array, the intern table, and the decoded-node
+        cache — deep-counted with identity dedup."""
+        return len(self._mmap) + deep_sizeof(
+            self._vocab,
+            self._size_histogram,
+            self._placements,
+            self._token_intern,
+            self._phrase_cache,
+            self._node_cache,
+            self._node_offsets,
+            self.bsig,
+            self.boff,
+            exclude=(self._mmap, *self._views),
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """Structural statistics (the :class:`RetrievalIndex` surface)."""
+        return {
+            "num_ads": self._num_ads,
+            "num_nodes": self._num_nodes,
+            "segment_bytes": len(self._mmap),
+            "resident_bytes": self.resident_bytes(),
+            "suffix_bits": self.suffix_bits,
+            "generation": self.generation,
+            "bsig_bits": len(self.bsig),
+            "boff_bits": len(self.boff),
+            "node_bytes": self._nodes_len,
+            "cached_nodes": len(self._node_cache),
+            "cache_bytes_used": self._cache_used,
+        }

@@ -1,0 +1,52 @@
+"""Resident-size accounting for the packed-vs-dict comparison.
+
+The benchmark gate ("packed serving uses >= 4x less resident memory than
+the dict-backed index") needs an honest measurement of what a live Python
+structure actually occupies: every reachable object, counted once.
+``sys.getsizeof`` alone sees only the top object; this module walks the
+full reference graph via ``gc.get_referents`` with identity
+deduplication, so shared strings and interned ints are never
+double-charged.
+
+Classes, modules, and functions reachable from instances (every object
+references its type) are excluded — they are code, not data, and exist
+regardless of which index structure is resident.
+"""
+
+from __future__ import annotations
+
+import gc
+import sys
+from collections.abc import Iterable
+from types import BuiltinFunctionType, FunctionType, MethodType, ModuleType
+
+#: Reachable objects that are code/infrastructure, not resident data.
+_EXCLUDED_TYPES = (
+    type,
+    ModuleType,
+    FunctionType,
+    BuiltinFunctionType,
+    MethodType,
+)
+
+
+def deep_sizeof(*roots: object, exclude: Iterable[object] = ()) -> int:
+    """Total bytes of every distinct object reachable from ``roots``.
+
+    ``exclude`` objects (and anything only reachable through them) are
+    skipped — used to keep an mmap's mapped region out of the Python-side
+    accounting, since the file bytes are charged separately.
+    """
+    seen: set[int] = {id(obj) for obj in exclude}
+    total = 0
+    stack = list(roots)
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, _EXCLUDED_TYPES):
+            continue
+        total += sys.getsizeof(obj)
+        stack.extend(gc.get_referents(obj))
+    return total

@@ -254,3 +254,86 @@ class TestRecover:
         log.write_text("")
         assert main(["recover", str(snapshot), str(log)]) == 1
         assert "recovery FAILED" in capsys.readouterr().err
+
+
+class TestPackAndSegmentServing:
+    @pytest.fixture()
+    def segment(self, tmp_path, snapshot):
+        out = tmp_path / "index.seg"
+        assert main(["pack", str(snapshot), str(out)]) == 0
+        return out
+
+    def test_pack_reports_summary(self, tmp_path, snapshot, capsys):
+        out = tmp_path / "packed.seg"
+        assert main(["pack", str(snapshot), str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "packed 3 ads" in stdout
+        assert out.exists()
+
+    def test_pack_with_suffix_bits(self, tmp_path, snapshot, capsys):
+        out = tmp_path / "narrow.seg"
+        assert main(
+            ["pack", str(snapshot), str(out), "--suffix-bits", "4"]
+        ) == 0
+        assert "suffix bits 4" in capsys.readouterr().out
+
+    def test_query_segment_matches_snapshot(self, snapshot, segment, capsys):
+        assert main(["query", str(snapshot), "cheap used books online"]) == 0
+        from_snapshot = capsys.readouterr().out
+        assert main(
+            ["query", "--segment", str(segment), "cheap used books online"]
+        ) == 0
+        assert capsys.readouterr().out == from_snapshot
+
+    def test_query_segment_exact_match(self, segment, capsys):
+        assert main(
+            ["query", "--segment", str(segment), "used books",
+             "--match", "exact"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "listing 1" in out
+        assert "1 exact-match result(s)" in out
+
+    def test_stats_segment(self, segment, capsys):
+        assert main(["stats", "--segment", str(segment)]) == 0
+        out = capsys.readouterr().out
+        assert "ads:                 3" in out
+        assert "segment bytes:" in out
+        assert "suffix bits:" in out
+
+    def test_stats_segment_replay_emits_metrics(
+        self, segment, trace_tsv, capsys
+    ):
+        assert main(
+            ["stats", "--segment", str(segment), "--replay", str(trace_tsv),
+             "--metrics-format", "prom"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "repro_segment_queries_total 2" in out
+
+    def test_recover_pack_emits_servable_segment(self, tmp_path, capsys):
+        from repro.core.ads import AdCorpus, AdInfo, Advertisement
+        from repro.oplog import DurableIndex
+
+        snapshot = tmp_path / "snapshot.jsonl"
+        log = tmp_path / "ops.log"
+        seed = AdCorpus(
+            [Advertisement.from_text("used books", AdInfo(listing_id=1))]
+        )
+        durable = DurableIndex(snapshot, log, corpus=seed)
+        durable.insert(
+            Advertisement.from_text("cheap maps", AdInfo(listing_id=2))
+        )
+        durable.close()
+
+        segment = tmp_path / "recovered.seg"
+        assert main(
+            ["recover", str(snapshot), str(log), "--pack", str(segment)]
+        ) == 0
+        assert "packed recovered index" in capsys.readouterr().out
+
+        # The packed artifact serves the recovered corpus, log included.
+        assert main(
+            ["query", "--segment", str(segment), "cheap maps here"]
+        ) == 0
+        assert "listing 2" in capsys.readouterr().out

@@ -68,6 +68,26 @@ def build_cached(corpus):
     return CachedIndex(WordSetIndex.from_corpus(corpus), capacity=8)
 
 
+def _packed_segment(corpus, directory):
+    from repro.segment import PackedSegmentIndex, SegmentBuilder
+
+    path = directory / "conformance.seg"
+    SegmentBuilder(WordSetIndex.from_corpus(corpus)).write(path)
+    return PackedSegmentIndex(path)
+
+
+def build_packed_segment(corpus, tmp_path_factory):
+    return _packed_segment(corpus, tmp_path_factory.mktemp("packed"))
+
+
+def build_segmented(corpus, tmp_path_factory):
+    from repro.segment import SegmentedIndex
+
+    return SegmentedIndex(
+        _packed_segment(corpus, tmp_path_factory.mktemp("segmented"))
+    )
+
+
 BUILDERS = {
     "WordSetIndex": build_wordset,
     "TrieWordSetIndex": build_trie,
@@ -76,10 +96,24 @@ BUILDERS = {
     "CachedIndex": build_cached,
 }
 
+# Segment-backed structures need a scratch file; their builders take the
+# tmp_path_factory alongside the corpus.
+FILE_BUILDERS = {
+    "PackedSegmentIndex": build_packed_segment,
+    "SegmentedIndex": build_segmented,
+}
 
-@pytest.fixture(params=sorted(BUILDERS), scope="module")
-def structure(request, corpus):
-    return BUILDERS[request.param](corpus)
+
+@pytest.fixture(
+    params=sorted(BUILDERS) + sorted(FILE_BUILDERS), scope="module"
+)
+def structure(request, corpus, tmp_path_factory):
+    if request.param in BUILDERS:
+        yield BUILDERS[request.param](corpus)
+        return
+    built = FILE_BUILDERS[request.param](corpus, tmp_path_factory)
+    yield built
+    built.close()
 
 
 class TestProtocolConformance:

@@ -1,0 +1,80 @@
+"""``pack_bits``/``PackedBits`` against the ``BitVector`` oracle."""
+
+import random
+
+import pytest
+
+from repro.compress.bitvector import BitVector
+from repro.segment.bits import PackedBits, pack_bits
+
+
+def build_pair(length, positions):
+    oracle = BitVector.from_positions(length, positions)
+    packed = PackedBits.from_buffer(
+        memoryview(pack_bits(length, positions)), length
+    )
+    return oracle, packed
+
+
+DENSITIES = [0.0, 0.01, 0.2, 0.5, 0.95, 1.0]
+
+
+@pytest.mark.parametrize("density", DENSITIES)
+@pytest.mark.parametrize("length", [1, 63, 64, 65, 511, 512, 1000, 4096])
+def test_agrees_with_bitvector(length, density):
+    rng = random.Random(int(density * 100) * 10_000 + length)
+    positions = [i for i in range(length) if rng.random() < density]
+    oracle, packed = build_pair(length, positions)
+
+    assert packed.ones == oracle.ones == len(positions)
+    for i in range(length):
+        assert packed[i] == oracle[i]
+    for i in range(length + 1):
+        assert packed.rank1(i) == oracle.rank1(i)
+        assert packed.rank0(i) == oracle.rank0(i)
+    for j in range(1, len(positions) + 1):
+        assert packed.select1(j) == oracle.select1(j) == positions[j - 1]
+
+
+def test_pack_bits_layout_is_little_endian_words():
+    buf = pack_bits(64, [0, 8, 63])
+    assert len(buf) == 8
+    word = int.from_bytes(buf, "little")
+    assert word == (1 << 0) | (1 << 8) | (1 << 63)
+
+
+def test_pack_bits_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        pack_bits(8, [8])
+    with pytest.raises(ValueError):
+        pack_bits(8, [-1])
+
+
+def test_select_out_of_range():
+    _, packed = build_pair(128, [5, 70])
+    with pytest.raises(ValueError):
+        packed.select1(0)
+    with pytest.raises(ValueError):
+        packed.select1(3)
+
+
+def test_rank_out_of_range():
+    _, packed = build_pair(128, [5])
+    with pytest.raises(IndexError):
+        packed.rank1(129)
+    with pytest.raises(IndexError):
+        packed.rank1(-1)
+
+
+def test_release_then_no_use_required():
+    buf = memoryview(bytearray(pack_bits(256, [1, 100, 255])))
+    packed = PackedBits.from_buffer(buf, 256)
+    assert packed.rank1(256) == 3
+    packed.release()
+    # After release the underlying buffer can be mutated/freed safely.
+    buf.release()
+
+
+def test_size_bits_accounts_directory_overhead():
+    _, packed = build_pair(4096, list(range(0, 4096, 3)))
+    assert packed.size_bits() >= 4096

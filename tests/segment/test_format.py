@@ -1,0 +1,127 @@
+"""Segment file format: preamble validation, corruption, truncation."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.wordset_index import WordSetIndex
+from repro.faults import bit_flip, truncate_at
+from repro.segment import PackedSegmentIndex, SegmentBuilder, SegmentFormatError
+from repro.segment.format import (
+    FORMAT_VERSION,
+    HEADER_START,
+    MAGIC,
+    encode_file,
+    read_header,
+    read_varint,
+    section_bounds,
+)
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+@pytest.fixture()
+def segment_path(tmp_path):
+    corpus = AdCorpus(
+        [ad("cheap used books", 1), ad("books", 2), ad("rare maps", 3)]
+    )
+    path = tmp_path / "fmt.seg"
+    SegmentBuilder(WordSetIndex.from_corpus(corpus)).write(path)
+    return path
+
+
+class TestPreamble:
+    def test_round_trip(self):
+        header = {"sections": {"nodes": [0, 4]}, "x": 1}
+        blob = encode_file(header, b"\x01\x02\x03\x04")
+        parsed, payload_start = read_header(blob)
+        assert parsed == header
+        assert blob[payload_start:] == b"\x01\x02\x03\x04"
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(SegmentFormatError, match="magic"):
+            read_header(b"NOTASEGM" + b"\x00" * 16)
+
+    def test_truncated_preamble_rejected(self):
+        with pytest.raises(SegmentFormatError, match="preamble"):
+            read_header(MAGIC[:4])
+
+    def test_future_version_rejected(self):
+        blob = bytearray(encode_file({}, b""))
+        blob[len(MAGIC)] = FORMAT_VERSION + 1
+        with pytest.raises(SegmentFormatError, match="version"):
+            read_header(bytes(blob))
+
+    def test_truncated_header_rejected(self):
+        blob = encode_file({"k": "v"}, b"")
+        with pytest.raises(SegmentFormatError, match="incomplete header"):
+            read_header(blob[: HEADER_START + 2])
+
+    def test_non_json_header_rejected(self):
+        blob = bytearray(encode_file({"k": "v"}, b""))
+        blob[HEADER_START] = 0xFF
+        with pytest.raises(SegmentFormatError, match="corrupt"):
+            read_header(bytes(blob))
+
+    def test_non_object_header_rejected(self):
+        import json
+        import struct
+
+        body = json.dumps([1, 2]).encode()
+        blob = MAGIC + struct.pack("<II", FORMAT_VERSION, len(body)) + body
+        with pytest.raises(SegmentFormatError, match="not an object"):
+            read_header(blob)
+
+
+class TestVarint:
+    def test_round_trip_values(self):
+        from repro.compress.deltas import varint_encode
+
+        for value in (0, 1, 127, 128, 300, 2**21, 2**35):
+            data = varint_encode(value)
+            got, end = read_varint(data, 0)
+            assert (got, end) == (value, len(data))
+
+    def test_truncated_varint_raises(self):
+        with pytest.raises(SegmentFormatError, match="truncated varint"):
+            read_varint(b"\x80\x80", 0)
+
+
+class TestSectionBounds:
+    def test_missing_section(self):
+        with pytest.raises(SegmentFormatError, match="missing section"):
+            section_bounds({"sections": {}}, "nodes")
+
+    def test_malformed_entry(self):
+        with pytest.raises(SegmentFormatError, match="malformed"):
+            section_bounds({"sections": {"nodes": [1, -2]}}, "nodes")
+
+
+class TestOnDiskCorruption:
+    """Damage a real segment file; the loader must fail loudly."""
+
+    def test_clean_file_loads(self, segment_path):
+        with PackedSegmentIndex(segment_path) as packed:
+            assert len(packed) == 3
+
+    def test_payload_bit_flip_detected(self, segment_path):
+        # Middle of the file is inside the payload (checksummed).
+        bit_flip(segment_path, offset=-8)
+        with pytest.raises(SegmentFormatError, match="checksum"):
+            PackedSegmentIndex(segment_path)
+
+    def test_truncated_payload_detected(self, segment_path):
+        size = segment_path.stat().st_size
+        truncate_at(segment_path, size - 16)
+        with pytest.raises(SegmentFormatError):
+            PackedSegmentIndex(segment_path)
+
+    def test_empty_file_detected(self, segment_path):
+        segment_path.write_bytes(b"")
+        with pytest.raises(SegmentFormatError):
+            PackedSegmentIndex(segment_path)
+
+    def test_missing_file_detected(self, tmp_path):
+        with pytest.raises(SegmentFormatError, match="cannot open"):
+            PackedSegmentIndex(tmp_path / "nope.seg")

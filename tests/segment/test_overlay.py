@@ -1,0 +1,364 @@
+"""``SegmentedIndex``: overlay, tombstones, crash-safe compaction."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.core.sharded import ShardedWordSetIndex
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.faults import FaultInjector, InjectedCrash
+from repro.obs import MetricsRegistry
+from repro.segment import (
+    PackedSegmentIndex,
+    SegmentBuilder,
+    SegmentedIndex,
+    ShardedSegmentedIndex,
+)
+from repro.segment.format import (
+    CRASH_COMPACT_START,
+    CRASH_COMPACT_SWAPPED,
+    CRASH_COMPACT_WRITTEN,
+    CRASH_TMP_WRITTEN,
+)
+
+
+def ad(text, listing_id=0, bid=0):
+    return Advertisement.from_text(
+        text, AdInfo(listing_id=listing_id, bid_price_micros=bid)
+    )
+
+
+def ids(ads):
+    return sorted(a.info.listing_id for a in ads)
+
+
+BASE_ADS = [
+    ad("cheap used books", 1, bid=500),
+    ad("used books", 2, bid=300),
+    ad("books", 3, bid=200),
+    ad("books", 4, bid=200),  # duplicate word-set, distinct listing
+    ad("rare maps", 5),
+]
+
+PROBES = ["cheap used books today", "books", "rare maps of norway", "none"]
+
+
+def write_segment(path, ads=BASE_ADS):
+    SegmentBuilder(WordSetIndex.from_corpus(AdCorpus(ads))).write(path)
+    return path
+
+
+@pytest.fixture()
+def segmented(tmp_path):
+    index = SegmentedIndex(write_segment(tmp_path / "base.seg"))
+    yield index
+    index.close()
+
+
+def oracle_for(ads):
+    index = WordSetIndex()
+    for a in ads:
+        index.insert(a)
+    return index
+
+
+def assert_matches(segmented, live_ads):
+    oracle = oracle_for(live_ads)
+    assert len(segmented) == len(live_ads)
+    for text in PROBES:
+        query = Query.from_text(text)
+        assert ids(segmented.query(query)) == ids(oracle.query(query)), text
+
+
+class TestOverlayMutation:
+    def test_insert_lands_in_overlay(self, segmented):
+        new = ad("fresh inventory", 10)
+        segmented.insert(new)
+        assert segmented.contains(new)
+        assert len(segmented.overlay) == 1
+        assert_matches(segmented, BASE_ADS + [new])
+
+    def test_delete_overlay_ad_is_plain_delete(self, segmented):
+        new = ad("fresh inventory", 10)
+        segmented.insert(new)
+        assert segmented.delete(new)
+        assert segmented.tombstone_count() == 0
+        assert_matches(segmented, BASE_ADS)
+
+    def test_delete_segment_ad_records_tombstone(self, segmented):
+        assert segmented.delete(BASE_ADS[0])
+        assert segmented.tombstone_count() == 1
+        assert not segmented.contains(BASE_ADS[0])
+        assert_matches(segmented, BASE_ADS[1:])
+
+    def test_delete_absent_ad_is_false(self, segmented):
+        assert not segmented.delete(ad("never indexed", 99))
+        assert not segmented.delete(ad("books", 99))  # wrong listing id
+
+    def test_duplicate_segment_ads_delete_one_at_a_time(self, segmented):
+        dup = BASE_ADS[2]
+        other = BASE_ADS[3]
+        assert segmented.delete(dup)
+        assert segmented.contains(other)
+        assert_matches(segmented, [a for a in BASE_ADS if a != dup])
+        assert segmented.delete(other)
+        assert not segmented.delete(ad("books", 3, bid=200))
+        assert_matches(segmented, BASE_ADS[:2] + BASE_ADS[4:])
+
+    def test_reinsert_resurrects_tombstoned_segment_ad(self, segmented):
+        target = BASE_ADS[0]
+        segmented.delete(target)
+        segmented.insert(target)
+        assert segmented.tombstone_count() == 0
+        assert len(segmented.overlay) == 0  # served by the segment copy
+        assert_matches(segmented, BASE_ADS)
+
+    def test_obs_gauges_track_overlay_and_tombstones(self, tmp_path):
+        registry = MetricsRegistry()
+        index = SegmentedIndex(
+            write_segment(tmp_path / "obs.seg"), obs=registry
+        )
+        try:
+            index.insert(ad("fresh inventory", 10))
+            index.delete(BASE_ADS[0])
+            snapshot = {m.name: m.value for m in registry.collect()}
+            assert snapshot["segment.overlay_ads"] == 1.0
+            assert snapshot["segment.tombstones"] == 1.0
+        finally:
+            index.close()
+
+
+class TestCompaction:
+    def test_compact_folds_overlay_and_tombstones(self, segmented, tmp_path):
+        new = ad("fresh inventory", 10)
+        segmented.insert(new)
+        segmented.delete(BASE_ADS[1])
+        target = tmp_path / "gen1.seg"
+        assert segmented.compact(path=target) == target
+
+        live = [a for a in BASE_ADS if a != BASE_ADS[1]] + [new]
+        assert segmented.segment.generation == 1
+        assert len(segmented.overlay) == 0
+        assert segmented.tombstone_count() == 0
+        assert len(segmented.segment) == len(live)
+        assert_matches(segmented, live)
+
+    def test_compact_in_place_replaces_the_file(self, tmp_path):
+        path = write_segment(tmp_path / "inplace.seg")
+        with SegmentedIndex(path) as segmented:
+            segmented.delete(BASE_ADS[0])
+            segmented.compact()
+            assert segmented.segment.path == path
+            assert_matches(segmented, BASE_ADS[1:])
+        # The replaced file reopens as the new generation.
+        with PackedSegmentIndex(path) as reopened:
+            assert reopened.generation == 1
+            assert len(reopened) == len(BASE_ADS) - 1
+
+    def test_compact_counts_in_obs(self, tmp_path):
+        registry = MetricsRegistry()
+        with SegmentedIndex(
+            write_segment(tmp_path / "c.seg"), obs=registry
+        ) as segmented:
+            segmented.compact()
+            snapshot = {m.name: m.value for m in registry.collect()}
+            assert snapshot["segment.compactions"] == 1.0
+
+    def test_compaction_preserves_optimizer_placements(self, tmp_path):
+        # An ad re-homed to a locator subset must keep its placement
+        # across pack -> serve -> compact, or broad matches get lost.
+        moved = ad("cheap used books extra terms", 30)
+        index = WordSetIndex(max_words=3)
+        for a in BASE_ADS:
+            index.insert(a)
+        locator = frozenset(["cheap", "used", "books"])
+        index.insert(moved, locator)
+        path = tmp_path / "placed.seg"
+        SegmentBuilder(index).write(path)
+        with SegmentedIndex(path) as segmented:
+            query = Query.from_text("cheap used books extra terms today")
+            before = ids(segmented.query(query))
+            assert moved.info.listing_id in before
+            segmented.compact()
+            assert ids(segmented.query(query)) == before
+
+
+class TestCompactionCrashes:
+    """A crash at any compaction point leaves a servable index, and the
+    on-disk segment is one complete generation or the other."""
+
+    @pytest.mark.parametrize(
+        "point",
+        [
+            CRASH_COMPACT_START,
+            CRASH_TMP_WRITTEN,
+            CRASH_COMPACT_WRITTEN,
+            CRASH_COMPACT_SWAPPED,
+        ],
+    )
+    def test_crash_leaves_live_process_servable(self, tmp_path, point):
+        injector = FaultInjector()
+        path = write_segment(tmp_path / "crash.seg")
+        segmented = SegmentedIndex(path, faults=injector)
+        try:
+            new = ad("fresh inventory", 10)
+            segmented.insert(new)
+            segmented.delete(BASE_ADS[0])
+            live = [a for a in BASE_ADS if a != BASE_ADS[0]] + [new]
+
+            with injector.arm(point):
+                with pytest.raises(InjectedCrash):
+                    segmented.compact(path=tmp_path / "next.seg")
+
+            # Whatever the crash point, the in-process index still
+            # answers every probe with the full live truth.
+            assert_matches(segmented, live)
+
+            # And a retry completes the job.
+            segmented.compact(path=tmp_path / "retry.seg")
+            assert_matches(segmented, live)
+        finally:
+            segmented.close()
+
+    @pytest.mark.parametrize(
+        ("point", "expect_new_generation"),
+        [
+            (CRASH_TMP_WRITTEN, False),  # torn temp; target untouched
+            (CRASH_COMPACT_WRITTEN, True),  # rename happened
+        ],
+    )
+    def test_disk_state_is_one_generation_or_the_other(
+        self, tmp_path, point, expect_new_generation
+    ):
+        injector = FaultInjector()
+        path = write_segment(tmp_path / "disk.seg")
+        segmented = SegmentedIndex(path, faults=injector)
+        try:
+            segmented.delete(BASE_ADS[0])
+            with injector.arm(point):
+                with pytest.raises(InjectedCrash):
+                    segmented.compact()  # in place
+        finally:
+            segmented.close()
+
+        # Simulated restart: reopen whatever the path holds now.
+        with SegmentedIndex(path) as reopened:
+            if expect_new_generation:
+                assert reopened.segment.generation == 1
+                assert_matches(reopened, BASE_ADS[1:])
+            else:
+                assert reopened.segment.generation == 0
+                assert_matches(reopened, BASE_ADS)
+
+    def test_torn_temp_write_at_crashpoint_recovers(self, tmp_path):
+        # The satellite case: crash at the compaction crashpoint AND the
+        # interrupted temp write is physically torn (tear_tail).  The old
+        # segment must keep serving, a restart must reopen it, and a
+        # retried compaction must complete.
+        from repro.faults import tear_tail
+
+        injector = FaultInjector()
+        path = write_segment(tmp_path / "teartail.seg")
+        segmented = SegmentedIndex(path, faults=injector)
+        try:
+            segmented.delete(BASE_ADS[0])
+            with injector.arm(CRASH_TMP_WRITTEN):
+                with pytest.raises(InjectedCrash):
+                    segmented.compact()
+            for orphan in tmp_path.glob("*.tmp"):
+                tear_tail(orphan, keep_fraction=0.5)
+            assert_matches(segmented, BASE_ADS[1:])  # live process fine
+            segmented.compact()  # retry overwrites the torn temp
+            assert segmented.segment.generation == 1
+            assert_matches(segmented, BASE_ADS[1:])
+        finally:
+            segmented.close()
+        with SegmentedIndex(path) as reopened:
+            assert_matches(reopened, BASE_ADS[1:])
+
+    def test_torn_temp_never_shadows_the_live_segment(self, tmp_path):
+        # The atomic-write discipline: a crash before rename leaves only
+        # a *.tmp orphan; the serving path never opens temp files.
+        injector = FaultInjector()
+        path = write_segment(tmp_path / "torn.seg")
+        segmented = SegmentedIndex(path, faults=injector)
+        try:
+            with injector.arm(CRASH_TMP_WRITTEN):
+                with pytest.raises(InjectedCrash):
+                    segmented.compact()
+        finally:
+            segmented.close()
+        orphans = list(tmp_path.glob("*.tmp"))
+        assert orphans, "crash before rename should leave the temp file"
+        with SegmentedIndex(path) as reopened:
+            assert_matches(reopened, BASE_ADS)
+
+
+class TestSharded:
+    def test_pack_corpus_matches_sharded_wordset_index(self, tmp_path):
+        generated = generate_corpus(CorpusConfig(num_ads=600, seed=2))
+        oracle = ShardedWordSetIndex.from_corpus(
+            generated.corpus, num_shards=4
+        )
+        with ShardedSegmentedIndex.pack_corpus(
+            generated.corpus, tmp_path, num_shards=4
+        ) as packed:
+            assert len(packed.shards) == 4
+            assert len(packed) == len(generated.corpus)
+            for i, a in enumerate(generated.corpus):
+                assert packed.shard_of(a.words) == oracle.shard_of(a.words)
+                if i % 29 == 0:
+                    query = Query(a.phrase + ("and", "more"))
+                    assert ids(packed.query(query)) == ids(
+                        oracle.query(query)
+                    )
+
+    def test_mutations_route_to_the_owning_shard(self, tmp_path):
+        with ShardedSegmentedIndex.pack_corpus(
+            AdCorpus(BASE_ADS), tmp_path, num_shards=3
+        ) as packed:
+            new = ad("fresh inventory", 10)
+            packed.insert(new)
+            assert packed.contains(new)
+            assert packed.delete(BASE_ADS[0])
+            assert not packed.contains(BASE_ADS[0])
+            expected = [a for a in BASE_ADS if a != BASE_ADS[0]] + [new]
+            assert len(packed) == len(expected)
+            oracle = oracle_for(expected)
+            for text in PROBES + ["fresh inventory now"]:
+                query = Query.from_text(text)
+                assert ids(packed.query(query)) == ids(oracle.query(query))
+
+    def test_compact_all_rolls_every_shard(self, tmp_path):
+        with ShardedSegmentedIndex.pack_corpus(
+            AdCorpus(BASE_ADS), tmp_path, num_shards=2
+        ) as packed:
+            packed.insert(ad("fresh inventory", 10))
+            paths = packed.compact_all()
+            assert len(paths) == 2
+            assert all(s.segment.generation == 1 for s in packed.shards)
+            assert len(packed) == len(BASE_ADS) + 1
+
+    def test_batch_engine_scatters_over_shards(self, tmp_path):
+        from repro.perf.batch import BatchQueryEngine
+
+        generated = generate_corpus(CorpusConfig(num_ads=300, seed=4))
+        oracle = WordSetIndex.from_corpus(generated.corpus)
+        with ShardedSegmentedIndex.pack_corpus(
+            generated.corpus, tmp_path, num_shards=3
+        ) as packed:
+            engine = BatchQueryEngine(packed)
+            batch = [
+                Query(a.phrase + ("extra",))
+                for i, a in enumerate(generated.corpus)
+                if i % 31 == 0
+            ]
+            results = engine.query_broad_batch(batch)
+            assert len(results) == len(batch)
+            for query, got in zip(batch, results):
+                assert ids(got) == ids(oracle.query(query))
+
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedSegmentedIndex([])

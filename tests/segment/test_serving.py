@@ -1,0 +1,129 @@
+"""The packed serving path plugged into the serving and distsim layers."""
+
+import pytest
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.segment import SegmentBuilder, SegmentedIndex, ShardedSegmentedIndex
+from repro.serving.server import AdServer
+
+
+def ad(text, listing_id=0, bid=0, campaign_id=0):
+    return Advertisement.from_text(
+        text,
+        AdInfo(
+            listing_id=listing_id,
+            bid_price_micros=bid,
+            campaign_id=campaign_id,
+        ),
+    )
+
+
+ADS = [
+    ad("cheap used books", 1, bid=500, campaign_id=1),
+    ad("used books", 2, bid=300, campaign_id=1),
+    ad("books", 3, bid=200, campaign_id=2),
+    ad("rare maps", 4, bid=900, campaign_id=2),
+]
+
+
+@pytest.fixture()
+def segmented(tmp_path):
+    path = tmp_path / "serve.seg"
+    SegmentBuilder(WordSetIndex.from_corpus(AdCorpus(ADS))).write(path)
+    index = SegmentedIndex(path)
+    yield index
+    index.close()
+
+
+class TestAdServer:
+    def test_serve_runs_the_full_pipeline_off_a_segment(self, segmented):
+        server = AdServer(segmented, slots=2, reserve_micros=1)
+        result = server.serve(Query.from_text("cheap used books today"))
+        shown = [a.info.listing_id for a in result.ads]
+        # GSP ranking by bid: ad 1 (500) then ad 2 (300).
+        assert shown == [1, 2]
+
+    def test_serve_sees_overlay_mutations_immediately(self, segmented):
+        server = AdServer(segmented, slots=3, reserve_micros=1)
+        query = Query.from_text("cheap used books today")
+        segmented.insert(ad("books used", 10, bid=800, campaign_id=3))
+        segmented.delete(ADS[0])
+        shown = [
+            a.info.listing_id for a in server.serve(query).ads
+        ]
+        assert shown == [10, 2, 3]
+
+    def test_serve_survives_compaction_between_requests(
+        self, segmented, tmp_path
+    ):
+        server = AdServer(segmented, slots=2, reserve_micros=1)
+        query = Query.from_text("cheap used books today")
+        before = [
+            a.info.listing_id for a in server.serve(query).ads
+        ]
+        segmented.compact(path=tmp_path / "gen1.seg")
+        after = [
+            a.info.listing_id for a in server.serve(query).ads
+        ]
+        assert before == after
+
+    def test_serve_batch_fans_out_over_segment_shards(self, tmp_path):
+        generated = generate_corpus(CorpusConfig(num_ads=400, seed=6))
+        oracle = WordSetIndex.from_corpus(generated.corpus)
+        with ShardedSegmentedIndex.pack_corpus(
+            generated.corpus, tmp_path, num_shards=3
+        ) as sharded:
+            server = AdServer(sharded, slots=4, reserve_micros=1)
+            queries = [
+                Query(a.phrase + ("extra",))
+                for i, a in enumerate(generated.corpus)
+                if i % 41 == 0
+            ]
+            pages = server.serve_batch(queries)
+            assert len(pages) == len(queries)
+            oracle_server = AdServer(oracle, slots=4, reserve_micros=1)
+            for query, page in zip(queries, pages):
+                want = [
+                    a.info.listing_id
+                    for a in oracle_server.serve(query).ads
+                ]
+                assert [a.info.listing_id for a in page.ads] == want
+
+
+class TestDistsimAdapter:
+    def test_measured_shard_service_times_live_shards(self, tmp_path):
+        from repro.distsim import measured_shard_service
+
+        with ShardedSegmentedIndex.pack_corpus(
+            AdCorpus(ADS), tmp_path, num_shards=2
+        ) as sharded:
+            service = measured_shard_service(sharded.shards)
+            query = Query.from_text("cheap used books")
+            for shard in range(2):
+                ms = service(shard, query)
+                assert ms >= 0.001
+
+    def test_scatter_gather_runs_on_measured_services(self, tmp_path):
+        from repro.distsim import (
+            ScatterConfig,
+            ScatterGatherCluster,
+            measured_shard_service,
+        )
+
+        generated = generate_corpus(CorpusConfig(num_ads=200, seed=8))
+        with ShardedSegmentedIndex.pack_corpus(
+            generated.corpus, tmp_path, num_shards=4
+        ) as sharded:
+            cluster = ScatterGatherCluster(
+                measured_shard_service(sharded.shards),
+                ScatterConfig(num_shards=4),
+            )
+            queries = [
+                Query(a.phrase) for a in list(generated.corpus)[:30]
+            ]
+            metrics = cluster.run(queries, arrival_rate_qps=200.0)
+            assert len(metrics.latencies_ms) > 0
+            assert all(lat > 0 for lat in metrics.latencies_ms)
