@@ -5,13 +5,15 @@ Everything an operator needs without writing Python::
     python -m repro.cli build --ads ads.csv --out index.jsonl \
         [--workload trace.tsv --optimize --max-words 10]
     python -m repro.cli query index.jsonl "cheap used books" \
-        [--match broad|phrase|exact] [--top 5] [--metrics-out m.prom]
+        [--match broad|phrase|exact] [--top 5] [--deadline-ms 5] \
+        [--metrics-out m.prom]
     python -m repro.cli batch index.jsonl queries.txt \
         [--match broad] [--shards 4] [--workers 4] [--show] \
-        [--metrics-out m.json]
+        [--deadline-ms 50] [--metrics-out m.json]
     python -m repro.cli explain index.jsonl "cheap used books"
     python -m repro.cli stats index.jsonl \
-        [--replay queries.txt] [--metrics-format prom|json] \
+        [--replay queries.txt] [--resilience] [--deadline-ms 5] \
+        [--priority low|normal|high] [--metrics-format prom|json] \
         [--metrics-out m.prom]
     python -m repro.cli recover snapshot.jsonl ops.log \
         [--verify] [--compact] [--pack index.seg]
@@ -31,6 +33,13 @@ recovered state so cold start becomes recover-once/serve-packed.
 ``pack`` freezes a snapshot into a segment file; ``query --segment``
 and ``stats --segment`` serve directly off a segment via
 :class:`~repro.segment.PackedSegmentIndex`.
+
+``--deadline-ms`` runs queries under a :mod:`repro.resilience` budget:
+retrieval stops between hash probes when the budget expires and the
+(flagged) partial result is reported as such.  ``stats --replay
+--resilience`` replays the trace through a full
+:class:`~repro.serving.server.AdServer` with adaptive degradation
+enabled and prints the resilience counters alongside the usual metrics.
 """
 
 from __future__ import annotations
@@ -52,6 +61,18 @@ from repro.optimize.mapping import Mapping, OptimizerConfig, optimize_mapping
 from repro.optimize.remap import long_phrase_mapping
 from repro.perf.batch import BatchQueryEngine
 from repro.persist import load_index, save_index
+from repro.resilience.deadline import Deadline
+
+
+def _request_deadline(args: argparse.Namespace) -> Deadline | None:
+    ms = getattr(args, "deadline_ms", None)
+    return Deadline.after_ms(ms) if ms is not None else None
+
+
+def _report_partial(deadline: Deadline | None) -> None:
+    if deadline is not None and deadline.partial:
+        reasons = ", ".join(r.value for r in deadline.partial_reasons)
+        print(f"PARTIAL result (budget degraded: {reasons})")
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -127,7 +148,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     index, close = _open_index(args, registry)
     try:
         query = Query.from_text(args.query)
-        results = index.query(query, _match_type(args.match))
+        deadline = _request_deadline(args)
+        if deadline is not None and getattr(index, "supports_deadline", False):
+            results = index.query(query, _match_type(args.match), deadline)
+        else:
+            results = index.query(query, _match_type(args.match))
         results.sort(key=lambda ad: -ad.info.bid_price_micros)
         for ad in results[: args.top]:
             print(
@@ -136,6 +161,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"phrase {' '.join(ad.phrase)!r}"
             )
         print(f"({len(results)} {args.match}-match result(s))")
+        _report_partial(deadline)
         _flush_metrics(registry, args)
     finally:
         close()
@@ -168,8 +194,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if registry is not None:
         index.bind_obs(registry)
     engine = BatchQueryEngine(index, max_workers=args.workers, obs=registry)
+    deadline = _request_deadline(args)
     start = time.perf_counter()
-    batches = engine.query_batch(queries, _match_type(args.match))
+    batches = engine.query_batch(queries, _match_type(args.match), deadline)
     elapsed = time.perf_counter() - start
     if args.show:
         for query, results in zip(queries, batches):
@@ -182,6 +209,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         f"in {elapsed * 1e3:.1f} ms "
         f"({stats.queries / max(elapsed, 1e-9):,.0f} qps)"
     )
+    _report_partial(deadline)
     _flush_metrics(registry, args)
     return 0
 
@@ -210,10 +238,42 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if args.replay:
         registry = MetricsRegistry()
         loaded.index.bind_obs(registry)
-        for query in _read_batch_queries(args.replay):
-            loaded.index.query(query)
+        _replay(loaded.index, args, registry)
         _emit_replay_metrics(registry, args)
     return 0
+
+
+def _replay(index, args: argparse.Namespace, registry: MetricsRegistry) -> None:
+    """Replay the trace directly, or — with ``--resilience`` — through a
+    full serving pipeline with deadline budgets and adaptive degradation,
+    printing the resulting resilience breakdown."""
+    queries = _read_batch_queries(args.replay)
+    if not getattr(args, "resilience", False):
+        for query in queries:
+            index.query(query)
+        return
+    from repro.resilience.admission import Priority
+    from repro.resilience.degrade import DegradationPolicy
+    from repro.serving.server import AdServer
+
+    server = AdServer(
+        index,
+        degrade_on_error=True,
+        degradation=DegradationPolicy(obs=registry),
+        default_deadline_ms=getattr(args, "deadline_ms", None),
+        obs=registry,
+    )
+    priority = Priority.from_name(getattr(args, "priority", "normal"))
+    for query in queries:
+        server.serve(query, priority=priority)
+    snapshot = server.stats.snapshot()
+    print("== resilience ==")
+    for key in ("queries", "shed", "degraded", "stale_results",
+                "deadline_partials"):
+        print(f"{key + ':':21s}{snapshot[key]:,.0f}")
+    for key, value in snapshot.items():
+        if key.startswith("degraded_reason."):
+            print(f"{key + ':':21s}{value:,.0f}")
 
 
 def _cmd_stats_segment(args: argparse.Namespace) -> int:
@@ -233,8 +293,7 @@ def _cmd_stats_segment(args: argparse.Namespace) -> int:
         if args.replay:
             registry = MetricsRegistry()
             packed.bind_obs(registry)
-            for query in _read_batch_queries(args.replay):
-                packed.query(query)
+            _replay(packed, args, registry)
             _emit_replay_metrics(registry, args)
     return 0
 
@@ -372,6 +431,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query.add_argument("--top", type=int, default=10)
     query.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query retrieval budget; an expired budget returns a "
+        "flagged partial result instead of blowing the deadline",
+    )
+    query.add_argument(
         "--metrics-out",
         default=None,
         help="write metrics after the query (.json -> JSON snapshot, "
@@ -402,6 +468,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--show", action="store_true", help="print per-query result counts"
     )
     batch.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="budget covering the whole batch; unprobed positions get "
+        "empty results and the batch is reported partial",
+    )
+    batch.add_argument(
         "--metrics-out",
         default=None,
         help="write metrics after the batch (.json -> JSON snapshot, "
@@ -428,6 +501,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="replay a file of queries ('-' for stdin) with metrics "
         "enabled and print/write the collected metrics",
+    )
+    stats.add_argument(
+        "--resilience",
+        action="store_true",
+        help="serve the --replay trace through the full AdServer with "
+        "adaptive degradation and print the resilience breakdown",
+    )
+    stats.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="per-query budget for --resilience replay",
+    )
+    stats.add_argument(
+        "--priority",
+        choices=("low", "normal", "high"),
+        default="normal",
+        help="priority class for --resilience replay",
     )
     stats.add_argument(
         "--metrics-format",

@@ -25,10 +25,15 @@ from repro.core.wordhash import wordhash
 from repro.core.wordset_index import IndexStats, WordSetIndex
 from repro.cost.accounting import AccessTracker
 from repro.obs.registry import MetricsRegistry, active_or_none
+from repro.resilience.deadline import Deadline, DegradedReason
+from repro.resilience.fanout import FanoutGuard
 
 
 class ShardedWordSetIndex:
     """Scatter-gather over hash-partitioned WordSetIndex shards."""
+
+    #: Capability marker: ``query`` accepts a ``deadline`` budget.
+    supports_deadline = True
 
     def __init__(
         self,
@@ -38,11 +43,20 @@ class ShardedWordSetIndex:
         trackers: list[AccessTracker] | None = None,
         fast_path: bool = True,
         obs: MetricsRegistry | None = None,
+        guard: FanoutGuard | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         if trackers is not None and len(trackers) != num_shards:
             raise ValueError("need one tracker per shard")
+        if guard is not None and len(guard.breakers) != num_shards:
+            raise ValueError(
+                "guard shard count does not match index shard count"
+            )
+        #: Optional breaker-guarded fan-out policy (see
+        #: :class:`~repro.resilience.fanout.FanoutGuard`).  ``None``
+        #: keeps the original fail-on-first-error gather.
+        self.guard = guard
         self.num_shards = num_shards
         # All shards share one registry: per-query totals aggregate across
         # the scatter exactly as a single-shard index would report them.
@@ -106,13 +120,31 @@ class ShardedWordSetIndex:
         return self.query(query)
 
     def query(
-        self, query: Query, match_type: MatchType = MatchType.BROAD
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
         """Scatter to every shard, gather the union (disjoint by
-        construction — each ad lives in exactly one shard)."""
+        construction — each ad lives in exactly one shard).
+
+        With a ``guard`` the gather runs under per-shard circuit
+        breakers and partial-result policy; otherwise an expired
+        ``deadline`` simply stops the fan-out with whatever shards
+        answered, flagged partial on the budget object.
+        """
+        if self.guard is not None:
+            return self.guard.gather(
+                self.shards,
+                lambda shard: shard.query(query, match_type, deadline),
+                deadline,
+            )
         results: list[Advertisement] = []
         for shard in self.shards:
-            results.extend(shard.query(query, match_type))
+            if deadline is not None and deadline.expired():
+                deadline.mark_partial(DegradedReason.DEADLINE)
+                break
+            results.extend(shard.query(query, match_type, deadline))
         return results
 
     def query_broad_batch(

@@ -31,6 +31,7 @@ from repro.cost.accounting import AccessTracker
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.memohash import hashed_index_subsets, word_contrib
 from repro.perf.prefilter import ProbePlan, plan_for_query
+from repro.resilience.deadline import Deadline, DegradedReason
 
 #: The canonical hash at import time.  ``_probe`` compares the module
 #: binding against this to detect a swapped-in hash function (tests patch
@@ -69,6 +70,12 @@ class IndexStats:
 
 class WordSetIndex:
     """Hash-of-word-sets broad-match index with optional re-mapping.
+
+    Queries accept an optional :class:`~repro.resilience.deadline.Deadline`
+    budget (``supports_deadline``): the probe loop checks it between hash
+    probes and returns a partial, *flagged* result instead of blowing the
+    budget, and the budget's degradation constraints (``max_probes``,
+    ``max_query_words``) tighten the probe plan before enumeration.
 
     Parameters
     ----------
@@ -296,17 +303,27 @@ class WordSetIndex:
         warn_query_broad_deprecated(type(self))
         return self._probe(query, MatchType.BROAD)
 
+    #: Queries accept a ``deadline=`` budget (checked between probes).
+    supports_deadline = True
+
     def query(
-        self, query: Query, match_type: MatchType = MatchType.BROAD
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
         """Process a query under any of the three match semantics.
 
         Phrase- and exact-match reuse the same probes; only the final
         verification against the stored phrase changes (Section III-B).
+        With a ``deadline``, the probe loop stops at budget expiry and
+        the (partial) result is flagged on the deadline object.
         """
-        return self._probe(query, match_type)
+        return self._probe(query, match_type, deadline)
 
-    def probe_plan(self, words: frozenset[str]) -> ProbePlan:
+    def probe_plan(
+        self, words: frozenset[str], deadline: Deadline | None = None
+    ) -> ProbePlan:
         """The probe plan a broad-match over ``words`` executes.
 
         On the fast path the plan prunes to locator-vocabulary words and
@@ -314,32 +331,61 @@ class WordSetIndex:
         paper's unpruned Section IV-B enumeration.  ``explain`` and the
         analytic cost model replay the same plan, so measured and modeled
         probe counts always agree.
+
+        A ``deadline`` carrying degradation constraints tightens the
+        plan: ``max_query_words`` hardens the Section IV truncation
+        cutoff, ``max_probes`` caps the enumeration
+        (:meth:`~repro.perf.prefilter.ProbePlan.capped`); either
+        tightening marks the budget partial with an explicit reason.
         """
-        return plan_for_query(
+        max_query_words = self.max_query_words
+        if deadline is not None and deadline.max_query_words is not None:
+            max_query_words = min(max_query_words, deadline.max_query_words)
+        plan = plan_for_query(
             words,
             fast_path=self.fast_path,
             vocabulary=self._vocab_refcount,
             size_histogram=self._size_histogram,
             max_words=self.max_words,
-            max_query_words=self.max_query_words,
+            max_query_words=max_query_words,
             selectivity=self._word_freq_fn,
         )
+        if deadline is not None:
+            # TRUNCATED means the *budget's* tighter cutoff dropped words
+            # the index's own configuration would have kept — ordinary
+            # long-query truncation is normal operation, not degradation.
+            if min(len(words), self.max_query_words) > max_query_words:
+                deadline.mark_partial(DegradedReason.TRUNCATED)
+            if deadline.max_probes is not None:
+                capped = plan.capped(deadline.max_probes)
+                if capped is not plan:
+                    deadline.mark_partial(DegradedReason.PROBES_CAPPED)
+                    plan = capped
+        return plan
 
     def probe_count(self, query: Query) -> int:
         """Exact number of hash probes ``query_broad(query)`` performs."""
         return self.probe_plan(query.words).probe_count()
 
-    def _probe(self, query: Query, match_type: MatchType) -> list[Advertisement]:
+    def _probe(
+        self,
+        query: Query,
+        match_type: MatchType,
+        deadline: Deadline | None = None,
+    ) -> list[Advertisement]:
         obs = self._obs
         if obs is not None:
-            return self._probe_observed(query, match_type, obs)
-        plan = self.probe_plan(query.words)
+            return self._probe_observed(query, match_type, obs, deadline)
+        plan = self.probe_plan(query.words, deadline)
         words = plan.words
         tracker = self.tracker
         results: list[Advertisement] = []
         visited: set[int] = set()
         nodes = self._nodes
         for key in self._probe_keys(plan):
+            if deadline is not None and deadline.expired():
+                deadline.mark_partial(DegradedReason.DEADLINE)
+                break
             if tracker is not None:
                 tracker.hash_probe(HASH_BUCKET_BYTES)
             if key in visited:
@@ -360,7 +406,11 @@ class WordSetIndex:
         return results
 
     def _probe_observed(
-        self, query: Query, match_type: MatchType, obs: MetricsRegistry
+        self,
+        query: Query,
+        match_type: MatchType,
+        obs: MetricsRegistry,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
         """The :meth:`_probe` loop with per-query metrics recording.
 
@@ -368,10 +418,11 @@ class WordSetIndex:
         zero extra work beyond one ``is not None`` check; the measured
         probe counter always equals the closed-form
         :meth:`probe_count` because the enumeration yields exactly the
-        plan's subsets.
+        plan's subsets (unless a deadline stopped the loop early, which
+        counts ``resilience.deadline_partials``).
         """
         started = perf_counter()
-        plan = self.probe_plan(query.words)
+        plan = self.probe_plan(query.words, deadline)
         words = plan.words
         tracker = self.tracker
         results: list[Advertisement] = []
@@ -382,6 +433,10 @@ class WordSetIndex:
         candidates = 0
         scan_seconds = 0.0
         for key in self._probe_keys(plan):
+            if deadline is not None and deadline.expired():
+                deadline.mark_partial(DegradedReason.DEADLINE)
+                obs.counter("resilience.deadline_partials").inc()
+                break
             probes += 1
             if tracker is not None:
                 tracker.hash_probe(HASH_BUCKET_BYTES)

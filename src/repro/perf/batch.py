@@ -31,6 +31,7 @@ from repro.core.matching import MatchType
 from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query
 from repro.obs.registry import MetricsRegistry, active_or_none
+from repro.resilience.deadline import Deadline, DegradedReason
 
 
 @dataclass(slots=True)
@@ -96,32 +97,42 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------ #
 
     def query_broad_batch(
-        self, queries: Sequence[Query]
+        self, queries: Sequence[Query], deadline: Deadline | None = None
     ) -> list[list[Advertisement]]:
         """Broad-match every query; one independent result list per input
         position, in input order."""
-        return self.query_batch(queries, MatchType.BROAD)
+        return self.query_batch(queries, MatchType.BROAD, deadline)
 
     def query_batch(
-        self, queries: Sequence[Query], match_type: MatchType
+        self,
+        queries: Sequence[Query],
+        match_type: MatchType,
+        deadline: Deadline | None = None,
     ) -> list[list[Advertisement]]:
         """Process a batch under any match semantics.
 
         Broad match dedups on the word-set; phrase and exact match verify
         token order, so they dedup on the exact token sequence instead.
+        A ``deadline`` covers the whole batch: probing stops between
+        representatives once it expires, and unprobed positions get empty
+        result lists with the budget flagged partial — never a silent
+        half-answer.
         """
         obs = self._obs
         if obs is None:
-            return self._run_batch(queries, match_type)
+            return self._run_batch(queries, match_type, deadline)
         with obs.span("batch"):
-            results = self._run_batch(queries, match_type)
+            results = self._run_batch(queries, match_type, deadline)
         obs.counter("batch.batches").inc()
         obs.counter("batch.queries").inc(len(results))
         obs.counter("batch.distinct_wordsets").inc(self._last_distinct)
         return results
 
     def _run_batch(
-        self, queries: Sequence[Query], match_type: MatchType
+        self,
+        queries: Sequence[Query],
+        match_type: MatchType,
+        deadline: Deadline | None = None,
     ) -> list[list[Advertisement]]:
         queries = list(queries)
         if match_type is MatchType.BROAD:
@@ -139,12 +150,19 @@ class BatchQueryEngine:
 
         shards = getattr(self.index, "shards", None)
         if shards:
-            per_rep = self._scatter_shards(shards, representatives, match_type)
+            per_rep = self._scatter_shards(
+                shards, representatives, match_type, deadline
+            )
         else:
-            per_rep = [
-                self._query_one(self.index, query, match_type)
-                for query in representatives
-            ]
+            per_rep = []
+            for query in representatives:
+                if deadline is not None and deadline.expired():
+                    deadline.mark_partial(DegradedReason.DEADLINE)
+                    per_rep.append([])
+                    continue
+                per_rep.append(
+                    self._query_one(self.index, query, match_type, deadline)
+                )
 
         results: list[list[Advertisement]] = [[] for _ in queries]
         for key, matched in zip(ordered_keys, per_rep):
@@ -163,15 +181,24 @@ class BatchQueryEngine:
         shards: Sequence,
         representatives: Sequence[Query],
         match_type: MatchType,
+        deadline: Deadline | None = None,
     ) -> list[list[Advertisement]]:
         """Run every shard over the whole deduplicated batch, one shard per
         worker, and gather per-query unions in shard order."""
 
         def run_shard(shard) -> list[list[Advertisement]]:
-            return [
-                self._query_one(shard, query, match_type)
-                for query in representatives
-            ]
+            shard_results: list[list[Advertisement]] = []
+            for query in representatives:
+                if deadline is not None and deadline.expired():
+                    # Each worker stops independently; the shared budget
+                    # object records the partiality once.
+                    deadline.mark_partial(DegradedReason.DEADLINE)
+                    shard_results.append([])
+                    continue
+                shard_results.append(
+                    self._query_one(shard, query, match_type, deadline)
+                )
+            return shard_results
 
         workers = self.max_workers
         if workers is None:
@@ -192,8 +219,15 @@ class BatchQueryEngine:
 
     @staticmethod
     def _query_one(
-        index: RetrievalIndex, query: Query, match_type: MatchType
+        index: RetrievalIndex,
+        query: Query,
+        match_type: MatchType,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
+        if deadline is not None and getattr(
+            index, "supports_deadline", False
+        ):
+            return index.query(query, match_type, deadline)
         return index.query(query, match_type)
 
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Container, Mapping
 from dataclasses import dataclass
+from math import comb
 
 from repro.core.subset_enum import subset_count, truncate_query
 
@@ -50,6 +51,38 @@ class ProbePlan:
     def probe_count(self) -> int:
         """Exact number of hash probes executing this plan performs."""
         return subset_count(len(self.candidates), self.sizes)
+
+    def capped(self, max_probes: int) -> ProbePlan:
+        """A plan bounded to at most ``max_probes`` hash probes.
+
+        The overload-degradation knob (see :mod:`repro.resilience`):
+        subset sizes are kept smallest-first — small subsets are both
+        the cheap end of the ``C(n, i)`` explosion and the locators
+        re-mapping concentrates ads onto — and whole sizes are dropped
+        from the top until the plan fits.  Returns ``self`` unchanged
+        when it already fits; a genuinely capped plan is marked
+        ``truncated`` so callers can flag the result as partial.
+        """
+        if max_probes < 1:
+            raise ValueError("max_probes must be >= 1")
+        if self.probe_count() <= max_probes:
+            return self
+        kept: list[int] = []
+        total = 0
+        n = len(self.candidates)
+        for size in self.sizes:
+            cost = comb(n, size)
+            if total + cost > max_probes:
+                break
+            kept.append(size)
+            total += cost
+        return ProbePlan(
+            words=self.words,
+            truncated=True,
+            candidates=self.candidates,
+            sizes=tuple(kept),
+            pruned=self.pruned,
+        )
 
 
 def plan_probes(

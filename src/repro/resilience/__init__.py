@@ -1,0 +1,85 @@
+"""repro.resilience — serve-time overload protection.
+
+PR 3 made the system survive *crashes*; this package makes it survive
+*load*.  The paper itself supplies the degradation knob: Section IV's
+query truncation bounds subset enumeration to ``sum C(|Q|, i)`` probes,
+trading recall for bounded work — exactly the lever a server should pull
+under overload instead of falling over.  Around that knob this package
+builds the standard production defences:
+
+* :class:`Deadline` — a per-request budget object propagated end-to-end.
+  Index query paths check it between hash probes and return a partial,
+  *flagged* result instead of blowing the budget; scatter-gather derives
+  per-attempt timeouts from the remaining budget and suppresses retries
+  the budget cannot cover.
+* :class:`AdmissionController` — a token bucket with priority classes
+  and queue-depth load shedding (lowest priority first).  A shed request
+  still gets an explicit answer, never a dropped connection.
+* :class:`CircuitBreaker` — per-shard closed → open → half-open breakers
+  that stop retry storms against a struggling shard (the metastable-
+  failure amplification the Dynamo / tail-at-scale literature warns
+  about).
+* :class:`DegradationPolicy` — an adaptive ladder that responds to
+  measured pressure (p95 latency from :mod:`repro.obs` histograms) by
+  stepping down query truncation, capping probe plans, and enabling
+  stale-cache fallback.
+* :class:`FanoutGuard` — breakers + partial-result policy for the
+  in-process sharded fan-out paths
+  (:class:`~repro.core.sharded.ShardedWordSetIndex`,
+  :class:`~repro.segment.ShardedSegmentedIndex`).
+
+Everything is **off by default**: with no resilience objects attached,
+every hot path is byte-for-byte the previous behaviour, and fault-free
+results are bit-identical to the pre-resilience baseline.
+
+All of it is exercised deterministically by
+:mod:`repro.resilience.overload` — a seeded distsim scenario combining a
+slow shard, an error burst, deadlines, breakers, and admission control —
+which the ``overload-smoke`` CI job gates on.
+
+See ``docs/resilience.md`` for the shed/degrade ladder, the breaker
+state machine, and the tuning table.
+"""
+
+from repro.resilience.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    Priority,
+)
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import (
+    Deadline,
+    DegradedReason,
+    ManualClock,
+    monotonic_ms,
+)
+from repro.resilience.degrade import (
+    DEFAULT_LADDER,
+    DegradationLevel,
+    DegradationPolicy,
+)
+from repro.resilience.fanout import FanoutGuard, ShardsUnavailableError
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "DEFAULT_LADDER",
+    "Deadline",
+    "DegradationLevel",
+    "DegradationPolicy",
+    "DegradedReason",
+    "FanoutGuard",
+    "ManualClock",
+    "Priority",
+    "ShardsUnavailableError",
+    "monotonic_ms",
+]

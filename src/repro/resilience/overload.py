@@ -1,0 +1,284 @@
+"""A deterministic overload drill for the scatter-gather serving path.
+
+This is the closed-loop exercise the resilience layer exists for: a
+seeded :class:`~repro.distsim.scatter.ScatterGatherCluster` run where
+one shard is an **error burst** (every leg dropped through the
+``server.<shard>`` fault point for a window of visits) and another is a
+**straggler** (service time inflated by a constant factor), driven at an
+arrival rate the cluster cannot absorb without shedding.
+
+With deadlines, breakers, retries, hedging, and admission control all
+engaged, the run must satisfy the overload-smoke gates (enforced by
+``tests/resilience/test_overload_smoke.py`` and the CI job of the same
+name):
+
+* **no unhandled exceptions** anywhere in the run;
+* **admitted queries answer within the deadline** (the deadline
+  force-complete makes every completed query's latency <= the budget) —
+  at least :data:`WITHIN_DEADLINE_GATE` of them;
+* the **shed fraction stays in a band**: admission must engage (load
+  really is unsustainable) but must not collapse into shedding
+  everything.
+
+Everything is seeded and event-driven — two runs with the same
+:class:`OverloadConfig` produce the same report, so the gates are exact
+assertions, not flaky thresholds.
+
+Run it directly for a human-readable report::
+
+    python -m repro.resilience.overload
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.queries import Query
+from repro.distsim.scatter import ScatterConfig, ScatterGatherCluster
+from repro.faults.injector import FaultInjector
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.admission import AdmissionConfig, AdmissionController
+from repro.resilience.breaker import BreakerConfig
+
+__all__ = [
+    "SHED_FRACTION_BAND",
+    "WITHIN_DEADLINE_GATE",
+    "OverloadConfig",
+    "OverloadReport",
+    "run_overload_drill",
+]
+
+#: Minimum fraction of admitted queries that must answer within the
+#: deadline budget.
+WITHIN_DEADLINE_GATE = 0.99
+
+#: Acceptable shed fraction under the default drill: admission must
+#: engage without refusing the majority of traffic.
+SHED_FRACTION_BAND = (0.005, 0.60)
+
+
+@dataclass(frozen=True, slots=True)
+class OverloadConfig:
+    """Tuning for one drill run (defaults are the CI smoke scenario)."""
+
+    num_shards: int = 4
+    cores_per_server: int = 2
+    duration_ms: float = 2_000.0
+    seed: int = 7
+    #: Offered load, deliberately above what admission will sustain.
+    arrival_rate_qps: float = 400.0
+    #: Base per-shard service time per query.
+    service_ms: float = 5.0
+    #: The straggler shard and its slowdown factor.
+    slow_shard: int = 1
+    slow_factor: float = 6.0
+    #: The error-burst shard and how many consecutive legs it drops.
+    error_shard: int = 2
+    error_burst_legs: int = 300
+    #: Per-query budget.
+    deadline_ms: float = 50.0
+    #: Per-shard timeout and bounded retry.
+    shard_timeout_ms: float = 25.0
+    max_retries: int = 2
+    retry_backoff_ms: float = 2.0
+    #: Hedge the last straggling leg after this delay.
+    hedge_ms: float = 15.0
+    #: Admission: sustained rate near capacity, and a queue bound tight
+    #: enough that admitted work cannot wait out its own deadline
+    #: (cluster-wide depth x service_ms / cores must stay << deadline).
+    admission_rate_qps: float = 200.0
+    admission_burst: float = 8.0
+    max_queue_depth: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.slow_shard < self.num_shards:
+            raise ValueError("slow_shard out of range")
+        if not 0 <= self.error_shard < self.num_shards:
+            raise ValueError("error_shard out of range")
+        if self.slow_factor < 1.0:
+            raise ValueError("slow_factor must be >= 1.0")
+        if self.error_burst_legs < 0:
+            raise ValueError("error_burst_legs must be >= 0")
+
+
+@dataclass(slots=True)
+class OverloadReport:
+    """What one drill run did, plus the gate verdicts."""
+
+    arrivals: int = 0
+    shed: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    partial_results: int = 0
+    deadline_completions: int = 0
+    retries: int = 0
+    retries_suppressed: int = 0
+    hedges: int = 0
+    breaker_short_circuits: int = 0
+    breaker_opened: int = 0
+    legs_attempted: list[int] = field(default_factory=list)
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    max_ms: float = 0.0
+    within_deadline_fraction: float = 0.0
+    shed_fraction: float = 0.0
+    unhandled_exceptions: int = 0
+
+    def gates(self) -> dict[str, bool]:
+        """The overload-smoke pass/fail verdicts."""
+        lo, hi = SHED_FRACTION_BAND
+        return {
+            "no_unhandled_exceptions": self.unhandled_exceptions == 0,
+            "within_deadline": (
+                self.within_deadline_fraction >= WITHIN_DEADLINE_GATE
+            ),
+            "shed_fraction_in_band": lo <= self.shed_fraction <= hi,
+        }
+
+    def passed(self) -> bool:
+        return all(self.gates().values())
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "arrivals": self.arrivals,
+            "shed": self.shed,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "partial_results": self.partial_results,
+            "deadline_completions": self.deadline_completions,
+            "retries": self.retries,
+            "retries_suppressed": self.retries_suppressed,
+            "hedges": self.hedges,
+            "breaker_short_circuits": self.breaker_short_circuits,
+            "breaker_opened": self.breaker_opened,
+            "legs_attempted": list(self.legs_attempted),
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "max_ms": self.max_ms,
+            "within_deadline_fraction": self.within_deadline_fraction,
+            "shed_fraction": self.shed_fraction,
+            "unhandled_exceptions": self.unhandled_exceptions,
+            "gates": self.gates(),
+        }
+
+
+_DRILL_QUERIES = (
+    "red running shoes",
+    "cheap flights to paris",
+    "used cars near me",
+    "best laptop deals",
+    "home insurance quote",
+)
+
+
+def run_overload_drill(
+    config: OverloadConfig = OverloadConfig(),
+    obs: MetricsRegistry | None = None,
+) -> OverloadReport:
+    """Run the seeded overload scenario end to end and score the gates."""
+    registry = obs if obs is not None else MetricsRegistry()
+    faults = FaultInjector()
+    if config.error_burst_legs > 0:
+        faults.arm_forever(
+            f"server.shard{config.error_shard}",
+            hits=1,
+            times=config.error_burst_legs,
+        )
+
+    def service(shard: int, query: Query) -> float:
+        base = config.service_ms + 0.5 * len(query.words)
+        if shard == config.slow_shard:
+            return base * config.slow_factor
+        return base
+
+    scatter_config = ScatterConfig(
+        num_shards=config.num_shards,
+        cores_per_server=config.cores_per_server,
+        duration_ms=config.duration_ms,
+        seed=config.seed,
+        shard_timeout_ms=config.shard_timeout_ms,
+        max_retries=config.max_retries,
+        retry_backoff_ms=config.retry_backoff_ms,
+        allow_partial=True,
+        min_shards=1,
+        deadline_ms=config.deadline_ms,
+        breaker=BreakerConfig(),
+        hedge_ms=config.hedge_ms,
+    )
+    cluster = ScatterGatherCluster(
+        service, scatter_config, obs=registry, faults=faults
+    )
+    # The admission clock is the *simulated* clock: the cluster exposes
+    # its live event queue, so refill tracks event time, deterministically.
+    cluster.admission = AdmissionController(
+        AdmissionConfig(
+            rate_per_s=config.admission_rate_qps,
+            burst=config.admission_burst,
+            max_queue_depth=config.max_queue_depth,
+        ),
+        clock=lambda: cluster.events.now if cluster.events else 0.0,
+        obs=registry,
+    )
+
+    report = OverloadReport()
+    queries = [Query.from_text(text) for text in _DRILL_QUERIES]
+    try:
+        metrics = cluster.run(queries, config.arrival_rate_qps)
+    except Exception:
+        report.unhandled_exceptions = 1
+        raise
+    latencies = sorted(metrics.latencies_ms)
+    report.completed = len(latencies)
+    report.shed = cluster.shed_queries
+    report.failed = int(registry.value("scatter.failed_queries"))
+    report.admitted = report.completed + report.failed
+    report.arrivals = report.admitted + report.shed
+    report.partial_results = int(registry.value("partial_results"))
+    report.deadline_completions = cluster.deadline_completions
+    report.retries = int(registry.value("scatter.retries"))
+    report.retries_suppressed = int(
+        registry.value("resilience.retries_suppressed")
+    )
+    report.hedges = int(registry.value("resilience.hedges"))
+    report.breaker_short_circuits = int(
+        registry.value("resilience.breaker_short_circuits")
+    )
+    report.breaker_opened = int(registry.value("resilience.breaker_opened"))
+    report.legs_attempted = list(cluster.legs_attempted)
+    if latencies:
+        report.p50_ms = latencies[len(latencies) // 2]
+        report.p95_ms = latencies[min(
+            len(latencies) - 1, int(len(latencies) * 0.95)
+        )]
+        report.max_ms = latencies[-1]
+    # Force-complete caps every completed query at the budget; the
+    # network-hop epsilon covers the gather's final response delay for
+    # queries that completed right at the wire.
+    epsilon = 1e-9
+    within = sum(1 for ms in latencies if ms <= config.deadline_ms + epsilon)
+    if report.admitted:
+        report.within_deadline_fraction = within / report.admitted
+    if report.arrivals:
+        report.shed_fraction = report.shed / report.arrivals
+    return report
+
+
+def main() -> int:
+    report = run_overload_drill()
+    print("overload drill report")
+    print("---------------------")
+    for key, value in report.as_dict().items():
+        if key == "gates":
+            continue
+        print(f"{key:28s} {value}")
+    print("gates:")
+    for gate, ok in report.gates().items():
+        print(f"  {gate:26s} {'PASS' if ok else 'FAIL'}")
+    return 0 if report.passed() else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -38,6 +38,8 @@ from repro.core.wordhash import wordhash
 from repro.core.wordset_index import WordSetIndex
 from repro.faults.injector import FaultInjector, active_injector
 from repro.obs.registry import MetricsRegistry, active_or_none
+from repro.resilience.deadline import Deadline, DegradedReason
+from repro.resilience.fanout import FanoutGuard
 from repro.segment.builder import SegmentBuilder
 from repro.segment.format import (
     CRASH_COMPACT_START,
@@ -49,6 +51,9 @@ from repro.segment.packed import PackedSegmentIndex
 
 class SegmentedIndex:
     """Mutable serving index over an immutable packed segment."""
+
+    #: Capability marker: ``query`` accepts a ``deadline`` budget.
+    supports_deadline = True
 
     def __init__(
         self,
@@ -141,13 +146,21 @@ class SegmentedIndex:
         return self.query(query)
 
     def query(
-        self, query: Query, match_type: MatchType = MatchType.BROAD
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
-        """Segment results (tombstones filtered) + overlay results."""
-        results = self._segment.query(query, match_type)
+        """Segment results (tombstones filtered) + overlay results.
+
+        The ``deadline`` budget threads through both halves — the mapped
+        segment's probe loop and the overlay's — so a mid-query expiry
+        stops whichever loop is running and flags the result partial.
+        """
+        results = self._segment.query(query, match_type, deadline)
         if self._tombstones:
             results = self._filter_tombstones(results)
-        results.extend(self._overlay.query(query, match_type))
+        results.extend(self._overlay.query(query, match_type, deadline))
         return results
 
     def _filter_tombstones(
@@ -276,10 +289,25 @@ class ShardedSegmentedIndex:
     heuristic picks it up without any adapter.
     """
 
-    def __init__(self, shards: Sequence[SegmentedIndex]) -> None:
+    #: Capability marker: ``query`` accepts a ``deadline`` budget.
+    supports_deadline = True
+
+    def __init__(
+        self,
+        shards: Sequence[SegmentedIndex],
+        guard: FanoutGuard | None = None,
+    ) -> None:
         if not shards:
             raise ValueError("need at least one shard")
         self.shards: list[SegmentedIndex] = list(shards)
+        if guard is not None and len(guard.breakers) != len(self.shards):
+            raise ValueError(
+                "guard shard count does not match index shard count"
+            )
+        #: Optional breaker-guarded fan-out policy (see
+        #: :class:`~repro.resilience.fanout.FanoutGuard`).  ``None``
+        #: keeps the original fail-on-first-error gather.
+        self.guard = guard
 
     @classmethod
     def pack_corpus(
@@ -343,11 +371,25 @@ class ShardedSegmentedIndex:
         return self.query(query)
 
     def query(
-        self, query: Query, match_type: MatchType = MatchType.BROAD
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
+        if self.guard is not None:
+            return self.guard.gather(
+                self.shards,
+                lambda shard: shard.query(query, match_type, deadline),
+                deadline,
+            )
         results: list[Advertisement] = []
         for shard in self.shards:
-            results.extend(shard.query(query, match_type))
+            if deadline is not None and deadline.expired():
+                # Out of budget: the shards already gathered are the
+                # answer, flagged partial on the budget object.
+                deadline.mark_partial(DegradedReason.DEADLINE)
+                break
+            results.extend(shard.query(query, match_type, deadline))
         return results
 
     def compact_all(self) -> list[Path]:

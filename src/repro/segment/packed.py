@@ -54,6 +54,7 @@ from repro.cost.accounting import AccessTracker
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.memohash import hashed_index_subsets, word_contrib
 from repro.perf.prefilter import ProbePlan, plan_for_query
+from repro.resilience.deadline import Deadline, DegradedReason
 from repro.segment.bits import PackedBits
 from repro.segment.format import (
     SegmentFormatError,
@@ -79,6 +80,9 @@ _SET = object.__setattr__
 
 class PackedSegmentIndex:
     """Read-only broad-match index served from a mapped segment file."""
+
+    #: Capability marker: ``query`` accepts a ``deadline`` budget.
+    supports_deadline = True
 
     def __init__(
         self,
@@ -259,18 +263,35 @@ class PackedSegmentIndex:
     # ------------------------------------------------------------------ #
     # Query processing
 
-    def probe_plan(self, words: frozenset[str]) -> ProbePlan:
+    def probe_plan(
+        self, words: frozenset[str], deadline: Deadline | None = None
+    ) -> ProbePlan:
         """The shared :func:`plan_for_query` pipeline over the header's
         persisted prefilter state — probe-for-probe identical to the
-        source ``WordSetIndex``."""
-        return plan_for_query(
+        source ``WordSetIndex``.  A ``deadline`` carrying degradation
+        constraints tightens the cutoff and caps the plan exactly as the
+        mutable index does, so both serving paths degrade identically.
+        """
+        max_query_words = self.max_query_words
+        if deadline is not None and deadline.max_query_words is not None:
+            max_query_words = min(max_query_words, deadline.max_query_words)
+        plan = plan_for_query(
             words,
             fast_path=self.fast_path,
             vocabulary=self._vocab,
             size_histogram=self._size_histogram,
             max_words=self.max_words,
-            max_query_words=self.max_query_words,
+            max_query_words=max_query_words,
         )
+        if deadline is not None:
+            if min(len(words), self.max_query_words) > max_query_words:
+                deadline.mark_partial(DegradedReason.TRUNCATED)
+            if deadline.max_probes is not None:
+                capped = plan.capped(deadline.max_probes)
+                if capped is not plan:
+                    deadline.mark_partial(DegradedReason.PROBES_CAPPED)
+                    plan = capped
+        return plan
 
     def _probe_keys(self, plan: ProbePlan) -> Iterable[int]:
         if wordhash is _CANONICAL_WORDHASH:
@@ -287,12 +308,20 @@ class PackedSegmentIndex:
         return self.query(query)
 
     def query(
-        self, query: Query, match_type: MatchType = MatchType.BROAD
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
-        """Broad match off the mapped file; phrase/exact verify on top."""
+        """Broad match off the mapped file; phrase/exact verify on top.
+
+        An expired ``deadline`` stops the probe loop between hash
+        probes; the partial result is flagged on the budget object, not
+        returned silently.
+        """
         obs = self._obs
         started = perf_counter() if obs is not None else 0.0
-        plan = self.probe_plan(query.words)
+        plan = self.probe_plan(query.words, deadline)
         words = plan.words
         query_len = len(words)
         tracker = self.tracker
@@ -308,6 +337,11 @@ class PackedSegmentIndex:
         entries_scanned = 0
         cache_hits = 0
         for key in self._probe_keys(plan):
+            if deadline is not None and deadline.expired():
+                deadline.mark_partial(DegradedReason.DEADLINE)
+                if obs is not None:
+                    obs.counter("resilience.deadline_partials").inc()
+                break
             probes += 1
             suffix = key & suffix_mask
             if suffix in visited:

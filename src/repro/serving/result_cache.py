@@ -30,6 +30,7 @@ from repro.core.matching import MatchType
 from repro.core.protocols import RetrievalIndex, warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.obs.registry import MetricsRegistry, active_or_none
+from repro.resilience.deadline import Deadline
 
 #: Cache key: broad match folds to the word-set; phrase/exact verify token
 #: order, so they key on the exact token sequence.
@@ -41,6 +42,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    #: Stale entries served through :meth:`CachedIndex.query_stale`
+    #: (overload fallback — see :mod:`repro.resilience`).
+    stale_hits: int = 0
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses
@@ -66,12 +70,25 @@ class CachedIndex:
         index: RetrievalIndex,
         capacity: int = 1024,
         obs: MetricsRegistry | None = None,
+        stale_capacity: int | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if stale_capacity is not None and stale_capacity < 0:
+            raise ValueError("stale_capacity must be >= 0")
         self.index = index
         self.capacity = capacity
         self._cache: OrderedDict[_CacheKey, list[Advertisement]] = (
+            OrderedDict()
+        )
+        # Stale store: invalidated entries demoted here instead of
+        # discarded, so overload degradation can trade freshness for
+        # availability (``query_stale``).  Bounded separately; entries
+        # may reflect a pre-mutation corpus by construction.
+        self.stale_capacity = (
+            capacity if stale_capacity is None else stale_capacity
+        )
+        self._stale: OrderedDict[_CacheKey, list[Advertisement]] = (
             OrderedDict()
         )
         self.cache_stats = CacheStats()
@@ -89,6 +106,10 @@ class CachedIndex:
                 "cache.invalidations",
                 help="Wholesale cache flushes on corpus mutation",
             )
+            obs.counter(
+                "cache.stale_hits",
+                help="Stale results served as overload fallback",
+            )
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -99,9 +120,18 @@ class CachedIndex:
         return self.query(query, MatchType.BROAD)
 
     def query(
-        self, query: Query, match_type: MatchType = MatchType.BROAD
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
     ) -> list[Advertisement]:
-        """Process a query under any match semantics, through the cache."""
+        """Process a query under any match semantics, through the cache.
+
+        A ``deadline`` threads through to the wrapped index when it
+        advertises ``supports_deadline``.  A result the budget flagged
+        partial is returned but **never cached** — a cache hit must mean
+        the complete answer, not an artifact of one overloaded moment.
+        """
         obs = self._obs
         if match_type is MatchType.BROAD:
             key: _CacheKey = (match_type, query.words)
@@ -124,11 +154,41 @@ class CachedIndex:
             obs.histogram("span.cache").observe(
                 (perf_counter() - started) * 1e3
             )
-        result = self.index.query(query, match_type)
+        if deadline is not None and getattr(
+            self.index, "supports_deadline", False
+        ):
+            result = self.index.query(query, match_type, deadline)
+        else:
+            result = self.index.query(query, match_type)
+        if deadline is not None and deadline.partial:
+            return result
         self._cache[key] = list(result)
         if len(self._cache) > self.capacity:
             self._cache.popitem(last=False)
         return result
+
+    def query_stale(
+        self, query: Query, match_type: MatchType = MatchType.BROAD
+    ) -> list[Advertisement] | None:
+        """A possibly-stale cached result, or ``None`` if never cached.
+
+        The overload fallback (see :mod:`repro.resilience`): checks the
+        live cache first, then the stale store populated by
+        :meth:`invalidate`.  Never touches the wrapped index.
+        """
+        if match_type is MatchType.BROAD:
+            key: _CacheKey = (match_type, query.words)
+        else:
+            key = (match_type, query.tokens)
+        entry = self._cache.get(key)
+        if entry is None:
+            entry = self._stale.get(key)
+        if entry is None:
+            return None
+        self.cache_stats.stale_hits += 1
+        if self._obs is not None:
+            self._obs.counter("cache.stale_hits").inc()
+        return list(entry)
 
     def query_broad_batch(self, queries) -> list[list[Advertisement]]:
         """Batched broad match through the cache: each distinct word-set
@@ -149,8 +209,17 @@ class CachedIndex:
         return removed
 
     def invalidate(self) -> None:
-        """Drop every cached result (corpus changed)."""
+        """Drop every cached result (corpus changed).
+
+        Invalidated entries demote into the bounded stale store rather
+        than vanishing, so :meth:`query_stale` can serve them during
+        overload.
+        """
         if self._cache:
+            if self.stale_capacity > 0:
+                self._stale.update(self._cache)
+                while len(self._stale) > self.stale_capacity:
+                    self._stale.popitem(last=False)
             self._cache.clear()
         self.cache_stats.invalidations += 1
         if self._obs is not None:
@@ -180,3 +249,14 @@ class CachedIndex:
     @property
     def cached_queries(self) -> int:
         return len(self._cache)
+
+    @property
+    def stale_queries(self) -> int:
+        return len(self._stale)
+
+    @property
+    def supports_deadline(self) -> bool:
+        """The cache is deadline-transparent: capability follows the
+        wrapped index (defined eagerly so ``__getattr__`` fall-through
+        never reports the wrong layer's answer)."""
+        return bool(getattr(self.index, "supports_deadline", False))

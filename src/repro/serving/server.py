@@ -21,7 +21,7 @@ recorded for the same query.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from time import perf_counter
 
 from repro.core.ads import Advertisement
@@ -30,6 +30,9 @@ from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.batch import BatchQueryEngine
+from repro.resilience.admission import AdmissionController, Priority
+from repro.resilience.deadline import ClockMs, Deadline, DegradedReason
+from repro.resilience.degrade import DegradationPolicy
 from repro.serving.auction import AuctionOutcome, run_gsp_auction
 
 
@@ -55,6 +58,17 @@ class ServingStats:
       impression.
     * ``retrieval_errors`` — retrieval raised and the server degraded to
       an empty candidate set (only with ``degrade_on_error=True``).
+    * ``shed`` — requests refused by admission control *before* the
+      pipeline ran (shed requests do **not** count in ``queries``).
+    * ``degraded`` — served queries whose result was flagged degraded in
+      any way (partial, truncated, capped, stale, ...).
+    * ``stale_results`` — queries answered from the result cache's stale
+      store after a retrieval error.
+    * ``deadline_partials`` — served queries whose deadline expired
+      mid-retrieval.
+    * ``degraded_reasons`` — per-:class:`DegradedReason` breakdown of
+      every non-``NONE`` outcome (shed and degraded alike); surfaced by
+      :meth:`snapshot` as ``degraded_reason.<value>`` keys.
     """
 
     queries: int = 0
@@ -66,6 +80,11 @@ class ServingStats:
     clicks: int = 0
     revenue_micros: int = 0
     retrieval_errors: int = 0
+    shed: int = 0
+    degraded: int = 0
+    stale_results: int = 0
+    deadline_partials: int = 0
+    degraded_reasons: dict[str, int] = field(default_factory=dict)
 
     def fill_rate(self) -> float:
         """Mean impressions per query (``impressions / queries``)."""
@@ -87,11 +106,22 @@ class ServingStats:
         when an :mod:`repro.obs` registry is attached.
         """
         counters: dict[str, float] = {
-            field.name: getattr(self, field.name) for field in fields(self)
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "degraded_reasons"
         }
+        for reason, count in sorted(self.degraded_reasons.items()):
+            counters[f"degraded_reason.{reason}"] = count
         counters["fill_rate"] = self.fill_rate()
         counters["click_through_rate"] = self.click_through_rate()
         return counters
+
+    def record_reason(self, reason: DegradedReason) -> None:
+        """Count one non-``NONE`` degradation outcome."""
+        if reason is not DegradedReason.NONE:
+            self.degraded_reasons[reason.value] = (
+                self.degraded_reasons.get(reason.value, 0) + 1
+            )
 
 
 @dataclass(frozen=True, slots=True)
@@ -100,10 +130,20 @@ class ServeResult:
 
     query: Query
     outcome: AuctionOutcome
+    #: Why (if at all) this result is less than the full answer:
+    #: :attr:`DegradedReason.NONE` for a normal serve, a shed reason for
+    #: a request admission refused, or the primary degradation cause for
+    #: a partial/truncated/stale result.  Always machine-readable —
+    #: degraded results are flagged, never silent.
+    degraded_reason: DegradedReason = DegradedReason.NONE
 
     @property
     def ads(self) -> list[Advertisement]:
         return self.outcome.winners()
+
+    @property
+    def degraded(self) -> bool:
+        return self.degraded_reason is not DegradedReason.NONE
 
 
 class AdServer:
@@ -133,6 +173,26 @@ class AdServer:
         auction — instead of propagating, and counts
         ``serve.retrieval_errors``.  Off by default: silent degradation
         must be an explicit operator choice.
+    admission:
+        Optional :class:`~repro.resilience.admission.AdmissionController`;
+        requests it refuses get an immediate empty :class:`ServeResult`
+        carrying the shed reason, without touching the pipeline.
+    degradation:
+        Optional :class:`~repro.resilience.degrade.DegradationPolicy`;
+        its current ladder level tightens every request's deadline budget
+        and can enable stale-cache fallback.
+    default_deadline_ms:
+        Per-request retrieval budget applied when the caller passes no
+        explicit deadline; ``None`` (the default) leaves requests
+        unbudgeted, preserving the exact baseline behaviour.
+    stale_on_error:
+        When True (or when the degradation ladder's current level says
+        so), a retrieval error is answered from the wrapped
+        :class:`~repro.serving.result_cache.CachedIndex` stale store if
+        the index exposes one, flagged ``STALE_CACHE``.
+    clock:
+        Millisecond clock for deadline budgets (defaults to wall time;
+        inject a manual clock in tests).
     obs:
         Optional :class:`~repro.obs.registry.MetricsRegistry`; when
         enabled, serving records the ``serve.*`` counters and the
@@ -150,10 +210,17 @@ class AdServer:
         frequency_cap: int | None = None,
         batch_workers: int | None = None,
         degrade_on_error: bool = False,
+        admission: AdmissionController | None = None,
+        degradation: DegradationPolicy | None = None,
+        default_deadline_ms: float | None = None,
+        stale_on_error: bool = False,
+        clock: ClockMs | None = None,
         obs: MetricsRegistry | None = None,
     ) -> None:
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if default_deadline_ms is not None and default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
         self.index = index
         self.slots = slots
         self.reserve_micros = reserve_micros
@@ -161,6 +228,11 @@ class AdServer:
         self.frequency_cap = frequency_cap
         self.batch_workers = batch_workers
         self.degrade_on_error = degrade_on_error
+        self.admission = admission
+        self.degradation = degradation
+        self.default_deadline_ms = default_deadline_ms
+        self.stale_on_error = stale_on_error
+        self._clock = clock
         self._budgets = dict(campaign_budgets_micros or {})
         self._seen: dict[tuple[object, int], int] = {}
         self._batch_engine: BatchQueryEngine | None = None
@@ -204,6 +276,17 @@ class AdServer:
                 "serve.retrieval_errors",
                 help="Queries degraded to empty results by retrieval errors",
             )
+            obs.counter(
+                "serve.shed", help="Requests refused by admission control"
+            )
+            obs.counter(
+                "serve.degraded",
+                help="Served queries flagged degraded in any way",
+            )
+            obs.counter(
+                "serve.stale_results",
+                help="Queries answered from the stale result store",
+            )
 
     # ------------------------------------------------------------------ #
 
@@ -221,20 +304,127 @@ class AdServer:
         shown = self._seen.get((user_id, ad.info.listing_id), 0)
         return shown < self.frequency_cap
 
-    def serve(self, query: Query, user_id: object = None) -> ServeResult:
-        """Run the full pipeline for one query."""
+    def serve(
+        self,
+        query: Query,
+        user_id: object = None,
+        priority: Priority = Priority.NORMAL,
+        deadline: Deadline | None = None,
+    ) -> ServeResult:
+        """Run the full pipeline for one query.
+
+        Admission control (if configured) runs first — a shed request
+        returns an empty, explicitly flagged result without touching
+        retrieval.  The request's deadline budget (explicit, or built
+        from ``default_deadline_ms``) is tightened by the degradation
+        ladder and threaded through retrieval.
+        """
+        if self.admission is not None:
+            decision = self.admission.try_admit(priority)
+            if not decision.admitted:
+                return self._shed(query, decision.reason)
+            try:
+                return self._serve_admitted(query, user_id, deadline)
+            finally:
+                self.admission.release()
+        return self._serve_admitted(query, user_id, deadline)
+
+    def _serve_admitted(
+        self, query: Query, user_id: object, deadline: Deadline | None
+    ) -> ServeResult:
         obs = self._obs
+        deadline = self._request_deadline(deadline)
         try:
             if obs is None:
-                candidates = self.index.query(query)
+                candidates = self._retrieve(query, deadline)
             else:
                 with obs.span("retrieve"):
-                    candidates = self.index.query(query)
+                    candidates = self._retrieve(query, deadline)
         except Exception:
+            stale = self._stale_fallback(query)
+            if stale is not None:
+                return self._finish(
+                    query, stale, user_id, DegradedReason.STALE_CACHE
+                )
             if not self.degrade_on_error:
                 raise
             candidates = self._degraded()
-        return self._finish(query, candidates, user_id)
+            return self._finish(
+                query, candidates, user_id, DegradedReason.RETRIEVAL_ERROR
+            )
+        reason = (
+            deadline.primary_reason()
+            if deadline is not None
+            else DegradedReason.NONE
+        )
+        if deadline is not None and deadline.partial:
+            if DegradedReason.DEADLINE in deadline.partial_reasons:
+                self.stats.deadline_partials += 1
+        return self._finish(query, candidates, user_id, reason)
+
+    def _retrieve(
+        self, query: Query, deadline: Deadline | None
+    ) -> list[Advertisement]:
+        if deadline is not None and getattr(
+            self.index, "supports_deadline", False
+        ):
+            return self.index.query(query, deadline=deadline)
+        return self.index.query(query)
+
+    def _request_deadline(self, deadline: Deadline | None) -> Deadline | None:
+        """The effective budget: caller's, or one from
+        ``default_deadline_ms``; either way tightened by the degradation
+        ladder.  ``None`` only when no resilience feature asks for one —
+        the baseline path stays budget-free."""
+        degradation = self.degradation
+        if degradation is not None:
+            degradation.on_query()
+        if deadline is None:
+            if self.default_deadline_ms is not None:
+                deadline = Deadline.after_ms(
+                    self.default_deadline_ms, clock=self._clock
+                )
+            elif degradation is not None and degradation.degraded:
+                deadline = Deadline.unlimited(clock=self._clock)
+        if deadline is not None and degradation is not None:
+            degradation.tighten(deadline)
+        return deadline
+
+    def _stale_fallback(self, query: Query) -> list[Advertisement] | None:
+        """A stale cached answer for a failed retrieval, when allowed."""
+        allowed = self.stale_on_error or (
+            self.degradation is not None
+            and self.degradation.stale_fallback_enabled()
+        )
+        if not allowed:
+            return None
+        query_stale = getattr(self.index, "query_stale", None)
+        if query_stale is None:
+            return None
+        stale = query_stale(query)
+        if stale is None:
+            return None
+        self.stats.stale_results += 1
+        self.stats.retrieval_errors += 1
+        if self._obs is not None:
+            self._obs.counter("serve.stale_results").inc()
+            self._obs.counter("serve.retrieval_errors").inc()
+        return list(stale)
+
+    def _shed(self, query: Query, reason: DegradedReason) -> ServeResult:
+        """An explicit refused-at-the-door result: empty auction, the
+        shed reason attached, no pipeline work done."""
+        self.stats.shed += 1
+        self.stats.record_reason(reason)
+        if self._obs is not None:
+            self._obs.counter("serve.shed").inc()
+        outcome = run_gsp_auction(
+            [],
+            slots=self.slots,
+            reserve_micros=self.reserve_micros,
+            quality_fn=self.quality_fn,
+        )
+        return ServeResult(query=query, outcome=outcome, degraded_reason=reason)
 
     def _degraded(self) -> list[Advertisement]:
         """Count one degraded query; serve the empty candidate set."""
@@ -244,7 +434,11 @@ class AdServer:
         return []
 
     def serve_batch(
-        self, queries: Iterable[Query], user_id: object = None
+        self,
+        queries: Iterable[Query],
+        user_id: object = None,
+        priority: Priority = Priority.NORMAL,
+        deadline: Deadline | None = None,
     ) -> list[ServeResult]:
         """Serve a micro-batch: batched retrieval, then the sequential
         filter/auction pipeline per query.
@@ -258,30 +452,86 @@ class AdServer:
         With ``degrade_on_error`` set, a failing batched retrieval falls
         back to per-query retrieval so one poisoned word-set degrades
         only its own queries, not the whole batch.
+
+        Admission control admits each query individually before the
+        batched retrieval runs; shed positions get flagged empty results
+        and the surviving queries share the batch (and the one
+        ``deadline`` budget, which covers the whole batch).
         """
         queries = list(queries)
+        admitted = queries
+        shed_at: dict[int, DegradedReason] = {}
+        if self.admission is not None:
+            admitted = []
+            for position, query in enumerate(queries):
+                decision = self.admission.try_admit(priority)
+                if decision.admitted:
+                    admitted.append(query)
+                else:
+                    shed_at[position] = decision.reason
+        try:
+            results = self._serve_batch_admitted(admitted, user_id, deadline)
+        finally:
+            if self.admission is not None:
+                for _ in admitted:
+                    self.admission.release()
+        if not shed_at:
+            return results
+        merged: list[ServeResult] = []
+        served = iter(results)
+        for position, query in enumerate(queries):
+            reason = shed_at.get(position)
+            if reason is not None:
+                merged.append(self._shed(query, reason))
+            else:
+                merged.append(next(served))
+        return merged
+
+    def _serve_batch_admitted(
+        self,
+        queries: list[Query],
+        user_id: object,
+        deadline: Deadline | None,
+    ) -> list[ServeResult]:
+        if not queries:
+            return []
+        deadline = self._request_deadline(deadline)
         if self._batch_engine is None or self._batch_engine.index is not self.index:
             self._batch_engine = BatchQueryEngine(
                 self.index, max_workers=self.batch_workers, obs=self._obs
             )
         try:
-            candidate_lists = self._batch_engine.query_broad_batch(queries)
+            candidate_lists = self._batch_engine.query_broad_batch(
+                queries, deadline
+            )
         except Exception:
             if not self.degrade_on_error:
                 raise
             candidate_lists = []
             for query in queries:
                 try:
-                    candidate_lists.append(self.index.query(query))
+                    candidate_lists.append(self._retrieve(query, deadline))
                 except Exception:
                     candidate_lists.append(self._degraded())
+        reason = (
+            deadline.primary_reason()
+            if deadline is not None
+            else DegradedReason.NONE
+        )
+        if deadline is not None and deadline.partial:
+            if DegradedReason.DEADLINE in deadline.partial_reasons:
+                self.stats.deadline_partials += len(queries)
         return [
-            self._finish(query, candidates, user_id)
+            self._finish(query, candidates, user_id, reason)
             for query, candidates in zip(queries, candidate_lists)
         ]
 
     def _finish(
-        self, query: Query, candidates: list[Advertisement], user_id: object
+        self,
+        query: Query,
+        candidates: list[Advertisement],
+        user_id: object,
+        reason: DegradedReason = DegradedReason.NONE,
     ) -> ServeResult:
         """Filters -> auction -> stats for one query's candidate set."""
         obs = self._obs
@@ -332,6 +582,9 @@ class AdServer:
             for award in outcome.awards:
                 key = (user_id, award.ad.info.listing_id)
                 self._seen[key] = self._seen.get(key, 0) + 1
+        if reason is not DegradedReason.NONE:
+            self.stats.degraded += 1
+            self.stats.record_reason(reason)
         if obs is not None:
             obs.counter("serve.queries").inc()
             obs.counter("serve.candidates").inc(len(candidates))
@@ -341,7 +594,11 @@ class AdServer:
             obs.counter("serve.impressions").inc(len(outcome.awards))
             if not outcome.awards:
                 obs.counter("serve.auctions_unfilled").inc()
-        return ServeResult(query=query, outcome=outcome)
+            if reason is not DegradedReason.NONE:
+                obs.counter("serve.degraded").inc()
+        return ServeResult(
+            query=query, outcome=outcome, degraded_reason=reason
+        )
 
     def record_click(self, result: ServeResult, slot: int) -> int:
         """Charge the clicked slot's GSP price to its campaign budget.

@@ -1,0 +1,160 @@
+"""Retry-storm regression: a dead shard must not be hammered forever.
+
+Without a breaker, every query retries against the dead shard —
+attempted legs grow with offered load (the metastable amplification
+pattern).  With per-shard breakers the attempted legs stay bounded by
+the breaker window, and the rest of the cluster keeps serving partial
+results.  Also holds the :class:`ScatterConfig` constructor validation
+(moved into ``__post_init__``) against regressions.
+"""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.distsim.scatter import ScatterConfig, ScatterGatherCluster
+from repro.faults import FaultInjector
+from repro.obs import MetricsRegistry
+from repro.resilience import BreakerConfig
+
+
+QUERIES = [Query.from_text("cheap used books"), Query.from_text("maps")]
+
+BREAKER = BreakerConfig(
+    window=8,
+    failure_threshold=0.5,
+    min_samples=4,
+    reset_after_ms=10_000.0,  # never half-opens inside the run
+    half_open_probes=1,
+)
+
+
+def run_with_dead_shard(breaker=None, registry=None):
+    """A 600ms run where shard0 drops every submission."""
+    injector = FaultInjector()
+    injector.arm_forever("server.shard0", times=1_000_000)
+    config = ScatterConfig(
+        num_shards=2,
+        duration_ms=600.0,
+        seed=11,
+        shard_timeout_ms=20.0,
+        max_retries=3,
+        retry_backoff_ms=1.0,
+        allow_partial=True,
+        min_shards=1,
+        breaker=breaker,
+    )
+    cluster = ScatterGatherCluster(
+        lambda shard, query: 1.0, config, obs=registry, faults=injector
+    )
+    metrics = cluster.run(QUERIES, arrival_rate_qps=200.0)
+    return cluster, metrics
+
+
+class TestRetryStorm:
+    def test_unguarded_run_amplifies_load_on_the_dead_shard(self):
+        registry = MetricsRegistry()
+        cluster, metrics = run_with_dead_shard(registry=registry)
+        # Every query attempts 1 + max_retries legs against shard0.
+        assert cluster.legs_attempted[0] >= 4 * metrics.completed
+        assert cluster.legs_attempted[0] > cluster.legs_attempted[1]
+        assert registry.value("scatter.retries") >= 3 * metrics.completed
+        assert registry.value("resilience.breaker_opened") == 0
+
+    def test_breaker_bounds_attempted_legs(self):
+        registry = MetricsRegistry()
+        cluster, metrics = run_with_dead_shard(
+            breaker=BREAKER, registry=registry
+        )
+        # The breaker opens inside the first window of outcomes and the
+        # cool-off outlives the run, so attempted legs stay bounded by
+        # the window regardless of offered load.
+        assert metrics.completed > BREAKER.window
+        assert cluster.legs_attempted[0] <= BREAKER.window
+        assert registry.value("resilience.breaker_opened") == 1
+        assert registry.value("resilience.breaker_short_circuits") > 0
+        # Short-circuited legs are never retried: retry volume collapses
+        # versus the unguarded run.
+        assert registry.value("scatter.retries") < 4 * BREAKER.window
+        # The healthy shard keeps answering: queries complete partial.
+        assert registry.value("partial_results") == metrics.completed
+        assert registry.value("scatter.failed_queries") == 0
+
+    def test_breaker_cuts_dead_shard_traffic_versus_unguarded(self):
+        unguarded, _ = run_with_dead_shard()
+        guarded, _ = run_with_dead_shard(breaker=BREAKER)
+        assert guarded.legs_attempted[0] * 5 < unguarded.legs_attempted[0]
+        # Healthy-shard service is unaffected by the guard.
+        assert guarded.legs_attempted[1] > 0
+
+    def test_half_open_probe_after_cooloff(self):
+        registry = MetricsRegistry()
+        injector = FaultInjector()
+        injector.arm_forever("server.shard0", times=1_000_000)
+        config = ScatterConfig(
+            num_shards=2,
+            duration_ms=600.0,
+            seed=11,
+            shard_timeout_ms=20.0,
+            max_retries=0,
+            allow_partial=True,
+            min_shards=1,
+            breaker=BreakerConfig(
+                window=8,
+                failure_threshold=0.5,
+                min_samples=4,
+                reset_after_ms=100.0,
+                half_open_probes=1,
+            ),
+        )
+        cluster = ScatterGatherCluster(
+            lambda shard, query: 1.0, config, obs=registry, faults=injector
+        )
+        cluster.run(QUERIES, arrival_rate_qps=200.0)
+        # The breaker re-probes the still-dead shard after each 100ms
+        # cool-off and re-opens on the probe's failure.
+        assert registry.value("resilience.breaker_half_open") >= 2
+        assert registry.value("resilience.breaker_opened") >= 2
+        # Still bounded far below the unguarded 4-legs-per-query storm.
+        assert cluster.legs_attempted[0] <= 8 + 2 * 6
+
+
+class TestScatterConfigValidation:
+    """Satellite regression: constructor-time validation lives in
+    ``ScatterConfig.__post_init__`` and rejects nonsense before a
+    cluster ever runs."""
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_shards": 0},
+            {"cores_per_server": 0},
+            {"duration_ms": 0.0},
+            {"network_base_ms": -1.0},
+            {"network_jitter_ms": -0.1},
+            {"shard_timeout_ms": 0.0},
+            {"max_retries": -1},
+            {"retry_backoff_ms": -1.0},
+            {"min_shards": 0},
+            {"num_shards": 4, "min_shards": 5},
+            {"deadline_ms": 0.0},
+            {"deadline_ms": -10.0},
+            {"hedge_ms": 0.0},
+        ],
+    )
+    def test_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            ScatterConfig(**kwargs)
+
+    def test_defaults_are_valid(self):
+        config = ScatterConfig()
+        assert config.num_shards >= 1
+        assert config.deadline_ms is None
+        assert config.breaker is None
+        assert config.hedge_ms is None
+
+    def test_resilience_fields_accepted(self):
+        config = ScatterConfig(
+            deadline_ms=50.0, hedge_ms=15.0, breaker=BreakerConfig()
+        )
+        assert config.deadline_ms == 50.0
+        assert config.hedge_ms == 15.0

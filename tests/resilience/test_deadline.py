@@ -1,0 +1,237 @@
+"""Deadline budgets: clocks, expiry, constraints, and the partiality
+record — including the end-to-end property that the index probe loop
+never executes a probe after the budget expires."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.obs import MetricsRegistry
+from repro.resilience import Deadline, DegradedReason, ManualClock
+
+
+def ad(text, listing_id=0):
+    return Advertisement.from_text(text, AdInfo(listing_id=listing_id))
+
+
+class TestManualClock:
+    def test_advances(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(12.5)
+        assert clock() == 12.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-1.0)
+
+
+class TestDeadline:
+    def test_after_ms_expires_on_the_clock(self):
+        clock = ManualClock()
+        deadline = Deadline.after_ms(10.0, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining_ms() == 10.0
+        clock.advance(9.999)
+        assert not deadline.expired()
+        clock.advance(0.001)
+        assert deadline.expired()
+        assert deadline.remaining_ms() == 0.0
+
+    def test_unlimited_never_expires(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.expired()
+        assert deadline.remaining_ms() == float("inf")
+
+    def test_unlimited_accepts_injected_clock(self):
+        clock = ManualClock()
+        deadline = Deadline.unlimited(clock=clock)
+        clock.advance(1e9)
+        assert not deadline.expired()
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after_ms(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after_ms(-5.0)
+
+    def test_invalid_constraints_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.unlimited(max_probes=0)
+        with pytest.raises(ValueError):
+            Deadline.unlimited(max_query_words=0)
+
+    def test_tighten_keeps_strictest(self):
+        deadline = Deadline.unlimited(max_probes=100, max_query_words=8)
+        deadline.tighten(max_probes=50, max_query_words=10)
+        assert deadline.max_probes == 50
+        assert deadline.max_query_words == 8
+        deadline.tighten(max_probes=None)
+        assert deadline.max_probes == 50
+
+    def test_tighten_sets_unset_knobs(self):
+        deadline = Deadline.unlimited()
+        deadline.tighten(max_probes=16, max_query_words=4)
+        assert deadline.max_probes == 16
+        assert deadline.max_query_words == 4
+
+    def test_partiality_record(self):
+        deadline = Deadline.unlimited()
+        assert not deadline.partial
+        assert deadline.primary_reason() is DegradedReason.NONE
+        deadline.mark_partial(DegradedReason.DEADLINE)
+        deadline.mark_partial(DegradedReason.PARTIAL_SHARDS)
+        assert deadline.partial
+        assert deadline.partial_reasons == (
+            DegradedReason.DEADLINE,
+            DegradedReason.PARTIAL_SHARDS,
+        )
+        assert deadline.primary_reason() is DegradedReason.DEADLINE
+
+
+class ReadCountClock:
+    """Returns the number of prior reads: 0, 1, 2, ...
+
+    ``Deadline.after_ms(k, clock)`` consumes read 0, so the probe loop's
+    ``expired()`` checks read 1, 2, ...; the deadline expires exactly at
+    read ``k``, i.e. after ``k - 1`` probes were allowed through.
+    """
+
+    def __init__(self):
+        self.reads = 0
+
+    def __call__(self):
+        value = float(self.reads)
+        self.reads += 1
+        return value
+
+
+@pytest.fixture()
+def corpus():
+    return AdCorpus(
+        [
+            ad("used books", 1),
+            ad("comic books", 2),
+            ad("books", 3),
+            ad("cheap used books", 4),
+            ad("cheap", 5),
+        ]
+    )
+
+
+class TestIndexDeadline:
+    def test_expired_budget_probes_nothing(self, corpus):
+        registry = MetricsRegistry()
+        index = WordSetIndex.from_corpus(corpus, obs=registry)
+        clock = ManualClock()
+        deadline = Deadline.after_ms(5.0, clock=clock)
+        clock.advance(10.0)
+        result = index.query(Query.from_text("cheap used books"), deadline=deadline)
+        assert result == []
+        assert deadline.partial
+        assert DegradedReason.DEADLINE in deadline.partial_reasons
+        assert registry.value("index.probes") == 0
+        assert registry.value("resilience.deadline_partials") == 1
+
+    def test_generous_budget_matches_undeadlined_query(self, corpus):
+        index = WordSetIndex.from_corpus(corpus)
+        query = Query.from_text("cheap used books")
+        full = index.query(query)
+        deadline = Deadline.after_ms(1e9)
+        assert index.query(query, deadline=deadline) == full
+        assert not deadline.partial
+
+    def test_max_probes_caps_and_flags(self, corpus):
+        index = WordSetIndex.from_corpus(corpus)
+        query = Query.from_text("cheap used books")
+        full_probes = index.probe_count(query)
+        assert full_probes > 1
+        deadline = Deadline.unlimited(max_probes=1)
+        result = index.query(query, deadline=deadline)
+        assert DegradedReason.PROBES_CAPPED in deadline.partial_reasons
+        full = index.query(query)
+        assert {a.info.listing_id for a in result} <= {
+            a.info.listing_id for a in full
+        }
+
+    def test_max_query_words_truncates_and_flags(self, corpus):
+        index = WordSetIndex.from_corpus(corpus)
+        deadline = Deadline.unlimited(max_query_words=1)
+        index.query(Query.from_text("cheap used books"), deadline=deadline)
+        assert DegradedReason.TRUNCATED in deadline.partial_reasons
+
+
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"]
+
+phrase_strategy = st.lists(
+    st.sampled_from(WORDS), min_size=1, max_size=4, unique=True
+)
+corpus_strategy = st.lists(phrase_strategy, min_size=1, max_size=8)
+query_strategy = st.lists(
+    st.sampled_from(WORDS), min_size=1, max_size=5, unique=True
+)
+
+
+class TestDeadlineProperty:
+    """Satellite: the hypothesis deadline-budget property.
+
+    For any corpus, query, and expiry point: (a) no probe executes after
+    the budget expires, (b) a short result is always flagged partial
+    with the DEADLINE reason, and (c) a budget generous enough for the
+    whole plan returns exactly the no-deadline answer, unflagged.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        phrases=corpus_strategy,
+        query_words=query_strategy,
+        budget=st.integers(min_value=1, max_value=40),
+    )
+    def test_probe_loop_respects_expiry(self, phrases, query_words, budget):
+        corpus = AdCorpus(
+            [ad(" ".join(phrase), i) for i, phrase in enumerate(phrases)]
+        )
+        registry = MetricsRegistry()
+        index = WordSetIndex.from_corpus(corpus, obs=registry)
+        query = Query.from_text(" ".join(query_words))
+        full = index.query(query)
+        full_probes = index.probe_count(query)
+        probes_before = registry.value("index.probes")
+
+        clock = ReadCountClock()
+        deadline = Deadline.after_ms(float(budget), clock=clock)
+        result = index.query(query, deadline=deadline)
+
+        # (a) Exactly min(full, budget - 1) probes ran: the loop checks
+        # the budget before every probe and stops at the first expiry.
+        allowed = budget - 1
+        executed = registry.value("index.probes") - probes_before
+        assert executed == min(full_probes, allowed)
+
+        if allowed >= full_probes:
+            # (c) A generous budget is invisible: identical results, no
+            # partiality flag.
+            assert result == full
+            assert not deadline.partial
+        else:
+            # (b) A short result is flagged, never silent.
+            assert deadline.partial
+            assert DegradedReason.DEADLINE in deadline.partial_reasons
+            assert {a.info.listing_id for a in result} <= {
+                a.info.listing_id for a in full
+            }
+
+    @settings(max_examples=30, deadline=None)
+    @given(phrases=corpus_strategy, query_words=query_strategy)
+    def test_unlimited_deadline_is_invisible(self, phrases, query_words):
+        corpus = AdCorpus(
+            [ad(" ".join(phrase), i) for i, phrase in enumerate(phrases)]
+        )
+        index = WordSetIndex.from_corpus(corpus)
+        query = Query.from_text(" ".join(query_words))
+        deadline = Deadline.unlimited()
+        assert index.query(query, deadline=deadline) == index.query(query)
+        assert not deadline.partial

@@ -1,0 +1,102 @@
+"""The overload-smoke gate: the seeded drill must shed without
+collapsing, answer every admitted query inside its deadline, and raise
+nothing.  CI runs this job on every push."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.resilience.overload import (
+    SHED_FRACTION_BAND,
+    WITHIN_DEADLINE_GATE,
+    OverloadConfig,
+    OverloadReport,
+    run_overload_drill,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_overload_drill()
+
+
+class TestGates:
+    def test_all_gates_pass(self, report):
+        assert report.passed(), report.gates()
+
+    def test_no_unhandled_exceptions(self, report):
+        assert report.unhandled_exceptions == 0
+
+    def test_admitted_queries_answer_within_deadline(self, report):
+        assert report.within_deadline_fraction >= WITHIN_DEADLINE_GATE
+        assert report.max_ms <= OverloadConfig().deadline_ms + 1e-9
+
+    def test_shed_fraction_in_band(self, report):
+        lo, hi = SHED_FRACTION_BAND
+        assert lo <= report.shed_fraction <= hi
+
+    def test_resilience_features_actually_engaged(self, report):
+        # The drill is only a drill if the machinery it exists to
+        # exercise actually fired.
+        assert report.shed > 0
+        assert report.breaker_opened > 0
+        assert report.breaker_short_circuits > 0
+        assert report.deadline_completions >= 0
+        assert sum(report.legs_attempted) > 0
+
+    def test_breaker_starves_the_error_shard(self, report):
+        config = OverloadConfig()
+        healthy = [
+            shard
+            for shard in range(config.num_shards)
+            if shard not in (config.error_shard, config.slow_shard)
+        ]
+        # The dead shard gets strictly less work than a healthy one.
+        assert all(
+            report.legs_attempted[config.error_shard]
+            < report.legs_attempted[shard]
+            for shard in healthy
+        )
+
+
+class TestDeterminism:
+    def test_same_config_same_report(self, report):
+        again = run_overload_drill()
+        assert again.as_dict() == report.as_dict()
+
+    def test_registry_injection(self):
+        registry = MetricsRegistry()
+        run_overload_drill(obs=registry)
+        assert registry.value("resilience.shed") > 0
+        assert registry.value("resilience.breaker_opened") > 0
+        assert registry.value("scatter.shed_queries") > 0
+
+
+class TestConfigValidation:
+    def test_rejects_out_of_range_shards(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(slow_shard=9)
+        with pytest.raises(ValueError):
+            OverloadConfig(error_shard=-1)
+
+    def test_rejects_bad_slow_factor(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(slow_factor=0.5)
+
+    def test_rejects_negative_burst(self):
+        with pytest.raises(ValueError):
+            OverloadConfig(error_burst_legs=-1)
+
+
+class TestReport:
+    def test_gates_dict_shape(self):
+        gates = OverloadReport().gates()
+        assert set(gates) == {
+            "no_unhandled_exceptions",
+            "within_deadline",
+            "shed_fraction_in_band",
+        }
+
+    def test_empty_report_fails_shed_band(self):
+        # A run that shed nothing means overload never happened: the
+        # smoke scenario itself is broken and the gate must say so.
+        assert not OverloadReport().passed()

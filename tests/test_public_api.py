@@ -19,6 +19,7 @@ SUBPACKAGES = [
     "repro.serving",
     "repro.perf",
     "repro.faults",
+    "repro.resilience",
 ]
 
 
