@@ -1,0 +1,99 @@
+"""Benches for the array-at-a-time probe kernels (``repro.kernels``).
+
+The acceptance gates for the kernel rewrite: on the steady-state
+long-query batch workload, kernel-backend batch QPS through
+:class:`~repro.perf.batch.BatchQueryEngine` must be at least 3x the
+``REPRO_KERNELS=off`` scalar baseline on the packed serving path and at
+least 2x on the mutable index, with bit-identical result slates.  The
+full comparison document is persisted to ``BENCH_PR6.json`` at the repo
+root (also produced standalone by ``python -m repro.kernels.bench``).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.wordset_index import WordSetIndex
+from repro.kernels import resolve_backend, set_backend
+from repro.kernels.bench import run_kernel_bench
+from repro.perf.batch import BatchQueryEngine
+from repro.perf.bench import make_long_queries
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+QUERY_LEN = 16
+NUM_QUERIES = 48
+
+
+@pytest.fixture(scope="module")
+def long_queries(generated, workload):
+    return make_long_queries(
+        generated, workload, NUM_QUERIES, QUERY_LEN, seed=7
+    )
+
+
+@pytest.fixture(scope="module")
+def index(corpus):
+    return WordSetIndex.from_corpus(corpus)
+
+
+def replay_ids(engine, queries):
+    return [
+        sorted(ad.info.listing_id for ad in ads)
+        for ads in engine.query_broad_batch(queries)
+    ]
+
+
+def test_kernel_batch_identical_to_scalar(index, long_queries):
+    engine = BatchQueryEngine(index)
+    set_backend("off")
+    try:
+        scalar = replay_ids(engine, long_queries)
+    finally:
+        set_backend(None)
+    for backend in ("python", resolve_backend(None)):
+        set_backend(backend)
+        try:
+            assert replay_ids(engine, long_queries) == scalar, backend
+        finally:
+            set_backend(None)
+
+
+def test_bench_kernel_batch(benchmark, index, long_queries):
+    engine = BatchQueryEngine(index)
+    engine.query_broad_batch(long_queries)  # warm plan/key caches
+    results = benchmark.pedantic(
+        lambda: engine.query_broad_batch(long_queries),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(results) == len(long_queries)
+
+
+def test_bench_scalar_baseline(benchmark, index, long_queries):
+    engine = BatchQueryEngine(index)
+    set_backend("off")
+    try:
+        results = benchmark.pedantic(
+            lambda: engine.query_broad_batch(long_queries),
+            rounds=3,
+            iterations=1,
+        )
+    finally:
+        set_backend(None)
+    assert len(results) == len(long_queries)
+
+
+def test_full_bench_document_persisted():
+    """Run the standalone kernel benchmark on the standard corpus and pin
+    the acceptance gates on the persisted ``BENCH_PR6.json`` document.
+    ``run_kernel_bench`` raises on a gate violation itself; the asserts
+    here pin the persisted numbers a second time."""
+    results = run_kernel_bench()
+    assert results["wordset_index"]["identical_results"]
+    assert results["packed_segment"]["identical_results"]
+    assert results["wordset_index"]["speedup"] >= 2.0
+    assert results["packed_segment"]["speedup"] >= 3.0
+    out = REPO_ROOT / "BENCH_PR6.json"
+    out.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")

@@ -16,7 +16,8 @@ measure and compare structures.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Mapping
+from collections import OrderedDict
+from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
 from time import perf_counter
 
@@ -28,6 +29,8 @@ from repro.core.queries import Query
 from repro.core.subset_enum import sized_subsets
 from repro.core.wordhash import wordhash
 from repro.cost.accounting import AccessTracker
+from repro.kernels import active_backend
+from repro.kernels.flat import flat_probe_keys
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.memohash import hashed_index_subsets, word_contrib
 from repro.perf.prefilter import ProbePlan, plan_for_query
@@ -140,6 +143,18 @@ class WordSetIndex:
         #: locator size -> number of live placements with that size; lets
         #: probe plans cap and skip subset sizes no locator has.
         self._size_histogram: dict[int, int] = {}
+        #: Bumped on every structural mutation; the kernel path's sorted
+        #: key table is a per-generation snapshot rebuilt lazily.
+        self._mutation_gen = 0
+        self._kernel_table = None
+        self._kernel_table_gen = -1
+        #: Bounded word-set -> ProbePlan memo for deadline-free kernel
+        #: batches; plans depend only on prefilter state, so one
+        #: generation's plans are reusable until the next mutation.
+        self._plan_cache: OrderedDict[frozenset[str], ProbePlan] = (
+            OrderedDict()
+        )
+        self._plan_cache_gen = -1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -193,6 +208,7 @@ class WordSetIndex:
         elif locator is None:
             locator = ad.words
         self._check_locator(ad, locator)
+        self._mutation_gen += 1
         key = wordhash(locator)
         node = self._nodes.get(key)
         if node is None:
@@ -266,6 +282,7 @@ class WordSetIndex:
         node = self._nodes.get(key)
         if node is None or not node.remove(ad):
             return False
+        self._mutation_gen += 1
         self._num_ads -= 1
         if not any(e.ad.words == ad.words for e in node.entries):
             del self._placement[ad.words]
@@ -496,6 +513,211 @@ class WordSetIndex:
             matched = self.query(queries[positions[0]])
             for position in positions:
                 results[position] = list(matched)
+        return results
+
+    # ------------------------------------------------------------------ #
+    # Kernel (array-at-a-time) batch path — see :mod:`repro.kernels`.
+
+    def query_kernel_batch(
+        self,
+        queries: Sequence[Query],
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
+    ) -> list[list[Advertisement]]:
+        """Batch entry point for the :mod:`repro.kernels` fast path.
+
+        Answers every query through flat precomputed probe-key arrays
+        and (under the numpy backend) one bulk membership pass over the
+        whole batch, instead of a per-probe interpreted loop.  Results,
+        observability counters, and deadline-constraint handling are
+        bit-identical to calling :meth:`query` per query; situations
+        that need per-probe observation points — a bound tracker, a
+        *timed* deadline, or a swapped-in hash function — fall back to
+        the scalar path.
+        """
+        queries = list(queries)
+        backend = active_backend()
+        if (
+            backend == "off"
+            or wordhash is not _CANONICAL_WORDHASH
+            or self.tracker is not None
+            or (deadline is not None and deadline.timed)
+        ):
+            return [self._probe(q, match_type, deadline) for q in queries]
+        plans = self._kernel_plans(queries, deadline)
+        if backend == "numpy":
+            return self._kernel_batch_numpy(queries, plans, match_type)
+        return self._kernel_batch_python(queries, plans, match_type)
+
+    #: Bound on the per-generation plan memo (one power-law head).
+    _MAX_CACHED_PLANS = 4096
+
+    def _kernel_plans(
+        self, queries: list[Query], deadline: Deadline | None
+    ) -> list[ProbePlan]:
+        """Probe plans for a kernel batch, memoized across batches.
+
+        A deadline can carry request-specific degradation constraints
+        (and must record partiality marks), so only deadline-free
+        queries hit the memo; it is dropped wholesale at the first
+        batch after any index mutation.
+        """
+        if deadline is not None:
+            return [self.probe_plan(q.words, deadline) for q in queries]
+        cache = self._plan_cache
+        if self._plan_cache_gen != self._mutation_gen:
+            cache.clear()
+            self._plan_cache_gen = self._mutation_gen
+        plans = []
+        for query in queries:
+            plan = cache.get(query.words)
+            if plan is None:
+                plan = self.probe_plan(query.words)
+                cache[query.words] = plan
+                if len(cache) > self._MAX_CACHED_PLANS:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(query.words)
+            plans.append(plan)
+        return plans
+
+    def _node_key_table(self):
+        """Sorted ``uint64`` snapshot of the node keys for bulk
+        membership, rebuilt lazily after mutations."""
+        from repro.kernels.probe import SortedKeyTable
+
+        table = self._kernel_table
+        if (
+            table is None
+            or self._kernel_table_gen != self._mutation_gen
+            or len(table) != len(self._nodes)
+        ):
+            table = SortedKeyTable(self._nodes.keys(), len(self._nodes))
+            self._kernel_table = table
+            self._kernel_table_gen = self._mutation_gen
+        return table
+
+    def _kernel_batch_numpy(
+        self,
+        queries: list[Query],
+        plans: list[ProbePlan],
+        match_type: MatchType,
+    ) -> list[list[Advertisement]]:
+        import numpy as np
+
+        from repro.kernels.probe import split_by_query
+
+        keys_per = [
+            flat_probe_keys(plan.candidates, plan.sizes, "numpy")
+            for plan in plans
+        ]
+        boundaries: list[int] = []
+        total = 0
+        for keys in keys_per:
+            total += len(keys)
+            boundaries.append(total)
+        if total:
+            all_keys = (
+                np.concatenate(keys_per) if len(keys_per) > 1 else keys_per[0]
+            )
+            hits = self._node_key_table().hit_positions(all_keys)
+            # One C-speed conversion for the whole batch's (few) hits.
+            hit_keys: list[int] = all_keys[hits].tolist()
+            ends = split_by_query(hits, boundaries).tolist()
+        else:
+            hit_keys = []
+            ends = [0] * len(queries)
+        out: list[list[Advertisement]] = []
+        start = 0
+        for i, query in enumerate(queries):
+            end = ends[i]
+            out.append(
+                self._kernel_scan_one(
+                    query,
+                    plans[i],
+                    len(keys_per[i]),
+                    hit_keys[start:end],
+                    match_type,
+                )
+            )
+            start = end
+        return out
+
+    def _kernel_batch_python(
+        self,
+        queries: list[Query],
+        plans: list[ProbePlan],
+        match_type: MatchType,
+    ) -> list[list[Advertisement]]:
+        nodes = self._nodes
+        out: list[list[Advertisement]] = []
+        for query, plan in zip(queries, plans):
+            keys = flat_probe_keys(plan.candidates, plan.sizes, "python")
+            out.append(
+                self._kernel_scan_one(
+                    query,
+                    plan,
+                    len(keys),
+                    (key for key in keys if key in nodes),
+                    match_type,
+                )
+            )
+        return out
+
+    def _kernel_scan_one(
+        self,
+        query: Query,
+        plan: ProbePlan,
+        num_probes: int,
+        hit_keys: Iterable[int],
+        match_type: MatchType,
+    ) -> list[Advertisement]:
+        """Scan one query's hit nodes, in probe-enumeration order,
+        recording the same per-query metrics as the scalar path.
+
+        ``hit_keys`` yields only the probed keys present in the table
+        (misses were eliminated in bulk); duplicate hits — subsets
+        colliding to one bucket — are deduplicated here exactly as the
+        scalar loop's ``visited`` set does.
+        """
+        obs = self._obs
+        started = perf_counter() if obs is not None else 0.0
+        words = plan.words
+        nodes = self._nodes
+        results: list[Advertisement] = []
+        visited: set[int] = set()
+        node_scans = 0
+        candidates = 0
+        scan_seconds = 0.0
+        for key in hit_keys:
+            if key in visited:
+                continue
+            visited.add(key)
+            node = nodes.get(key)
+            if node is None:  # table snapshot raced a mutation; stay exact
+                continue
+            if obs is None:
+                results.extend(
+                    self._scan_node(node, query, words, match_type)
+                )
+                continue
+            node_scans += 1
+            candidates += sum(
+                1 for e in node.entries if e.word_count <= len(words)
+            )
+            scan_started = perf_counter()
+            results.extend(self._scan_node(node, query, words, match_type))
+            scan_seconds += perf_counter() - scan_started
+        if obs is not None:
+            obs.counter("index.queries").inc()
+            obs.counter("index.probes").inc(num_probes)
+            obs.counter("index.node_scans").inc(node_scans)
+            obs.counter("index.candidates").inc(candidates)
+            obs.counter("index.results").inc(len(results))
+            obs.histogram("span.scan").observe(scan_seconds * 1e3)
+            obs.histogram("span.probe").observe(
+                (perf_counter() - started) * 1e3
+            )
         return results
 
     def _scan_node(

@@ -13,8 +13,12 @@ from __future__ import annotations
 import random
 from bisect import bisect_right
 from collections.abc import Sequence
+from math import floor, log
 
-import numpy as np
+try:  # Optional acceleration (the `perf` extra); never required.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    np = None  # type: ignore[assignment]
 
 
 class ZipfSampler:
@@ -28,10 +32,21 @@ class ZipfSampler:
         self.n = n
         self.exponent = exponent
         self._rng = random.Random(seed)
-        weights = np.arange(1, n + 1, dtype=float) ** -exponent
-        cdf = np.cumsum(weights)
-        cdf /= cdf[-1]
-        self._cdf: Sequence[float] = cdf.tolist()
+        if np is not None:
+            weights = np.arange(1, n + 1, dtype=float) ** -exponent
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf: Sequence[float] = cdf.tolist()
+        else:
+            # Same left-to-right IEEE accumulation as np.cumsum, so the
+            # fallback reproduces the numpy CDF bit-for-bit per seed.
+            running = 0.0
+            raw: list[float] = []
+            for rank in range(1, n + 1):
+                running += float(rank) ** -exponent
+                raw.append(running)
+            total = raw[-1]
+            self._cdf = [value / total for value in raw]
 
     def sample(self) -> int:
         """One rank in ``[1, n]`` (rank 1 is the most probable)."""
@@ -56,10 +71,16 @@ def zipf_frequencies(n: int, total: int, exponent: float = 1.0) -> list[int]:
     """
     if n < 1 or total < n:
         raise ValueError("need total >= n >= 1")
-    weights = np.arange(1, n + 1, dtype=float) ** -exponent
-    weights /= weights.sum()
-    freqs = np.maximum(1, np.floor(weights * total).astype(int))
-    return freqs.tolist()
+    if np is not None:
+        weights = np.arange(1, n + 1, dtype=float) ** -exponent
+        weights /= weights.sum()
+        freqs = np.maximum(1, np.floor(weights * total).astype(int))
+        return freqs.tolist()
+    raw = [float(rank) ** -exponent for rank in range(1, n + 1)]
+    denominator = sum(raw)
+    return [
+        max(1, floor(weight / denominator * total)) for weight in raw
+    ]
 
 
 def fit_power_law_slope(frequencies: Sequence[int]) -> float:
@@ -77,7 +98,17 @@ def fit_power_law_slope(frequencies: Sequence[int]) -> float:
             values.append(freq)
     if len(ranks) < 2:
         raise ValueError("need at least two positive frequencies")
-    x = np.log(np.asarray(ranks, dtype=float))
-    y = np.log(np.asarray(values, dtype=float))
-    slope, _intercept = np.polyfit(x, y, 1)
-    return float(slope)
+    if np is not None:
+        x = np.log(np.asarray(ranks, dtype=float))
+        y = np.log(np.asarray(values, dtype=float))
+        slope, _intercept = np.polyfit(x, y, 1)
+        return float(slope)
+    xs = [log(rank) for rank in ranks]
+    ys = [log(value) for value in values]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    covariance = sum(
+        (vx - mean_x) * (vy - mean_y) for vx, vy in zip(xs, ys)
+    )
+    variance = sum((vx - mean_x) ** 2 for vx in xs)
+    return covariance / variance

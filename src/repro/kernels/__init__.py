@@ -1,0 +1,142 @@
+"""Array-at-a-time probe kernels for the serving hot path.
+
+PR 1 cut hash probes ~134x and PR 4 cut resident memory 6.2x; what is
+left on the broad-match hot path is CPython interpreter overhead *per
+probe* and *per decoded node*.  This package restructures the inner
+loops shared by :class:`~repro.perf.batch.BatchQueryEngine`,
+:class:`~repro.core.wordset_index.WordSetIndex`, and
+:class:`~repro.segment.packed.PackedSegmentIndex` around bulk
+operations over flat arrays:
+
+* :mod:`repro.kernels.flat` — subset-hash enumeration flattened into
+  precomputed flat key arrays (cached across batches, since power-law
+  traffic re-probes the same word-sets constantly);
+* :mod:`repro.kernels.probe` — batched membership tests: one
+  ``searchsorted`` over the index's sorted key table, or one vectorized
+  bit-test pass against the segment's ``B^sig`` words, instead of a
+  Python-level probe loop.
+
+Two interchangeable backends implement the kernels:
+
+* ``numpy`` — vectorized enumeration and membership (optional
+  dependency, the ``perf`` extra);
+* ``python`` — pure-python fallback with zero dependencies, proven
+  bit-identical by the property suite in ``tests/kernels``.
+
+Backend selection is governed by the ``REPRO_KERNELS`` environment
+variable: ``numpy``, ``python``, ``auto`` (the default: numpy when
+importable, else python), or ``off`` (the pre-kernel scalar code paths,
+bit-identical to the engine before this package existed).
+
+**Equivalence guarantee.**  Every backend — and ``off`` — returns
+bit-identical result slates and records identical observability
+counters (``index.probes``, ``segment.probes``, node-scan and candidate
+counts) for any fault-free query, including plans capped by
+degradation constraints.  Kernels only change *how fast* the same
+probes run.  Time-budgeted deadlines, access trackers, and swapped-in
+hash functions (collision tests) all fall back to the scalar path,
+where per-probe deadline checks and per-probe accounting keep firing at
+exactly the points they always did.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKENDS",
+    "active_backend",
+    "engaged",
+    "numpy_available",
+    "resolve_backend",
+    "set_backend",
+]
+
+#: Environment variable naming the kernel backend.
+BACKEND_ENV = "REPRO_KERNELS"
+
+#: Accepted ``REPRO_KERNELS`` values.
+BACKENDS = ("auto", "numpy", "python", "off")
+
+try:  # The optional ``perf`` extra; the base install has no numpy.
+    import numpy as _np  # noqa: F401
+
+    _HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised in the no-numpy CI leg
+    _HAVE_NUMPY = False
+
+#: Process-wide override installed by :func:`set_backend` (tests, CLI).
+_OVERRIDE: str | None = None
+
+
+def numpy_available() -> bool:
+    """True when the numpy backend can be used in this process."""
+    return _HAVE_NUMPY
+
+
+def resolve_backend(value: str | None = None) -> str:
+    """Normalize a flag value to a concrete backend.
+
+    ``None`` and ``"auto"`` pick numpy when available, else python.
+    Explicitly requesting ``numpy`` without numpy installed raises —
+    a silent fallback would invalidate any benchmark run under it.
+    """
+    if value is None or value == "":
+        value = "auto"
+    value = value.strip().lower()
+    if value not in BACKENDS:
+        raise ValueError(
+            f"unknown kernel backend {value!r}; expected one of {BACKENDS}"
+        )
+    if value == "auto":
+        return "numpy" if _HAVE_NUMPY else "python"
+    if value == "numpy" and not _HAVE_NUMPY:
+        raise RuntimeError(
+            "REPRO_KERNELS=numpy but numpy is not installed "
+            "(pip install 'repro[perf]')"
+        )
+    return value
+
+
+def active_backend() -> str:
+    """The backend in effect: the :func:`set_backend` override when one
+    is installed, else the ``REPRO_KERNELS`` environment variable, else
+    auto-detection.  Returns ``"numpy"``, ``"python"``, or ``"off"``.
+    """
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    return resolve_backend(os.environ.get(BACKEND_ENV))
+
+
+def set_backend(value: str | None) -> None:
+    """Install (or with ``None`` remove) a process-wide backend
+    override taking precedence over the environment flag."""
+    global _OVERRIDE
+    _OVERRIDE = None if value is None else resolve_backend(value)
+
+
+def engaged(index: object, deadline: object = None) -> str | None:
+    """The backend the kernel path should use for ``index``, or ``None``
+    when the scalar path must serve instead.
+
+    The scalar path is required whenever per-probe observation points
+    matter more than throughput: an :class:`AccessTracker` charging
+    every probe, or a *timed* deadline checked between hash probes.
+    Plan-level degradation constraints (``max_probes`` /
+    ``max_query_words``) are applied before enumeration and therefore
+    work identically under kernels.
+    """
+    backend = active_backend()
+    if backend == "off":
+        return None
+    # Resolve on the class, not the instance: delegating wrappers
+    # (``CachedIndex.__getattr__``) would otherwise advertise the inner
+    # index's batch method and get silently bypassed.
+    if getattr(type(index), "query_kernel_batch", None) is None:
+        return None
+    if getattr(index, "tracker", None) is not None:
+        return None
+    if deadline is not None and getattr(deadline, "timed", True):
+        return None
+    return backend

@@ -1,0 +1,237 @@
+"""Kernel benchmark driver: batch QPS, scalar loop vs array kernels.
+
+Replays a steady-state broad-match batch workload — long queries, the
+regime where per-probe interpreter overhead dominates — through
+:class:`~repro.perf.batch.BatchQueryEngine` twice over otherwise
+identical state: once with ``REPRO_KERNELS=off`` (the pre-kernel scalar
+loops, the PR baseline) and once with the active kernel backend.
+Result slates are verified bit-identical, then single-thread batch QPS
+is compared; the same comparison runs against the dict-backed
+:class:`~repro.core.wordset_index.WordSetIndex` and the mmap-backed
+:class:`~repro.segment.packed.PackedSegmentIndex`.
+
+The acceptance gates (enforced inside :func:`run_kernel_bench` itself,
+and re-asserted by ``benchmarks/test_bench_kernels.py``): kernel-backend
+batch QPS must be at least **3x** the scalar baseline on the packed
+serving path and at least **2x** on the mutable index.  Results are
+written as JSON (``BENCH_PR6.json`` at the repo root by convention)::
+
+    PYTHONPATH=src python -m repro.kernels.bench --out BENCH_PR6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.kernels import active_backend, set_backend
+from repro.kernels.flat import clear_caches
+from repro.perf.batch import BatchQueryEngine
+from repro.perf.bench import make_long_queries
+from repro.segment.builder import SegmentBuilder
+from repro.segment.packed import PackedSegmentIndex
+
+
+def _slate_ids(results: list[list[Any]]) -> list[list[int]]:
+    return [sorted(ad.info.listing_id for ad in ads) for ads in results]
+
+
+def _replay(
+    engine: BatchQueryEngine,
+    batches: Sequence[Sequence[Query]],
+    passes: int,
+) -> tuple[list[list[int]], float]:
+    """Replay every batch ``passes`` times (first pass is untimed warmup,
+    so caches — decode, plan-key, node-key-table — reach steady state);
+    returns the final pass's slate ids and the best (min) pass seconds,
+    the standard noise-resistant wall-clock estimator."""
+    slates: list[list[int]] = []
+    for batch in batches:  # warmup, untimed
+        engine.query_broad_batch(batch)
+    best = float("inf")
+    for _ in range(passes):
+        slates = []
+        start = time.perf_counter()
+        for batch in batches:
+            slates.extend(_slate_ids(engine.query_broad_batch(batch)))
+        best = min(best, time.perf_counter() - start)
+    return slates, best
+
+
+def _compare(
+    make_index: Any,
+    batches: Sequence[Sequence[Query]],
+    passes: int,
+    backend: str,
+) -> dict[str, Any]:
+    """Baseline (``off``) vs kernel replay over fresh index instances."""
+    num_queries = sum(len(batch) for batch in batches)
+
+    set_backend("off")
+    try:
+        baseline_slates, baseline_seconds = _replay(
+            BatchQueryEngine(make_index()), batches, passes
+        )
+    finally:
+        set_backend(None)
+
+    clear_caches()
+    set_backend(backend)
+    try:
+        kernel_slates, kernel_seconds = _replay(
+            BatchQueryEngine(make_index()), batches, passes
+        )
+    finally:
+        set_backend(None)
+
+    if kernel_slates != baseline_slates:
+        raise AssertionError(
+            "kernel results diverged from the scalar baseline"
+        )
+    baseline_qps = num_queries / max(1e-9, baseline_seconds)
+    kernel_qps = num_queries / max(1e-9, kernel_seconds)
+    return {
+        "identical_results": True,
+        "queries_timed": num_queries,
+        "baseline": {"seconds": baseline_seconds, "qps": baseline_qps},
+        "kernel": {"seconds": kernel_seconds, "qps": kernel_qps},
+        "speedup": kernel_qps / baseline_qps,
+    }
+
+
+def run_kernel_bench(
+    num_ads: int = 4_000,
+    num_queries: int = 96,
+    query_len: int = 16,
+    batch_size: int = 32,
+    passes: int = 5,
+    seed: int = 0,
+    backend: str | None = None,
+    enforce_gates: bool = True,
+) -> dict[str, Any]:
+    """Execute the full comparison; returns the results document."""
+    backend = backend if backend is not None else active_backend()
+    if backend == "off":
+        raise ValueError("cannot benchmark the kernels with REPRO_KERNELS=off")
+    generated = generate_corpus(CorpusConfig(num_ads=num_ads, seed=seed))
+    workload = generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=max(200, num_queries),
+            total_frequency=10 * max(200, num_queries),
+            seed=seed + 1,
+        ),
+    )
+    queries = make_long_queries(
+        generated, workload, num_queries, query_len, seed=seed + 2
+    )
+    batches = [
+        queries[i : i + batch_size]
+        for i in range(0, len(queries), batch_size)
+    ]
+
+    index_doc = _compare(
+        lambda: WordSetIndex.from_corpus(generated.corpus),
+        batches,
+        passes,
+        backend,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        segment_path = Path(tmp) / "bench.seg"
+        SegmentBuilder(
+            WordSetIndex.from_corpus(generated.corpus)
+        ).write(segment_path)
+        segment = PackedSegmentIndex(segment_path)
+        try:
+            segment_doc = _compare(
+                lambda: segment, batches, passes, backend
+            )
+        finally:
+            segment.close()
+
+    # The PR acceptance gate, enforced here so any run of the benchmark
+    # (standalone or through the bench suite) fails loudly on a
+    # regression: the packed serving path — the live query tier — must
+    # hold >= 3x batch QPS over the pre-kernel scalar engine, and the
+    # mutable index must hold >= 2x.
+    gates = {"packed_segment": 3.0, "wordset_index": 2.0}
+    docs = {"wordset_index": index_doc, "packed_segment": segment_doc}
+    if enforce_gates:
+        for name, minimum in gates.items():
+            speedup = docs[name]["speedup"]
+            if speedup < minimum:
+                raise AssertionError(
+                    f"{name} kernel speedup {speedup:.2f}x is below the "
+                    f"{minimum:.1f}x gate (backend={backend})"
+                )
+    return {
+        "benchmark": "kernels",
+        "backend": backend,
+        "config": {
+            "num_ads": num_ads,
+            "num_queries": num_queries,
+            "query_len": query_len,
+            "batch_size": batch_size,
+            "passes": passes,
+            "seed": seed,
+        },
+        "gates": gates,
+        "wordset_index": index_doc,
+        "packed_segment": segment_doc,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.kernels.bench",
+        description="Kernel batch-QPS benchmark (writes JSON).",
+    )
+    parser.add_argument("--out", default="BENCH_PR6.json")
+    parser.add_argument("--num-ads", type=int, default=4_000)
+    parser.add_argument("--num-queries", type=int, default=96)
+    parser.add_argument("--query-len", type=int, default=16)
+    parser.add_argument("--batch-size", type=int, default=32)
+    parser.add_argument("--passes", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=("numpy", "python"),
+        help="Kernel backend to compare against the scalar baseline "
+        "(default: the active REPRO_KERNELS backend).",
+    )
+    args = parser.parse_args(argv)
+    results = run_kernel_bench(
+        num_ads=args.num_ads,
+        num_queries=args.num_queries,
+        query_len=args.query_len,
+        batch_size=args.batch_size,
+        passes=args.passes,
+        seed=args.seed,
+        backend=args.backend,
+    )
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for name in ("wordset_index", "packed_segment"):
+        doc = results[name]
+        print(
+            f"{name}: {doc['baseline']['qps']:,.0f} -> "
+            f"{doc['kernel']['qps']:,.0f} qps "
+            f"({doc['speedup']:.1f}x, backend={results['backend']})"
+        )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

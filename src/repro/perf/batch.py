@@ -30,6 +30,7 @@ from repro.core.ads import Advertisement
 from repro.core.matching import MatchType
 from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query
+from repro.kernels import engaged as _kernels_engaged
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.resilience.deadline import Deadline, DegradedReason
 
@@ -154,19 +155,18 @@ class BatchQueryEngine:
                 shards, representatives, match_type, deadline
             )
         else:
-            per_rep = []
-            for query in representatives:
-                if deadline is not None and deadline.expired():
-                    deadline.mark_partial(DegradedReason.DEADLINE)
-                    per_rep.append([])
-                    continue
-                per_rep.append(
-                    self._query_one(self.index, query, match_type, deadline)
-                )
+            per_rep = self._probe_representatives(
+                self.index, representatives, match_type, deadline
+            )
 
         results: list[list[Advertisement]] = [[] for _ in queries]
         for key, matched in zip(ordered_keys, per_rep):
-            for position in groups[key]:
+            positions = groups[key]
+            # The representative's slate is a fresh list owned by this
+            # batch — hand it to the first asker and copy only for
+            # duplicate positions, so a dedup hit costs no allocation.
+            results[positions[0]] = matched
+            for position in positions[1:]:
                 results[position] = list(matched)
         self.stats.batches += 1
         self.stats.queries += len(queries)
@@ -176,6 +176,33 @@ class BatchQueryEngine:
 
     # ------------------------------------------------------------------ #
 
+    def _probe_representatives(
+        self,
+        index: RetrievalIndex,
+        representatives: Sequence[Query],
+        match_type: MatchType,
+        deadline: Deadline | None = None,
+    ) -> list[list[Advertisement]]:
+        """Probe every deduplicated representative against one index.
+
+        When the :mod:`repro.kernels` fast path is engaged the whole
+        columnar batch is handed to the index's ``query_kernel_batch``
+        in one call; otherwise the scalar per-query loop runs with its
+        between-representative deadline checks.
+        """
+        if _kernels_engaged(index, deadline) is not None:
+            return index.query_kernel_batch(  # type: ignore[attr-defined]
+                representatives, match_type, deadline
+            )
+        out: list[list[Advertisement]] = []
+        for query in representatives:
+            if deadline is not None and deadline.expired():
+                deadline.mark_partial(DegradedReason.DEADLINE)
+                out.append([])
+                continue
+            out.append(self._query_one(index, query, match_type, deadline))
+        return out
+
     def _scatter_shards(
         self,
         shards: Sequence,
@@ -184,21 +211,14 @@ class BatchQueryEngine:
         deadline: Deadline | None = None,
     ) -> list[list[Advertisement]]:
         """Run every shard over the whole deduplicated batch, one shard per
-        worker, and gather per-query unions in shard order."""
+        worker, and gather per-query unions in shard order.  Each worker
+        receives the same columnar probe batch; shards on the kernel
+        fast path answer it in bulk."""
 
         def run_shard(shard) -> list[list[Advertisement]]:
-            shard_results: list[list[Advertisement]] = []
-            for query in representatives:
-                if deadline is not None and deadline.expired():
-                    # Each worker stops independently; the shared budget
-                    # object records the partiality once.
-                    deadline.mark_partial(DegradedReason.DEADLINE)
-                    shard_results.append([])
-                    continue
-                shard_results.append(
-                    self._query_one(shard, query, match_type, deadline)
-                )
-            return shard_results
+            return self._probe_representatives(
+                shard, representatives, match_type, deadline
+            )
 
         workers = self.max_workers
         if workers is None:

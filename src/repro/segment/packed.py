@@ -39,6 +39,7 @@ from __future__ import annotations
 import hashlib
 import mmap
 from array import array
+from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from pathlib import Path
 from time import perf_counter
@@ -51,6 +52,8 @@ from repro.core.queries import Query
 from repro.core.subset_enum import sized_subsets
 from repro.core.wordhash import hash_suffix, wordhash
 from repro.cost.accounting import AccessTracker
+from repro.kernels import active_backend, numpy_available
+from repro.kernels.flat import flat_probe_keys
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.perf.memohash import hashed_index_subsets, word_contrib
 from repro.perf.prefilter import ProbePlan, plan_for_query
@@ -106,6 +109,19 @@ class PackedSegmentIndex:
         self._phrase_cache: dict[
             tuple[str, ...], tuple[tuple[str, ...], frozenset[str]]
         ] = {}
+        # Ad intern table: re-decoding a node outside the bounded cache
+        # returns the *same* Advertisement objects, so steady-state
+        # queries retain no new per-node lists/strings (the kernels
+        # zero-allocation decode guarantee).  Charged to
+        # :meth:`resident_bytes` like every other Python-side table.
+        self._ad_intern: dict[tuple[object, ...], Advertisement] = {}
+        #: Bounded word-set -> ProbePlan memo for deadline-free kernel
+        #: batches (the segment is immutable, so plans never go stale).
+        self._plan_cache: OrderedDict[frozenset[str], ProbePlan] = (
+            OrderedDict()
+        )
+        #: ``B^sig`` words as a zero-copy numpy view (numpy backend only).
+        self._sig_np: Any = None
         try:
             with self.path.open("rb") as handle:
                 try:
@@ -153,6 +169,12 @@ class PackedSegmentIndex:
         self._views.extend((bsig_view, boff_view, nodes_view))
         self.bsig = PackedBits.from_buffer(bsig_view, bsig_bits)
         self.boff = PackedBits.from_buffer(boff_view, boff_bits)
+        if numpy_available():
+            from repro.kernels.probe import sig_words_array
+
+            # Zero-copy u64 view for the vectorized bulk bit-test; must
+            # be dropped before the mmap views are released on close.
+            self._sig_np = sig_words_array(bsig_view)
         self._nodes_buf = nodes_view
         self._nodes_len = nodes_len
 
@@ -220,6 +242,9 @@ class PackedSegmentIndex:
         self._closed = True
         self._node_cache.clear()
         self._phrase_cache.clear()
+        self._ad_intern.clear()
+        self._plan_cache.clear()
+        self._sig_np = None  # drop the buffer export before releasing views
         for packed in (getattr(self, "bsig", None), getattr(self, "boff", None)):
             if packed is not None:
                 packed.release()
@@ -402,6 +427,207 @@ class PackedSegmentIndex:
         return apply_match_type(results, query, match_type)
 
     # ------------------------------------------------------------------ #
+    # Kernel (array-at-a-time) batch path — see :mod:`repro.kernels`.
+
+    def query_kernel_batch(
+        self,
+        queries: Iterable[Query],
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
+    ) -> list[list[Advertisement]]:
+        """Batch entry point for the :mod:`repro.kernels` fast path.
+
+        Probes every query's flat key array against ``B^sig`` in bulk —
+        one vectorized gather-shift-mask pass under the numpy backend,
+        one tight local-variable loop under the python backend — instead
+        of a per-probe interpreted loop.  Results and observability
+        counters are bit-identical to calling :meth:`query` per query;
+        bound trackers, *timed* deadlines, and swapped-in hash functions
+        fall back to the scalar path.
+        """
+        batch = list(queries)
+        backend = active_backend()
+        if (
+            backend == "off"
+            or wordhash is not _CANONICAL_WORDHASH
+            or self.tracker is not None
+            or (deadline is not None and deadline.timed)
+        ):
+            return [self.query(q, match_type, deadline) for q in batch]
+        plans = self._kernel_plans(batch, deadline)
+        if backend == "numpy" and self._sig_np is not None:
+            return self._kernel_batch_numpy(batch, plans, match_type)
+        return self._kernel_batch_python(batch, plans, match_type)
+
+    #: Bound on the plan memo (one power-law head).
+    _MAX_CACHED_PLANS = 4096
+
+    def _kernel_plans(
+        self, queries: list[Query], deadline: Deadline | None
+    ) -> list[ProbePlan]:
+        """Probe plans for a kernel batch, memoized across batches.
+
+        Deadlines carry request-specific degradation constraints (and
+        record partiality), so only deadline-free queries hit the memo.
+        """
+        if deadline is not None:
+            return [self.probe_plan(q.words, deadline) for q in queries]
+        cache = self._plan_cache
+        plans = []
+        for query in queries:
+            plan = cache.get(query.words)
+            if plan is None:
+                plan = self.probe_plan(query.words)
+                cache[query.words] = plan
+                if len(cache) > self._MAX_CACHED_PLANS:
+                    cache.popitem(last=False)
+            else:
+                cache.move_to_end(query.words)
+            plans.append(plan)
+        return plans
+
+    def _kernel_batch_numpy(
+        self,
+        queries: list[Query],
+        plans: list[ProbePlan],
+        match_type: MatchType,
+    ) -> list[list[Advertisement]]:
+        import numpy as np
+
+        from repro.kernels.probe import sig_hit_positions, split_by_query
+
+        keys_per = [
+            flat_probe_keys(plan.candidates, plan.sizes, "numpy")
+            for plan in plans
+        ]
+        boundaries: list[int] = []
+        total = 0
+        for keys in keys_per:
+            total += len(keys)
+            boundaries.append(total)
+        if total:
+            all_keys = (
+                np.concatenate(keys_per) if len(keys_per) > 1 else keys_per[0]
+            )
+            suffixes = all_keys & np.uint64((1 << self.suffix_bits) - 1)
+            hits = sig_hit_positions(suffixes, self._sig_np)
+            # One C-speed conversion for the whole batch's (few) hits.
+            hit_suffixes: list[int] = suffixes[hits].tolist()
+            ends: list[int] = split_by_query(hits, boundaries).tolist()
+        else:
+            hit_suffixes = []
+            ends = [0] * len(queries)
+        out: list[list[Advertisement]] = []
+        start = 0
+        for i, query in enumerate(queries):
+            end = ends[i]
+            out.append(
+                self._kernel_scan_one(
+                    query,
+                    plans[i],
+                    len(keys_per[i]),
+                    hit_suffixes[start:end],
+                    match_type,
+                )
+            )
+            start = end
+        return out
+
+    def _kernel_batch_python(
+        self,
+        queries: list[Query],
+        plans: list[ProbePlan],
+        match_type: MatchType,
+    ) -> list[list[Advertisement]]:
+        mask = (1 << self.suffix_bits) - 1
+        test_positions = self.bsig.test_positions
+        out: list[list[Advertisement]] = []
+        for query, plan in zip(queries, plans):
+            keys = flat_probe_keys(plan.candidates, plan.sizes, "python")
+            suffixes = [key & mask for key in keys]
+            hit_indexes = test_positions(suffixes)
+            out.append(
+                self._kernel_scan_one(
+                    query,
+                    plan,
+                    len(keys),
+                    (suffixes[h] for h in hit_indexes),
+                    match_type,
+                )
+            )
+        return out
+
+    def _kernel_scan_one(
+        self,
+        query: Query,
+        plan: ProbePlan,
+        num_probes: int,
+        hit_suffixes: Iterable[int],
+        match_type: MatchType,
+    ) -> list[Advertisement]:
+        """Scan one query's hit nodes in probe order, mirroring the
+        scalar :meth:`query` loop's cache/decode branches and recording
+        the same per-query metrics.  ``hit_suffixes`` yields only the
+        suffixes whose ``B^sig`` bit is set (misses were eliminated in
+        bulk); duplicates are deduplicated exactly as the scalar
+        ``visited`` set does."""
+        obs = self._obs
+        started = perf_counter() if obs is not None else 0.0
+        words = plan.words
+        query_len = len(words)
+        rank1 = self.bsig.rank1
+        cache = self._node_cache
+        results: list[Advertisement] = []
+        append = results.append
+        visited: set[int] = set()
+        node_scans = 0
+        entries_scanned = 0
+        cache_hits = 0
+        for suffix in hit_suffixes:
+            if suffix in visited:
+                continue
+            visited.add(suffix)
+            node_index = rank1(suffix + 1) - 1
+            node_scans += 1
+            ads = cache.get(node_index)
+            if ads is not None:
+                cache_hits += 1
+                scanned = 0
+                for ad in ads:
+                    ad_words = ad.words
+                    if len(ad_words) > query_len:
+                        break
+                    scanned += 1
+                    if ad_words <= words:
+                        append(ad)
+                entries_scanned += scanned
+            else:
+                ads = self._admit(node_index)
+                if ads is None:
+                    chunk = self._node_chunk(node_index)
+                    ads, _consumed = self._decode_entries(chunk, query_len)
+                entries_scanned += len(ads)
+                for ad in ads:
+                    ad_words = ad.words
+                    if len(ad_words) > query_len:
+                        break
+                    if ad_words <= words:
+                        append(ad)
+        if obs is not None:
+            obs.counter("segment.queries").inc()
+            obs.counter("segment.probes").inc(num_probes)
+            obs.counter("segment.node_scans").inc(node_scans)
+            obs.counter("segment.entries_scanned").inc(entries_scanned)
+            obs.counter("segment.results").inc(len(results))
+            obs.counter("segment.cache_hits").inc(cache_hits)
+            obs.counter("segment.cache_misses").inc(node_scans - cache_hits)
+            obs.gauge("segment.cache_bytes").set(float(self._cache_used))
+            obs.histogram("span.segment_query").observe(
+                (perf_counter() - started) * 1e3
+            )
+        return apply_match_type(results, query, match_type)
+
+    # ------------------------------------------------------------------ #
     # Node decoding
 
     def _node_chunk(self, node_index: int) -> bytes:
@@ -430,11 +656,17 @@ class PackedSegmentIndex:
         The hot loop inlines the one-byte varint case — the overwhelming
         majority — and falls back to :func:`read_varint` for multi-byte
         values.  Ads are built by direct slot assignment (what the frozen
-        dataclass ``__init__`` does anyway) so duplicate bids share one
-        interned phrase tuple and words frozenset.
+        dataclass ``__init__`` does anyway) and **interned**: tokens,
+        phrase tuples, and whole Advertisement objects are shared across
+        decodes, so re-decoding a node the bounded cache did not admit
+        allocates no new persistent objects — the zero-allocation
+        steady state the kernel hot path relies on.  One token scratch
+        list is reused across the node's entries.
         """
         intern = self._token_intern
         phrase_cache = self._phrase_cache
+        ad_intern = self._ad_intern
+        tokens: list[str] = []
         pos = 0
         num_entries = chunk[pos]
         pos += 1
@@ -446,7 +678,6 @@ class PackedSegmentIndex:
             prices_len, pos = read_varint(chunk, pos - 1)
         price_pos = pos
         pos += prices_len
-        previous: tuple[str, ...] = ()
         price = 0
         ads: list[Advertisement] = []
         for index in range(num_entries):
@@ -470,7 +701,7 @@ class PackedSegmentIndex:
             pos += 1
             if num_suffix >= 128:
                 num_suffix, pos = read_varint(chunk, pos - 1)
-            tokens = list(previous[:shared])
+            del tokens[shared:]
             for _ in range(num_suffix):
                 token_len = chunk[pos]
                 pos += 1
@@ -481,7 +712,6 @@ class PackedSegmentIndex:
                 pos = end
                 tokens.append(intern.setdefault(token, token))
             phrase = tuple(tokens)
-            previous = phrase
             shared_phrase = phrase_cache.get(phrase)
             if shared_phrase is None:
                 shared_phrase = (phrase, frozenset(phrase))
@@ -511,19 +741,28 @@ class PackedSegmentIndex:
                     decoded.append(chunk[pos:end].decode("utf-8"))
                     pos = end
                 exclusions = tuple(decoded)
-            ad = _NEW_AD(Advertisement)
-            _SET(ad, "phrase", phrase)
-            _SET(
-                ad,
-                "info",
-                AdInfo(
-                    listing_id=(raw_listing >> 1) ^ -(raw_listing & 1),
-                    campaign_id=(raw_campaign >> 1) ^ -(raw_campaign & 1),
-                    bid_price_micros=price,
-                    exclusion_phrases=exclusions,
-                ),
-            )
-            _SET(ad, "words", word_set)
+            listing_id = (raw_listing >> 1) ^ -(raw_listing & 1)
+            campaign_id = (raw_campaign >> 1) ^ -(raw_campaign & 1)
+            # Intern the finished ad: the key's phrase tuple is already
+            # the interned instance, so identical entries re-decoded
+            # later hash straight to the shared object.
+            ident = (phrase, listing_id, campaign_id, price, exclusions)
+            ad = ad_intern.get(ident)
+            if ad is None:
+                ad = _NEW_AD(Advertisement)
+                _SET(ad, "phrase", phrase)
+                _SET(
+                    ad,
+                    "info",
+                    AdInfo(
+                        listing_id=listing_id,
+                        campaign_id=campaign_id,
+                        bid_price_micros=price,
+                        exclusion_phrases=exclusions,
+                    ),
+                )
+                _SET(ad, "words", word_set)
+                ad_intern[ident] = ad
             ads.append(ad)
         return ads, pos
 
@@ -618,6 +857,8 @@ class PackedSegmentIndex:
             self._placements,
             self._token_intern,
             self._phrase_cache,
+            self._ad_intern,
+            self._plan_cache,
             self._node_cache,
             self._node_offsets,
             self.bsig,
@@ -639,4 +880,5 @@ class PackedSegmentIndex:
             "node_bytes": self._nodes_len,
             "cached_nodes": len(self._node_cache),
             "cache_bytes_used": self._cache_used,
+            "interned_ads": len(self._ad_intern),
         }

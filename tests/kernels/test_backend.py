@@ -1,0 +1,99 @@
+"""Backend flag semantics: resolution, override, and engagement rules."""
+
+import pytest
+
+import repro.kernels as kernels
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.wordset_index import WordSetIndex
+from repro.cost.accounting import AccessTracker
+from repro.resilience.deadline import Deadline
+from repro.serving.result_cache import CachedIndex
+
+ADS = [Advertisement(("red", "shoes"), AdInfo(listing_id=1))]
+
+
+@pytest.fixture(autouse=True)
+def clean_override(monkeypatch):
+    monkeypatch.delenv(kernels.BACKEND_ENV, raising=False)
+    kernels.set_backend(None)
+    yield
+    kernels.set_backend(None)
+
+
+class TestResolveBackend:
+    def test_auto_prefers_numpy_when_available(self):
+        expected = "numpy" if kernels.numpy_available() else "python"
+        assert kernels.resolve_backend(None) == expected
+        assert kernels.resolve_backend("auto") == expected
+        assert kernels.resolve_backend("") == expected
+
+    def test_explicit_values_pass_through(self):
+        assert kernels.resolve_backend("python") == "python"
+        assert kernels.resolve_backend("off") == "off"
+        assert kernels.resolve_backend("  PYTHON  ") == "python"
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.resolve_backend("cuda")
+
+    def test_numpy_without_numpy_raises(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_HAVE_NUMPY", False)
+        assert kernels.resolve_backend("auto") == "python"
+        with pytest.raises(RuntimeError, match="numpy is not installed"):
+            kernels.resolve_backend("numpy")
+
+
+class TestActiveBackend:
+    def test_env_variable_read(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "python")
+        assert kernels.active_backend() == "python"
+        monkeypatch.setenv(kernels.BACKEND_ENV, "off")
+        assert kernels.active_backend() == "off"
+
+    def test_set_backend_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.BACKEND_ENV, "off")
+        kernels.set_backend("python")
+        assert kernels.active_backend() == "python"
+        kernels.set_backend(None)
+        assert kernels.active_backend() == "off"
+
+    def test_set_backend_validates(self):
+        with pytest.raises(ValueError):
+            kernels.set_backend("cuda")
+
+
+class TestEngaged:
+    def test_engages_for_plain_index(self):
+        index = WordSetIndex.from_corpus(AdCorpus(ADS))
+        assert kernels.engaged(index) == kernels.resolve_backend(None)
+
+    def test_off_disables(self):
+        kernels.set_backend("off")
+        index = WordSetIndex.from_corpus(AdCorpus(ADS))
+        assert kernels.engaged(index) is None
+
+    def test_index_without_batch_method_falls_back(self):
+        assert kernels.engaged(object()) is None
+
+    def test_delegating_wrapper_not_bypassed(self):
+        # CachedIndex.__getattr__ forwards the inner index's attributes;
+        # engaging on the forwarded method would silently skip the cache.
+        cached = CachedIndex(WordSetIndex.from_corpus(AdCorpus(ADS)))
+        assert cached.query_kernel_batch is not None  # forwarded
+        assert kernels.engaged(cached) is None
+
+    def test_tracker_forces_scalar_path(self):
+        index = WordSetIndex.from_corpus(
+            AdCorpus(ADS), tracker=AccessTracker()
+        )
+        assert kernels.engaged(index) is None
+
+    def test_timed_deadline_forces_scalar_path(self):
+        index = WordSetIndex.from_corpus(AdCorpus(ADS))
+        assert kernels.engaged(index, Deadline.after_ms(50.0)) is None
+
+    def test_untimed_constraint_deadline_engages(self):
+        index = WordSetIndex.from_corpus(AdCorpus(ADS))
+        deadline = Deadline.unlimited(max_probes=4)
+        assert not deadline.timed
+        assert kernels.engaged(index, deadline) is not None

@@ -1,0 +1,188 @@
+"""Property suite: every kernel backend is bit-identical to the scalar path.
+
+The equivalence guarantee (see :mod:`repro.kernels`): for any corpus and
+any batch of queries, the ``python`` and ``numpy`` backends return
+exactly the slates — same ads, same order — the ``off`` scalar path
+returns, and record identical observability counters, including against
+a forced-collision segment (``suffix_bits=1`` maps every node onto one
+or two ``B^sig`` bits) and under probe-capped degraded plans.
+"""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdCorpus, AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.core.wordset_index import WordSetIndex
+from repro.kernels import numpy_available, set_backend
+from repro.kernels.flat import clear_caches, flat_probe_keys
+from repro.obs.registry import MetricsRegistry
+from repro.perf.memohash import hashed_index_subsets, word_contrib
+from repro.resilience.deadline import Deadline
+from repro.segment import PackedSegmentIndex, SegmentBuilder
+
+WORDS = [c1 + c2 for c1 in string.ascii_lowercase[:8] for c2 in "xy"]
+
+BACKENDS = ("python",) + (("numpy",) if numpy_available() else ())
+
+
+def phrase_strategy():
+    return st.lists(
+        st.sampled_from(WORDS), min_size=1, max_size=4, unique=True
+    ).map(tuple)
+
+
+def ad_strategy():
+    return st.builds(
+        lambda phrase, listing: Advertisement(
+            phrase, AdInfo(listing_id=listing)
+        ),
+        phrase_strategy(),
+        st.integers(min_value=0, max_value=50),
+    )
+
+
+def query_strategy():
+    return st.lists(
+        st.sampled_from(WORDS), min_size=1, max_size=6, unique=True
+    ).map(lambda words: Query(tokens=tuple(words)))
+
+
+corpus_and_queries = st.tuples(
+    st.lists(ad_strategy(), min_size=1, max_size=25),
+    st.lists(query_strategy(), min_size=1, max_size=8),
+)
+
+
+def slate_ids(results):
+    """Order-preserving identity of each slate — bit-identical means the
+    same ads in the same order, not merely the same set."""
+    return [
+        [(ad.phrase, ad.info.listing_id) for ad in ads] for ads in results
+    ]
+
+
+def run_backend(make_index, queries, backend, deadline_factory=None):
+    obs = MetricsRegistry()
+    index = make_index(obs)
+    set_backend(backend)
+    try:
+        deadline = deadline_factory() if deadline_factory else None
+        results = index.query_kernel_batch(queries, deadline=deadline)
+    finally:
+        set_backend(None)
+        if hasattr(index, "close"):
+            index.close()
+    reasons = deadline.partial_reasons if deadline is not None else ()
+    return slate_ids(results), obs.snapshot()["counters"], reasons
+
+
+def assert_backends_agree(make_index, queries, deadline_factory=None):
+    baseline = run_backend(make_index, queries, "off", deadline_factory)
+    for backend in BACKENDS:
+        clear_caches()
+        observed = run_backend(make_index, queries, backend, deadline_factory)
+        assert observed == baseline, backend
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(corpus_and_queries)
+def test_wordset_index_backends_bit_identical(data):
+    ads, queries = data
+    assert_backends_agree(
+        lambda obs: WordSetIndex.from_corpus(AdCorpus(ads), obs=obs),
+        queries,
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(corpus_and_queries, st.sampled_from([None, 1]))
+def test_packed_segment_backends_bit_identical(tmp_path_factory, data, bits):
+    """Packed serving equivalence, including ``suffix_bits=1`` segments
+    where every node collides onto at most two ``B^sig`` bits — the
+    bulk bit-test then surfaces the same node for unrelated probes and
+    the scan-side verification must still agree everywhere."""
+    ads, queries = data
+    path = tmp_path_factory.mktemp("kernel-seg") / "seg.bin"
+    SegmentBuilder(
+        WordSetIndex.from_corpus(AdCorpus(ads)), suffix_bits=bits
+    ).write(path)
+    assert_backends_agree(
+        lambda obs: PackedSegmentIndex(path, obs=obs, cache_bytes=512),
+        queries,
+    )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(corpus_and_queries, st.integers(min_value=1, max_value=5))
+def test_probe_capped_partials_bit_identical(data, max_probes):
+    """An untimed deadline carrying ``max_probes`` tightens the plan
+    before enumeration, so kernels stay engaged; the capped (partial)
+    slates and the recorded degradation reasons must match the scalar
+    path exactly."""
+    ads, queries = data
+    assert_backends_agree(
+        lambda obs: WordSetIndex.from_corpus(AdCorpus(ads), obs=obs),
+        queries,
+        deadline_factory=lambda: Deadline.unlimited(max_probes=max_probes),
+    )
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    st.lists(st.sampled_from(WORDS), min_size=1, max_size=8, unique=True),
+    st.sets(st.integers(min_value=1, max_value=8), min_size=1),
+)
+def test_flat_probe_keys_match_generator(candidates, sizes):
+    """Both backends' flat key arrays equal the scalar generator's
+    output, element for element, in canonical enumeration order."""
+    candidates = tuple(candidates)
+    sizes = tuple(sorted(sizes))
+    contribs = [word_contrib(word) for word in candidates]
+    expected = [key for key, _ in hashed_index_subsets(contribs, sizes)]
+    clear_caches()
+    assert list(flat_probe_keys(candidates, sizes, "python")) == expected
+    if numpy_available():
+        assert (
+            list(flat_probe_keys(candidates, sizes, "numpy")) == expected
+        )
+
+
+def test_mutation_invalidates_kernel_state():
+    """Insert/delete between kernel batches must be visible immediately:
+    the sorted key table and the plan memo are generation-checked."""
+    extra = Advertisement(("zq", "zr"), AdInfo(listing_id=99))
+    index = WordSetIndex.from_corpus(
+        AdCorpus([Advertisement(("ax",), AdInfo(listing_id=1))])
+    )
+    query = Query(tokens=("zq", "zr"))
+    for backend in BACKENDS:
+        set_backend(backend)
+        try:
+            assert index.query_kernel_batch([query]) == [[]]
+            index.insert(extra)
+            [after_insert] = index.query_kernel_batch([query])
+            assert [ad.info.listing_id for ad in after_insert] == [99]
+            assert index.delete(extra)
+            assert index.query_kernel_batch([query]) == [[]]
+        finally:
+            set_backend(None)
