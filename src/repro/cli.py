@@ -18,6 +18,12 @@ Everything an operator needs without writing Python::
     python -m repro.cli recover snapshot.jsonl ops.log \
         [--verify] [--compact] [--pack index.seg]
     python -m repro.cli pack index.jsonl index.seg [--suffix-bits 18]
+    python -m repro.cli serve index.seg --workers 4 \
+        [--host 127.0.0.1 --port 7707] [--deadline-ms 50] \
+        [--rate-per-s 500 --burst 32 --max-queue-depth 64]
+    python -m repro.cli loadgen queries.txt --port 7707 \
+        [--duration-s 5 --concurrency 8] [--deadline-ms 50] \
+        [--priority low|normal|high] [--out report.json]
 
 ``build`` imports a corpus (CSV; see :mod:`repro.datagen.importers`),
 optionally optimizes the mapping against an imported workload, and writes
@@ -33,6 +39,13 @@ recovered state so cold start becomes recover-once/serve-packed.
 ``pack`` freezes a snapshot into a segment file; ``query --segment``
 and ``stats --segment`` serve directly off a segment via
 :class:`~repro.segment.PackedSegmentIndex`.
+
+``serve`` boots the network tier of :mod:`repro.netserve`: forked
+worker processes sharing one mmap'd segment behind an asyncio frontend
+speaking the length-prefixed ``ServeRequest``/``ServeResult`` wire
+protocol.  ``loadgen`` drives a running tier closed-loop and prints the
+SLO report (QPS, latency percentiles, shed rate, per-worker split); see
+``docs/serving-tier.md``.
 
 ``--deadline-ms`` runs queries under a :mod:`repro.resilience` budget:
 retrieval stops between hash probes when the budget expires and the
@@ -442,6 +455,90 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.netserve import ClusterConfig, ServingCluster
+    from repro.resilience.admission import AdmissionConfig
+
+    admission = None
+    if args.rate_per_s is not None or args.max_queue_depth is not None:
+        admission = AdmissionConfig(
+            rate_per_s=args.rate_per_s,
+            burst=args.burst,
+            max_queue_depth=args.max_queue_depth,
+        )
+    config = ClusterConfig(
+        segment_path=args.segment,
+        num_workers=args.workers,
+        host=args.host,
+        port=args.port,
+        conns_per_worker=args.conns_per_worker,
+        default_deadline_ms=args.deadline_ms,
+        admission=admission,
+        frontend_process=True,
+    )
+    with ServingCluster(config) as cluster:
+        host, port = cluster.address
+        print(
+            f"serving {args.segment} on {host}:{port} "
+            f"({args.workers} worker(s), Ctrl-C to stop)"
+        )
+        try:
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            print("shutting down")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.netserve import LoadGenConfig, run_loadgen
+    from repro.resilience.admission import Priority
+
+    queries = _read_batch_queries(args.queries)
+    if not queries:
+        print("error: no queries in input", file=sys.stderr)
+        return 2
+    report = run_loadgen(
+        LoadGenConfig(
+            host=args.host,
+            port=args.port,
+            duration_s=args.duration_s,
+            concurrency=args.concurrency,
+            deadline_ms=args.deadline_ms,
+            priority=Priority.from_name(args.priority),
+            user_ids=args.user_ids,
+        ),
+        queries,
+    )
+    latency = report["latency_ms"]
+    print(
+        f"qps {report['qps']:,.1f}  "
+        f"p50 {latency['p50']:.2f}ms  p95 {latency['p95']:.2f}ms  "
+        f"p99 {latency['p99']:.2f}ms"
+    )
+    print(
+        f"ok {report['ok']}  shed {report['shed']}  "
+        f"degraded {report['degraded']}  errors {report['errors']}  "
+        f"shed_rate {report['shed_rate']:.3f}"
+    )
+    for worker in report["workers"]:
+        if worker.get("unreachable"):
+            print(f"worker {worker.get('worker_id')}: unreachable")
+            continue
+        print(
+            f"worker {worker['worker_id']}: {worker['qps']:,.1f} qps "
+            f"({worker['served']} served)"
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report["errors"] == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.cli", description="Broad-match index operations."
@@ -659,6 +756,60 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--passes", type=int, default=5)
     bench.add_argument("--seed", type=int, default=0)
     bench.set_defaults(handler=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="boot the network serving tier over a packed segment",
+    )
+    serve.add_argument("segment", help="packed segment file (see 'pack')")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0)
+    serve.add_argument("--conns-per-worker", type=int, default=2)
+    serve.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        help="server-side budget for requests that carry none",
+    )
+    serve.add_argument(
+        "--rate-per-s",
+        type=float,
+        default=None,
+        help="admission token-bucket refill rate (enables shedding)",
+    )
+    serve.add_argument("--burst", type=float, default=32.0)
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="in-flight backlog beyond which requests shed",
+    )
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive a serving tier closed-loop and print the SLO report",
+    )
+    loadgen.add_argument(
+        "queries", help="file with one query per line ('-' for stdin)"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True)
+    loadgen.add_argument("--duration-s", type=float, default=5.0)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--deadline-ms", type=float, default=None)
+    loadgen.add_argument(
+        "--priority", choices=("low", "normal", "high"), default="normal"
+    )
+    loadgen.add_argument(
+        "--user-ids",
+        type=int,
+        default=0,
+        help="cycle this many synthetic user ids through requests",
+    )
+    loadgen.add_argument("--out", default=None, help="write report JSON")
+    loadgen.set_defaults(handler=_cmd_loadgen)
     return parser
 
 

@@ -23,7 +23,6 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.matching import MatchType
-from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.wordhash import wordhash
 from repro.core.wordset_index import (
@@ -77,11 +76,6 @@ class ImpactOrderedIndex:
         )
 
     # ------------------------------------------------------------------ #
-
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self.query(query)
 
     def query(
         self, query: Query, match_type: MatchType = MatchType.BROAD

@@ -10,20 +10,22 @@ drivers) type against it, and all five concrete structures —
 ``ImpactOrderedIndex``, and ``CachedIndex`` — implement it, as do the
 inverted-index baselines and the compressed hash replacement.
 
-``query_broad(q)`` survives as a thin deprecated alias for
-``query(q)``; call sites should migrate to ``query``.
+The PR 2 migration is complete: the primary structures expose only
+``query`` — their ``query_broad`` DeprecationWarning aliases have been
+removed.  The inverted-index baselines keep ``query_broad`` as their
+documented primary entry point (it is *their* native surface, wrapped by
+``query``), which is exactly the asymmetry the conformance tests pin.
 """
 
 from __future__ import annotations
 
-import warnings
 from typing import Protocol, runtime_checkable
 
 from repro.core.ads import Advertisement
 from repro.core.matching import MatchType
 from repro.core.queries import Query
 
-__all__ = ["RetrievalIndex", "warn_query_broad_deprecated"]
+__all__ = ["RetrievalIndex"]
 
 
 @runtime_checkable
@@ -54,14 +56,3 @@ class RetrievalIndex(Protocol):
     def __len__(self) -> int:
         """Number of indexed advertisements."""
         ...
-
-
-def warn_query_broad_deprecated(owner: type) -> None:
-    """Emit the shared ``query_broad`` deprecation warning for ``owner``."""
-    warnings.warn(
-        f"{owner.__name__}.query_broad(query) is deprecated; "
-        f"use {owner.__name__}.query(query) "
-        "(broad match is the default match type)",
-        DeprecationWarning,
-        stacklevel=3,
-    )

@@ -19,7 +19,6 @@ from collections.abc import Iterable, Mapping
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.matching import MatchType
-from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.wordhash import wordhash
 from repro.core.wordset_index import IndexStats, WordSetIndex
@@ -114,11 +113,6 @@ class ShardedWordSetIndex:
     def delete(self, ad: Advertisement) -> bool:
         return self.shards[self.shard_of(ad.words)].delete(ad)
 
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self.query(query)
-
     def query(
         self,
         query: Query,
@@ -153,7 +147,7 @@ class ShardedWordSetIndex:
         """Batched scatter-gather: dedup identical word-sets across the
         batch, then run each shard's probe pass on a worker-pool thread
         (see :class:`repro.perf.batch.BatchQueryEngine`).  Per-query
-        results equal sequential ``query_broad``, in input order."""
+        results equal sequential broad ``query`` calls, in input order."""
         from repro.perf.batch import BatchQueryEngine
 
         engine = BatchQueryEngine(self, max_workers=max_workers)

@@ -27,7 +27,6 @@ from collections.abc import Iterable, Mapping
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.data_node import DataNode
 from repro.core.matching import MatchType, apply_match_type
-from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.subset_enum import truncate_query
 from repro.cost.accounting import AccessTracker
@@ -142,11 +141,6 @@ class TrieWordSetIndex:
 
     # ------------------------------------------------------------------ #
     # Query processing
-
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self._query(query, MatchType.BROAD)
 
     def query(
         self, query: Query, match_type: MatchType = MatchType.BROAD

@@ -24,7 +24,6 @@ from time import perf_counter
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.data_node import DataNode
 from repro.core.matching import MatchType, apply_match_type
-from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.subset_enum import sized_subsets
 from repro.core.wordhash import wordhash
@@ -315,11 +314,6 @@ class WordSetIndex:
     # ------------------------------------------------------------------ #
     # Query processing
 
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self._probe(query, MatchType.BROAD)
-
     #: Queries accept a ``deadline=`` budget (checked between probes).
     supports_deadline = True
 
@@ -381,7 +375,7 @@ class WordSetIndex:
         return plan
 
     def probe_count(self, query: Query) -> int:
-        """Exact number of hash probes ``query_broad(query)`` performs."""
+        """Exact number of hash probes a broad ``query(query)`` performs."""
         return self.probe_plan(query.words).probe_count()
 
     def _probe(

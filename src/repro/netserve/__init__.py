@@ -1,0 +1,77 @@
+"""``repro.netserve`` — the real network serving tier.
+
+The in-process stack ends at :class:`~repro.serving.server.AdServer`;
+this package puts a network in front of it, reusing every layer built
+so far rather than inventing parallel ones:
+
+* **workers** (:mod:`~repro.netserve.worker`) — forked per-core
+  processes, each an ``AdServer`` over a
+  :class:`~repro.segment.PackedSegmentIndex` mapping the **same**
+  segment file, so N workers share one copy of the index bytes;
+* **frontend** (:mod:`~repro.netserve.frontend`) — one asyncio process
+  doing admission (PR 5's priority token bucket), per-worker circuit
+  breakers, and raw-frame relay;
+* **wire** (:mod:`~repro.netserve.wire`) — 4-byte length-prefixed
+  compact JSON; the payloads are exactly
+  :meth:`~repro.serving.request.ServeRequest.to_dict` and
+  :meth:`~repro.serving.server.ServeResult.to_dict`, so the redesigned
+  request/result dataclasses *are* the wire schema;
+* **cluster** (:mod:`~repro.netserve.cluster`) — boot/supervise/stop,
+  as a context manager;
+* **client** (:mod:`~repro.netserve.client`) — the blocking client
+  whose ``serve(ServeRequest) -> ServeResult`` reads identically to
+  the in-process call;
+* **loadgen** (:mod:`~repro.netserve.loadgen`) — closed-loop driving
+  plus the SLO report (QPS, p50/p95/p99, shed rate, per-worker QPS and
+  memory) that :mod:`~repro.netserve.bench` persists to
+  ``BENCH_PR7.json`` and :mod:`~repro.netserve.smoke` gates in CI.
+"""
+
+from repro.netserve.client import RemoteServeError, ServeClient
+from repro.netserve.cluster import ClusterConfig, ServingCluster
+from repro.netserve.frontend import Frontend, FrontendConfig
+from repro.netserve.loadgen import LoadGenConfig, run_loadgen
+from repro.netserve.memory import (
+    memory_report,
+    private_resident_bytes,
+    resident_bytes,
+    segment_mapping_report,
+)
+from repro.netserve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    FrameFormatError,
+    FrameTooLarge,
+    TornFrame,
+    WireError,
+    decode_payload,
+    encode_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.netserve.worker import WorkerConfig, run_worker
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "ClusterConfig",
+    "FrameFormatError",
+    "FrameTooLarge",
+    "Frontend",
+    "FrontendConfig",
+    "LoadGenConfig",
+    "RemoteServeError",
+    "ServeClient",
+    "ServingCluster",
+    "TornFrame",
+    "WireError",
+    "WorkerConfig",
+    "decode_payload",
+    "encode_frame",
+    "memory_report",
+    "private_resident_bytes",
+    "recv_frame",
+    "resident_bytes",
+    "run_loadgen",
+    "run_worker",
+    "segment_mapping_report",
+    "send_frame",
+]

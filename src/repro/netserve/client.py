@@ -1,0 +1,88 @@
+"""``ServeClient`` — the blocking client the CLI and tests speak.
+
+One TCP connection to the frontend, one frame in flight at a time.
+``serve`` takes and returns the real dataclasses
+(:class:`~repro.serving.request.ServeRequest` in,
+:class:`~repro.serving.server.ServeResult` out), so calling a remote
+cluster reads exactly like calling an in-process
+:class:`~repro.serving.server.AdServer` — the API redesign's point.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from repro.netserve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    TornFrame,
+    recv_frame,
+    send_frame,
+)
+from repro.serving.request import ServeRequest, WireSchemaError
+from repro.serving.server import ServeResult
+
+__all__ = ["RemoteServeError", "ServeClient"]
+
+
+class RemoteServeError(RuntimeError):
+    """The remote side answered with a typed ``error`` frame."""
+
+    def __init__(self, message: str, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+class ServeClient:
+    """Blocking request/response client for one frontend connection."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout_s: float = 10.0,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    ) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self._sock.close()
+
+    # ---------------------------------------------------------- #
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One raw frame round trip (payload dicts both ways)."""
+        send_frame(self._sock, payload, self.max_frame_bytes)
+        reply = recv_frame(self._sock, self.max_frame_bytes)
+        if reply is None:
+            raise TornFrame("frontend closed before answering")
+        return reply
+
+    def serve(self, request: ServeRequest) -> ServeResult:
+        """Serve one request remotely; same types as the local API."""
+        reply = self.request({"type": "serve", "request": request.to_dict()})
+        if reply.get("type") == "error":
+            raise RemoteServeError(
+                str(reply.get("error")), bool(reply.get("retryable"))
+            )
+        if reply.get("type") != "result":
+            raise WireSchemaError(
+                f"expected a result frame, got {reply.get('type')!r}"
+            )
+        return ServeResult.from_dict(reply.get("result"))
+
+    def ping(self) -> bool:
+        """Liveness round trip."""
+        return self.request({"type": "ping"}).get("type") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        """The frontend's aggregated stats payload (frontend counters
+        plus one fresh per-worker probe)."""
+        return self.request({"type": "stats"})

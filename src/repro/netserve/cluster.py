@@ -1,0 +1,322 @@
+"""``ServingCluster`` — boot, supervise, and tear down the whole tier.
+
+One cluster is: N worker processes (each :func:`~repro.netserve.worker
+.run_worker` over the **same** packed segment file), one
+:class:`~repro.netserve.frontend.Frontend`, and the runtime directory
+holding the workers' Unix sockets.  Workers are started with the
+``fork`` start method where available, so the segment mapping
+established by the parent's build step is shared copy-on-write and the
+mmap'd file pages are shared, period.
+
+The frontend can run two ways:
+
+* **in-process** (default) — on a daemon thread with its own event
+  loop.  Right for tests: one process to debug, nothing to orphan.
+* **as a process** (``frontend_process=True``) — forked like a worker,
+  publishing its bound port through a file in the runtime directory.
+  Right for benchmarks: the load generator's client loop and the
+  frontend's relay loop stop sharing one GIL, so measured scaling is
+  the workers', not the harness's.
+
+``ServingCluster`` is a context manager; ``stop()`` is idempotent,
+sends every worker a ``shutdown`` frame, and escalates to
+``terminate``/``kill`` only for processes that ignore it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.netserve.frontend import Frontend, FrontendConfig
+from repro.netserve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    recv_frame,
+    send_frame,
+)
+from repro.netserve.worker import WorkerConfig, run_worker
+from repro.resilience.admission import AdmissionConfig
+from repro.resilience.breaker import BreakerConfig
+from repro.segment.packed import DEFAULT_CACHE_BYTES
+
+__all__ = ["ClusterConfig", "ServingCluster"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterConfig:
+    """Shape of one serving cluster (see class docstring)."""
+
+    segment_path: str
+    num_workers: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    conns_per_worker: int = 2
+    worker_timeout_s: float = 10.0
+    client_idle_timeout_s: float | None = 30.0
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    slots: int = 4
+    reserve_micros: int = 1
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    default_deadline_ms: float | None = None
+    admission: AdmissionConfig | None = None
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    runtime_dir: str | None = None
+    boot_timeout_s: float = 30.0
+    frontend_process: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+
+    def worker_config(self, worker_id: int, socket_path: str) -> WorkerConfig:
+        return WorkerConfig(
+            segment_path=self.segment_path,
+            socket_path=socket_path,
+            worker_id=worker_id,
+            slots=self.slots,
+            reserve_micros=self.reserve_micros,
+            cache_bytes=self.cache_bytes,
+            default_deadline_ms=self.default_deadline_ms,
+            max_frame_bytes=self.max_frame_bytes,
+        )
+
+    def frontend_config(self) -> FrontendConfig:
+        return FrontendConfig(
+            host=self.host,
+            port=self.port,
+            conns_per_worker=self.conns_per_worker,
+            worker_timeout_s=self.worker_timeout_s,
+            client_idle_timeout_s=self.client_idle_timeout_s,
+            max_frame_bytes=self.max_frame_bytes,
+            reserve_micros=self.reserve_micros,
+            admission=self.admission,
+            breaker=self.breaker,
+        )
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def _run_frontend_process(
+    config: ClusterConfig, worker_sockets: list[str], port_path: str
+) -> None:
+    """Child entry: run the frontend forever, publishing its port."""
+    import asyncio
+
+    async def main() -> None:
+        frontend = Frontend(worker_sockets, config.frontend_config())
+        await frontend.start()
+        tmp = port_path + ".tmp"
+        with open(tmp, "w", encoding="ascii") as fh:
+            fh.write(str(frontend.port))
+        os.replace(tmp, port_path)
+        await frontend.serve_forever()
+
+    with contextlib.suppress(KeyboardInterrupt):
+        asyncio.run(main())
+
+
+class ServingCluster:
+    """Lifecycle owner for workers + frontend (see module docstring)."""
+
+    def __init__(self, config: ClusterConfig) -> None:
+        self.config = config
+        self.processes: list[multiprocessing.process.BaseProcess] = []
+        self.worker_sockets: list[str] = []
+        self.port: int | None = None
+        self.frontend: Frontend | None = None
+        self._frontend_proc: multiprocessing.process.BaseProcess | None = None
+        self._loop: Any = None
+        self._thread: threading.Thread | None = None
+        self._runtime_dir: str | None = None
+        self._owns_runtime_dir = False
+        self._started = False
+
+    # ---------------------------------------------------------- #
+
+    def __enter__(self) -> ServingCluster:
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.port is not None, "cluster not started"
+        return (self.config.host, self.port)
+
+    def start(self) -> None:
+        """Boot workers, wait until each answers ``ping``, then the
+        frontend; returns with :attr:`port` bound and serving."""
+        if self._started:
+            return
+        config = self.config
+        if config.runtime_dir is not None:
+            self._runtime_dir = config.runtime_dir
+            os.makedirs(self._runtime_dir, exist_ok=True)
+        else:
+            self._runtime_dir = tempfile.mkdtemp(prefix="netserve-")
+            self._owns_runtime_dir = True
+        ctx = _mp_context()
+        deadline = time.monotonic() + config.boot_timeout_s
+        try:
+            for worker_id in range(config.num_workers):
+                path = os.path.join(self._runtime_dir, f"w{worker_id}.sock")
+                self.worker_sockets.append(path)
+                proc = ctx.Process(
+                    target=run_worker,
+                    args=(config.worker_config(worker_id, path),),
+                    name=f"netserve-worker-{worker_id}",
+                    daemon=True,
+                )
+                proc.start()
+                self.processes.append(proc)
+            for path in self.worker_sockets:
+                self._await_worker(path, deadline)
+            if config.frontend_process:
+                self._start_frontend_process(ctx, deadline)
+            else:
+                self._start_frontend_thread()
+            self._started = True
+        except BaseException:
+            self.stop()
+            raise
+
+    def _await_worker(self, path: str, deadline: float) -> None:
+        while True:
+            try:
+                with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                    s.settimeout(2.0)
+                    s.connect(path)
+                    send_frame(s, {"type": "ping"})
+                    reply = recv_frame(s)
+                if reply is not None and reply.get("type") == "pong":
+                    return
+            except OSError:
+                pass
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"worker socket {path} never became ready")
+            time.sleep(0.05)
+
+    def _start_frontend_thread(self) -> None:
+        import asyncio
+
+        loop = asyncio.new_event_loop()
+        started = threading.Event()
+        failure: list[BaseException] = []
+
+        def runner() -> None:
+            asyncio.set_event_loop(loop)
+            frontend = Frontend(
+                self.worker_sockets, self.config.frontend_config()
+            )
+            try:
+                loop.run_until_complete(frontend.start())
+            except BaseException as exc:  # noqa: BLE001 — reported to caller
+                failure.append(exc)
+                started.set()
+                return
+            self.frontend = frontend
+            self.port = frontend.port
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.run_until_complete(frontend.stop())
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+                loop.close()
+
+        self._loop = loop
+        self._thread = threading.Thread(
+            target=runner, name="netserve-frontend", daemon=True
+        )
+        self._thread.start()
+        started.wait(self.config.boot_timeout_s)
+        if failure:
+            raise failure[0]
+        if self.port is None:
+            raise TimeoutError("frontend never bound its port")
+
+    def _start_frontend_process(
+        self, ctx: multiprocessing.context.BaseContext, deadline: float
+    ) -> None:
+        assert self._runtime_dir is not None
+        port_path = os.path.join(self._runtime_dir, "frontend.port")
+        proc = ctx.Process(
+            target=_run_frontend_process,
+            args=(self.config, self.worker_sockets, port_path),
+            name="netserve-frontend",
+            daemon=True,
+        )
+        proc.start()
+        self._frontend_proc = proc
+        while True:
+            if os.path.exists(port_path):
+                with open(port_path, encoding="ascii") as fh:
+                    self.port = int(fh.read().strip())
+                return
+            if not proc.is_alive():
+                raise RuntimeError("frontend process died during boot")
+            if time.monotonic() > deadline:
+                raise TimeoutError("frontend never published its port")
+            time.sleep(0.05)
+
+    # ---------------------------------------------------------- #
+
+    def stop(self) -> None:
+        """Tear everything down; safe to call twice."""
+        if self._thread is not None and self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+            self._thread = None
+            self._loop = None
+            self.frontend = None
+        if self._frontend_proc is not None:
+            self._frontend_proc.terminate()
+            self._frontend_proc.join(timeout=5.0)
+            if self._frontend_proc.is_alive():  # pragma: no cover
+                self._frontend_proc.kill()
+                self._frontend_proc.join(timeout=5.0)
+            self._frontend_proc = None
+        for path in self.worker_sockets:
+            with contextlib.suppress(OSError, Exception):
+                with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                    s.settimeout(1.0)
+                    s.connect(path)
+                    send_frame(s, {"type": "shutdown"})
+                    recv_frame(s)
+        for proc in self.processes:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover
+                proc.kill()
+                proc.join(timeout=5.0)
+        self.processes.clear()
+        self.worker_sockets.clear()
+        self.port = None
+        if self._owns_runtime_dir and self._runtime_dir is not None:
+            shutil.rmtree(self._runtime_dir, ignore_errors=True)
+        self._runtime_dir = None
+        self._owns_runtime_dir = False
+        self._started = False

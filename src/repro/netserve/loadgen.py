@@ -1,0 +1,288 @@
+"""Closed-loop load generator + the SLO report it emits.
+
+``concurrency`` client connections each keep exactly one request in
+flight (closed-loop: the next request leaves when the previous answer
+lands), for ``duration_s`` wall seconds, cycling a fixed query list.
+Latency lands in a :mod:`repro.obs` histogram and every response is
+classified — ``ok`` (served, undegraded), ``shed`` (admission refused
+it), ``degraded`` (served but flagged), ``errors`` (typed error frames
+and transport faults).
+
+The report is the serving tier's SLO statement: sustained QPS, latency
+percentiles from the registry histogram, shed rate, the fraction of OK
+answers inside the request deadline, and — from frontend ``stats``
+probes taken before and after the run — per-worker QPS and the memory
+split (:mod:`repro.netserve.memory`) the zero-copy gate reads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Sequence
+
+from repro.core.queries import Query
+from repro.netserve.client import ServeClient
+from repro.netserve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER,
+    WireError,
+    encode_frame,
+    read_raw_frame,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.admission import Priority
+from repro.serving.request import ServeRequest
+
+__all__ = ["LoadGenConfig", "run_loadgen"]
+
+#: Shed reasons (vs other degradations) for response classification.
+_SHED_REASONS = frozenset({"shed_capacity", "shed_queue"})
+
+#: Exponential-ish latency buckets, 0.25 ms – 4 s.
+_LATENCY_BUCKETS_MS = (
+    0.25, 0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0,
+    48.0, 64.0, 96.0, 128.0, 192.0, 256.0, 384.0, 512.0, 768.0,
+    1024.0, 2048.0, 4096.0,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class LoadGenConfig:
+    """One load-generation run.
+
+    Parameters
+    ----------
+    host / port:
+        The frontend to drive.
+    duration_s:
+        Wall-clock run length.
+    concurrency:
+        Closed-loop client connections (in-flight requests).
+    deadline_ms:
+        Per-request budget stamped into every ``ServeRequest`` (and the
+        bar for the report's ``within_deadline`` fraction).
+    priority:
+        Admission class stamped into every request.
+    user_ids:
+        When positive, requests carry ``u0..u{n-1}`` user ids
+        round-robin (exercises the frequency-cap path end to end).
+    timeout_s:
+        Client-side budget for one response before the connection is
+        counted failed and reopened.
+    """
+
+    host: str
+    port: int
+    duration_s: float = 5.0
+    concurrency: int = 8
+    deadline_ms: float | None = None
+    priority: Priority = Priority.NORMAL
+    user_ids: int = 0
+    timeout_s: float = 30.0
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+
+
+def _encode_requests(
+    config: LoadGenConfig, queries: Sequence[Query]
+) -> list[bytes]:
+    """Every request frame, pre-encoded once — the generator's own CPU
+    cost per request is one dict decode, not an encode+decode."""
+    frames = []
+    for i, query in enumerate(queries):
+        request = ServeRequest(
+            query=query,
+            user_id=f"u{i % config.user_ids}" if config.user_ids else None,
+            priority=config.priority,
+            deadline_ms=config.deadline_ms,
+        )
+        frames.append(
+            encode_frame(
+                {"type": "serve", "request": request.to_dict()},
+                config.max_frame_bytes,
+            )
+        )
+    return frames
+
+
+async def _client_loop(
+    client_id: int,
+    config: LoadGenConfig,
+    frames: list[bytes],
+    end_at: float,
+    registry: MetricsRegistry,
+    counts: dict[str, int],
+) -> None:
+    latency = registry.histogram(
+        "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
+    )
+    index = client_id  # interleave clients across the query list
+    while perf_counter() < end_at:
+        try:
+            reader, writer = await asyncio.open_connection(
+                config.host, config.port
+            )
+        except OSError:
+            counts["errors"] += 1
+            await asyncio.sleep(0.05)
+            continue
+        try:
+            while perf_counter() < end_at:
+                frame = frames[index % len(frames)]
+                index += config.concurrency
+                started = perf_counter()
+                writer.write(frame)
+                await writer.drain()
+                raw = await asyncio.wait_for(
+                    read_raw_frame(reader, config.max_frame_bytes),
+                    timeout=config.timeout_s,
+                )
+                elapsed_ms = (perf_counter() - started) * 1e3
+                if raw is None:
+                    counts["errors"] += 1
+                    break
+                latency.observe(elapsed_ms)
+                counts["sent"] += 1
+                reply = json.loads(raw[HEADER.size:])
+                if reply.get("type") != "result":
+                    counts["errors"] += 1
+                    continue
+                reason = reply["result"].get("degraded_reason", "none")
+                if reason == "none":
+                    counts["ok"] += 1
+                    if (
+                        config.deadline_ms is None
+                        or elapsed_ms <= config.deadline_ms
+                    ):
+                        counts["within_deadline"] += 1
+                elif reason in _SHED_REASONS:
+                    counts["shed"] += 1
+                else:
+                    counts["degraded"] += 1
+        except (
+            WireError,
+            OSError,
+            ConnectionError,
+            asyncio.TimeoutError,
+            TimeoutError,
+            json.JSONDecodeError,
+        ):
+            counts["errors"] += 1
+        finally:
+            with contextlib.suppress(OSError):
+                writer.close()
+                await writer.wait_closed()
+
+
+async def _drive(
+    config: LoadGenConfig,
+    frames: list[bytes],
+    registry: MetricsRegistry,
+    counts: dict[str, int],
+) -> float:
+    started = perf_counter()
+    end_at = started + config.duration_s
+    await asyncio.gather(
+        *(
+            _client_loop(i, config, frames, end_at, registry, counts)
+            for i in range(config.concurrency)
+        )
+    )
+    return perf_counter() - started
+
+
+def _worker_rows(
+    before: dict[str, Any], after: dict[str, Any], elapsed_s: float
+) -> list[dict[str, Any]]:
+    """Per-worker SLO rows from the two stats probes' served deltas."""
+    served_before = {
+        w.get("worker_id"): w.get("served", 0)
+        for w in before.get("workers", [])
+    }
+    rows = []
+    for worker in after.get("workers", []):
+        if worker.get("unreachable"):
+            rows.append(dict(worker))
+            continue
+        worker_id = worker.get("worker_id")
+        delta = worker.get("served", 0) - served_before.get(worker_id, 0)
+        rows.append(
+            {
+                "worker_id": worker_id,
+                "pid": worker.get("pid"),
+                "served": delta,
+                "qps": delta / elapsed_s if elapsed_s > 0 else 0.0,
+                "errors": worker.get("errors"),
+                "wire_errors": worker.get("wire_errors"),
+                "serve_ms": worker.get("serve_ms"),
+                "segment_bytes": worker.get("segment_bytes"),
+                "rss_bytes": worker.get("rss_bytes"),
+                "private_bytes": worker.get("private_bytes"),
+                "segment_mapping": worker.get("segment_mapping"),
+            }
+        )
+    return rows
+
+
+def run_loadgen(
+    config: LoadGenConfig,
+    queries: Sequence[Query],
+    obs: MetricsRegistry | None = None,
+) -> dict[str, Any]:
+    """Drive the frontend closed-loop; returns the SLO report dict."""
+    if not queries:
+        raise ValueError("need at least one query")
+    frames = _encode_requests(config, queries)
+    registry = obs if obs is not None else MetricsRegistry()
+    counts = {
+        "sent": 0,
+        "ok": 0,
+        "shed": 0,
+        "degraded": 0,
+        "errors": 0,
+        "within_deadline": 0,
+    }
+    with ServeClient(config.host, config.port, config.timeout_s) as probe:
+        stats_before = probe.stats()
+    elapsed_s = asyncio.run(_drive(config, frames, registry, counts))
+    with ServeClient(config.host, config.port, config.timeout_s) as probe:
+        stats_after = probe.stats()
+    latency = registry.histogram(
+        "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
+    )
+    completed = counts["ok"] + counts["shed"] + counts["degraded"]
+    report: dict[str, Any] = {
+        "config": {
+            "duration_s": config.duration_s,
+            "concurrency": config.concurrency,
+            "deadline_ms": config.deadline_ms,
+            "priority": config.priority.name.lower(),
+            "num_queries": len(queries),
+            "user_ids": config.user_ids,
+        },
+        "elapsed_s": elapsed_s,
+        "sent": counts["sent"],
+        "ok": counts["ok"],
+        "shed": counts["shed"],
+        "degraded": counts["degraded"],
+        "errors": counts["errors"],
+        "qps": completed / elapsed_s if elapsed_s > 0 else 0.0,
+        "shed_rate": counts["shed"] / completed if completed else 0.0,
+        "within_deadline": (
+            counts["within_deadline"] / counts["ok"] if counts["ok"] else None
+        ),
+        "latency_ms": {
+            "count": latency.count,
+            "mean": latency.mean(),
+            "p50": latency.p50,
+            "p95": latency.p95,
+            "p99": latency.p99,
+            "max": latency.snapshot()["max"],
+        },
+        "frontend": stats_after.get("frontend"),
+        "workers": _worker_rows(stats_before, stats_after, elapsed_s),
+    }
+    return report

@@ -1,0 +1,122 @@
+"""Per-process memory accounting for the zero-copy sharing gate.
+
+The whole point of serving :class:`~repro.segment.PackedSegmentIndex`
+from N forked workers is that the segment's bytes live in **one** set of
+file-backed page-cache pages, mapped into every worker: adding a worker
+adds interpreter state, not another copy of the index.  Proving that
+needs two measurements, both read from ``/proc`` (Linux only; every
+helper degrades to ``None`` elsewhere so callers can flag, not crash):
+
+* :func:`private_resident_bytes` — the process's ``Private_Clean +
+  Private_Dirty`` from ``smaps_rollup``: resident pages *not* shared
+  with any other process.  Shared file-backed mappings are excluded by
+  the kernel's own accounting.
+* :func:`segment_mapping_report` — the private/shared/PSS split of the
+  mapping of one specific file (the segment).  With a single mapper the
+  kernel counts resident file pages as ``Private_Clean``; the moment a
+  second worker maps the same file they flip to ``Shared_Clean``.  The
+  bench gate is therefore on the *multi-worker* run: each worker's
+  private bytes attributable to the segment mapping must stay a small
+  fraction of the packed size, or the workers are secretly copying.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+__all__ = [
+    "memory_report",
+    "private_resident_bytes",
+    "resident_bytes",
+    "segment_mapping_report",
+]
+
+_SMAPS_ROLLUP = "/proc/self/smaps_rollup"
+_SMAPS = "/proc/self/smaps"
+_STATUS = "/proc/self/status"
+
+
+def _parse_kb_fields(text: str, fields: tuple[str, ...]) -> dict[str, int]:
+    """``Field: 123 kB`` lines summed per field name, in bytes."""
+    totals = dict.fromkeys(fields, 0)
+    for line in text.splitlines():
+        name, _, rest = line.partition(":")
+        if name in totals:
+            parts = rest.split()
+            if parts and parts[0].isdigit():
+                totals[name] += int(parts[0]) * 1024
+    return totals
+
+
+def private_resident_bytes() -> int | None:
+    """Resident bytes private to this process (``None`` off-Linux)."""
+    try:
+        with open(_SMAPS_ROLLUP, encoding="ascii", errors="replace") as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    totals = _parse_kb_fields(text, ("Private_Clean", "Private_Dirty"))
+    return totals["Private_Clean"] + totals["Private_Dirty"]
+
+
+def resident_bytes() -> int | None:
+    """Whole-process resident set (``VmRSS``; ``None`` off-Linux)."""
+    try:
+        with open(_STATUS, encoding="ascii", errors="replace") as fh:
+            text = fh.read()
+    except OSError:
+        return None
+    return _parse_kb_fields(text, ("VmRSS",))["VmRSS"] or None
+
+
+def segment_mapping_report(path: str | os.PathLike[str]) -> dict[str, int] | None:
+    """Resident accounting of this process's mappings of ``path``.
+
+    Returns ``{"rss", "pss", "private", "shared"}`` in bytes summed over
+    every mapping whose pathname matches, or ``None`` when ``/proc``
+    is unavailable or the file is not mapped.
+    """
+    target = os.path.realpath(os.fspath(path))
+    try:
+        with open(_SMAPS, encoding="ascii", errors="replace") as fh:
+            lines = fh.read().splitlines()
+    except OSError:
+        return None
+    totals = {"rss": 0, "pss": 0, "private": 0, "shared": 0}
+    matched = False
+    in_target = False
+    for line in lines:
+        # Mapping headers look like "7f.. r--p .. 08:01 123  /path"; the
+        # attribute lines that follow are "Field:  12 kB".
+        if "-" in line.split(" ", 1)[0] and ":" not in line.split(" ", 1)[0]:
+            in_target = line.endswith(target)
+            matched = matched or in_target
+            continue
+        if not in_target:
+            continue
+        name, _, rest = line.partition(":")
+        parts = rest.split()
+        if not parts or not parts[0].isdigit():
+            continue
+        amount = int(parts[0]) * 1024
+        if name == "Rss":
+            totals["rss"] += amount
+        elif name == "Pss":
+            totals["pss"] += amount
+        elif name in ("Private_Clean", "Private_Dirty"):
+            totals["private"] += amount
+        elif name in ("Shared_Clean", "Shared_Dirty"):
+            totals["shared"] += amount
+    return totals if matched else None
+
+
+def memory_report(segment_path: str | os.PathLike[str] | None = None) -> dict[str, Any]:
+    """One JSON-ready memory snapshot (worker ``stats`` frames embed it)."""
+    report: dict[str, Any] = {
+        "rss_bytes": resident_bytes(),
+        "private_bytes": private_resident_bytes(),
+    }
+    if segment_path is not None:
+        report["segment_mapping"] = segment_mapping_report(segment_path)
+    return report

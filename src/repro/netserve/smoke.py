@@ -1,0 +1,138 @@
+"""The ``netserve-smoke`` CI gate: boot a tiny cluster, drive it, check.
+
+Packs a small generated corpus, boots the full tier (frontend process +
+2 workers over one shared segment), runs the closed-loop generator for
+a few seconds, and gates on the run being *non-degenerate*:
+
+* zero unhandled errors anywhere — no client transport faults, no
+  worker pipeline exceptions, no frontend wire errors;
+* every worker actually served traffic (routing reached them all);
+* the SLO report has real content: positive QPS, a populated latency
+  histogram, and answered stats probes.
+
+Exit code 0/1; the report prints either way.  Run it as CI does::
+
+    PYTHONPATH=src python -m repro.netserve.smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+from pathlib import Path
+
+from repro.core.wordset_index import WordSetIndex
+from repro.datagen.corpus import CorpusConfig, generate_corpus
+from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.netserve.cluster import ClusterConfig, ServingCluster
+from repro.netserve.loadgen import LoadGenConfig, run_loadgen
+from repro.perf.bench import make_long_queries
+from repro.segment.builder import SegmentBuilder
+
+__all__ = ["run_smoke"]
+
+
+def run_smoke(
+    num_ads: int = 3_000,
+    num_workers: int = 2,
+    duration_s: float = 2.5,
+    concurrency: int = 8,
+    deadline_ms: float = 500.0,
+    seed: int = 0,
+) -> tuple[dict, list[str]]:
+    """One smoke run; returns ``(report, failures)``."""
+    generated = generate_corpus(CorpusConfig(num_ads=num_ads, seed=seed))
+    workload = generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=200, total_frequency=2_000, seed=seed + 1
+        ),
+    )
+    queries = make_long_queries(generated, workload, 32, 10, seed=seed + 2)
+    index = WordSetIndex.from_corpus(generated.corpus)
+    with tempfile.TemporaryDirectory(prefix="netserve-smoke-") as tmp:
+        segment_path = Path(tmp) / "smoke.seg"
+        SegmentBuilder(index).write(segment_path)
+        config = ClusterConfig(
+            segment_path=str(segment_path),
+            num_workers=num_workers,
+            frontend_process=True,
+            default_deadline_ms=deadline_ms,
+        )
+        with ServingCluster(config) as cluster:
+            host, port = cluster.address
+            report = run_loadgen(
+                LoadGenConfig(
+                    host=host,
+                    port=port,
+                    duration_s=duration_s,
+                    concurrency=concurrency,
+                    deadline_ms=deadline_ms,
+                    user_ids=4,
+                ),
+                queries,
+            )
+
+    failures: list[str] = []
+    if report["errors"]:
+        failures.append(f"{report['errors']} client-side errors")
+    if report["qps"] <= 0:
+        failures.append("degenerate run: zero sustained QPS")
+    if report["latency_ms"]["count"] == 0:
+        failures.append("latency histogram is empty")
+    workers = report.get("workers", [])
+    if len(workers) != num_workers:
+        failures.append(
+            f"stats saw {len(workers)} workers, expected {num_workers}"
+        )
+    for worker in workers:
+        if worker.get("unreachable"):
+            failures.append(f"worker {worker.get('worker_id')} unreachable")
+            continue
+        if worker.get("errors"):
+            failures.append(
+                f"worker {worker['worker_id']}: "
+                f"{worker['errors']} pipeline errors"
+            )
+        if worker.get("wire_errors"):
+            failures.append(
+                f"worker {worker['worker_id']}: "
+                f"{worker['wire_errors']} wire errors"
+            )
+        if not worker.get("served"):
+            failures.append(f"worker {worker['worker_id']} served nothing")
+    frontend = report.get("frontend") or {}
+    counters = frontend.get("counters", {})
+    if counters.get("frontend.wire_errors"):
+        failures.append(
+            f"{counters['frontend.wire_errors']} frontend wire errors"
+        )
+    return report, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--num-ads", type=int, default=3_000)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--duration-s", type=float, default=2.5)
+    parser.add_argument("--concurrency", type=int, default=8)
+    args = parser.parse_args(argv)
+    report, failures = run_smoke(
+        num_ads=args.num_ads,
+        num_workers=args.workers,
+        duration_s=args.duration_s,
+        concurrency=args.concurrency,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if failures:
+        print("netserve smoke FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("netserve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,205 @@
+"""Length-prefixed JSON framing — the serving tier's wire protocol.
+
+One frame is a 4-byte big-endian unsigned length followed by exactly
+that many bytes of compact UTF-8 JSON encoding a single object.  The
+object's ``"type"`` key routes it: ``serve``/``stats``/``ping``/
+``shutdown`` travel frontend→worker (and client→frontend), ``result``/
+``stats``/``pong``/``error`` travel back.  A ``serve`` frame's
+``"request"`` value is exactly :meth:`~repro.serving.request
+.ServeRequest.to_dict`; a ``result`` frame's ``"result"`` value is
+exactly :meth:`~repro.serving.server.ServeResult.to_dict` — the
+dataclass schema *is* the wire format.
+
+Fault taxonomy (every subclass of :class:`WireError`):
+
+* :class:`FrameTooLarge` — the length prefix exceeds the frame budget.
+  Read **before** allocating, so an adversarial prefix cannot balloon
+  memory.
+* :class:`TornFrame` — the peer disconnected mid-frame (a partial
+  header or a payload shorter than its prefix promised).  Clean EOF
+  *between* frames is not an error: readers return ``None``.
+* :class:`FrameFormatError` — the payload is not a JSON object.
+
+Both a blocking-socket codec (workers, the sync client) and an asyncio
+codec (the frontend) are provided, plus raw-bytes variants the frontend
+uses to relay frames without re-encoding them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+__all__ = [
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameFormatError",
+    "FrameTooLarge",
+    "TornFrame",
+    "WireError",
+    "decode_payload",
+    "encode_frame",
+    "read_raw_frame",
+    "recv_frame",
+    "recv_raw_frame",
+    "send_frame",
+    "write_raw_frame",
+]
+
+#: 4-byte big-endian unsigned frame length.
+HEADER = struct.Struct(">I")
+
+#: Default per-frame size budget.  Generous for ad slates (a full
+#: 4-slot result is a few KiB) while bounding what a corrupt or
+#: malicious length prefix can make a reader allocate.
+DEFAULT_MAX_FRAME_BYTES = 1 << 20
+
+
+class WireError(Exception):
+    """Base class for every framing fault."""
+
+
+class FrameTooLarge(WireError):
+    """A length prefix exceeds the configured frame budget."""
+
+
+class TornFrame(WireError):
+    """The connection ended mid-frame (partial header or payload)."""
+
+
+class FrameFormatError(WireError):
+    """A complete frame's payload is not a JSON object."""
+
+
+def encode_frame(
+    payload: dict[str, Any],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes:
+    """One header+payload frame for ``payload`` (compact JSON)."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame of {len(body)} bytes exceeds budget {max_frame_bytes}"
+        )
+    return HEADER.pack(len(body)) + body
+
+
+def decode_payload(body: bytes) -> dict[str, Any]:
+    """Decode one frame body; the payload must be a JSON object."""
+    try:
+        payload = json.loads(body)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise FrameFormatError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise FrameFormatError("frame payload must be a JSON object")
+    return payload
+
+
+def _check_length(length: int, max_frame_bytes: int) -> None:
+    if length > max_frame_bytes:
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds budget {max_frame_bytes}"
+        )
+
+
+# ------------------------------------------------------------------ #
+# Blocking-socket codec (workers, the sync client)
+
+
+def _recv_exact(sock: socket.socket, length: int) -> bytes | None:
+    """Exactly ``length`` bytes, ``None`` on EOF before the first byte,
+    :class:`TornFrame` on EOF after it."""
+    chunks: list[bytes] = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if not chunks:
+                return None
+            raise TornFrame(
+                f"peer closed mid-read: got {length - remaining} "
+                f"of {length} bytes"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+
+def recv_raw_frame(
+    sock: socket.socket,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes | None:
+    """One frame body (undecoded), ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    _check_length(length, max_frame_bytes)
+    if length == 0:
+        return b""
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise TornFrame(
+            f"peer closed after header: got 0 of {length} payload bytes"
+        )
+    return body
+
+
+def recv_frame(
+    sock: socket.socket,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> dict[str, Any] | None:
+    """One decoded payload, ``None`` on clean EOF between frames."""
+    body = recv_raw_frame(sock, max_frame_bytes)
+    if body is None:
+        return None
+    return decode_payload(body)
+
+
+def send_frame(
+    sock: socket.socket,
+    payload: dict[str, Any],
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> None:
+    """Encode and send one frame."""
+    sock.sendall(encode_frame(payload, max_frame_bytes))
+
+
+# ------------------------------------------------------------------ #
+# Asyncio codec (the frontend)
+
+
+async def read_raw_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+) -> bytes | None:
+    """One full frame **including its header** (relay-ready bytes),
+    ``None`` on clean EOF between frames."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TornFrame(
+            f"peer closed mid-header: got {len(exc.partial)} "
+            f"of {HEADER.size} bytes"
+        ) from exc
+    (length,) = HEADER.unpack(header)
+    _check_length(length, max_frame_bytes)
+    if length == 0:
+        return header
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TornFrame(
+            f"peer closed mid-frame: got {len(exc.partial)} "
+            f"of {length} payload bytes"
+        ) from exc
+    return header + body
+
+
+def write_raw_frame(writer: asyncio.StreamWriter, frame: bytes) -> None:
+    """Queue one already-framed byte string (caller drains)."""
+    writer.write(frame)

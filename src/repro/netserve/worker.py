@@ -1,0 +1,261 @@
+"""One serving worker process: a packed segment behind a Unix socket.
+
+A worker is forked by :class:`~repro.netserve.cluster.ServingCluster`
+(or run directly via :func:`run_worker`).  It opens the **same** segment
+file every sibling opens — ``mmap`` of one file means one set of page
+cache pages shared across all of them — wraps it in the standard
+:class:`~repro.serving.server.AdServer` pipeline, and answers
+length-prefixed JSON frames (:mod:`repro.netserve.wire`) on an
+``AF_UNIX`` listener:
+
+* ``{"type": "serve", "request": {...}}`` → ``{"type": "result",
+  "result": {...}}`` — the payloads are exactly
+  :meth:`ServeRequest.to_dict` / :meth:`ServeResult.to_dict`.
+* ``{"type": "stats"}`` → served/error counters, serve-latency
+  percentiles from the worker's own :mod:`repro.obs` registry, and the
+  :mod:`repro.netserve.memory` report that powers the zero-copy gate.
+* ``{"type": "ping"}`` → ``{"type": "pong"}`` (the readiness probe).
+* ``{"type": "shutdown"}`` → acked, then the process exits cleanly.
+
+The worker **never dies on a bad request**: schema errors and pipeline
+exceptions are answered with typed ``error`` frames and counted; only a
+transport-level fault ends that one connection.  The frontend keeps a
+pool of long-lived connections, so accept volume is tiny; each accepted
+connection is served by a daemon thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import threading
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any
+
+from repro.netserve.memory import memory_report
+from repro.netserve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    WireError,
+    recv_frame,
+    send_frame,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.segment.packed import DEFAULT_CACHE_BYTES, PackedSegmentIndex
+from repro.serving.request import ServeRequest, WireSchemaError
+from repro.serving.server import AdServer
+
+__all__ = ["WorkerConfig", "run_worker"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerConfig:
+    """Everything one worker process needs, picklable for fork/spawn.
+
+    Parameters
+    ----------
+    segment_path:
+        The packed segment every worker maps (the shared bytes).
+    socket_path:
+        This worker's ``AF_UNIX`` listener path.
+    worker_id:
+        Stable id used in stats and frontend routing.
+    slots / reserve_micros:
+        Auction shape, passed through to :class:`AdServer`.
+    cache_bytes:
+        Per-worker decoded-node cache budget.  This is *private* memory
+        by design — the gate on shared bytes covers the mapping, not
+        the cache.
+    default_deadline_ms:
+        Server-side budget applied when a request carries none.
+    max_frame_bytes:
+        Per-frame wire budget.
+    """
+
+    segment_path: str
+    socket_path: str
+    worker_id: int = 0
+    slots: int = 4
+    reserve_micros: int = 1
+    cache_bytes: int = DEFAULT_CACHE_BYTES
+    default_deadline_ms: float | None = None
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+
+
+class _Worker:
+    """The in-process state behind one worker's accept loop."""
+
+    def __init__(self, config: WorkerConfig) -> None:
+        self.config = config
+        self.obs = MetricsRegistry()
+        self.index = PackedSegmentIndex(
+            config.segment_path,
+            cache_bytes=config.cache_bytes,
+            obs=self.obs,
+        )
+        self.server = AdServer(
+            self.index,
+            slots=config.slots,
+            reserve_micros=config.reserve_micros,
+            default_deadline_ms=config.default_deadline_ms,
+            obs=self.obs,
+        )
+        self.served = 0
+        self.errors = 0
+        self.wire_errors = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+
+    # ---------------------------------------------------------- #
+
+    def handle(self, payload: dict[str, Any]) -> dict[str, Any] | None:
+        """One request frame → one response payload (``None`` = exit)."""
+        msg_type = payload.get("type")
+        if msg_type == "serve":
+            return self._serve(payload)
+        if msg_type == "ping":
+            return {"type": "pong", "worker_id": self.config.worker_id}
+        if msg_type == "stats":
+            return self.stats_payload()
+        if msg_type == "shutdown":
+            self._stop.set()
+            return {"type": "ok"}
+        self.wire_errors += 1
+        return {
+            "type": "error",
+            "error": f"unknown frame type {msg_type!r}",
+            "retryable": False,
+        }
+
+    def _serve(self, payload: dict[str, Any]) -> dict[str, Any]:
+        request_id = None
+        started = perf_counter()
+        try:
+            request = ServeRequest.from_dict(payload.get("request"))
+            request_id = request.request_id
+            with self._lock:
+                result = self.server.serve(request)
+        except WireSchemaError as exc:
+            self.wire_errors += 1
+            return self._error_frame(str(exc), request_id, retryable=False)
+        except Exception as exc:  # noqa: BLE001 — the worker never dies
+            self.errors += 1
+            return self._error_frame(
+                f"{type(exc).__name__}: {exc}", request_id, retryable=True
+            )
+        elapsed_ms = (perf_counter() - started) * 1e3
+        self.obs.histogram("span.worker_serve").observe(elapsed_ms)
+        self.served += 1
+        response: dict[str, Any] = {
+            "type": "result",
+            "result": result.to_dict(),
+        }
+        if request_id is not None:
+            response["request_id"] = request_id
+        return response
+
+    def _error_frame(
+        self, message: str, request_id: str | None, retryable: bool
+    ) -> dict[str, Any]:
+        frame: dict[str, Any] = {
+            "type": "error",
+            "error": message,
+            "retryable": retryable,
+        }
+        if request_id is not None:
+            frame["request_id"] = request_id
+        return frame
+
+    def stats_payload(self) -> dict[str, Any]:
+        latency = self.obs.histogram("span.worker_serve")
+        payload: dict[str, Any] = {
+            "type": "stats",
+            "worker_id": self.config.worker_id,
+            "pid": os.getpid(),
+            "served": self.served,
+            "errors": self.errors,
+            "wire_errors": self.wire_errors,
+            "shed": self.server.stats.shed,
+            "degraded": self.server.stats.degraded,
+            "serve_ms": {
+                "count": latency.count,
+                "mean": latency.mean(),
+                "p50": latency.p50,
+                "p95": latency.p95,
+                "p99": latency.p99,
+            },
+            "segment_bytes": self.index.segment_bytes(),
+        }
+        payload.update(memory_report(self.config.segment_path))
+        return payload
+
+    # ---------------------------------------------------------- #
+
+    def serve_connection(self, conn: socket.socket) -> None:
+        """Frames until EOF; transport faults end only this connection."""
+        max_bytes = self.config.max_frame_bytes
+        with contextlib.closing(conn):
+            while not self._stop.is_set():
+                try:
+                    payload = recv_frame(conn, max_bytes)
+                except WireError:
+                    self.wire_errors += 1
+                    return
+                except OSError:
+                    return
+                if payload is None:
+                    return
+                response = self.handle(payload)
+                if response is None:
+                    return
+                try:
+                    send_frame(conn, response, max_bytes)
+                except (WireError, OSError):
+                    self.wire_errors += 1
+                    return
+                if self._stop.is_set():
+                    return
+
+    def run(self) -> None:
+        path = self.config.socket_path
+        with contextlib.suppress(OSError):
+            os.unlink(path)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            listener.bind(path)
+            listener.listen(16)
+            listener.settimeout(0.2)
+            while not self._stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self.serve_connection,
+                    args=(conn,),
+                    daemon=True,
+                    name=f"netserve-worker-{self.config.worker_id}-conn",
+                )
+                thread.start()
+        finally:
+            listener.close()
+            with contextlib.suppress(OSError):
+                os.unlink(path)
+            self.index.close()
+
+
+def run_worker(config: WorkerConfig) -> None:
+    """Process entry point: serve until ``shutdown`` or ``SIGTERM``."""
+    worker = _Worker(config)
+
+    def _terminate(signum: int, frame: object) -> None:
+        worker._stop.set()
+
+    with contextlib.suppress(ValueError):  # non-main thread (tests)
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, _terminate)
+    worker.run()

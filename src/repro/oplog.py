@@ -368,10 +368,6 @@ class DurableIndex:
     ) -> list[Advertisement]:
         return self._index.query(query, match_type)
 
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Alias retained for symmetry with the index surface."""
-        return self._index.query(query)
-
     def stats(self):
         return self._index.stats()
 

@@ -32,7 +32,6 @@ from typing import Any
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.matching import MatchType
-from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.wordhash import wordhash
 from repro.core.wordset_index import WordSetIndex
@@ -139,11 +138,6 @@ class SegmentedIndex:
 
     # ------------------------------------------------------------------ #
     # Query processing
-
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self.query(query)
 
     def query(
         self,
@@ -364,11 +358,6 @@ class ShardedSegmentedIndex:
 
     def contains(self, ad: Advertisement) -> bool:
         return self.shards[self.shard_of(ad.words)].contains(ad)
-
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self.query(query)
 
     def query(
         self,

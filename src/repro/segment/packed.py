@@ -47,7 +47,6 @@ from typing import Any
 
 from repro.core.ads import AdInfo, Advertisement
 from repro.core.matching import MatchType, apply_match_type
-from repro.core.protocols import warn_query_broad_deprecated
 from repro.core.queries import Query
 from repro.core.subset_enum import sized_subsets
 from repro.core.wordhash import hash_suffix, wordhash
@@ -326,11 +325,6 @@ class PackedSegmentIndex:
             wordhash(subset)
             for subset in sized_subsets(plan.candidates, plan.sizes)
         )
-
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self.query(query)
 
     def query(
         self,

@@ -13,6 +13,12 @@ ranks and prices the winners.  This package implements that pipeline:
 """
 
 from repro.serving.auction import AuctionOutcome, SlotAward, run_gsp_auction
+from repro.serving.request import (
+    ServeRequest,
+    WireSchemaError,
+    ad_from_dict,
+    ad_to_dict,
+)
 from repro.serving.result_cache import CachedIndex, CacheStats
 from repro.serving.server import AdServer, ServeResult, ServingStats
 
@@ -21,8 +27,12 @@ __all__ = [
     "AuctionOutcome",
     "CacheStats",
     "CachedIndex",
+    "ServeRequest",
     "ServeResult",
     "ServingStats",
     "SlotAward",
+    "WireSchemaError",
+    "ad_from_dict",
+    "ad_to_dict",
     "run_gsp_auction",
 ]

@@ -27,7 +27,7 @@ from time import perf_counter
 
 from repro.core.ads import Advertisement
 from repro.core.matching import MatchType
-from repro.core.protocols import RetrievalIndex, warn_query_broad_deprecated
+from repro.core.protocols import RetrievalIndex
 from repro.core.queries import Query
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.resilience.deadline import Deadline
@@ -113,11 +113,6 @@ class CachedIndex:
 
     # ------------------------------------------------------------------ #
     # Queries
-
-    def query_broad(self, query: Query) -> list[Advertisement]:
-        """Deprecated alias for :meth:`query` (broad is the default)."""
-        warn_query_broad_deprecated(type(self))
-        return self.query(query, MatchType.BROAD)
 
     def query(
         self,

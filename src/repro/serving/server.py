@@ -20,9 +20,11 @@ recorded for the same query.
 
 from __future__ import annotations
 
+import json
 from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field, fields
 from time import perf_counter
+from typing import Any
 
 from repro.core.ads import Advertisement
 from repro.core.matching import passes_exclusions
@@ -33,7 +35,13 @@ from repro.perf.batch import BatchQueryEngine
 from repro.resilience.admission import AdmissionController, Priority
 from repro.resilience.deadline import ClockMs, Deadline, DegradedReason
 from repro.resilience.degrade import DegradationPolicy
-from repro.serving.auction import AuctionOutcome, run_gsp_auction
+from repro.serving.auction import AuctionOutcome, SlotAward, run_gsp_auction
+from repro.serving.request import (
+    ServeRequest,
+    WireSchemaError,
+    ad_from_dict,
+    ad_to_dict,
+)
 
 
 @dataclass(slots=True)
@@ -144,6 +152,80 @@ class ServeResult:
     @property
     def degraded(self) -> bool:
         return self.degraded_reason is not DegradedReason.NONE
+
+    # -------------------------------------------------------------- #
+    # Wire round-trip (the :mod:`repro.netserve` response payload)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The JSON-ready form: query, degraded reason, and the full
+        auction outcome with every award's ad identity in slot order."""
+        outcome = self.outcome
+        return {
+            "query": list(self.query.tokens),
+            "degraded_reason": self.degraded_reason.value,
+            "outcome": {
+                "reserve_micros": outcome.reserve_micros,
+                "candidates": outcome.candidates,
+                "awards": [
+                    {
+                        "slot": award.slot,
+                        "bid_micros": award.bid_micros,
+                        "quality": award.quality,
+                        "price_micros": award.price_micros,
+                        "ad": ad_to_dict(award.ad),
+                    }
+                    for award in outcome.awards
+                ],
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> ServeResult:
+        """Decode :meth:`to_dict` output into an equal result (award
+        order, ad identity, and the degraded reason all preserved)."""
+        if not isinstance(payload, dict):
+            raise WireSchemaError("result payload must be an object")
+        try:
+            tokens = tuple(payload["query"])
+            reason = DegradedReason(payload.get("degraded_reason", "none"))
+            encoded_outcome = payload["outcome"]
+            awards = tuple(
+                SlotAward(
+                    slot=encoded["slot"],
+                    ad=ad_from_dict(encoded["ad"]),
+                    bid_micros=encoded["bid_micros"],
+                    quality=encoded["quality"],
+                    price_micros=encoded["price_micros"],
+                )
+                for encoded in encoded_outcome["awards"]
+            )
+            outcome = AuctionOutcome(
+                awards=awards,
+                reserve_micros=encoded_outcome["reserve_micros"],
+                candidates=encoded_outcome["candidates"],
+            )
+        except WireSchemaError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WireSchemaError(f"bad result payload: {exc}") from exc
+        return cls(
+            query=Query(tokens=tokens),
+            outcome=outcome,
+            degraded_reason=reason,
+        )
+
+    def to_json(self) -> str:
+        """Compact JSON of :meth:`to_dict` (the wire payload text)."""
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> ServeResult:
+        """Decode :meth:`to_json` output."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise WireSchemaError(f"bad result JSON: {exc}") from exc
+        return cls.from_dict(payload)
 
 
 class AdServer:
@@ -306,12 +388,17 @@ class AdServer:
 
     def serve(
         self,
-        query: Query,
+        request: ServeRequest | Query,
         user_id: object = None,
         priority: Priority = Priority.NORMAL,
         deadline: Deadline | None = None,
     ) -> ServeResult:
-        """Run the full pipeline for one query.
+        """Run the full pipeline for one request.
+
+        ``request`` is either a :class:`ServeRequest` — the one-object
+        API the network tier speaks — or a bare :class:`Query` with the
+        per-request fields as keyword arguments (the pre-redesign
+        signature, kept bit-identical).  Mixing both styles is an error.
 
         Admission control (if configured) runs first — a shed request
         returns an empty, explicitly flagged result without touching
@@ -319,6 +406,22 @@ class AdServer:
         from ``default_deadline_ms``) is tightened by the degradation
         ladder and threaded through retrieval.
         """
+        if isinstance(request, ServeRequest):
+            if (
+                user_id is not None
+                or priority is not Priority.NORMAL
+                or deadline is not None
+            ):
+                raise TypeError(
+                    "pass per-request fields inside the ServeRequest, "
+                    "not as keyword arguments"
+                )
+            query = request.query
+            user_id = request.user_id
+            priority = request.priority
+            deadline = request.resolve_deadline(self._clock)
+        else:
+            query = request
         if self.admission is not None:
             decision = self.admission.try_admit(priority)
             if not decision.admitted:
@@ -435,13 +538,22 @@ class AdServer:
 
     def serve_batch(
         self,
-        queries: Iterable[Query],
+        requests: Iterable[ServeRequest | Query],
         user_id: object = None,
         priority: Priority = Priority.NORMAL,
         deadline: Deadline | None = None,
     ) -> list[ServeResult]:
         """Serve a micro-batch: batched retrieval, then the sequential
         filter/auction pipeline per query.
+
+        ``requests`` is a homogeneous sequence of either bare
+        :class:`Query` objects (the pre-redesign signature: ``user_id``
+        and ``priority`` apply to every position) or
+        :class:`ServeRequest` objects, each carrying its own user id and
+        admission priority.  With ``ServeRequest`` items the batch
+        budget is the explicit ``deadline`` argument when given,
+        otherwise the *tightest* of the items' own budgets (one deadline
+        always covers the whole batch).
 
         Retrieval deduplicates identical word-sets and fans out across
         shards via the worker pool (:class:`BatchQueryEngine`); filters,
@@ -453,24 +565,39 @@ class AdServer:
         back to per-query retrieval so one poisoned word-set degrades
         only its own queries, not the whole batch.
 
-        Admission control admits each query individually before the
+        Admission control admits each position individually before the
         batched retrieval runs; shed positions get flagged empty results
-        and the surviving queries share the batch (and the one
-        ``deadline`` budget, which covers the whole batch).
+        and the surviving queries share the batch deadline.
         """
-        queries = list(queries)
-        admitted = queries
+        items = list(requests)
+        if any(isinstance(item, ServeRequest) for item in items):
+            if not all(isinstance(item, ServeRequest) for item in items):
+                raise TypeError(
+                    "serve_batch takes all ServeRequests or all Queries, "
+                    "not a mix"
+                )
+            if user_id is not None or priority is not Priority.NORMAL:
+                raise TypeError(
+                    "pass per-request fields inside the ServeRequests, "
+                    "not as keyword arguments"
+                )
+            plan = [(item.query, item.user_id, item.priority) for item in items]
+            if deadline is None:
+                deadline = self._tightest_deadline(items)
+        else:
+            plan = [(query, user_id, priority) for query in items]
+        admitted = plan
         shed_at: dict[int, DegradedReason] = {}
         if self.admission is not None:
             admitted = []
-            for position, query in enumerate(queries):
-                decision = self.admission.try_admit(priority)
+            for position, (query, uid, prio) in enumerate(plan):
+                decision = self.admission.try_admit(prio)
                 if decision.admitted:
-                    admitted.append(query)
+                    admitted.append((query, uid, prio))
                 else:
                     shed_at[position] = decision.reason
         try:
-            results = self._serve_batch_admitted(admitted, user_id, deadline)
+            results = self._serve_batch_admitted(admitted, deadline)
         finally:
             if self.admission is not None:
                 for _ in admitted:
@@ -479,7 +606,7 @@ class AdServer:
             return results
         merged: list[ServeResult] = []
         served = iter(results)
-        for position, query in enumerate(queries):
+        for position, (query, _, _) in enumerate(plan):
             reason = shed_at.get(position)
             if reason is not None:
                 merged.append(self._shed(query, reason))
@@ -487,14 +614,29 @@ class AdServer:
                 merged.append(next(served))
         return merged
 
+    def _tightest_deadline(
+        self, items: list[ServeRequest]
+    ) -> Deadline | None:
+        """The batch budget for ServeRequest items: the member deadline
+        with the least remaining time (an untimed deadline counts as
+        infinite but still carries its degradation constraints)."""
+        resolved = [
+            deadline
+            for item in items
+            if (deadline := item.resolve_deadline(self._clock)) is not None
+        ]
+        if not resolved:
+            return None
+        return min(resolved, key=lambda deadline: deadline.remaining_ms())
+
     def _serve_batch_admitted(
         self,
-        queries: list[Query],
-        user_id: object,
+        plan: list[tuple[Query, object, Priority]],
         deadline: Deadline | None,
     ) -> list[ServeResult]:
-        if not queries:
+        if not plan:
             return []
+        queries = [query for query, _, _ in plan]
         deadline = self._request_deadline(deadline)
         if self._batch_engine is None or self._batch_engine.index is not self.index:
             self._batch_engine = BatchQueryEngine(
@@ -522,8 +664,8 @@ class AdServer:
             if DegradedReason.DEADLINE in deadline.partial_reasons:
                 self.stats.deadline_partials += len(queries)
         return [
-            self._finish(query, candidates, user_id, reason)
-            for query, candidates in zip(queries, candidate_lists)
+            self._finish(query, candidates, uid, reason)
+            for (query, uid, _), candidates in zip(plan, candidate_lists)
         ]
 
     def _finish(

@@ -1,8 +1,10 @@
 """Conformance tests for the :class:`repro.core.RetrievalIndex` protocol.
 
 Every pluggable retrieval structure must expose ``query(query, match_type)``,
-``stats()``, and ``__len__``, agree with the naive broad-match oracle, and
-keep ``query_broad`` as a deprecated alias that returns the same results.
+``stats()``, and ``__len__``, and agree with the naive broad-match oracle.
+The PR 2 migration is finished: the primary structures no longer carry the
+``query_broad`` deprecation alias at all (only the inverted-index baselines
+keep ``query_broad``, as their documented native surface).
 """
 
 import warnings
@@ -166,13 +168,13 @@ class TestProtocolConformance:
         assert [a.info.listing_id for a in exact] == [1]
 
 
-class TestDeprecatedAlias:
-    def test_query_broad_warns_and_agrees(self, structure):
-        query = Query.from_text("cheap used books")
-        expected = sorted(a.info.listing_id for a in structure.query(query))
-        with pytest.warns(DeprecationWarning, match="query_broad"):
-            aliased = structure.query_broad(query)
-        assert sorted(a.info.listing_id for a in aliased) == expected
+class TestRemovedAlias:
+    def test_query_broad_alias_is_gone(self, structure):
+        """The deprecation cycle is over: primary structures expose only
+        ``query``; calling the old alias is an AttributeError."""
+        assert not hasattr(structure, "query_broad")
+        with pytest.raises(AttributeError):
+            structure.query_broad(Query.from_text("cheap used books"))
 
     def test_query_does_not_warn(self, structure):
         with warnings.catch_warnings():

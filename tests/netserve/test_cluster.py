@@ -1,0 +1,155 @@
+"""End-to-end cluster tests: remote answers equal in-process answers,
+stats carry the memory evidence, and overload sheds by priority."""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.netserve import ClusterConfig, ServeClient, ServingCluster
+from repro.resilience.admission import AdmissionConfig, Priority
+from repro.resilience.deadline import DegradedReason
+from repro.serving import AdServer, ServeRequest
+
+from tests.netserve.conftest import requires_af_unix
+
+pytestmark = requires_af_unix
+
+
+@pytest.fixture(scope="module")
+def cluster(segment_path):
+    config = ClusterConfig(
+        segment_path=str(segment_path),
+        num_workers=2,
+        default_deadline_ms=2_000.0,
+    )
+    with ServingCluster(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(cluster):
+    host, port = cluster.address
+    with ServeClient(host, port) as connected:
+        yield connected
+
+
+def _sample_queries(generated_corpus):
+    ads = generated_corpus.corpus.ads
+    return [
+        Query(ads[i].phrase + ("extra", "words"))
+        for i in range(0, len(ads), 97)
+    ]
+
+
+class TestServing:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_remote_results_equal_in_process_results(
+        self, client, reference_index, generated_corpus
+    ):
+        local = AdServer(reference_index)
+        for query in _sample_queries(generated_corpus):
+            remote = client.serve(ServeRequest(query=query))
+            expected = local.serve(query)
+            assert remote.to_dict() == expected.to_dict()
+
+    def test_request_id_echoes_through(self, cluster):
+        host, port = cluster.address
+        with ServeClient(host, port) as client:
+            reply = client.request(
+                {
+                    "type": "serve",
+                    "request": {"query": ["books"], "request_id": "r-42"},
+                }
+            )
+        assert reply["type"] == "result"
+        assert reply["request_id"] == "r-42"
+
+    def test_error_frame_for_bad_request_then_connection_survives(
+        self, client
+    ):
+        reply = client.request(
+            {"type": "serve", "request": {"query": "not-a-list"}}
+        )
+        assert reply["type"] == "error"
+        assert client.ping()
+
+    def test_stats_report_both_workers_and_memory_fields(self, client):
+        client.serve(ServeRequest.from_text("warm up query"))
+        stats = client.stats()
+        workers = stats["workers"]
+        assert sorted(w["worker_id"] for w in workers) == [0, 1]
+        total_served = sum(w["served"] for w in workers)
+        assert total_served >= 1
+        for worker in workers:
+            assert worker["errors"] == 0
+            assert "serve_ms" in worker
+            # Memory fields are present; values are None off-/proc.
+            assert "rss_bytes" in worker
+            assert "segment_mapping" in worker
+        frontend = stats["frontend"]
+        assert frontend["num_workers"] == 2
+        assert frontend["counters"]["frontend.requests"] >= 1
+
+    def test_segment_mapping_is_shared_not_copied(self, client, segment_path):
+        """The zero-copy claim, asserted directly: with two workers
+        mapping one file, resident mapping pages are shared pages."""
+        stats = client.stats()
+        mappings = [w["segment_mapping"] for w in stats["workers"]]
+        if any(m is None for m in mappings):
+            pytest.skip("smaps unavailable on this platform")
+        segment_bytes = segment_path.stat().st_size
+        for mapping in mappings:
+            assert mapping["private"] <= 0.25 * segment_bytes
+
+
+class TestOverload:
+    def test_token_bucket_sheds_low_before_high(self, segment_path):
+        config = ClusterConfig(
+            segment_path=str(segment_path),
+            num_workers=1,
+            # burst=1: a full bucket covers HIGH (needs 1.0 token) but
+            # not LOW (needs 1.3 — its 30% reserve), so LOW sheds even
+            # before any traffic and HIGH sheds once the bucket drains.
+            admission=AdmissionConfig(rate_per_s=0.001, burst=1.0),
+        )
+        with ServingCluster(config) as cluster:
+            host, port = cluster.address
+            with ServeClient(host, port) as client:
+                low = client.serve(
+                    ServeRequest.from_text("books", priority=Priority.LOW)
+                )
+                high = client.serve(
+                    ServeRequest.from_text("books", priority=Priority.HIGH)
+                )
+                # Bucket now empty: even HIGH sheds, flagged not dropped.
+                drained = client.serve(
+                    ServeRequest.from_text("books", priority=Priority.HIGH)
+                )
+        assert low.degraded_reason is DegradedReason.SHED_CAPACITY
+        assert high.degraded_reason is DegradedReason.NONE
+        assert drained.degraded_reason is DegradedReason.SHED_CAPACITY
+        assert low.ads == []
+
+
+class TestLifecycle:
+    def test_stop_is_idempotent(self, segment_path):
+        config = ClusterConfig(
+            segment_path=str(segment_path), num_workers=1
+        )
+        cluster = ServingCluster(config)
+        cluster.start()
+        assert cluster.port is not None
+        cluster.stop()
+        cluster.stop()
+        assert cluster.processes == []
+
+    def test_workers_exit_on_stop(self, segment_path):
+        config = ClusterConfig(
+            segment_path=str(segment_path), num_workers=2
+        )
+        cluster = ServingCluster(config)
+        cluster.start()
+        procs = list(cluster.processes)
+        cluster.stop()
+        assert all(not p.is_alive() for p in procs)

@@ -1,0 +1,153 @@
+"""Wire-protocol fault injection: torn frames, oversized prefixes, and
+mid-frame disconnects, built with the :mod:`repro.faults` mutators and
+thrown at a live frontend.
+
+The invariant under test is *shed clean, never hang*: a client that
+violates framing loses its connection (optionally after a typed
+``error`` frame), the fault lands in the ``frontend.wire_errors`` /
+``frontend.client_timeouts`` counters, and the tier keeps serving
+well-formed clients.
+"""
+
+import socket
+
+import pytest
+
+from repro.faults.mutators import tear_tail, truncate_at
+from repro.netserve import ClusterConfig, ServeClient, ServingCluster
+from repro.netserve.wire import HEADER, encode_frame, recv_frame
+from repro.serving import ServeRequest
+
+from tests.netserve.conftest import requires_af_unix
+
+pytestmark = requires_af_unix
+
+#: A request frame big enough that every mutation lands mid-payload.
+REQUEST = {
+    "type": "serve",
+    "request": {
+        "query": ["cheap", "used", "books", "and", "plenty", "of", "padding"],
+        "request_id": "fault-probe",
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def cluster(segment_path):
+    config = ClusterConfig(
+        segment_path=str(segment_path),
+        num_workers=1,
+        # A stalling client must be disconnected, not waited on forever:
+        # this is what turns a partial frame into a bounded fault.
+        client_idle_timeout_s=0.75,
+        max_frame_bytes=1 << 16,
+    )
+    with ServingCluster(config) as running:
+        yield running
+
+
+@pytest.fixture()
+def raw_socket(cluster):
+    host, port = cluster.address
+    sock = socket.create_connection((host, port), timeout=10.0)
+    yield sock
+    sock.close()
+
+
+def _mutated_frame(tmp_path, name, mutate):
+    """Encode a valid frame to a file, corrupt it on disk, read it back
+    — the same torn-bytes discipline the durability tests use."""
+    path = tmp_path / name
+    path.write_bytes(encode_frame(REQUEST))
+    mutate(path)
+    return path.read_bytes()
+
+
+def _counters(cluster):
+    host, port = cluster.address
+    with ServeClient(host, port) as client:
+        return client.stats()["frontend"]["counters"]
+
+
+def _assert_still_serving(cluster):
+    host, port = cluster.address
+    with ServeClient(host, port) as client:
+        result = client.serve(ServeRequest.from_text("books"))
+    assert result.query.tokens == ("books",)
+
+
+class TestTornFrames:
+    def test_tear_tail_then_disconnect_is_counted_not_fatal(
+        self, cluster, raw_socket, tmp_path
+    ):
+        before = _counters(cluster)["frontend.wire_errors"]
+        torn = _mutated_frame(
+            tmp_path, "torn.frame", lambda p: tear_tail(p, keep_fraction=0.5)
+        )
+        assert len(torn) > HEADER.size, "mutation must keep a full header"
+        raw_socket.sendall(torn)
+        raw_socket.shutdown(socket.SHUT_WR)
+        # The frontend closes its side; the read unblocks with EOF
+        # rather than hanging until the test times out.
+        assert raw_socket.recv(4096) == b""
+        assert _counters(cluster)["frontend.wire_errors"] == before + 1
+        _assert_still_serving(cluster)
+
+    def test_partial_header_disconnect_is_torn(
+        self, cluster, raw_socket, tmp_path
+    ):
+        before = _counters(cluster)["frontend.wire_errors"]
+        stub = _mutated_frame(
+            tmp_path, "header.frame", lambda p: truncate_at(p, 2)
+        )
+        assert len(stub) == 2
+        raw_socket.sendall(stub)
+        raw_socket.shutdown(socket.SHUT_WR)
+        assert raw_socket.recv(4096) == b""
+        assert _counters(cluster)["frontend.wire_errors"] == before + 1
+        _assert_still_serving(cluster)
+
+    def test_stalled_mid_frame_client_is_disconnected_by_timeout(
+        self, cluster, raw_socket, tmp_path
+    ):
+        """A client that sends half a frame and then *stays connected*
+        is the hang case — the idle timeout must shed it."""
+        before = _counters(cluster)["frontend.client_timeouts"]
+        half = _mutated_frame(
+            tmp_path,
+            "stall.frame",
+            lambda p: truncate_at(p, HEADER.size + 10),
+        )
+        raw_socket.sendall(half)  # ...and never the rest
+        raw_socket.settimeout(10.0)
+        assert raw_socket.recv(4096) == b""
+        assert _counters(cluster)["frontend.client_timeouts"] == before + 1
+        _assert_still_serving(cluster)
+
+
+class TestOversizedFrames:
+    def test_oversized_prefix_gets_typed_error_then_close(
+        self, cluster, raw_socket
+    ):
+        before = _counters(cluster)["frontend.wire_errors"]
+        raw_socket.sendall(HEADER.pack((1 << 16) + 1))
+        reply = recv_frame(raw_socket)
+        assert reply is not None and reply["type"] == "error"
+        assert "exceeds" in reply["error"]
+        assert raw_socket.recv(4096) == b""
+        assert _counters(cluster)["frontend.wire_errors"] == before + 1
+        _assert_still_serving(cluster)
+
+    def test_garbage_payload_gets_typed_error(self, cluster, raw_socket):
+        body = b"this is not json at all {{{"
+        raw_socket.sendall(HEADER.pack(len(body)) + body)
+        reply = recv_frame(raw_socket)
+        assert reply is not None and reply["type"] == "error"
+        _assert_still_serving(cluster)
+
+    def test_unknown_frame_type_gets_typed_error(self, cluster, raw_socket):
+        raw_socket.sendall(encode_frame({"type": "teleport"}))
+        reply = recv_frame(raw_socket)
+        assert reply is not None and reply["type"] == "error"
+        assert "teleport" in reply["error"]
+        _assert_still_serving(cluster)

@@ -1,0 +1,70 @@
+"""The closed-loop generator and its SLO report, against a live tier."""
+
+import pytest
+
+from repro.core.queries import Query
+from repro.netserve import (
+    ClusterConfig,
+    LoadGenConfig,
+    ServingCluster,
+    run_loadgen,
+)
+
+from tests.netserve.conftest import requires_af_unix
+
+pytestmark = requires_af_unix
+
+
+@pytest.fixture(scope="module")
+def cluster(segment_path):
+    config = ClusterConfig(
+        segment_path=str(segment_path),
+        num_workers=2,
+        default_deadline_ms=2_000.0,
+    )
+    with ServingCluster(config) as running:
+        yield running
+
+
+def _queries(generated_corpus):
+    ads = generated_corpus.corpus.ads
+    return [
+        Query(ads[i].phrase + ("padding", "words"))
+        for i in range(0, len(ads), 53)
+    ]
+
+
+class TestLoadGen:
+    def test_report_is_complete_and_clean(self, cluster, generated_corpus):
+        host, port = cluster.address
+        report = run_loadgen(
+            LoadGenConfig(
+                host=host,
+                port=port,
+                duration_s=1.0,
+                concurrency=4,
+                deadline_ms=1_000.0,
+                user_ids=2,
+            ),
+            _queries(generated_corpus),
+        )
+        assert report["errors"] == 0
+        assert report["sent"] > 0
+        assert report["ok"] + report["shed"] + report["degraded"] == (
+            report["sent"]
+        )
+        assert report["qps"] > 0
+        assert report["latency_ms"]["count"] == report["sent"]
+        assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+        assert report["within_deadline"] is not None
+        # Per-worker rows carry the served-delta QPS split.
+        workers = report["workers"]
+        assert sorted(w["worker_id"] for w in workers) == [0, 1]
+        assert sum(w["served"] for w in workers) == report["sent"]
+
+    def test_empty_query_list_is_an_error(self, cluster):
+        host, port = cluster.address
+        with pytest.raises(ValueError):
+            run_loadgen(
+                LoadGenConfig(host=host, port=port, duration_s=0.1), []
+            )

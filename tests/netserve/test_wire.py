@@ -1,0 +1,136 @@
+"""Framing codec unit tests: round-trips, budgets, and the fault
+taxonomy, over socketpairs and in-memory asyncio streams."""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.netserve.wire import (
+    DEFAULT_MAX_FRAME_BYTES,
+    HEADER,
+    FrameFormatError,
+    FrameTooLarge,
+    TornFrame,
+    decode_payload,
+    encode_frame,
+    read_raw_frame,
+    recv_frame,
+    recv_raw_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestEncode:
+    def test_header_is_big_endian_length(self):
+        frame = encode_frame({"type": "ping"})
+        (length,) = HEADER.unpack(frame[: HEADER.size])
+        assert length == len(frame) - HEADER.size
+        assert decode_payload(frame[HEADER.size:]) == {"type": "ping"}
+
+    def test_compact_json_no_spaces(self):
+        frame = encode_frame({"a": 1, "b": [1, 2]})
+        assert b" " not in frame[HEADER.size:]
+
+    def test_oversized_payload_refused_at_encode(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame({"blob": "x" * 64}, max_frame_bytes=16)
+
+    def test_non_object_payload_refused_at_decode(self):
+        with pytest.raises(FrameFormatError):
+            decode_payload(b"[1,2,3]")
+        with pytest.raises(FrameFormatError):
+            decode_payload(b"{not json")
+
+
+class TestSyncCodec:
+    def test_round_trip(self, pair):
+        left, right = pair
+        send_frame(left, {"type": "serve", "request": {"query": ["a"]}})
+        assert recv_frame(right) == {
+            "type": "serve",
+            "request": {"query": ["a"]},
+        }
+
+    def test_multiple_frames_in_sequence(self, pair):
+        left, right = pair
+        for i in range(3):
+            send_frame(left, {"seq": i})
+        assert [recv_frame(right)["seq"] for _ in range(3)] == [0, 1, 2]
+
+    def test_clean_eof_between_frames_is_none(self, pair):
+        left, right = pair
+        send_frame(left, {"seq": 0})
+        left.close()
+        assert recv_frame(right) == {"seq": 0}
+        assert recv_frame(right) is None
+
+    def test_eof_mid_header_is_torn(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")  # half a header
+        left.close()
+        with pytest.raises(TornFrame):
+            recv_frame(right)
+
+    def test_eof_mid_payload_is_torn(self, pair):
+        left, right = pair
+        frame = encode_frame({"type": "serve", "request": {"query": ["a"]}})
+        left.sendall(frame[:-3])
+        left.close()
+        with pytest.raises(TornFrame):
+            recv_frame(right)
+
+    def test_oversized_prefix_refused_before_reading_payload(self, pair):
+        left, right = pair
+        left.sendall(HEADER.pack(DEFAULT_MAX_FRAME_BYTES + 1))
+        with pytest.raises(FrameTooLarge):
+            recv_frame(right)
+
+    def test_raw_variant_returns_body_bytes(self, pair):
+        left, right = pair
+        send_frame(left, {"k": 1})
+        assert recv_raw_frame(right) == b'{"k":1}'
+
+
+class TestAsyncCodec:
+    @staticmethod
+    def _read(data: bytes, eof: bool = True):
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            if eof:
+                reader.feed_eof()
+            return await read_raw_frame(reader)
+
+        return asyncio.run(run())
+
+    def test_round_trip_includes_header(self):
+        frame = encode_frame({"type": "pong"})
+        raw = self._read(frame)
+        assert raw == frame
+        assert decode_payload(raw[HEADER.size:]) == {"type": "pong"}
+
+    def test_clean_eof_is_none(self):
+        assert self._read(b"") is None
+
+    def test_partial_header_is_torn(self):
+        with pytest.raises(TornFrame):
+            self._read(b"\x00")
+
+    def test_partial_payload_is_torn(self):
+        frame = encode_frame({"type": "serve"})
+        with pytest.raises(TornFrame):
+            self._read(frame[:-2])
+
+    def test_oversized_prefix_is_refused(self):
+        data = HEADER.pack(DEFAULT_MAX_FRAME_BYTES + 1) + b"x"
+        with pytest.raises(FrameTooLarge):
+            self._read(data, eof=False)

@@ -164,9 +164,8 @@ class TestLifecycle:
         packed.close()
         packed.close()
 
-    def test_query_broad_alias_warns(self, packed):
-        with pytest.warns(DeprecationWarning, match="query_broad"):
-            packed.query_broad(Query.from_text("books"))
+    def test_query_broad_alias_removed(self, packed):
+        assert not hasattr(packed, "query_broad")
 
     def test_query_does_not_warn(self, packed):
         with warnings.catch_warnings():

@@ -77,8 +77,11 @@ class TestDocumentation:
 
 
 class TestInterchangeability:
-    def test_all_retrieval_structures_share_query_broad(self):
-        """The serving layer's pluggability contract."""
+    def test_all_retrieval_structures_share_query(self):
+        """The serving layer's pluggability contract: every structure
+        answers through ``query``; the primary structures no longer
+        carry the removed ``query_broad`` deprecation alias (only the
+        baselines keep it, as their native surface)."""
         from repro.compress.compressed_hash import CompressedWordSetIndex
         from repro.core.impact_index import ImpactOrderedIndex
         from repro.core.sharded import ShardedWordSetIndex
@@ -91,15 +94,22 @@ class TestInterchangeability:
         )
         from repro.serving.result_cache import CachedIndex
 
-        for cls in (
+        primary = (
             WordSetIndex,
             TrieWordSetIndex,
             ShardedWordSetIndex,
             ImpactOrderedIndex,
-            CompressedWordSetIndex,
             CachedIndex,
+        )
+        baselines = (
+            CompressedWordSetIndex,
             NonRedundantInvertedIndex,
             CountingInvertedIndex,
             RedundantInvertedIndex,
-        ):
+        )
+        for cls in primary + baselines:
+            assert callable(getattr(cls, "query"))
+        for cls in primary:
+            assert not hasattr(cls, "query_broad")
+        for cls in baselines:
             assert callable(getattr(cls, "query_broad"))
