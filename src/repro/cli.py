@@ -238,6 +238,8 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    if getattr(args, "tiered", False):
+        return _cmd_stats_tiered(args)
     if args.segment:
         return _cmd_stats_segment(args)
     loaded = load_index(args.index)
@@ -312,6 +314,55 @@ def _cmd_stats_segment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats_tiered(args: argparse.Namespace) -> int:
+    from repro.segment.tiered import TieredSegmentedIndex
+
+    with TieredSegmentedIndex(args.index, read_only=True) as tiered:
+        stats = tiered.stats()
+        print(f"ads:                 {stats['num_ads']:,}")
+        print(f"generation:          {stats['generation']}")
+        print(f"sealed segments:     {len(stats['segments'])}")
+        for level, count in stats["levels"].items():
+            print(f"  level {level}:           {count} segment(s)")
+        print(f"overlay ads:         {stats['overlay_ads']:,}")
+        print(f"tombstones:          {stats['tombstones']:,}")
+        print(f"read amplification:  {stats['read_amplification']}")
+        print(f"read amp bound:      {stats['read_amp_bound']}")
+        print(f"segment bytes:       {stats['segment_bytes']:,}")
+        if args.replay:
+            registry = MetricsRegistry()
+            _replay(tiered, args, registry)
+            _emit_replay_metrics(registry, args)
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.segment.tiered import TieredSegmentedIndex
+
+    with TieredSegmentedIndex(args.directory) as tiered:
+        before = tiered.stats()
+        if args.full:
+            tiered.compact()
+            action = "full compaction"
+        elif args.merge:
+            merged = tiered.maybe_merge()
+            action = f"{merged} ratio-triggered merge(s)"
+        else:
+            tiered.seal()
+            merged = tiered.maybe_merge()
+            action = f"seal + {merged} merge(s)"
+        after = tiered.stats()
+        print(f"{action}: generation {before['generation']} -> "
+              f"{after['generation']}")
+        print(f"segments:            {len(before['segments'])} -> "
+              f"{len(after['segments'])}")
+        print(f"read amplification:  {before['read_amplification']} -> "
+              f"{after['read_amplification']}")
+        print(f"tombstones:          {before['tombstones']:,} -> "
+              f"{after['tombstones']:,}")
+    return 0
+
+
 def _emit_replay_metrics(
     registry: MetricsRegistry, args: argparse.Namespace
 ) -> None:
@@ -329,6 +380,8 @@ def _cmd_pack(args: argparse.Namespace) -> int:
     from repro.segment import SegmentBuilder
 
     loaded = load_index(args.index)
+    if getattr(args, "tiered", False):
+        return _pack_tiered(args, loaded)
     builder = SegmentBuilder(loaded.index, suffix_bits=args.suffix_bits)
     builder.write(args.out, generation=loaded.generation)
     size = os.path.getsize(args.out)
@@ -338,6 +391,55 @@ def _cmd_pack(args: argparse.Namespace) -> int:
         f"suffix bits {builder.suffix_bits}) into {args.out} "
         f"({size:,} bytes)"
     )
+    return 0
+
+
+def _pack_tiered(args: argparse.Namespace, loaded) -> int:
+    from repro.segment.tiered import (
+        TieredConfig,
+        TieredSegmentedIndex,
+        pack_corpus_tiered,
+    )
+
+    config = TieredConfig(
+        seal_threshold=args.seal_threshold,
+        fan_in=args.fan_in,
+        suffix_bits=args.suffix_bits,
+        max_words=loaded.index.max_words,
+        max_query_words=loaded.index.max_query_words,
+        fast_path=loaded.index.fast_path,
+    )
+    ads = [
+        entry.ad
+        for node in loaded.index.nodes.values()
+        for entry in node.entries
+    ]
+    mapping = {
+        words: locator
+        for words, locator in loaded.index.placement().items()
+        if words != locator
+    }
+    if args.shards > 1:
+        sharded = pack_corpus_tiered(
+            ads, args.out, num_shards=args.shards,
+            config=config, mapping=mapping,
+        )
+        for shard in sharded.shards:
+            shard.close()
+        print(
+            f"packed {len(ads):,} ads into {args.shards} tiered "
+            f"shard(s) under {args.out}"
+        )
+    else:
+        with TieredSegmentedIndex.pack_corpus(
+            ads, args.out, config=config, mapping=mapping
+        ) as tiered:
+            stats = tiered.stats()
+        print(
+            f"packed {len(ads):,} ads into tiered index {args.out} "
+            f"(generation {stats['generation']}, "
+            f"{stats['segment_bytes']:,} segment bytes)"
+        )
     return 0
 
 
@@ -639,6 +741,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="treat INDEX as a packed segment file",
     )
     stats.add_argument(
+        "--tiered",
+        action="store_true",
+        help="treat INDEX as a tiered-segment directory",
+    )
+    stats.add_argument(
         "--replay",
         default=None,
         help="replay a file of queries ('-' for stdin) with metrics "
@@ -711,7 +818,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="B^sig suffix width (default: adaptive to node count)",
     )
+    pack.add_argument(
+        "--tiered",
+        action="store_true",
+        help="write a tiered-segment directory (manifest + L0 seed) "
+        "instead of a single segment file",
+    )
+    pack.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="tiered only: partition into this many shard directories",
+    )
+    pack.add_argument(
+        "--seal-threshold",
+        type=int,
+        default=512,
+        help="tiered only: overlay ads per automatic seal",
+    )
+    pack.add_argument(
+        "--fan-in",
+        type=int,
+        default=4,
+        help="tiered only: segments per level before a merge",
+    )
     pack.set_defaults(handler=_cmd_pack)
+
+    compact = sub.add_parser(
+        "compact",
+        help="seal and merge a tiered-segment directory",
+    )
+    compact.add_argument("directory", help="tiered index directory")
+    compact.add_argument(
+        "--merge",
+        action="store_true",
+        help="only run ratio-triggered merges (no seal)",
+    )
+    compact.add_argument(
+        "--full",
+        action="store_true",
+        help="seal and fold every tier into a single segment",
+    )
+    compact.set_defaults(handler=_cmd_compact)
 
     profile = sub.add_parser(
         "profile", help="Section I-B diagnostics for a corpus/workload"

@@ -37,7 +37,15 @@ from repro.obs.registry import MetricsRegistry
 from repro.resilience.admission import Priority
 from repro.serving.request import ServeRequest
 
-__all__ = ["LoadGenConfig", "run_loadgen"]
+__all__ = ["LoadGenConfig", "build_report", "run_loadgen"]
+
+#: Floor for rate denominators.  A degenerate run (instant crash, zero
+#: connections accepted, a clock that barely moved) can report an
+#: ``elapsed_s`` of microseconds; dividing by it would print absurd
+#: QPS figures — and a hard zero would divide-by-zero.  Rates are
+#: computed against ``max(elapsed_s, _MIN_ELAPSED_S)`` and the clamp is
+#: called out in ``degenerate_reasons``.
+_MIN_ELAPSED_S = 1e-3
 
 #: Shed reasons (vs other degradations) for response classification.
 _SHED_REASONS = frozenset({"shed_capacity", "shed_queue"})
@@ -198,6 +206,7 @@ def _worker_rows(
     before: dict[str, Any], after: dict[str, Any], elapsed_s: float
 ) -> list[dict[str, Any]]:
     """Per-worker SLO rows from the two stats probes' served deltas."""
+    safe_elapsed = max(elapsed_s, _MIN_ELAPSED_S)
     served_before = {
         w.get("worker_id"): w.get("served", 0)
         for w in before.get("workers", [])
@@ -214,7 +223,7 @@ def _worker_rows(
                 "worker_id": worker_id,
                 "pid": worker.get("pid"),
                 "served": delta,
-                "qps": delta / elapsed_s if elapsed_s > 0 else 0.0,
+                "qps": delta / safe_elapsed,
                 "errors": worker.get("errors"),
                 "wire_errors": worker.get("wire_errors"),
                 "serve_ms": worker.get("serve_ms"),
@@ -225,6 +234,72 @@ def _worker_rows(
             }
         )
     return rows
+
+
+def build_report(
+    config: LoadGenConfig,
+    num_queries: int,
+    counts: dict[str, int],
+    elapsed_s: float,
+    latency: Any,
+    stats_before: dict[str, Any],
+    stats_after: dict[str, Any],
+) -> dict[str, Any]:
+    """Assemble the SLO report from raw run artifacts — pure, so the
+    degenerate-run arithmetic is unit-testable without a live cluster.
+
+    A **degenerate** run is one whose headline numbers don't mean what
+    a reader would assume: nothing completed, nothing succeeded, or the
+    clock barely moved (rates are then computed against a
+    :data:`_MIN_ELAPSED_S` floor rather than the raw denominator).
+    Rather than silently printing ``0.0`` QPS or ``None`` SLO fields,
+    the report says so explicitly in ``degenerate`` /
+    ``degenerate_reasons`` — CI gates can (and do) key off it.
+    """
+    completed = counts["ok"] + counts["shed"] + counts["degraded"]
+    safe_elapsed = max(elapsed_s, _MIN_ELAPSED_S)
+    reasons: list[str] = []
+    if elapsed_s < _MIN_ELAPSED_S:
+        reasons.append("elapsed_clamped")
+    if completed == 0:
+        reasons.append("no_completed_responses")
+    elif counts["ok"] == 0:
+        reasons.append("no_ok_responses")
+    if counts["errors"] > 0 and counts["sent"] == 0:
+        reasons.append("all_errors")
+    return {
+        "config": {
+            "duration_s": config.duration_s,
+            "concurrency": config.concurrency,
+            "deadline_ms": config.deadline_ms,
+            "priority": config.priority.name.lower(),
+            "num_queries": num_queries,
+            "user_ids": config.user_ids,
+        },
+        "elapsed_s": elapsed_s,
+        "sent": counts["sent"],
+        "ok": counts["ok"],
+        "shed": counts["shed"],
+        "degraded": counts["degraded"],
+        "errors": counts["errors"],
+        "qps": completed / safe_elapsed,
+        "shed_rate": counts["shed"] / completed if completed else 0.0,
+        "within_deadline": (
+            counts["within_deadline"] / counts["ok"] if counts["ok"] else None
+        ),
+        "degenerate": bool(reasons),
+        "degenerate_reasons": reasons,
+        "latency_ms": {
+            "count": latency.count,
+            "mean": latency.mean(),
+            "p50": latency.p50,
+            "p95": latency.p95,
+            "p99": latency.p99,
+            "max": latency.snapshot()["max"],
+        },
+        "frontend": stats_after.get("frontend"),
+        "workers": _worker_rows(stats_before, stats_after, elapsed_s),
+    }
 
 
 def run_loadgen(
@@ -253,36 +328,12 @@ def run_loadgen(
     latency = registry.histogram(
         "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
     )
-    completed = counts["ok"] + counts["shed"] + counts["degraded"]
-    report: dict[str, Any] = {
-        "config": {
-            "duration_s": config.duration_s,
-            "concurrency": config.concurrency,
-            "deadline_ms": config.deadline_ms,
-            "priority": config.priority.name.lower(),
-            "num_queries": len(queries),
-            "user_ids": config.user_ids,
-        },
-        "elapsed_s": elapsed_s,
-        "sent": counts["sent"],
-        "ok": counts["ok"],
-        "shed": counts["shed"],
-        "degraded": counts["degraded"],
-        "errors": counts["errors"],
-        "qps": completed / elapsed_s if elapsed_s > 0 else 0.0,
-        "shed_rate": counts["shed"] / completed if completed else 0.0,
-        "within_deadline": (
-            counts["within_deadline"] / counts["ok"] if counts["ok"] else None
-        ),
-        "latency_ms": {
-            "count": latency.count,
-            "mean": latency.mean(),
-            "p50": latency.p50,
-            "p95": latency.p95,
-            "p99": latency.p99,
-            "max": latency.snapshot()["max"],
-        },
-        "frontend": stats_after.get("frontend"),
-        "workers": _worker_rows(stats_before, stats_after, elapsed_s),
-    }
-    return report
+    return build_report(
+        config,
+        len(queries),
+        counts,
+        elapsed_s,
+        latency,
+        stats_before,
+        stats_after,
+    )

@@ -43,7 +43,13 @@ from repro.netserve.wire import (
     send_frame,
 )
 from repro.obs.registry import MetricsRegistry
+from repro.segment.format import SegmentFormatError
 from repro.segment.packed import DEFAULT_CACHE_BYTES, PackedSegmentIndex
+from repro.segment.tiered import (
+    TieredConfig,
+    TieredSegmentedIndex,
+    manifest_fingerprint,
+)
 from repro.serving.request import ServeRequest, WireSchemaError
 from repro.serving.server import AdServer
 
@@ -90,11 +96,20 @@ class _Worker:
     def __init__(self, config: WorkerConfig) -> None:
         self.config = config
         self.obs = MetricsRegistry()
-        self.index = PackedSegmentIndex(
-            config.segment_path,
-            cache_bytes=config.cache_bytes,
-            obs=self.obs,
-        )
+        # A directory is a tiered index (manifest + segment tiers); a
+        # file is the classic single packed segment.
+        self._tiered = os.path.isdir(config.segment_path)
+        self.index: PackedSegmentIndex | TieredSegmentedIndex
+        if self._tiered:
+            self.index = self._open_tiered()
+            self._manifest_fp = manifest_fingerprint(config.segment_path)
+        else:
+            self.index = PackedSegmentIndex(
+                config.segment_path,
+                cache_bytes=config.cache_bytes,
+                obs=self.obs,
+            )
+            self._manifest_fp = None
         self.server = AdServer(
             self.index,
             slots=config.slots,
@@ -105,10 +120,44 @@ class _Worker:
         self.served = 0
         self.errors = 0
         self.wire_errors = 0
+        self.manifest_reloads = 0
         self._lock = threading.Lock()
         self._stop = threading.Event()
 
     # ---------------------------------------------------------- #
+
+    def _open_tiered(self) -> TieredSegmentedIndex:
+        return TieredSegmentedIndex(
+            self.config.segment_path,
+            config=TieredConfig(cache_bytes=self.config.cache_bytes),
+            obs=self.obs,
+            read_only=True,
+        )
+
+    def _maybe_reload(self) -> None:
+        """Pick up a manifest swap between requests (tiered mode only).
+
+        The atomic rename commit means the fingerprint moves exactly
+        when a new generation lands; a reload that races a writer's
+        post-commit victim unlink fails to open and simply retries on
+        the next request — the old generation keeps serving meanwhile.
+        Caller holds ``self._lock``.
+        """
+        if not self._tiered:
+            return
+        fingerprint = manifest_fingerprint(self.config.segment_path)
+        if fingerprint is None or fingerprint == self._manifest_fp:
+            return
+        try:
+            fresh = self._open_tiered()
+        except (OSError, SegmentFormatError):
+            return
+        old = self.index
+        self.index = fresh
+        self.server.index = fresh
+        self._manifest_fp = fingerprint
+        self.manifest_reloads += 1
+        old.close()
 
     def handle(self, payload: dict[str, Any]) -> dict[str, Any] | None:
         """One request frame → one response payload (``None`` = exit)."""
@@ -136,6 +185,7 @@ class _Worker:
             request = ServeRequest.from_dict(payload.get("request"))
             request_id = request.request_id
             with self._lock:
+                self._maybe_reload()
                 result = self.server.serve(request)
         except WireSchemaError as exc:
             self.wire_errors += 1
@@ -188,7 +238,19 @@ class _Worker:
             },
             "segment_bytes": self.index.segment_bytes(),
         }
-        payload.update(memory_report(self.config.segment_path))
+        if self._tiered:
+            assert isinstance(self.index, TieredSegmentedIndex)
+            payload["tiered"] = {
+                "generation": self.index.generation,
+                "segments": len(self.index.segments),
+                "read_amplification": self.index.read_amplification(),
+                "manifest_reloads": self.manifest_reloads,
+            }
+            # The mapping report keys off one file; tiered workers map
+            # many, so report process-level memory only.
+            payload.update(memory_report(None))
+        else:
+            payload.update(memory_report(self.config.segment_path))
         return payload
 
     # ---------------------------------------------------------- #

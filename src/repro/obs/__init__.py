@@ -46,6 +46,7 @@ from repro.obs.registry import (
     active_or_none,
     uniform_histogram,
 )
+from repro.obs.workload import WorkloadRecorder
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS_MS",
@@ -57,6 +58,7 @@ __all__ = [
     "MetricsRegistry",
     "NullRegistry",
     "Span",
+    "WorkloadRecorder",
     "active_or_none",
     "prometheus_name",
     "to_json",

@@ -1,0 +1,89 @@
+"""Live co-access statistics, recorded and harvested through the registry.
+
+The paper's Section V optimizer consumes a workload ``WL`` with a
+frequency function ``frq``.  Offline that comes from a trace file; on
+the serving path it has to come from *observation*.
+:class:`WorkloadRecorder` is that bridge: each broad-match query's
+word-set is folded to a canonical key and counted in a
+:class:`~repro.obs.registry.MetricsRegistry` counter
+(``workload.coaccess.<sorted words>``), so the co-access distribution
+rides the same registry as every other serving metric — visible in
+snapshots and Prometheus exports, zeroed by ``reset()``, and
+harvestable by whoever wants to re-optimize (the tiered merge path,
+:mod:`repro.segment.tiered`, turns the harvest back into a
+``Workload`` and runs the greedy set cover over it).
+
+Cardinality is bounded: after ``max_tracked`` distinct word-sets the
+recorder only increments sets it already tracks and counts the spill in
+``workload.coaccess_overflow`` — a merge optimizing for the head of the
+distribution is exactly the paper's intent, and an unbounded per-query
+label space would be an observability bug.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["COACCESS_PREFIX", "WorkloadRecorder"]
+
+#: Counter-name prefix for one recorded word-set's co-access count.
+COACCESS_PREFIX = "workload.coaccess."
+
+#: Distinct word-sets tracked before new ones spill to the overflow
+#: counter.  The head of a power-law workload fits comfortably.
+DEFAULT_MAX_TRACKED = 1024
+
+
+class WorkloadRecorder:
+    """Counts query word-sets in a registry; harvests them back out."""
+
+    def __init__(
+        self,
+        obs: MetricsRegistry,
+        max_tracked: int = DEFAULT_MAX_TRACKED,
+    ) -> None:
+        if max_tracked < 1:
+            raise ValueError("max_tracked must be >= 1")
+        self._obs = obs
+        self._max_tracked = max_tracked
+        self._tracked: set[str] = set()
+        self._overflow = obs.counter(
+            "workload.coaccess_overflow",
+            help="Queries dropped after max_tracked distinct word-sets",
+        )
+
+    @staticmethod
+    def key_for(words: frozenset[str]) -> str:
+        """Canonical counter-name suffix for one word-set."""
+        return " ".join(sorted(words))
+
+    def record(self, words: frozenset[str]) -> None:
+        """Count one broad-match access of ``words``."""
+        if not words:
+            return
+        key = self.key_for(words)
+        if key not in self._tracked:
+            if len(self._tracked) >= self._max_tracked:
+                self._overflow.inc()
+                return
+            self._tracked.add(key)
+        self._obs.counter(COACCESS_PREFIX + key).inc()
+
+    def harvest(self) -> list[tuple[frozenset[str], int]]:
+        """Every recorded ``(word-set, frequency)`` pair, from the
+        registry itself (counters survive ``reset()`` as zeroes; those
+        are skipped).  Returned in descending-frequency order."""
+        pairs: list[tuple[frozenset[str], int]] = []
+        for metric in self._obs.collect():
+            if not metric.name.startswith(COACCESS_PREFIX):
+                continue
+            frequency = int(self._obs.value(metric.name))
+            if frequency <= 0:
+                continue
+            words = frozenset(metric.name[len(COACCESS_PREFIX):].split())
+            pairs.append((words, frequency))
+        pairs.sort(key=lambda pair: (-pair[1], sorted(pair[0])))
+        return pairs
+
+    def distinct_tracked(self) -> int:
+        return len(self._tracked)

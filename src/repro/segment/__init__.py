@@ -10,23 +10,68 @@ checksummed, mmap-able file (front-coded phrases, delta-coded bids,
 :class:`SegmentedIndex` layers a mutable overlay with tombstones and
 crash-safe :meth:`~SegmentedIndex.compact` on top so the packed path
 supports the full insert/delete/query surface.
+
+:mod:`repro.segment.tiered` generalizes the single segment+overlay pair
+to an LSM-shaped tier stack: :class:`TieredSegmentedIndex` seals the
+overlay into small L0 segments, background-merges tiers upward under a
+checksummed manifest (crash-safe via atomic tmp+fsync+rename), and
+re-optimizes placements from observed co-access during merges;
+:mod:`repro.segment.churn` is its continuous-ingest correctness drill.
 """
 
 from repro.segment.bits import PackedBits, pack_bits
-from repro.segment.builder import SegmentBuilder, default_suffix_bits
-from repro.segment.format import SegmentFormatError
-from repro.segment.overlay import SegmentedIndex, ShardedSegmentedIndex
+from repro.segment.builder import (
+    SegmentBuilder,
+    cleanup_stale_temps,
+    default_suffix_bits,
+    stale_temp_files,
+)
+from repro.segment.format import (
+    SegmentFormatError,
+    TIERED_CRASHPOINTS,
+)
+from repro.segment.overlay import (
+    SegmentedIndex,
+    SegmentShard,
+    ShardedSegmentedIndex,
+    filter_tombstones,
+)
 from repro.segment.packed import PackedSegmentIndex
 from repro.segment.sizing import deep_sizeof
+from repro.segment.tiered import (
+    BackgroundMerger,
+    Manifest,
+    ManifestFormatError,
+    SegmentRecord,
+    TieredConfig,
+    TieredSegmentedIndex,
+    manifest_fingerprint,
+    pack_corpus_tiered,
+    read_manifest,
+)
 
 __all__ = [
+    "BackgroundMerger",
+    "Manifest",
+    "ManifestFormatError",
     "PackedBits",
     "PackedSegmentIndex",
     "SegmentBuilder",
     "SegmentFormatError",
+    "SegmentRecord",
+    "SegmentShard",
     "SegmentedIndex",
     "ShardedSegmentedIndex",
+    "TIERED_CRASHPOINTS",
+    "TieredConfig",
+    "TieredSegmentedIndex",
+    "cleanup_stale_temps",
     "deep_sizeof",
     "default_suffix_bits",
+    "filter_tombstones",
+    "manifest_fingerprint",
     "pack_bits",
+    "pack_corpus_tiered",
+    "read_manifest",
+    "stale_temp_files",
 ]

@@ -50,6 +50,31 @@ CRASH_COMPACT_START = "segment.compact.start"
 CRASH_COMPACT_WRITTEN = "segment.compact.written"
 CRASH_COMPACT_SWAPPED = "segment.compact.swapped"
 
+#: Crashpoints in the tiered lifecycle (:mod:`repro.segment.tiered`).
+#: Seal and merge both write their segment file first (visiting the
+#: ``segment.*`` write crashpoints above), then commit the new segment
+#: set through the manifest; ``tiered.manifest.swapped`` fires after
+#: both the manifest rename *and* the in-memory swap, so a crash there
+#: leaves disk and process agreeing on the new generation.
+CRASH_SEAL_START = "tiered.seal.start"
+CRASH_SEAL_WRITTEN = "tiered.seal.written"
+CRASH_MERGE_START = "tiered.merge.start"
+CRASH_MERGE_WRITTEN = "tiered.merge.written"
+CRASH_MANIFEST_TMP_WRITTEN = "tiered.manifest.tmp_written"
+CRASH_MANIFEST_TMP_SYNCED = "tiered.manifest.tmp_synced"
+CRASH_MANIFEST_SWAPPED = "tiered.manifest.swapped"
+
+#: Every tiered crashpoint, in lifecycle order (drills iterate this).
+TIERED_CRASHPOINTS = (
+    CRASH_SEAL_START,
+    CRASH_SEAL_WRITTEN,
+    CRASH_MERGE_START,
+    CRASH_MERGE_WRITTEN,
+    CRASH_MANIFEST_TMP_WRITTEN,
+    CRASH_MANIFEST_TMP_SYNCED,
+    CRASH_MANIFEST_SWAPPED,
+)
+
 
 class SegmentFormatError(ValueError):
     """Raised when a segment file is invalid, corrupt, or truncated."""

@@ -26,9 +26,9 @@ batches across shards automatically.
 from __future__ import annotations
 
 from collections import Counter
-from collections.abc import Iterator, Sequence
+from collections.abc import Iterator, Mapping, Sequence
 from pathlib import Path
-from typing import Any
+from typing import Any, Protocol
 
 from repro.core.ads import AdCorpus, Advertisement
 from repro.core.matching import MatchType
@@ -39,13 +39,40 @@ from repro.faults.injector import FaultInjector, active_injector
 from repro.obs.registry import MetricsRegistry, active_or_none
 from repro.resilience.deadline import Deadline, DegradedReason
 from repro.resilience.fanout import FanoutGuard
-from repro.segment.builder import SegmentBuilder
+from repro.segment.builder import SegmentBuilder, cleanup_stale_temps
 from repro.segment.format import (
     CRASH_COMPACT_START,
     CRASH_COMPACT_SWAPPED,
     CRASH_COMPACT_WRITTEN,
 )
 from repro.segment.packed import PackedSegmentIndex
+
+
+def filter_tombstones(
+    results: list[Advertisement],
+    tombstones: Mapping[Advertisement, int],
+) -> list[Advertisement]:
+    """Drop up to ``tombstones[ad]`` occurrences of each dead ad.
+
+    Allocation-aware: the common serving case is "tombstones exist but
+    none of *these* results are dead", so the mutable scratch copy of
+    the tombstone map (and the kept-list rebuild) is deferred until the
+    first actual hit.  When nothing is filtered the input list is
+    returned as-is — zero allocations on the hot path.
+    """
+    remaining: dict[Advertisement, int] | None = None
+    kept: list[Advertisement] | None = None
+    for index, ad in enumerate(results):
+        source = tombstones if remaining is None else remaining
+        pending = source.get(ad, 0)
+        if pending > 0:
+            if remaining is None or kept is None:
+                remaining = dict(tombstones)
+                kept = results[:index]
+            remaining[ad] = pending - 1
+        elif kept is not None:
+            kept.append(ad)
+    return results if kept is None else kept
 
 
 class SegmentedIndex:
@@ -61,6 +88,9 @@ class SegmentedIndex:
         faults: FaultInjector | None = None,
     ) -> None:
         if not isinstance(segment, PackedSegmentIndex):
+            # Opening is the natural sweep point for temp files orphaned
+            # by a crash mid-write: no compaction can be running yet.
+            cleanup_stale_temps(Path(segment))
             segment = PackedSegmentIndex(Path(segment))
         self._segment = segment
         self._faults = active_injector(faults)
@@ -161,15 +191,7 @@ class SegmentedIndex:
         self, results: list[Advertisement]
     ) -> list[Advertisement]:
         """Drop up to ``tombstones[ad]`` occurrences of each dead ad."""
-        remaining = dict(self._tombstones)
-        kept: list[Advertisement] = []
-        for ad in results:
-            pending = remaining.get(ad, 0)
-            if pending > 0:
-                remaining[ad] = pending - 1
-            else:
-                kept.append(ad)
-        return kept
+        return filter_tombstones(results, self._tombstones)
 
     # ------------------------------------------------------------------ #
     # Compaction
@@ -208,6 +230,7 @@ class SegmentedIndex:
         ``.swapped``.
         """
         target = Path(path) if path is not None else self._segment.path
+        cleanup_stale_temps(target)
         self._faults.crashpoint(CRASH_COMPACT_START)
         fresh = self._fresh_overlay()
         placements = self._live_placements()
@@ -273,6 +296,42 @@ class SegmentedIndex:
         self.close()
 
 
+class SegmentShard(Protocol):
+    """What a :class:`ShardedSegmentedIndex` shard must provide.
+
+    Both :class:`SegmentedIndex` (one segment + overlay) and
+    :class:`~repro.segment.tiered.TieredSegmentedIndex` (a manifest-run
+    of tiers + overlay) satisfy this structurally, so the sharded
+    wrapper — and through it :class:`~repro.perf.batch.BatchQueryEngine`
+    and :class:`~repro.serving.server.AdServer` — works over either.
+    """
+
+    supports_deadline: bool
+
+    def insert(
+        self, ad: Advertisement, locator: frozenset[str] | None = None
+    ) -> None: ...
+
+    def delete(self, ad: Advertisement) -> bool: ...
+
+    def contains(self, ad: Advertisement) -> bool: ...
+
+    def query(
+        self,
+        query: Query,
+        match_type: MatchType = MatchType.BROAD,
+        deadline: Deadline | None = None,
+    ) -> list[Advertisement]: ...
+
+    def compact(self) -> Path: ...
+
+    def stats(self) -> dict[str, Any]: ...
+
+    def close(self) -> None: ...
+
+    def __len__(self) -> int: ...
+
+
 class ShardedSegmentedIndex:
     """Segmented serving sharded by ``wordhash(words) % num_shards``.
 
@@ -280,7 +339,10 @@ class ShardedSegmentedIndex:
     :class:`~repro.core.sharded.ShardedWordSetIndex`, so a packed
     deployment shards identically to the in-memory distributed
     simulation.  Exposes ``.shards`` — the batch engine's scatter
-    heuristic picks it up without any adapter.
+    heuristic picks it up without any adapter.  Shards are anything
+    satisfying :class:`SegmentShard`; see
+    :func:`repro.segment.tiered.pack_corpus_tiered` for the tiered
+    variant.
     """
 
     #: Capability marker: ``query`` accepts a ``deadline`` budget.
@@ -288,12 +350,12 @@ class ShardedSegmentedIndex:
 
     def __init__(
         self,
-        shards: Sequence[SegmentedIndex],
+        shards: Sequence[SegmentShard],
         guard: FanoutGuard | None = None,
     ) -> None:
         if not shards:
             raise ValueError("need at least one shard")
-        self.shards: list[SegmentedIndex] = list(shards)
+        self.shards: list[SegmentShard] = list(shards)
         if guard is not None and len(guard.breakers) != len(self.shards):
             raise ValueError(
                 "guard shard count does not match index shard count"

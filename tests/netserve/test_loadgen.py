@@ -9,6 +9,8 @@ from repro.netserve import (
     ServingCluster,
     run_loadgen,
 )
+from repro.netserve.loadgen import _LATENCY_BUCKETS_MS, build_report
+from repro.obs.registry import MetricsRegistry
 
 from tests.netserve.conftest import requires_af_unix
 
@@ -57,6 +59,9 @@ class TestLoadGen:
         assert report["latency_ms"]["count"] == report["sent"]
         assert 0 < report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
         assert report["within_deadline"] is not None
+        # A healthy run must not be flagged degenerate.
+        assert report["degenerate"] is False
+        assert report["degenerate_reasons"] == []
         # Per-worker rows carry the served-delta QPS split.
         workers = report["workers"]
         assert sorted(w["worker_id"] for w in workers) == [0, 1]
@@ -68,3 +73,82 @@ class TestLoadGen:
             run_loadgen(
                 LoadGenConfig(host=host, port=port, duration_s=0.1), []
             )
+
+
+def _report(counts, elapsed_s, workers_after=()):
+    """Drive the pure report builder with canned run artifacts."""
+    latency = MetricsRegistry().histogram(
+        "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
+    )
+    for _ in range(counts["sent"]):
+        latency.observe(1.0)
+    config = LoadGenConfig(host="localhost", port=0, deadline_ms=100.0)
+    return build_report(
+        config,
+        num_queries=4,
+        counts=counts,
+        elapsed_s=elapsed_s,
+        latency=latency,
+        stats_before={"workers": []},
+        stats_after={"workers": list(workers_after)},
+    )
+
+
+class TestBuildReport:
+    """The degenerate-run arithmetic, no live cluster needed."""
+
+    def test_healthy_counts_are_not_degenerate(self):
+        counts = {
+            "sent": 10, "ok": 8, "shed": 1, "degraded": 1,
+            "errors": 0, "within_deadline": 8,
+        }
+        report = _report(counts, elapsed_s=2.0)
+        assert report["degenerate"] is False
+        assert report["qps"] == pytest.approx(5.0)
+        assert report["within_deadline"] == pytest.approx(1.0)
+
+    def test_zero_elapsed_never_divides_by_zero(self):
+        counts = {
+            "sent": 3, "ok": 3, "shed": 0, "degraded": 0,
+            "errors": 0, "within_deadline": 3,
+        }
+        worker = {"worker_id": 0, "served": 3}
+        report = _report(counts, elapsed_s=0.0, workers_after=[worker])
+        assert report["degenerate"] is True
+        assert "elapsed_clamped" in report["degenerate_reasons"]
+        # Clamped to the floor, not infinity and not zero.
+        assert 0.0 < report["qps"] < float("inf")
+        assert 0.0 < report["workers"][0]["qps"] < float("inf")
+
+    def test_microsecond_elapsed_does_not_report_absurd_qps(self):
+        counts = {
+            "sent": 2, "ok": 2, "shed": 0, "degraded": 0,
+            "errors": 0, "within_deadline": 2,
+        }
+        report = _report(counts, elapsed_s=1e-7)
+        assert "elapsed_clamped" in report["degenerate_reasons"]
+        assert report["qps"] <= 2.0 / 1e-3
+
+    def test_all_errors_run_is_called_out(self):
+        counts = {
+            "sent": 0, "ok": 0, "shed": 0, "degraded": 0,
+            "errors": 17, "within_deadline": 0,
+        }
+        report = _report(counts, elapsed_s=1.0)
+        assert report["degenerate"] is True
+        assert "no_completed_responses" in report["degenerate_reasons"]
+        assert "all_errors" in report["degenerate_reasons"]
+        assert report["qps"] == 0.0
+        assert report["within_deadline"] is None
+        assert report["shed_rate"] == 0.0
+
+    def test_all_shed_run_keeps_deadline_fraction_none(self):
+        counts = {
+            "sent": 5, "ok": 0, "shed": 5, "degraded": 0,
+            "errors": 0, "within_deadline": 0,
+        }
+        report = _report(counts, elapsed_s=1.0)
+        assert report["degenerate"] is True
+        assert report["degenerate_reasons"] == ["no_ok_responses"]
+        assert report["within_deadline"] is None
+        assert report["shed_rate"] == pytest.approx(1.0)

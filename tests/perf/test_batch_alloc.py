@@ -23,7 +23,11 @@ from repro.core.ads import AdCorpus, AdInfo, Advertisement
 from repro.core.queries import Query
 from repro.core.wordset_index import WordSetIndex
 from repro.perf.batch import BatchQueryEngine
-from repro.segment import PackedSegmentIndex, SegmentBuilder
+from repro.segment import (
+    PackedSegmentIndex,
+    SegmentBuilder,
+    filter_tombstones,
+)
 
 ADS = [
     Advertisement(
@@ -96,4 +100,50 @@ def test_steady_state_batches_do_not_grow_memory(segment_path, cache_bytes):
         # small slack (interpreter bookkeeping), not O(batches).
         assert after - before < 16 * 1024, (
             f"steady-state batches retained {after - before} bytes"
+        )
+
+
+class TestFilterTombstonesAllocation:
+    """``filter_tombstones`` defers every allocation until the first
+    actual hit: the no-hit serving case returns the input list itself
+    (identity, not an equal copy) and never clones the tombstone map."""
+
+    def test_no_hit_returns_the_input_list_identity(self):
+        results = list(ADS[:3])
+        tombstones = {ADS[4]: 1}  # dead ad not in these results
+        filtered = filter_tombstones(results, tombstones)
+        assert filtered is results
+
+    def test_empty_tombstones_is_identity(self):
+        results = list(ADS)
+        assert filter_tombstones(results, {}) is results
+
+    def test_hit_rebuilds_without_mutating_inputs(self):
+        results = list(ADS)
+        tombstones = {ADS[0]: 1}
+        filtered = filter_tombstones(results, tombstones)
+        assert filtered is not results
+        assert filtered == ADS[1:]
+        # The caller's tombstone map is scratch-copied, not consumed.
+        assert tombstones == {ADS[0]: 1}
+        assert results == ADS
+
+    def test_no_hit_filtering_is_allocation_flat(self):
+        results = list(ADS)
+        tombstones = {ADS[4]: 2}
+        del results[4]  # ensure zero hits
+        for _ in range(5):
+            filter_tombstones(results, tombstones)
+        gc.collect()
+        tracemalloc.start()
+        try:
+            before, _ = tracemalloc.get_traced_memory()
+            for _ in range(1000):
+                filter_tombstones(results, tombstones)
+            gc.collect()
+            after, _ = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert after - before < 4 * 1024, (
+            f"no-hit tombstone filtering retained {after - before} bytes"
         )

@@ -15,10 +15,12 @@ from repro.segment import (
     SegmentedIndex,
     ShardedSegmentedIndex,
 )
+from repro.segment.builder import stale_temp_files
 from repro.segment.format import (
     CRASH_COMPACT_START,
     CRASH_COMPACT_SWAPPED,
     CRASH_COMPACT_WRITTEN,
+    CRASH_TMP_SYNCED,
     CRASH_TMP_WRITTEN,
 )
 
@@ -362,3 +364,62 @@ class TestSharded:
     def test_empty_shard_list_rejected(self):
         with pytest.raises(ValueError):
             ShardedSegmentedIndex([])
+
+
+class TestStaleTempCleanup:
+    """Orphaned ``*.tmp`` files from crashed writes are swept on the
+    next open and again before the next compaction — crashpoint by
+    crashpoint, so a regression in any one write stage shows up."""
+
+    @pytest.mark.parametrize(
+        ("point", "leaves_orphan"),
+        [
+            (CRASH_COMPACT_START, False),  # crash before the temp write
+            (CRASH_TMP_WRITTEN, True),  # temp exists, never fsynced
+            (CRASH_TMP_SYNCED, True),  # temp durable, never renamed
+            (CRASH_COMPACT_WRITTEN, False),  # rename already happened
+            (CRASH_COMPACT_SWAPPED, False),  # fully committed
+        ],
+    )
+    def test_reopen_sweeps_the_orphan(self, tmp_path, point, leaves_orphan):
+        injector = FaultInjector()
+        path = write_segment(tmp_path / "sweep.seg")
+        segmented = SegmentedIndex(path, faults=injector)
+        try:
+            segmented.insert(ad("orphan bait", 40))
+            with injector.arm(point):
+                with pytest.raises(InjectedCrash):
+                    segmented.compact()
+        finally:
+            segmented.close()
+
+        assert bool(stale_temp_files(path)) is leaves_orphan
+        # Simulated restart: open must remove every orphan.
+        with SegmentedIndex(path):
+            pass
+        assert stale_temp_files(path) == []
+
+    def test_compact_sweeps_before_writing(self, tmp_path):
+        injector = FaultInjector()
+        path = write_segment(tmp_path / "precompact.seg")
+        segmented = SegmentedIndex(path, faults=injector)
+        try:
+            segmented.insert(ad("first try", 41))
+            with injector.arm(CRASH_TMP_WRITTEN):
+                with pytest.raises(InjectedCrash):
+                    segmented.compact()
+            assert len(stale_temp_files(path)) == 1
+            # The retry cleans the previous attempt's orphan and leaves
+            # exactly zero temp files behind on success.
+            segmented.compact()
+            assert stale_temp_files(path) == []
+        finally:
+            segmented.close()
+
+    def test_sibling_segment_temps_are_not_touched(self, tmp_path):
+        path = write_segment(tmp_path / "mine.seg")
+        sibling = tmp_path / ".other.seg.123.0.tmp"
+        sibling.write_bytes(b"someone else's crash")
+        with SegmentedIndex(path):
+            pass
+        assert sibling.exists()

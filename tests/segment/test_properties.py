@@ -38,11 +38,16 @@ def ad_strategy():
     )
 
 
-# An op is ("insert", ad) | ("delete", ad) | ("compact", None) |
-# ("crash_compact", point).
+# An op is ("insert", ad) | ("insert_locator", ad) | ("delete", ad) |
+# ("compact", None) | ("crash_compact", point).  ``insert_locator``
+# pins an explicit placement, which must BYPASS the tombstone-resurrect
+# shortcut: the ad lands in the overlay at the requested node and the
+# pending tombstone keeps cancelling the sealed copy — the net live
+# multiset is identical either way, and this op proves it.
 def op_strategy():
     return st.one_of(
         st.tuples(st.just("insert"), ad_strategy()),
+        st.tuples(st.just("insert_locator"), ad_strategy()),
         st.tuples(st.just("delete"), ad_strategy()),
         st.tuples(st.just("compact"), st.none()),
         st.tuples(
@@ -109,6 +114,12 @@ def test_interleavings_match_wordset_oracle(tmp_path_factory, base, ops):
             if kind == "insert":
                 segmented.insert(arg)
                 oracle.insert(arg)
+            elif kind == "insert_locator":
+                # Explicit placement at a single-word subset of the
+                # phrase; the oracle places plainly — broad-query
+                # results must not depend on the mapping.
+                segmented.insert(arg, locator=frozenset({arg.phrase[0]}))
+                oracle.insert(arg)
             elif kind == "delete":
                 assert segmented.delete(arg) == oracle.delete(arg)
             elif kind == "compact":
@@ -122,6 +133,12 @@ def test_interleavings_match_wordset_oracle(tmp_path_factory, base, ops):
                         segmented.compact(
                             path=directory / f"crash-{step}.seg"
                         )
+            if kind in ("insert", "insert_locator", "delete"):
+                assert segmented.contains(arg) == (arg in oracle.ads), (
+                    step,
+                    kind,
+                )
+            assert len(segmented) == len(oracle.ads), (step, kind)
             for query in PROBE_QUERIES:
                 got = sorted(
                     (a.info.listing_id, a.phrase)
