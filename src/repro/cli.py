@@ -579,12 +579,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         admission=admission,
         frontend_process=True,
+        max_batch=args.max_batch,
+        batch_wait_us=args.batch_wait_us,
+        reload_check_interval_s=args.reload_check_interval_s,
+        coalesce=args.coalesce,
+        cache_entries=args.cache_entries,
     )
     with ServingCluster(config) as cluster:
         host, port = cluster.address
+        batching = (
+            f"max_batch {args.max_batch}, coalesce "
+            f"{'on' if args.coalesce else 'off'}, cache "
+            f"{args.cache_entries}"
+        )
         print(
             f"serving {args.segment} on {host}:{port} "
-            f"({args.workers} worker(s), Ctrl-C to stop)"
+            f"({args.workers} worker(s), {batching}, Ctrl-C to stop)"
         )
         try:
             while True:
@@ -611,6 +621,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             deadline_ms=args.deadline_ms,
             priority=Priority.from_name(args.priority),
             user_ids=args.user_ids,
+            zipf_s=args.zipf_s,
+            zipf_seed=args.zipf_seed,
         ),
         queries,
     )
@@ -625,6 +637,17 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"degraded {report['degraded']}  errors {report['errors']}  "
         f"shed_rate {report['shed_rate']:.3f}"
     )
+    traffic = report.get("traffic") or {}
+    coalescing = report.get("coalescing") or {}
+    if traffic.get("mode") == "zipf":
+        fraction = traffic.get("unique_query_fraction")
+        print(
+            f"traffic zipf(s={traffic.get('zipf_s')})  "
+            f"unique_query_fraction "
+            f"{fraction if fraction is None else f'{fraction:.3f}'}  "
+            f"coalesced {coalescing.get('coalesced', 0)}  "
+            f"cache_hits {coalescing.get('cache_hits', 0)}"
+        )
     for worker in report["workers"]:
         if worker.get("unreachable"):
             print(f"worker {worker.get('worker_id')}: unreachable")
@@ -933,6 +956,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="in-flight backlog beyond which requests shed",
     )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1,
+        help="worker micro-batch size (1 = scalar serving)",
+    )
+    serve.add_argument(
+        "--batch-wait-us",
+        type=float,
+        default=500.0,
+        help="how long a worker batch waits for stragglers",
+    )
+    serve.add_argument(
+        "--reload-check-interval-s",
+        type=float,
+        default=0.25,
+        help="tiered mode: manifest-probe throttle between batches",
+    )
+    serve.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="singleflight identical in-flight serve requests",
+    )
+    serve.add_argument(
+        "--cache-entries",
+        type=int,
+        default=0,
+        help="frontend result-cache capacity (0 disables)",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -956,6 +1008,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="cycle this many synthetic user ids through requests",
     )
+    loadgen.add_argument(
+        "--zipf-s",
+        type=float,
+        default=None,
+        help="draw queries Zipf(s)-distributed (duplicate-heavy traffic)",
+    )
+    loadgen.add_argument("--zipf-seed", type=int, default=0)
     loadgen.add_argument("--out", default=None, help="write report JSON")
     loadgen.set_defaults(handler=_cmd_loadgen)
     return parser

@@ -7,10 +7,15 @@ so far rather than inventing parallel ones:
 * **workers** (:mod:`~repro.netserve.worker`) — forked per-core
   processes, each an ``AdServer`` over a
   :class:`~repro.segment.PackedSegmentIndex` mapping the **same**
-  segment file, so N workers share one copy of the index bytes;
+  segment file, so N workers share one copy of the index bytes; serve
+  frames flow through a micro-batching dispatcher (bounded queue →
+  ``serve_batch`` → per-connection fan-out) so the PR 6 batch kernels
+  engage under concurrent load;
 * **frontend** (:mod:`~repro.netserve.frontend`) — one asyncio process
   doing admission (PR 5's priority token bucket), per-worker circuit
-  breakers, and raw-frame relay;
+  breakers, and raw-frame relay, with opt-in singleflight coalescing
+  and a generation-aware result cache (:mod:`~repro.netserve.coalesce`)
+  for duplicate-heavy traffic;
 * **wire** (:mod:`~repro.netserve.wire`) — 4-byte length-prefixed
   compact JSON; the payloads are exactly
   :meth:`~repro.serving.request.ServeRequest.to_dict` and
@@ -22,13 +27,20 @@ so far rather than inventing parallel ones:
   whose ``serve(ServeRequest) -> ServeResult`` reads identically to
   the in-process call;
 * **loadgen** (:mod:`~repro.netserve.loadgen`) — closed-loop driving
-  plus the SLO report (QPS, p50/p95/p99, shed rate, per-worker QPS and
-  memory) that :mod:`~repro.netserve.bench` persists to
-  ``BENCH_PR7.json`` and :mod:`~repro.netserve.smoke` gates in CI.
+  (round-robin or duplicate-heavy Zipf traffic) plus the SLO report
+  (QPS, p50/p95/p99, shed rate, coalescing/cache hit rates, per-worker
+  QPS and memory) that :mod:`~repro.netserve.bench` persists to
+  ``BENCH_PR7.json`` / ``BENCH_PR9.json`` and
+  :mod:`~repro.netserve.smoke` gates in CI.
 """
 
 from repro.netserve.client import RemoteServeError, ServeClient
 from repro.netserve.cluster import ClusterConfig, ServingCluster
+from repro.netserve.coalesce import (
+    GenerationalLRUCache,
+    canonical_serve_key,
+    restamp_result,
+)
 from repro.netserve.frontend import Frontend, FrontendConfig
 from repro.netserve.loadgen import LoadGenConfig, run_loadgen
 from repro.netserve.memory import (
@@ -57,6 +69,7 @@ __all__ = [
     "FrameTooLarge",
     "Frontend",
     "FrontendConfig",
+    "GenerationalLRUCache",
     "LoadGenConfig",
     "RemoteServeError",
     "ServeClient",
@@ -64,12 +77,14 @@ __all__ = [
     "TornFrame",
     "WireError",
     "WorkerConfig",
+    "canonical_serve_key",
     "decode_payload",
     "encode_frame",
     "memory_report",
     "private_resident_bytes",
     "recv_frame",
     "resident_bytes",
+    "restamp_result",
     "run_loadgen",
     "run_worker",
     "segment_mapping_report",

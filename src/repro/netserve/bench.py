@@ -1,4 +1,4 @@
-"""The network-tier benchmark behind ``BENCH_PR7.json``.
+"""The network-tier benchmarks behind ``BENCH_PR7.json`` / ``BENCH_PR9.json``.
 
 One run packs a generated corpus into a segment, then boots a
 :class:`~repro.netserve.cluster.ServingCluster` once per worker count
@@ -30,6 +30,20 @@ Three gates, all recorded in the output document:
 Run it as a module::
 
     PYTHONPATH=src python -m repro.netserve.bench --out BENCH_PR7.json
+
+``--mode batched`` runs the **PR 9** experiment instead: the same
+cluster topology twice on a duplicate-heavy Zipf workload — once in
+the unbatched PR 7 configuration (``max_batch=1``, no coalescing, no
+cache) and once as the batched pipeline (worker micro-batching +
+frontend singleflight + generation-aware result cache) — plus an
+equivalence sweep proving slates stay bit-identical with each feature
+toggled on individually.  Gates: pipeline QPS ≥ 2× baseline at
+concurrency ≥ 32 (core-aware fallback floor when the host can't
+physically parallelize, recorded as ``cpu_feasible``), p99 ≤ deadline
+on both runs, zero errors, zero equivalence mismatches::
+
+    PYTHONPATH=src python -m repro.netserve.bench --mode batched \
+        --out BENCH_PR9.json
 """
 
 from __future__ import annotations
@@ -44,17 +58,28 @@ from typing import Any
 from repro.core.wordset_index import WordSetIndex
 from repro.datagen.corpus import CorpusConfig, generate_corpus
 from repro.datagen.querygen import QueryConfig, generate_workload
+from repro.netserve.client import ServeClient
 from repro.netserve.cluster import ClusterConfig, ServingCluster
 from repro.netserve.loadgen import LoadGenConfig, run_loadgen
 from repro.perf.bench import make_long_queries
 from repro.segment.builder import SegmentBuilder
+from repro.segment.packed import PackedSegmentIndex
+from repro.serving.request import ServeRequest
+from repro.serving.server import AdServer
 
-__all__ = ["available_cores", "run_netserve_bench"]
+__all__ = ["available_cores", "run_batched_bench", "run_netserve_bench"]
 
 #: The scaling bar applied when the host has fewer cores than workers:
 #: parallel speedup is physically unavailable, but adding workers must
 #: still not collapse throughput.
 NO_COLLAPSE_FLOOR = 0.8
+
+#: The batched-pipeline bar applied when the host can't physically run
+#: frontend and workers in parallel (single-core CI): batching +
+#: coalescing + cache must still win modestly — they remove worker CPU
+#: from the critical path even when everything time-slices one core —
+#: and must certainly not regress.
+BATCHED_FALLBACK_FLOOR = 1.05
 
 
 def available_cores() -> int:
@@ -257,36 +282,390 @@ def run_netserve_bench(
     return document
 
 
+# ---------------------------------------------------------------- #
+# PR 9: batched pipeline vs unbatched baseline
+
+
+def _measure_mode(
+    segment_path: Path,
+    queries: list[Any],
+    *,
+    batched: bool,
+    num_workers: int,
+    conns_per_worker: int,
+    max_batch: int,
+    batch_wait_us: float,
+    cache_entries: int,
+    duration_s: float,
+    concurrency: int,
+    deadline_ms: float,
+    zipf_s: float,
+    seed: int,
+) -> dict[str, Any]:
+    """One measured run: the same topology, batching on or off."""
+    config = ClusterConfig(
+        segment_path=str(segment_path),
+        num_workers=num_workers,
+        conns_per_worker=conns_per_worker if batched else 2,
+        frontend_process=True,
+        default_deadline_ms=deadline_ms,
+        max_batch=max_batch if batched else 1,
+        batch_wait_us=batch_wait_us,
+        coalesce=batched,
+        cache_entries=cache_entries if batched else 0,
+    )
+    load = dict(
+        duration_s=duration_s,
+        concurrency=concurrency,
+        deadline_ms=deadline_ms,
+        zipf_s=zipf_s,
+        zipf_seed=seed,
+    )
+    with ServingCluster(config) as cluster:
+        host, port = cluster.address
+        # Warm page cache, node caches, connection pools — and, in the
+        # batched run, the result cache (steady state is the claim).
+        run_loadgen(
+            LoadGenConfig(
+                host=host,
+                port=port,
+                **{**load, "duration_s": min(1.0, duration_s / 4)},
+            ),
+            queries,
+        )
+        report = run_loadgen(
+            LoadGenConfig(host=host, port=port, **load), queries
+        )
+    report["batched"] = batched
+    return report
+
+
+def _expected_results(
+    segment_path: Path, requests: list[ServeRequest]
+) -> list[dict[str, Any]]:
+    """The scalar in-process answers the network tier must reproduce."""
+    index = PackedSegmentIndex(str(segment_path))
+    try:
+        server = AdServer(index)
+        return [server.serve(request).to_dict() for request in requests]
+    finally:
+        index.close()
+
+
+def _equivalence_run(
+    segment_path: Path,
+    cluster_kwargs: dict[str, Any],
+    requests: list[ServeRequest],
+    expected: list[dict[str, Any]],
+    threads: int = 4,
+) -> dict[str, Any]:
+    """Drive the full request stream from ``threads`` concurrent
+    clients and compare every reply bit-for-bit against ``expected``."""
+    import threading
+
+    mismatches = 0
+    id_mismatches = 0
+    errors = 0
+    lock = threading.Lock()
+    config = ClusterConfig(segment_path=str(segment_path), **cluster_kwargs)
+    with ServingCluster(config) as cluster:
+        host, port = cluster.address
+
+        def stream(thread_id: int) -> None:
+            nonlocal mismatches, id_mismatches, errors
+            local_mis = local_ids = local_errs = 0
+            with ServeClient(host, port, timeout_s=30.0) as client:
+                for i, request in enumerate(requests):
+                    request_id = f"t{thread_id}-r{i}"
+                    payload = request.to_dict()
+                    payload["request_id"] = request_id
+                    reply = client.request(
+                        {"type": "serve", "request": payload}
+                    )
+                    if reply.get("type") != "result":
+                        local_errs += 1
+                        continue
+                    if reply.get("request_id") != request_id:
+                        local_ids += 1
+                    if reply.get("result") != expected[i]:
+                        local_mis += 1
+            with lock:
+                mismatches += local_mis
+                id_mismatches += local_ids
+                errors += local_errs
+
+        workers = [
+            threading.Thread(target=stream, args=(t,), daemon=True)
+            for t in range(threads)
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+    return {
+        "requests": len(requests) * threads,
+        "mismatches": mismatches,
+        "request_id_mismatches": id_mismatches,
+        "errors": errors,
+    }
+
+
+def run_batched_bench(
+    num_ads: int = 20_000,
+    num_queries: int = 96,
+    query_len: int = 12,
+    duration_s: float = 4.0,
+    concurrency: int = 32,
+    deadline_ms: float = 250.0,
+    num_workers: int = 2,
+    conns_per_worker: int = 16,
+    max_batch: int = 16,
+    batch_wait_us: float = 500.0,
+    cache_entries: int = 512,
+    zipf_s: float = 1.1,
+    speedup_floor: float = 2.0,
+    seed: int = 0,
+    segment_path: str | Path | None = None,
+    enforce_gates: bool = True,
+) -> dict[str, Any]:
+    """The PR 9 experiment; returns the ``BENCH_PR9.json`` document."""
+    generated = generate_corpus(CorpusConfig(num_ads=num_ads, seed=seed))
+    workload = generate_workload(
+        generated,
+        QueryConfig(
+            num_distinct=max(200, num_queries),
+            total_frequency=10 * max(200, num_queries),
+            seed=seed + 1,
+        ),
+    )
+    queries = make_long_queries(
+        generated, workload, num_queries, query_len, seed=seed + 2
+    )
+
+    index = WordSetIndex.from_corpus(generated.corpus)
+    own_tempdir = segment_path is None
+    tempdir = None
+    if own_tempdir:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-batched-bench-")
+        segment_path = Path(tempdir.name) / "bench.seg"
+    segment_path = Path(segment_path)
+    SegmentBuilder(index).write(segment_path)
+    segment_bytes = segment_path.stat().st_size
+
+    measure = dict(
+        num_workers=num_workers,
+        conns_per_worker=conns_per_worker,
+        max_batch=max_batch,
+        batch_wait_us=batch_wait_us,
+        cache_entries=cache_entries,
+        duration_s=duration_s,
+        concurrency=concurrency,
+        deadline_ms=deadline_ms,
+        zipf_s=zipf_s,
+        seed=seed,
+    )
+    try:
+        baseline = _measure_mode(
+            segment_path, queries, batched=False, **measure
+        )
+        pipeline = _measure_mode(
+            segment_path, queries, batched=True, **measure
+        )
+
+        # Equivalence sweep: each feature toggled on individually (and
+        # all together) must reproduce the scalar in-process slates
+        # bit-for-bit under concurrent clients.  Odd requests reverse
+        # their token order so the coalescer's canonical-key fold and
+        # per-client query-echo restamp are actually exercised.
+        sample = queries[: min(24, len(queries))]
+        requests = [
+            ServeRequest(
+                query=(
+                    query
+                    if i % 2 == 0
+                    else type(query)(tuple(reversed(query.tokens)))
+                )
+            )
+            for i, query in enumerate(sample)
+        ]
+        expected = _expected_results(segment_path, requests)
+        toggles = {
+            "batching_only": dict(max_batch=max_batch, batch_wait_us=2000.0),
+            "coalescing_only": dict(coalesce=True),
+            "cache_only": dict(cache_entries=cache_entries),
+            "all_on": dict(
+                max_batch=max_batch,
+                batch_wait_us=2000.0,
+                coalesce=True,
+                cache_entries=cache_entries,
+            ),
+        }
+        equivalence = {
+            name: _equivalence_run(
+                segment_path,
+                dict(num_workers=1, conns_per_worker=4, **kwargs),
+                requests,
+                expected,
+            )
+            for name, kwargs in toggles.items()
+        }
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()
+
+    speedup = (
+        pipeline["qps"] / baseline["qps"] if baseline["qps"] else 0.0
+    )
+    cores = available_cores()
+    # The 2× bar assumes the frontend and at least one worker can run
+    # in parallel; on a single-core host everything time-slices and
+    # only the cache/coalescing CPU savings remain.
+    cpu_feasible = cores >= 2
+    effective_floor = speedup_floor if cpu_feasible else BATCHED_FALLBACK_FLOOR
+    equivalence_clean = all(
+        run["mismatches"] == 0
+        and run["request_id_mismatches"] == 0
+        and run["errors"] == 0
+        for run in equivalence.values()
+    )
+    gates = {
+        "speedup": {
+            "floor": speedup_floor,
+            "fallback_floor": BATCHED_FALLBACK_FLOOR,
+            "available_cores": cores,
+            "cpu_feasible": cpu_feasible,
+            "effective_floor": effective_floor,
+            "speedup": speedup,
+            "passed": speedup >= effective_floor,
+        },
+        "latency": {
+            "deadline_ms": deadline_ms,
+            "p99_ms": {
+                "baseline": baseline["latency_ms"]["p99"],
+                "pipeline": pipeline["latency_ms"]["p99"],
+            },
+            "passed": (
+                baseline["latency_ms"]["p99"] <= deadline_ms
+                and pipeline["latency_ms"]["p99"] <= deadline_ms
+            ),
+        },
+        "errors": {
+            "counts": {
+                "baseline": baseline["errors"],
+                "pipeline": pipeline["errors"],
+            },
+            "passed": baseline["errors"] == 0 and pipeline["errors"] == 0,
+        },
+        "equivalence": {
+            "runs": equivalence,
+            "passed": equivalence_clean,
+        },
+    }
+    document = {
+        "bench": "netserve-batched",
+        "config": {
+            "num_ads": num_ads,
+            "num_queries": num_queries,
+            "query_len": query_len,
+            "duration_s": duration_s,
+            "concurrency": concurrency,
+            "deadline_ms": deadline_ms,
+            "num_workers": num_workers,
+            "conns_per_worker": conns_per_worker,
+            "max_batch": max_batch,
+            "batch_wait_us": batch_wait_us,
+            "cache_entries": cache_entries,
+            "zipf_s": zipf_s,
+            "seed": seed,
+        },
+        "segment_bytes": segment_bytes,
+        "baseline": baseline,
+        "pipeline": pipeline,
+        "speedup": speedup,
+        "gates": gates,
+    }
+    if enforce_gates:
+        failed = [name for name, gate in gates.items() if not gate["passed"]]
+        if failed:
+            raise AssertionError(
+                f"batched bench gates failed: {', '.join(failed)}\n"
+                + json.dumps(gates, indent=2)
+            )
+    return document
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--num-ads", type=int, default=30_000)
-    parser.add_argument("--num-queries", type=int, default=64)
+    parser.add_argument(
+        "--mode",
+        choices=("scaling", "batched"),
+        default="scaling",
+        help="scaling = PR 7 worker-count comparison; "
+        "batched = PR 9 batching-vs-baseline comparison",
+    )
+    parser.add_argument("--num-ads", type=int, default=None)
+    parser.add_argument("--num-queries", type=int, default=None)
     parser.add_argument("--query-len", type=int, default=12)
     parser.add_argument("--duration-s", type=float, default=4.0)
-    parser.add_argument("--concurrency", type=int, default=16)
+    parser.add_argument("--concurrency", type=int, default=None)
     parser.add_argument("--deadline-ms", type=float, default=250.0)
     parser.add_argument(
         "--workers",
         type=int,
         nargs="+",
         default=[1, 4],
-        help="worker counts to compare (first is the baseline)",
+        help="scaling mode: worker counts to compare (first is baseline)",
     )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=2,
+        help="batched mode: workers in both measured topologies",
+    )
+    parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--batch-wait-us", type=float, default=500.0)
+    parser.add_argument("--cache-entries", type=int, default=512)
+    parser.add_argument("--zipf-s", type=float, default=1.1)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--no-gates", action="store_true")
     parser.add_argument("--out", type=Path, default=None)
     args = parser.parse_args(argv)
-    document = run_netserve_bench(
-        num_ads=args.num_ads,
-        num_queries=args.num_queries,
-        query_len=args.query_len,
-        duration_s=args.duration_s,
-        concurrency=args.concurrency,
-        deadline_ms=args.deadline_ms,
-        worker_counts=tuple(args.workers),
-        seed=args.seed,
-        enforce_gates=not args.no_gates,
-    )
+    if args.mode == "batched":
+        document = run_batched_bench(
+            num_ads=args.num_ads if args.num_ads is not None else 20_000,
+            num_queries=(
+                args.num_queries if args.num_queries is not None else 96
+            ),
+            query_len=args.query_len,
+            duration_s=args.duration_s,
+            concurrency=(
+                args.concurrency if args.concurrency is not None else 32
+            ),
+            deadline_ms=args.deadline_ms,
+            num_workers=args.num_workers,
+            max_batch=args.max_batch,
+            batch_wait_us=args.batch_wait_us,
+            cache_entries=args.cache_entries,
+            zipf_s=args.zipf_s,
+            seed=args.seed,
+            enforce_gates=not args.no_gates,
+        )
+    else:
+        document = run_netserve_bench(
+            num_ads=args.num_ads if args.num_ads is not None else 30_000,
+            num_queries=(
+                args.num_queries if args.num_queries is not None else 64
+            ),
+            query_len=args.query_len,
+            duration_s=args.duration_s,
+            concurrency=(
+                args.concurrency if args.concurrency is not None else 16
+            ),
+            deadline_ms=args.deadline_ms,
+            worker_counts=tuple(args.workers),
+            seed=args.seed,
+            enforce_gates=not args.no_gates,
+        )
     text = json.dumps(document, indent=2, sort_keys=True)
     if args.out is not None:
         args.out.write_text(text + "\n")

@@ -42,7 +42,11 @@ from repro.netserve.wire import (
     recv_frame,
     send_frame,
 )
-from repro.netserve.worker import WorkerConfig, run_worker
+from repro.netserve.worker import (
+    DEFAULT_RELOAD_CHECK_INTERVAL_S,
+    WorkerConfig,
+    run_worker,
+)
 from repro.resilience.admission import AdmissionConfig
 from repro.resilience.breaker import BreakerConfig
 from repro.segment.packed import DEFAULT_CACHE_BYTES
@@ -71,6 +75,15 @@ class ClusterConfig:
     runtime_dir: str | None = None
     boot_timeout_s: float = 30.0
     frontend_process: bool = False
+    # Batched-pipeline knobs (PR 9), all off-by-default-equivalent:
+    # max_batch=1 serves every request on the scalar path, coalesce off
+    # and cache_entries=0 keep the frontend a pure relay.
+    max_batch: int = 1
+    batch_wait_us: float = 500.0
+    worker_queue_depth: int = 1024
+    reload_check_interval_s: float = DEFAULT_RELOAD_CHECK_INTERVAL_S
+    coalesce: bool = False
+    cache_entries: int = 0
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -86,6 +99,10 @@ class ClusterConfig:
             cache_bytes=self.cache_bytes,
             default_deadline_ms=self.default_deadline_ms,
             max_frame_bytes=self.max_frame_bytes,
+            max_batch=self.max_batch,
+            batch_wait_us=self.batch_wait_us,
+            queue_depth=self.worker_queue_depth,
+            reload_check_interval_s=self.reload_check_interval_s,
         )
 
     def frontend_config(self) -> FrontendConfig:
@@ -99,6 +116,8 @@ class ClusterConfig:
             reserve_micros=self.reserve_micros,
             admission=self.admission,
             breaker=self.breaker,
+            coalesce=self.coalesce,
+            cache_entries=self.cache_entries,
         )
 
 

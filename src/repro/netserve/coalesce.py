@@ -1,0 +1,197 @@
+"""Singleflight + result-cache primitives for the batched frontend.
+
+Sponsored-search traffic is heavily skewed (the Zipf workloads of the
+paper's Figs 1/2/7), so at any instant the frontend is usually carrying
+many in-flight copies of the *same* query.  Two pure building blocks
+exploit that:
+
+* :func:`canonical_serve_key` — the identity under which two ``serve``
+  frames are interchangeable: the query's folded **word set** (broad
+  match is word-set based, so token order and duplicates don't change
+  the answer) plus every field that *can* change the answer (user id
+  for frequency caps, priority for admission, deadline budget).  The
+  ``request_id`` is deliberately excluded — it addresses the reply, it
+  never changes it.
+* :func:`restamp_result` — given one shared worker response, the
+  per-client reply: ``request_id`` re-addressed and the result's query
+  echo restored to the client's own token order.  Everything else
+  (awards, prices, candidate counts, degradation flags) is shared
+  verbatim, which is exactly why sharing is legal.
+* :class:`GenerationalLRUCache` — a bounded LRU of decoded result
+  frames keyed by canonical key, invalidated **wholesale** whenever the
+  serving generation moves (workers stamp their segment/manifest
+  generation into every result frame; a tiered manifest commit bumps
+  it, so a cache can never serve across a data swap).
+
+Everything here is pure logic — no sockets, no asyncio — so the
+coalescing/caching semantics are property-testable in isolation; the
+asyncio singleflight plumbing lives in
+:class:`~repro.netserve.frontend.Frontend`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+__all__ = [
+    "GenerationalLRUCache",
+    "canonical_serve_key",
+    "restamp_result",
+]
+
+
+def canonical_serve_key(request: dict[str, Any]) -> tuple[Any, ...] | None:
+    """The coalescing/cache identity of one decoded ``serve`` request.
+
+    Returns ``None`` when the request is not safely shareable — a
+    malformed query, a non-scalar user id, a non-numeric deadline — in
+    which case the frontend bypasses coalescing and the cache entirely
+    and relays the frame as-is (the worker will answer it with a typed
+    schema error of its own).
+    """
+    tokens = request.get("query")
+    if not isinstance(tokens, list):
+        return None
+    if not all(isinstance(token, str) for token in tokens):
+        return None
+    user_id = request.get("user_id")
+    if user_id is not None and not isinstance(user_id, (str, int)):
+        return None
+    priority = request.get("priority", "normal")
+    if not isinstance(priority, str):
+        return None
+    deadline_ms = request.get("deadline_ms")
+    if deadline_ms is not None and not isinstance(deadline_ms, (int, float)):
+        return None
+    words = tuple(sorted(set(tokens)))
+    return (
+        words,
+        user_id,
+        priority,
+        float(deadline_ms) if deadline_ms is not None else None,
+    )
+
+
+def restamp_result(
+    payload: dict[str, Any], request: dict[str, Any]
+) -> dict[str, Any]:
+    """One client's reply, derived from a shared worker response.
+
+    Exactly two fields are per-client: the frame-level ``request_id``
+    (re-addressed to this client's id, or removed when it sent none)
+    and the result's ``query`` echo (restored to this client's own
+    token order — retrieval folds to the word set, so the coalesced
+    answer is identical apart from the echo).  The shared payload is
+    never mutated; sub-dicts are copied only when they actually differ.
+    """
+    out = dict(payload)
+    request_id = request.get("request_id")
+    if isinstance(request_id, str):
+        out["request_id"] = request_id
+    else:
+        out.pop("request_id", None)
+    result = payload.get("result")
+    tokens = request.get("query")
+    if isinstance(result, dict) and isinstance(tokens, list):
+        if result.get("query") != tokens:
+            result = dict(result)
+            result["query"] = list(tokens)
+        out["result"] = result
+    return out
+
+
+class GenerationalLRUCache:
+    """Bounded LRU of shared result payloads, generation-invalidated.
+
+    The ``generation`` is whatever the workers stamp into their result
+    frames: 0 forever for a frozen packed segment, the manifest
+    generation for a tiered index.  The discipline is monotonic:
+
+    * :meth:`observe_generation` advances the cache's generation and
+      flushes every entry when it moves forward (a manifest commit
+      swapped the data under the tier — nothing cached before it may be
+      served after it);
+    * :meth:`put` refuses payloads from any *other* generation, so a
+      straggler worker still serving the previous manifest can never
+      repopulate the cache with stale answers;
+    * :meth:`get` therefore only ever returns current-generation
+      entries.
+
+    Not thread-safe by design: the frontend drives it from one event
+    loop.
+    """
+
+    __slots__ = (
+        "max_entries",
+        "generation",
+        "hits",
+        "misses",
+        "invalidations",
+        "_entries",
+    )
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = max_entries
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self._entries: OrderedDict[Hashable, dict[str, Any]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def observe_generation(self, generation: int) -> bool:
+        """Advance to a newer serving generation.
+
+        Returns True when the bump actually flushed entries (the signal
+        the frontend counts as ``frontend.cache_invalidations``).  An
+        older or equal generation is a no-op — generations only move
+        forward, so a straggler worker cannot roll the cache back.
+        """
+        if generation <= self.generation:
+            return False
+        self.generation = generation
+        if not self._entries:
+            return False
+        self._entries.clear()
+        self.invalidations += 1
+        return True
+
+    def get(self, key: Hashable) -> dict[str, Any] | None:
+        """The cached shared payload for ``key``, freshest-generation
+        only (older generations were flushed on observation)."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return payload
+
+    def put(
+        self, key: Hashable, generation: int, payload: dict[str, Any]
+    ) -> bool:
+        """Store one shared payload; refused (False) when ``generation``
+        is not the cache's current one."""
+        if generation != self.generation:
+            return False
+        self._entries[key] = payload
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return True
+
+    def stats(self) -> dict[str, int]:
+        """Counters for stats payloads and tests."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "generation": self.generation,
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

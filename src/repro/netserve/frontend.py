@@ -21,6 +21,25 @@ Failure policy is *shed clean, never hang*:
 * a worker transport fault feeds the breaker, the frame is retried on
   the next worker, and only when every worker is unavailable does the
   client get a ``retrieval_error``-degraded empty result.
+
+Two opt-in layers exploit duplicate-heavy (Zipf) traffic, both OFF by
+default so the relay path above stays byte-for-byte what PR 7 shipped:
+
+* **singleflight coalescing** (``coalesce=True``): identical in-flight
+  serve frames — same :func:`~repro.netserve.coalesce.canonical_serve_key`
+  — share one worker round trip; every client still receives its own
+  ``request_id``-stamped reply (``frontend.coalesced`` counts the
+  followers);
+* **result cache** (``cache_entries>0``): a bounded
+  :class:`~repro.netserve.coalesce.GenerationalLRUCache` of decoded
+  result payloads, invalidated wholesale when the worker-stamped
+  segment/manifest ``generation`` in a result frame moves — a tiered
+  manifest commit can never be served stale (``frontend.cache_hits`` /
+  ``frontend.cache_invalidations``).
+
+Requests whose canonical key is ``None`` (malformed in any way) bypass
+both layers and relay raw, so the worker's own schema errors stay
+authoritative.
 """
 
 from __future__ import annotations
@@ -31,6 +50,11 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any
 
+from repro.netserve.coalesce import (
+    GenerationalLRUCache,
+    canonical_serve_key,
+    restamp_result,
+)
 from repro.netserve.wire import (
     DEFAULT_MAX_FRAME_BYTES,
     HEADER,
@@ -80,6 +104,11 @@ class FrontendConfig:
         Token-bucket / queue-depth config; ``None`` admits everything.
     breaker:
         Per-worker breaker tuning (defaults are fine for tests).
+    coalesce:
+        Singleflight identical in-flight serve frames (default off —
+        off is bit-identical to the plain relay path).
+    cache_entries:
+        Result-cache capacity; 0 (default) disables the cache.
     """
 
     host: str = "127.0.0.1"
@@ -91,6 +120,8 @@ class FrontendConfig:
     reserve_micros: int = 1
     admission: AdmissionConfig | None = None
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    coalesce: bool = False
+    cache_entries: int = 0
 
 
 class _Channel:
@@ -151,6 +182,12 @@ class Frontend:
         self._clients: set[asyncio.StreamWriter] = set()
         self._server: asyncio.base_events.Server | None = None
         self.port: int | None = None
+        self.cache = (
+            GenerationalLRUCache(self.config.cache_entries)
+            if self.config.cache_entries > 0
+            else None
+        )
+        self._inflight: dict[Any, asyncio.Task[dict[str, Any] | None]] = {}
         for name, help_text in (
             ("frontend.requests", "Serve frames accepted from clients"),
             ("frontend.shed", "Requests shed at the frontend door"),
@@ -158,6 +195,10 @@ class Frontend:
             ("frontend.worker_errors", "Worker transport faults observed"),
             ("frontend.unrouted", "Requests no worker could answer"),
             ("frontend.client_timeouts", "Clients disconnected for stalling"),
+            ("frontend.coalesced", "Serve frames that joined an in-flight twin"),
+            ("frontend.cache_hits", "Serve frames answered from the result cache"),
+            ("frontend.cache_misses", "Cache lookups that went to a worker"),
+            ("frontend.cache_invalidations", "Cache flushes on generation bumps"),
         ):
             self.obs.counter(name, help=help_text)
 
@@ -316,24 +357,41 @@ class Frontend:
                     self._local_result(request, decision.reason, payload),
                 )
                 return
-            try:
-                response = await self._dispatch(frame)
-            finally:
-                self.admission.release()
-        else:
-            response = await self._dispatch(frame)
-        if response is None:
-            self.obs.counter("frontend.unrouted").inc()
-            await self._reply(
-                writer,
-                self._local_result(
-                    request, DegradedReason.RETRIEVAL_ERROR, payload
-                ),
+        try:
+            key = (
+                canonical_serve_key(request)
+                if (self.config.coalesce or self.cache is not None)
+                else None
             )
-        else:
-            writer.write(response)
-            with contextlib.suppress(OSError, ConnectionResetError):
-                await writer.drain()
+            if key is not None:
+                shared = await self._serve_shared(key, frame)
+                if shared is None:
+                    self.obs.counter("frontend.unrouted").inc()
+                    await self._reply(
+                        writer,
+                        self._local_result(
+                            request, DegradedReason.RETRIEVAL_ERROR, payload
+                        ),
+                    )
+                else:
+                    await self._reply(writer, restamp_result(shared, request))
+            else:
+                response = await self._dispatch(frame)
+                if response is None:
+                    self.obs.counter("frontend.unrouted").inc()
+                    await self._reply(
+                        writer,
+                        self._local_result(
+                            request, DegradedReason.RETRIEVAL_ERROR, payload
+                        ),
+                    )
+                else:
+                    writer.write(response)
+                    with contextlib.suppress(OSError, ConnectionResetError):
+                        await writer.drain()
+        finally:
+            if self.admission is not None:
+                self.admission.release()
         self.obs.histogram("span.frontend").observe(
             (perf_counter() - started) * 1e3
         )
@@ -418,6 +476,70 @@ class Frontend:
         return None
 
     # ---------------------------------------------------------- #
+    # Coalescing + result cache (both opt-in)
+
+    async def _serve_shared(
+        self, key: Any, frame: bytes
+    ) -> dict[str, Any] | None:
+        """Answer one canonical-keyed serve: cache, then singleflight.
+
+        Returns the *shared* decoded response payload (the caller
+        restamps it per client), or ``None`` when no worker answered.
+        """
+        if self.cache is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                self.obs.counter("frontend.cache_hits").inc()
+                return hit
+            self.obs.counter("frontend.cache_misses").inc()
+        if not self.config.coalesce:
+            return await self._dispatch_decoded(key, frame)
+        inflight = self._inflight.get(key)
+        if inflight is not None and not inflight.done():
+            self.obs.counter("frontend.coalesced").inc()
+            # shield: a follower's disconnect must not cancel the
+            # leader's round trip out from under the other followers.
+            return await asyncio.shield(inflight)
+        task = asyncio.ensure_future(self._dispatch_decoded(key, frame))
+        self._inflight[key] = task
+
+        def _clear(done: asyncio.Task[dict[str, Any] | None]) -> None:
+            if self._inflight.get(key) is done:
+                del self._inflight[key]
+
+        task.add_done_callback(_clear)
+        return await asyncio.shield(task)
+
+    async def _dispatch_decoded(
+        self, key: Any, frame: bytes
+    ) -> dict[str, Any] | None:
+        """One worker round trip, decoded, generation-observed, cached."""
+        raw = await self._dispatch(frame)
+        if raw is None:
+            return None
+        try:
+            response = decode_payload(raw[HEADER.size:])
+        except WireError:
+            self.obs.counter("frontend.worker_errors").inc()
+            return None
+        if self.cache is not None and response.get("type") == "result":
+            generation = response.get("generation")
+            if not isinstance(generation, int):
+                generation = 0
+            if self.cache.observe_generation(generation):
+                self.obs.counter("frontend.cache_invalidations").inc()
+            result = response.get("result")
+            if (
+                isinstance(result, dict)
+                and result.get("degraded_reason", "none") == "none"
+            ):
+                # Only full-fidelity answers are worth remembering —
+                # a degraded slate would otherwise outlive the overload
+                # that produced it.
+                self.cache.put(key, generation, response)
+        return response
+
+    # ---------------------------------------------------------- #
     # Stats
 
     async def stats_payload(self) -> dict[str, Any]:
@@ -464,6 +586,8 @@ class Frontend:
                 "port": self.port,
                 "num_workers": len(self.worker_sockets),
                 "conns_per_worker": self.config.conns_per_worker,
+                "coalesce": self.config.coalesce,
+                "cache": self.cache.stats() if self.cache is not None else None,
                 "counters": counters,
                 "breakers": {
                     str(worker_id): breaker.state.value

@@ -13,6 +13,17 @@ percentiles from the registry histogram, shed rate, the fraction of OK
 answers inside the request deadline, and — from frontend ``stats``
 probes taken before and after the run — per-worker QPS and the memory
 split (:mod:`repro.netserve.memory`) the zero-copy gate reads.
+
+Two traffic modes pick the next query per client:
+
+* **roundrobin** (default) — clients interleave across the pool, every
+  query equally hot; the PR 7 behaviour, unchanged.
+* **zipf** (``zipf_s`` set) — ranks drawn from
+  :class:`~repro.datagen.zipf.ZipfSampler`, making the pool
+  duplicate-heavy the way real sponsored-search traffic is.  The report
+  then carries the realized ``unique_query_fraction`` plus the
+  frontend's coalescing/cache-hit deltas, so singleflight and cache
+  effectiveness are measurable numbers, not vibes.
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from time import perf_counter
 from typing import Any, Sequence
 
 from repro.core.queries import Query
+from repro.datagen.zipf import ZipfSampler
 from repro.netserve.client import ServeClient
 from repro.netserve.wire import (
     DEFAULT_MAX_FRAME_BYTES,
@@ -81,6 +93,12 @@ class LoadGenConfig:
     timeout_s:
         Client-side budget for one response before the connection is
         counted failed and reopened.
+    zipf_s:
+        When set, queries are drawn Zipf(s)-distributed over the pool
+        (rank 1 hottest) instead of round-robin — the duplicate-heavy
+        mode that makes coalescing/cache hit rates measurable.
+    zipf_seed:
+        Base seed for the per-client Zipf streams (deterministic runs).
     """
 
     host: str
@@ -92,6 +110,8 @@ class LoadGenConfig:
     user_ids: int = 0
     timeout_s: float = 30.0
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    zipf_s: float | None = None
+    zipf_seed: int = 0
 
 
 def _encode_requests(
@@ -123,11 +143,29 @@ async def _client_loop(
     end_at: float,
     registry: MetricsRegistry,
     counts: dict[str, int],
+    used: set[int],
 ) -> None:
     latency = registry.histogram(
         "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
     )
-    index = client_id  # interleave clients across the query list
+    if config.zipf_s is not None:
+        sampler = ZipfSampler(
+            len(frames),
+            exponent=config.zipf_s,
+            seed=config.zipf_seed * 10_007 + client_id,
+        )
+
+        def next_index() -> int:
+            return sampler.sample() - 1  # rank 1 (hottest) → frame 0
+
+    else:
+        cursor = [client_id]  # interleave clients across the query list
+
+        def next_index() -> int:
+            i = cursor[0]
+            cursor[0] = i + config.concurrency
+            return i % len(frames)
+
     while perf_counter() < end_at:
         try:
             reader, writer = await asyncio.open_connection(
@@ -139,8 +177,10 @@ async def _client_loop(
             continue
         try:
             while perf_counter() < end_at:
-                frame = frames[index % len(frames)]
-                index += config.concurrency
+                frame_index = next_index()
+                frame = frames[frame_index]
+                used.add(frame_index)
+                counts["issued"] += 1
                 started = perf_counter()
                 writer.write(frame)
                 await writer.drain()
@@ -190,12 +230,13 @@ async def _drive(
     frames: list[bytes],
     registry: MetricsRegistry,
     counts: dict[str, int],
+    used: set[int],
 ) -> float:
     started = perf_counter()
     end_at = started + config.duration_s
     await asyncio.gather(
         *(
-            _client_loop(i, config, frames, end_at, registry, counts)
+            _client_loop(i, config, frames, end_at, registry, counts, used)
             for i in range(config.concurrency)
         )
     )
@@ -236,6 +277,24 @@ def _worker_rows(
     return rows
 
 
+def _frontend_counter_delta(
+    stats_before: dict[str, Any], stats_after: dict[str, Any], name: str
+) -> int:
+    """Delta of one frontend counter across the run's two stats probes."""
+
+    def _value(stats: dict[str, Any]) -> int:
+        frontend = stats.get("frontend")
+        if not isinstance(frontend, dict):
+            return 0
+        counters = frontend.get("counters")
+        if not isinstance(counters, dict):
+            return 0
+        value = counters.get(name, 0)
+        return value if isinstance(value, int) else 0
+
+    return _value(stats_after) - _value(stats_before)
+
+
 def build_report(
     config: LoadGenConfig,
     num_queries: int,
@@ -244,6 +303,7 @@ def build_report(
     latency: Any,
     stats_before: dict[str, Any],
     stats_after: dict[str, Any],
+    traffic: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Assemble the SLO report from raw run artifacts — pure, so the
     degenerate-run arithmetic is unit-testable without a live cluster.
@@ -275,6 +335,22 @@ def build_report(
             "priority": config.priority.name.lower(),
             "num_queries": num_queries,
             "user_ids": config.user_ids,
+            "zipf_s": config.zipf_s,
+        },
+        "traffic": traffic,
+        "coalescing": {
+            "coalesced": _frontend_counter_delta(
+                stats_before, stats_after, "frontend.coalesced"
+            ),
+            "cache_hits": _frontend_counter_delta(
+                stats_before, stats_after, "frontend.cache_hits"
+            ),
+            "cache_misses": _frontend_counter_delta(
+                stats_before, stats_after, "frontend.cache_misses"
+            ),
+            "cache_invalidations": _frontend_counter_delta(
+                stats_before, stats_after, "frontend.cache_invalidations"
+            ),
         },
         "elapsed_s": elapsed_s,
         "sent": counts["sent"],
@@ -314,20 +390,31 @@ def run_loadgen(
     registry = obs if obs is not None else MetricsRegistry()
     counts = {
         "sent": 0,
+        "issued": 0,
         "ok": 0,
         "shed": 0,
         "degraded": 0,
         "errors": 0,
         "within_deadline": 0,
     }
+    used: set[int] = set()
     with ServeClient(config.host, config.port, config.timeout_s) as probe:
         stats_before = probe.stats()
-    elapsed_s = asyncio.run(_drive(config, frames, registry, counts))
+    elapsed_s = asyncio.run(_drive(config, frames, registry, counts, used))
     with ServeClient(config.host, config.port, config.timeout_s) as probe:
         stats_after = probe.stats()
     latency = registry.histogram(
         "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
     )
+    traffic = {
+        "mode": "zipf" if config.zipf_s is not None else "roundrobin",
+        "zipf_s": config.zipf_s,
+        "issued": counts["issued"],
+        "unique_queries": len(used),
+        "unique_query_fraction": (
+            len(used) / counts["issued"] if counts["issued"] else None
+        ),
+    }
     return build_report(
         config,
         len(queries),
@@ -336,4 +423,5 @@ def run_loadgen(
         latency,
         stats_before,
         stats_after,
+        traffic=traffic,
     )

@@ -10,9 +10,17 @@ a few seconds, and gates on the run being *non-degenerate*:
 * the SLO report has real content: positive QPS, a populated latency
   histogram, and answered stats probes.
 
+``--batched`` runs the same drill through the PR 9 pipeline instead —
+worker micro-batching + frontend singleflight + result cache, driven
+with duplicate-heavy Zipf traffic — and additionally gates on the
+pipeline actually engaging: the duplicate-heavy traffic must produce
+coalesced requests or cache hits, and the realized unique-query
+fraction must actually be below 1.
+
 Exit code 0/1; the report prints either way.  Run it as CI does::
 
     PYTHONPATH=src python -m repro.netserve.smoke
+    PYTHONPATH=src python -m repro.netserve.smoke --batched
 """
 
 from __future__ import annotations
@@ -40,6 +48,7 @@ def run_smoke(
     concurrency: int = 8,
     deadline_ms: float = 500.0,
     seed: int = 0,
+    batched: bool = False,
 ) -> tuple[dict, list[str]]:
     """One smoke run; returns ``(report, failures)``."""
     generated = generate_corpus(CorpusConfig(num_ads=num_ads, seed=seed))
@@ -59,6 +68,10 @@ def run_smoke(
             num_workers=num_workers,
             frontend_process=True,
             default_deadline_ms=deadline_ms,
+            conns_per_worker=8 if batched else 2,
+            max_batch=8 if batched else 1,
+            coalesce=batched,
+            cache_entries=256 if batched else 0,
         )
         with ServingCluster(config) as cluster:
             host, port = cluster.address
@@ -69,7 +82,12 @@ def run_smoke(
                     duration_s=duration_s,
                     concurrency=concurrency,
                     deadline_ms=deadline_ms,
-                    user_ids=4,
+                    # The frequency-cap user ids would fragment the
+                    # coalescing key space; the batched drill wants
+                    # duplicate-heavy canonical traffic instead.
+                    user_ids=0 if batched else 4,
+                    zipf_s=1.1 if batched else None,
+                    zipf_seed=seed,
                 ),
                 queries,
             )
@@ -108,6 +126,23 @@ def run_smoke(
         failures.append(
             f"{counters['frontend.wire_errors']} frontend wire errors"
         )
+    if batched:
+        coalescing = report.get("coalescing") or {}
+        shared = coalescing.get("coalesced", 0) + coalescing.get(
+            "cache_hits", 0
+        )
+        if shared <= 0:
+            failures.append(
+                "batched drill: Zipf traffic produced neither coalesced "
+                "requests nor cache hits"
+            )
+        traffic = report.get("traffic") or {}
+        fraction = traffic.get("unique_query_fraction")
+        if fraction is not None and fraction >= 1.0:
+            failures.append(
+                "batched drill: traffic was not duplicate-heavy "
+                f"(unique_query_fraction={fraction})"
+            )
     return report, failures
 
 
@@ -117,20 +152,27 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--duration-s", type=float, default=2.5)
     parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument(
+        "--batched",
+        action="store_true",
+        help="drive the batching+coalescing+cache pipeline on Zipf traffic",
+    )
     args = parser.parse_args(argv)
     report, failures = run_smoke(
         num_ads=args.num_ads,
         num_workers=args.workers,
         duration_s=args.duration_s,
         concurrency=args.concurrency,
+        batched=args.batched,
     )
     print(json.dumps(report, indent=2, sort_keys=True))
+    label = "batched netserve smoke" if args.batched else "netserve smoke"
     if failures:
-        print("netserve smoke FAILED:")
+        print(f"{label} FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("netserve smoke passed")
+    print(f"{label} passed")
     return 0
 
 

@@ -8,7 +8,10 @@ object's ``"type"`` key routes it: ``serve``/``stats``/``ping``/
 ``"request"`` value is exactly :meth:`~repro.serving.request
 .ServeRequest.to_dict`; a ``result`` frame's ``"result"`` value is
 exactly :meth:`~repro.serving.server.ServeResult.to_dict` — the
-dataclass schema *is* the wire format.
+dataclass schema *is* the wire format.  A worker ``result`` frame also
+carries a ``"generation"`` int: the serving data generation (tiered
+manifest generation, or 0 for a frozen packed segment) that the
+frontend's result cache keys its invalidation on.
 
 Fault taxonomy (every subclass of :class:`WireError`):
 

@@ -9,13 +9,34 @@ length-prefixed JSON frames (:mod:`repro.netserve.wire`) on an
 ``AF_UNIX`` listener:
 
 * ``{"type": "serve", "request": {...}}`` → ``{"type": "result",
-  "result": {...}}`` — the payloads are exactly
-  :meth:`ServeRequest.to_dict` / :meth:`ServeResult.to_dict`.
-* ``{"type": "stats"}`` → served/error counters, serve-latency
-  percentiles from the worker's own :mod:`repro.obs` registry, and the
-  :mod:`repro.netserve.memory` report that powers the zero-copy gate.
+  "result": {...}, "generation": N}`` — the payloads are exactly
+  :meth:`ServeRequest.to_dict` / :meth:`ServeResult.to_dict`; the
+  ``generation`` stamp is the serving data generation (the tiered
+  manifest generation, or 0 forever for a frozen packed segment) and
+  is what lets the frontend's result cache invalidate on manifest
+  swaps.
+* ``{"type": "stats"}`` → served/error counters, serve-latency and
+  batching percentiles from the worker's own :mod:`repro.obs`
+  registry, and the :mod:`repro.netserve.memory` report that powers
+  the zero-copy gate.
 * ``{"type": "ping"}`` → ``{"type": "pong"}`` (the readiness probe).
 * ``{"type": "shutdown"}`` → acked, then the process exits cleanly.
+
+Serving is **micro-batched**: connection threads decode and validate
+``serve`` frames, then enqueue the :class:`ServeRequest` (with a reply
+slot) on a bounded dispatch queue.  A single dispatcher thread drains
+up to ``max_batch`` requests — waiting at most ``batch_wait_us`` for
+stragglers once it has one — and routes the whole batch through
+:meth:`AdServer.serve_batch`, which engages the
+:class:`~repro.index.batch.BatchQueryEngine` word-set dedup and the
+vectorized probe kernels.  Each :class:`ServeResult` fans back to its
+originating connection thread via its reply slot.  There is **no
+global serve lock**: the dispatcher owns the index between batches,
+which is also the only place the tiered manifest hot-reload swap
+happens (throttled to ``reload_check_interval_s`` so the hot path
+never stats the filesystem per request).  ``stats``/``ping`` are
+answered directly on the connection thread and can never queue behind
+an in-flight batch.
 
 The worker **never dies on a bad request**: schema errors and pipeline
 exceptions are answered with typed ``error`` frames and counted; only a
@@ -28,11 +49,12 @@ from __future__ import annotations
 
 import contextlib
 import os
+import queue
 import signal
 import socket
 import threading
 from dataclasses import dataclass
-from time import perf_counter
+from time import monotonic, perf_counter
 from typing import Any
 
 from repro.netserve.memory import memory_report
@@ -51,9 +73,14 @@ from repro.segment.tiered import (
     manifest_fingerprint,
 )
 from repro.serving.request import ServeRequest, WireSchemaError
-from repro.serving.server import AdServer
+from repro.serving.server import AdServer, ServeResult
 
 __all__ = ["WorkerConfig", "run_worker"]
+
+DEFAULT_RELOAD_CHECK_INTERVAL_S = 0.25
+
+# Dispatch-queue sentinel: wakes the dispatcher for a clean drain.
+_SHUTDOWN = object()
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +105,21 @@ class WorkerConfig:
         Server-side budget applied when a request carries none.
     max_frame_bytes:
         Per-frame wire budget.
+    max_batch:
+        Most requests one dispatcher batch may carry.  1 (the default)
+        serves every request through the scalar path — bit-identical to
+        the pre-batching worker.
+    batch_wait_us:
+        Once the dispatcher holds one request, how long it waits for
+        batch-mates before serving short.  Latency floor the batch adds
+        under light load; irrelevant once the queue runs hot.
+    queue_depth:
+        Bound on the dispatch queue.  A full queue answers a typed
+        retryable ``error`` frame instead of blocking the connection
+        thread forever (backpressure, not deadlock).
+    reload_check_interval_s:
+        Tiered mode: how often the dispatcher is allowed to stat the
+        manifest between batches.  0 probes before every batch (tests).
     """
 
     segment_path: str
@@ -88,6 +130,38 @@ class WorkerConfig:
     cache_bytes: int = DEFAULT_CACHE_BYTES
     default_deadline_ms: float | None = None
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    max_batch: int = 1
+    batch_wait_us: float = 500.0
+    queue_depth: int = 1024
+    reload_check_interval_s: float = DEFAULT_RELOAD_CHECK_INTERVAL_S
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_wait_us < 0:
+            raise ValueError("batch_wait_us must be >= 0")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.reload_check_interval_s < 0:
+            raise ValueError("reload_check_interval_s must be >= 0")
+
+
+class _PendingServe:
+    """One enqueued request plus the slot its reply comes back in."""
+
+    __slots__ = ("request", "enqueued_at", "done", "response")
+
+    def __init__(self, request: ServeRequest) -> None:
+        self.request = request
+        self.enqueued_at = perf_counter()
+        self.done = threading.Event()
+        self.response: dict[str, Any] | None = None
+
+    def resolve(self, response: dict[str, Any]) -> None:
+        if self.done.is_set():  # idempotent: shutdown drain may race
+            return
+        self.response = response
+        self.done.set()
 
 
 class _Worker:
@@ -103,6 +177,7 @@ class _Worker:
         if self._tiered:
             self.index = self._open_tiered()
             self._manifest_fp = manifest_fingerprint(config.segment_path)
+            self._generation = self.index.generation
         else:
             self.index = PackedSegmentIndex(
                 config.segment_path,
@@ -110,6 +185,7 @@ class _Worker:
                 obs=self.obs,
             )
             self._manifest_fp = None
+            self._generation = 0
         self.server = AdServer(
             self.index,
             slots=config.slots,
@@ -121,8 +197,17 @@ class _Worker:
         self.errors = 0
         self.wire_errors = 0
         self.manifest_reloads = 0
-        self._lock = threading.Lock()
+        self.batches = 0
+        self.queue_rejects = 0
+        self._last_reload_probe = monotonic()
         self._stop = threading.Event()
+        self._queue: queue.Queue[Any] = queue.Queue(maxsize=config.queue_depth)
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            daemon=True,
+            name=f"netserve-worker-{config.worker_id}-dispatch",
+        )
+        self._dispatcher.start()
 
     # ---------------------------------------------------------- #
 
@@ -135,16 +220,25 @@ class _Worker:
         )
 
     def _maybe_reload(self) -> None:
-        """Pick up a manifest swap between requests (tiered mode only).
+        """Pick up a manifest swap between batches (tiered mode only).
 
-        The atomic rename commit means the fingerprint moves exactly
-        when a new generation lands; a reload that races a writer's
-        post-commit victim unlink fails to open and simply retries on
-        the next request — the old generation keeps serving meanwhile.
-        Caller holds ``self._lock``.
+        Runs on the dispatcher thread, which is the only thread that
+        touches the index — so the swap needs no lock at all.  The
+        filesystem probe is throttled to ``reload_check_interval_s``;
+        the atomic rename commit means the fingerprint moves exactly
+        when a new generation lands, so a throttled probe can only
+        delay pickup by the interval, never miss it.  A reload that
+        races a writer's post-commit victim unlink fails to open and
+        simply retries at the next probe — the old generation keeps
+        serving meanwhile.
         """
         if not self._tiered:
             return
+        interval = self.config.reload_check_interval_s
+        now = monotonic()
+        if interval > 0 and now - self._last_reload_probe < interval:
+            return
+        self._last_reload_probe = now
         fingerprint = manifest_fingerprint(self.config.segment_path)
         if fingerprint is None or fingerprint == self._manifest_fp:
             return
@@ -156,11 +250,150 @@ class _Worker:
         self.index = fresh
         self.server.index = fresh
         self._manifest_fp = fingerprint
+        self._generation = fresh.generation
         self.manifest_reloads += 1
         old.close()
 
+    # ------------------------- dispatcher --------------------- #
+
+    def _dispatch_loop(self) -> None:
+        """Drain the queue in micro-batches until shutdown."""
+        while True:
+            try:
+                first = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stop.is_set():
+                    self._drain_shutdown()
+                    return
+                continue
+            if first is _SHUTDOWN:
+                self._drain_shutdown()
+                return
+            batch: list[_PendingServe] = [first]
+            saw_shutdown = self._collect(batch)
+            self._serve_batch(batch)
+            if saw_shutdown:
+                self._drain_shutdown()
+                return
+
+    def _collect(self, batch: list[_PendingServe]) -> bool:
+        """Top up ``batch`` to ``max_batch`` within the wait budget.
+
+        Returns True when the shutdown sentinel surfaced mid-collect
+        (the batch in hand is still served before draining).
+        """
+        config = self.config
+        if config.max_batch <= 1:
+            return False
+        deadline = perf_counter() + config.batch_wait_us / 1e6
+        while len(batch) < config.max_batch:
+            remaining = deadline - perf_counter()
+            try:
+                if remaining <= 0:
+                    item = self._queue.get_nowait()
+                else:
+                    item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                return False
+            if item is _SHUTDOWN:
+                return True
+            batch.append(item)
+        return False
+
+    def _serve_batch(self, batch: list[_PendingServe]) -> None:
+        """One dispatcher turn: reload window, serve, fan out replies."""
+        self._maybe_reload()
+        now = perf_counter()
+        queue_wait = self.obs.histogram("span.worker_queue_wait")
+        for item in batch:
+            queue_wait.observe((now - item.enqueued_at) * 1e3)
+        self.obs.histogram("worker.batch_size").observe(float(len(batch)))
+        self.batches += 1
+        batch_started = perf_counter()
+        results: list[ServeResult | None]
+        try:
+            if len(batch) == 1:
+                # The scalar path, exactly as the pre-batching worker
+                # ran it — a size-1 batch must stay bit-identical.
+                results = [self.server.serve(batch[0].request)]
+            else:
+                results = list(
+                    self.server.serve_batch(
+                        [item.request for item in batch]
+                    )
+                )
+        except Exception as exc:  # noqa: BLE001 — the worker never dies
+            if len(batch) == 1:
+                self.errors += 1
+                batch[0].resolve(
+                    self._error_frame(
+                        f"{type(exc).__name__}: {exc}",
+                        batch[0].request.request_id,
+                        retryable=True,
+                    )
+                )
+                return
+            # One poisoned request must not fail its batch-mates: fall
+            # back to per-request serving so only the bad item errors.
+            results = []
+            for item in batch:
+                try:
+                    results.append(self.server.serve(item.request))
+                except Exception as item_exc:  # noqa: BLE001
+                    self.errors += 1
+                    item.resolve(
+                        self._error_frame(
+                            f"{type(item_exc).__name__}: {item_exc}",
+                            item.request.request_id,
+                            retryable=True,
+                        )
+                    )
+                    results.append(None)
+        self.obs.histogram("span.worker_batch").observe(
+            (perf_counter() - batch_started) * 1e3
+        )
+        finished = perf_counter()
+        latency = self.obs.histogram("span.worker_serve")
+        for item, result in zip(batch, results):
+            if result is None:
+                continue  # already answered with an error frame
+            latency.observe((finished - item.enqueued_at) * 1e3)
+            self.served += 1
+            response: dict[str, Any] = {
+                "type": "result",
+                "result": result.to_dict(),
+                "generation": self._generation,
+            }
+            if item.request.request_id is not None:
+                response["request_id"] = item.request.request_id
+            item.resolve(response)
+
+    def _drain_shutdown(self) -> None:
+        """Answer everything still queued with a retryable error."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SHUTDOWN:
+                continue
+            item.resolve(
+                self._error_frame(
+                    "worker shutting down",
+                    item.request.request_id,
+                    retryable=True,
+                )
+            )
+
+    # ------------------------ frame handling ------------------ #
+
     def handle(self, payload: dict[str, Any]) -> dict[str, Any] | None:
-        """One request frame → one response payload (``None`` = exit)."""
+        """One request frame → one response payload (``None`` = exit).
+
+        Only ``serve`` goes through the dispatch queue; control frames
+        (``ping``/``stats``/``shutdown``) are answered right here on
+        the calling thread so they never wait behind a serve batch.
+        """
         msg_type = payload.get("type")
         if msg_type == "serve":
             return self._serve(payload)
@@ -170,6 +403,8 @@ class _Worker:
             return self.stats_payload()
         if msg_type == "shutdown":
             self._stop.set()
+            with contextlib.suppress(queue.Full):
+                self._queue.put_nowait(_SHUTDOWN)
             return {"type": "ok"}
         self.wire_errors += 1
         return {
@@ -179,31 +414,39 @@ class _Worker:
         }
 
     def _serve(self, payload: dict[str, Any]) -> dict[str, Any]:
-        request_id = None
-        started = perf_counter()
+        """Connection-thread half of a serve: validate, enqueue, wait."""
         try:
             request = ServeRequest.from_dict(payload.get("request"))
-            request_id = request.request_id
-            with self._lock:
-                self._maybe_reload()
-                result = self.server.serve(request)
         except WireSchemaError as exc:
             self.wire_errors += 1
-            return self._error_frame(str(exc), request_id, retryable=False)
-        except Exception as exc:  # noqa: BLE001 — the worker never dies
-            self.errors += 1
+            return self._error_frame(str(exc), None, retryable=False)
+        if self._stop.is_set():
             return self._error_frame(
-                f"{type(exc).__name__}: {exc}", request_id, retryable=True
+                "worker shutting down", request.request_id, retryable=True
             )
-        elapsed_ms = (perf_counter() - started) * 1e3
-        self.obs.histogram("span.worker_serve").observe(elapsed_ms)
-        self.served += 1
-        response: dict[str, Any] = {
-            "type": "result",
-            "result": result.to_dict(),
-        }
-        if request_id is not None:
-            response["request_id"] = request_id
+        item = _PendingServe(request)
+        try:
+            self._queue.put(item, timeout=1.0)
+        except queue.Full:
+            self.queue_rejects += 1
+            return self._error_frame(
+                "worker dispatch queue full",
+                request.request_id,
+                retryable=True,
+            )
+        while not item.done.wait(timeout=0.5):
+            if not self._dispatcher.is_alive():
+                # Enqueued after the dispatcher's final drain: answer
+                # here rather than hang the connection forever.
+                item.resolve(
+                    self._error_frame(
+                        "worker shutting down",
+                        request.request_id,
+                        retryable=True,
+                    )
+                )
+        response = item.response
+        assert response is not None  # resolve() always sets it
         return response
 
     def _error_frame(
@@ -220,6 +463,8 @@ class _Worker:
 
     def stats_payload(self) -> dict[str, Any]:
         latency = self.obs.histogram("span.worker_serve")
+        batch_size = self.obs.histogram("worker.batch_size")
+        queue_wait = self.obs.histogram("span.worker_queue_wait")
         payload: dict[str, Any] = {
             "type": "stats",
             "worker_id": self.config.worker_id,
@@ -229,12 +474,31 @@ class _Worker:
             "wire_errors": self.wire_errors,
             "shed": self.server.stats.shed,
             "degraded": self.server.stats.degraded,
+            "generation": self._generation,
             "serve_ms": {
                 "count": latency.count,
                 "mean": latency.mean(),
                 "p50": latency.p50,
                 "p95": latency.p95,
                 "p99": latency.p99,
+            },
+            "batching": {
+                "max_batch": self.config.max_batch,
+                "batch_wait_us": self.config.batch_wait_us,
+                "queue_depth": self.config.queue_depth,
+                "batches": self.batches,
+                "queue_rejects": self.queue_rejects,
+                "batch_size": {
+                    "count": batch_size.count,
+                    "mean": batch_size.mean(),
+                    "p95": batch_size.p95,
+                    "max": batch_size.snapshot()["max"],
+                },
+                "queue_wait_ms": {
+                    "p50": queue_wait.p50,
+                    "p95": queue_wait.p95,
+                    "p99": queue_wait.p99,
+                },
             },
             "segment_bytes": self.index.segment_bytes(),
         }
@@ -280,6 +544,15 @@ class _Worker:
                 if self._stop.is_set():
                     return
 
+    def close(self) -> None:
+        """Stop the dispatcher, drain stragglers, release the index."""
+        self._stop.set()
+        with contextlib.suppress(queue.Full):
+            self._queue.put_nowait(_SHUTDOWN)
+        self._dispatcher.join(timeout=5.0)
+        self._drain_shutdown()
+        self.index.close()
+
     def run(self) -> None:
         path = self.config.socket_path
         with contextlib.suppress(OSError):
@@ -307,7 +580,7 @@ class _Worker:
             listener.close()
             with contextlib.suppress(OSError):
                 os.unlink(path)
-            self.index.close()
+            self.close()
 
 
 def run_worker(config: WorkerConfig) -> None:

@@ -1,0 +1,297 @@
+"""The worker micro-batching dispatcher (PR 9).
+
+Covers: batched serving stays bit-identical to the in-process scalar
+path, batches actually form under concurrent load, result frames carry
+the generation stamp, control frames (``stats``/``ping``) never queue
+behind an in-flight serve batch, the manifest reload probe is throttled
+off the per-request hot path (and a committed generation is still
+picked up within the interval), and one poisoned request in a batch
+degrades only itself.
+"""
+
+import os
+import socket
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.ads import AdInfo, Advertisement
+from repro.core.queries import Query
+from repro.netserve import ClusterConfig, ServeClient, ServingCluster
+from repro.netserve.wire import recv_frame, send_frame
+from repro.netserve.worker import WorkerConfig, _PendingServe, _Worker
+from repro.segment import TieredConfig, TieredSegmentedIndex
+from repro.serving import AdServer, ServeRequest
+
+from tests.netserve.conftest import requires_af_unix
+
+pytestmark = requires_af_unix
+
+
+def _ad(text, listing_id):
+    return Advertisement.from_text(
+        text, AdInfo(listing_id=listing_id, bid_price_micros=100 + listing_id)
+    )
+
+
+def _sample_queries(generated_corpus):
+    ads = generated_corpus.corpus.ads
+    return [
+        Query(ads[i].phrase + ("extra", "words"))
+        for i in range(0, len(ads), 97)
+    ]
+
+
+@pytest.fixture(scope="module")
+def batched_cluster(segment_path):
+    config = ClusterConfig(
+        segment_path=str(segment_path),
+        num_workers=1,
+        conns_per_worker=8,
+        default_deadline_ms=2_000.0,
+        max_batch=8,
+        batch_wait_us=20_000.0,  # generous: let batches actually fill
+    )
+    with ServingCluster(config) as running:
+        yield running
+
+
+class TestBatchedServing:
+    def test_batched_results_equal_in_process_results(
+        self, batched_cluster, reference_index, generated_corpus
+    ):
+        host, port = batched_cluster.address
+        local = AdServer(reference_index)
+        with ServeClient(host, port) as client:
+            for query in _sample_queries(generated_corpus):
+                remote = client.serve(ServeRequest(query=query))
+                expected = local.serve(query)
+                assert remote.to_dict() == expected.to_dict()
+
+    def test_batches_form_under_concurrent_load(
+        self, batched_cluster, generated_corpus
+    ):
+        host, port = batched_cluster.address
+        queries = _sample_queries(generated_corpus)
+
+        def hammer(client_id):
+            with ServeClient(host, port) as client:
+                for i in range(6):
+                    query = queries[(client_id + i) % len(queries)]
+                    client.serve(ServeRequest(query=query))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        with ServeClient(host, port) as client:
+            stats = client.stats()
+        batching = stats["workers"][0]["batching"]
+        assert batching["max_batch"] == 8
+        assert batching["batches"] >= 1
+        # 8 closed-loop clients against a 20 ms batch window: at least
+        # one multi-request batch must have formed.
+        assert batching["batch_size"]["max"] >= 2
+
+    def test_result_frames_carry_generation_stamp(self, batched_cluster):
+        host, port = batched_cluster.address
+        with ServeClient(host, port) as client:
+            reply = client.request(
+                {
+                    "type": "serve",
+                    "request": {"query": ["books"], "request_id": "g-1"},
+                }
+            )
+        assert reply["type"] == "result"
+        assert reply["request_id"] == "g-1"
+        # A frozen packed segment serves generation 0 forever.
+        assert reply["generation"] == 0
+
+    def test_schema_error_answered_without_queuing(self, batched_cluster):
+        host, port = batched_cluster.address
+        with ServeClient(host, port) as client:
+            reply = client.request(
+                {"type": "serve", "request": {"query": "not-a-list"}}
+            )
+            assert reply["type"] == "error"
+            assert client.ping()
+
+
+class TestControlPlaneNotBatched:
+    def test_stats_and_ping_answer_while_slow_batch_in_flight(
+        self, segment_path, tmp_path
+    ):
+        """Regression: control frames must bypass the dispatch queue."""
+        sock_path = str(tmp_path / "slow.sock")
+        worker = _Worker(
+            WorkerConfig(
+                segment_path=str(segment_path), socket_path=sock_path
+            )
+        )
+        original_serve = worker.server.serve
+
+        def slow_serve(request, **kwargs):
+            time.sleep(1.0)
+            return original_serve(request, **kwargs)
+
+        worker.server.serve = slow_serve
+        thread = threading.Thread(target=worker.run, daemon=True)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while not os.path.exists(sock_path):
+                assert time.monotonic() < deadline, "worker never bound"
+                time.sleep(0.01)
+
+            serve_conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            serve_conn.connect(sock_path)
+            send_frame(
+                serve_conn, {"type": "serve", "request": {"query": ["x"]}}
+            )
+            time.sleep(0.2)  # the slow batch is now mid-flight
+
+            control_conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            control_conn.connect(sock_path)
+            control_conn.settimeout(0.6)  # << the 1 s the batch needs
+            started = time.perf_counter()
+            send_frame(control_conn, {"type": "stats"})
+            stats = recv_frame(control_conn)
+            send_frame(control_conn, {"type": "ping"})
+            pong = recv_frame(control_conn)
+            control_ms = (time.perf_counter() - started) * 1e3
+            assert stats["type"] == "stats"
+            assert pong["type"] == "pong"
+            assert control_ms < 600.0
+            control_conn.close()
+
+            serve_conn.settimeout(5.0)
+            reply = recv_frame(serve_conn)
+            assert reply["type"] == "result"
+            serve_conn.close()
+        finally:
+            stop = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                stop.settimeout(2.0)
+                stop.connect(sock_path)
+                send_frame(stop, {"type": "shutdown"})
+                recv_frame(stop)
+            except OSError:
+                pass
+            finally:
+                stop.close()
+            thread.join(timeout=10.0)
+
+
+class TestReloadThrottle:
+    def _tiered_worker(self, tmp_path, interval):
+        directory = tmp_path / "tiered"
+        writer = TieredSegmentedIndex(
+            directory, config=TieredConfig(seal_threshold=100)
+        )
+        writer.insert(_ad("reload w0 common", listing_id=1))
+        writer.seal()
+        worker = _Worker(
+            WorkerConfig(
+                segment_path=str(directory),
+                socket_path=str(tmp_path / "sock"),
+                reload_check_interval_s=interval,
+            )
+        )
+        return writer, worker
+
+    def _candidates(self, worker):
+        reply = worker.handle(
+            {"type": "serve", "request": {"query": ["reload", "w0", "common"]}}
+        )
+        assert reply["type"] == "result"
+        return reply["result"]["outcome"]["candidates"]
+
+    def test_manifest_probe_throttled_off_hot_path(
+        self, tmp_path, monkeypatch
+    ):
+        """Serving N requests inside the interval stats the manifest at
+        most once — the per-request filesystem probe is gone."""
+        import repro.netserve.worker as worker_mod
+
+        calls = {"n": 0}
+        real = worker_mod.manifest_fingerprint
+
+        def counting(path):
+            calls["n"] += 1
+            return real(path)
+
+        monkeypatch.setattr(worker_mod, "manifest_fingerprint", counting)
+        writer, worker = self._tiered_worker(tmp_path, interval=10.0)
+        try:
+            after_init = calls["n"]  # __init__ fingerprints once
+            writer.insert(_ad("reload w0 common", listing_id=2))
+            writer.seal()
+            for _ in range(20):
+                assert self._candidates(worker) == 1  # swap not seen yet
+            assert calls["n"] == after_init
+            assert worker.manifest_reloads == 0
+        finally:
+            worker.close()
+            writer.close()
+
+    def test_committed_generation_picked_up_within_interval(self, tmp_path):
+        interval = 0.05
+        writer, worker = self._tiered_worker(tmp_path, interval=interval)
+        try:
+            assert self._candidates(worker) == 1
+            writer.insert(_ad("reload w0 common", listing_id=2))
+            writer.seal()
+            started = time.monotonic()
+            deadline = started + 2.0
+            while self._candidates(worker) != 2:
+                assert time.monotonic() < deadline, (
+                    "committed generation never picked up"
+                )
+                time.sleep(0.005)
+            waited = time.monotonic() - started
+            assert waited < 10 * interval, waited
+            assert worker.manifest_reloads == 1
+            assert worker.stats_payload()["generation"] == writer.generation
+        finally:
+            worker.close()
+            writer.close()
+
+
+class TestPoisonedBatch:
+    def test_one_poisoned_request_degrades_only_itself(self, segment_path):
+        worker = _Worker(
+            WorkerConfig(
+                segment_path=str(segment_path),
+                socket_path="/tmp/unused-poison.sock",
+                max_batch=4,
+            )
+        )
+        try:
+            original_serve = worker.server.serve
+
+            def failing_batch(requests):
+                raise RuntimeError("batch kernel exploded")
+
+            def picky_serve(request, **kwargs):
+                if "poison" in request.query.tokens:
+                    raise RuntimeError("bad request state")
+                return original_serve(request, **kwargs)
+
+            worker.server.serve_batch = failing_batch
+            worker.server.serve = picky_serve
+            good = _PendingServe(
+                ServeRequest(query=Query(("books",)), request_id="ok-1")
+            )
+            bad = _PendingServe(
+                ServeRequest(query=Query(("poison",)), request_id="bad-1")
+            )
+            worker._serve_batch([good, bad])
+            assert good.response["type"] == "result"
+            assert good.response["request_id"] == "ok-1"
+            assert bad.response["type"] == "error"
+            assert bad.response["retryable"] is True
+            assert bad.response["request_id"] == "bad-1"
+            assert worker.errors == 1
+            assert worker.served == 1
+        finally:
+            worker.close()

@@ -1,0 +1,457 @@
+"""Singleflight coalescing and the generation-aware result cache (PR 9).
+
+Pure-logic property tests for :mod:`repro.netserve.coalesce`, a
+hypothesis interleaving test for the frontend's singleflight addressing
+(every coalesced client gets its own ``request_id``-stamped,
+bit-identical reply), and live-cluster tests for coalescing, cache
+hits, and cache invalidation on a tiered generation bump.
+"""
+
+import asyncio
+import copy
+import json
+import threading
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ads import AdInfo, Advertisement
+from repro.netserve import ClusterConfig, ServeClient, ServingCluster
+from repro.netserve.coalesce import (
+    GenerationalLRUCache,
+    canonical_serve_key,
+    restamp_result,
+)
+from repro.netserve.frontend import Frontend, FrontendConfig
+from repro.netserve.wire import HEADER, decode_payload, encode_frame
+from repro.segment import TieredConfig, TieredSegmentedIndex
+
+from tests.netserve.conftest import requires_af_unix
+
+pytestmark = requires_af_unix
+
+
+def _ad(text, listing_id):
+    return Advertisement.from_text(
+        text, AdInfo(listing_id=listing_id, bid_price_micros=100 + listing_id)
+    )
+
+
+def _counter(obs, name):
+    return next(
+        (m.value for m in obs.collect() if m.name == name), 0
+    )
+
+
+def _without_request_id(reply):
+    return json.dumps(
+        {k: v for k, v in reply.items() if k != "request_id"},
+        sort_keys=True,
+    )
+
+
+class TestCanonicalServeKey:
+    def test_order_and_duplicates_fold_to_one_key(self):
+        a = canonical_serve_key({"query": ["b", "a", "a", "c"]})
+        b = canonical_serve_key({"query": ["c", "b", "a"]})
+        assert a is not None
+        assert a == b
+
+    def test_request_id_is_excluded(self):
+        a = canonical_serve_key({"query": ["x"], "request_id": "r-1"})
+        b = canonical_serve_key({"query": ["x"], "request_id": "r-2"})
+        assert a == b
+
+    def test_answer_changing_fields_split_keys(self):
+        base = {"query": ["x"]}
+        keys = {
+            canonical_serve_key(base),
+            canonical_serve_key({**base, "user_id": "u1"}),
+            canonical_serve_key({**base, "user_id": "u2"}),
+            canonical_serve_key({**base, "priority": "high"}),
+            canonical_serve_key({**base, "deadline_ms": 50}),
+        }
+        assert None not in keys
+        assert len(keys) == 5
+
+    def test_int_and_float_deadlines_fold(self):
+        a = canonical_serve_key({"query": ["x"], "deadline_ms": 50})
+        b = canonical_serve_key({"query": ["x"], "deadline_ms": 50.0})
+        assert a == b
+
+    def test_malformed_requests_are_not_shareable(self):
+        assert canonical_serve_key({}) is None
+        assert canonical_serve_key({"query": "not-a-list"}) is None
+        assert canonical_serve_key({"query": ["ok", 7]}) is None
+        assert canonical_serve_key({"query": ["x"], "user_id": 1.5}) is None
+        assert canonical_serve_key({"query": ["x"], "priority": 3}) is None
+        assert (
+            canonical_serve_key({"query": ["x"], "deadline_ms": "fast"})
+            is None
+        )
+
+
+class TestRestampResult:
+    SHARED = {
+        "type": "result",
+        "request_id": "leader",
+        "generation": 4,
+        "result": {
+            "query": ["a", "b"],
+            "degraded_reason": "none",
+            "outcome": {"reserve_micros": 1, "candidates": 2, "awards": []},
+        },
+    }
+
+    def test_readdresses_and_restores_token_order(self):
+        reply = restamp_result(
+            self.SHARED, {"query": ["b", "a"], "request_id": "me"}
+        )
+        assert reply["request_id"] == "me"
+        assert reply["result"]["query"] == ["b", "a"]
+        assert reply["result"]["outcome"] == self.SHARED["result"]["outcome"]
+        assert reply["generation"] == 4
+
+    def test_removes_request_id_when_client_sent_none(self):
+        reply = restamp_result(self.SHARED, {"query": ["a", "b"]})
+        assert "request_id" not in reply
+
+    def test_shared_payload_is_never_mutated(self):
+        before = copy.deepcopy(self.SHARED)
+        restamp_result(self.SHARED, {"query": ["b", "a"], "request_id": "x"})
+        assert self.SHARED == before
+
+    def test_matching_token_order_shares_the_result_dict(self):
+        reply = restamp_result(
+            self.SHARED, {"query": ["a", "b"], "request_id": "x"}
+        )
+        assert reply["result"] is self.SHARED["result"]
+
+
+class TestGenerationalLRUCache:
+    def test_put_get_and_lru_eviction(self):
+        cache = GenerationalLRUCache(2)
+        assert cache.put("a", 0, {"v": 1})
+        assert cache.put("b", 0, {"v": 2})
+        assert cache.get("a") == {"v": 1}  # refreshes "a"
+        assert cache.put("c", 0, {"v": 3})  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert len(cache) == 2
+
+    def test_generation_bump_flushes_and_blocks_stragglers(self):
+        cache = GenerationalLRUCache(4)
+        cache.put("a", 0, {"v": 1})
+        assert cache.observe_generation(1) is True
+        assert cache.get("a") is None
+        # A straggler worker still on generation 0 cannot repopulate.
+        assert cache.put("a", 0, {"v": "stale"}) is False
+        assert cache.get("a") is None
+        # Backwards/equal observations are no-ops.
+        assert cache.observe_generation(0) is False
+        assert cache.observe_generation(1) is False
+        assert cache.generation == 1
+        assert cache.put("a", 1, {"v": "fresh"}) is True
+        assert cache.get("a") == {"v": "fresh"}
+
+    def test_bump_with_empty_cache_is_not_an_invalidation(self):
+        cache = GenerationalLRUCache(4)
+        assert cache.observe_generation(3) is False
+        assert cache.generation == 3
+        assert cache.stats()["invalidations"] == 0
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("put"),
+                    st.integers(0, 3),
+                    st.integers(0, 4),
+                ),
+                st.tuples(st.just("get"), st.integers(0, 3), st.just(0)),
+                st.tuples(st.just("bump"), st.integers(0, 4), st.just(0)),
+            ),
+            max_size=60,
+        )
+    )
+    def test_matches_reference_model(self, ops):
+        """Any op sequence: bounded, monotonic, never serves across a
+        generation bump, never accepts an off-generation put."""
+        cache = GenerationalLRUCache(2)
+        model: dict = {}
+        model_gen = 0
+        for op, a, b in ops:
+            if op == "put":
+                accepted = cache.put(f"k{a}", b, {"gen": b, "key": a})
+                assert accepted is (b == model_gen)
+                if accepted:
+                    model[f"k{a}"] = {"gen": b, "key": a}
+                    while len(model) > 2:
+                        # model mirrors LRU eviction: drop the entry the
+                        # cache itself no longer holds
+                        for key in list(model):
+                            if cache.get(key) is None:
+                                cache.misses -= 1  # undo probe accounting
+                                del model[key]
+                                break
+                        else:
+                            raise AssertionError("cache over capacity")
+            elif op == "get":
+                got = cache.get(f"k{a}")
+                assert got == model.get(f"k{a}")
+            else:
+                bumped = cache.observe_generation(a)
+                if a > model_gen:
+                    model_gen = a
+                    assert bumped is bool(model)
+                    model.clear()
+                else:
+                    assert bumped is False
+            assert cache.generation == model_gen
+            assert len(cache) == len(model) <= 2
+
+
+class TestSingleflightAddressing:
+    """White-box: the frontend's singleflight gate, no sockets.
+
+    ``_dispatch_decoded`` is replaced by a fake that blocks every
+    leader on one event until *all* client tasks have been started, so
+    any interleaving hypothesis generates ends up fully coalesced — the
+    strongest setting for the addressing property.
+    """
+
+    @settings(deadline=None, max_examples=40)
+    @given(
+        clients=st.lists(
+            st.tuples(
+                st.lists(
+                    st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+                    min_size=1,
+                    max_size=4,
+                ),
+                st.sampled_from(["normal", "high"]),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_every_client_gets_its_own_bit_identical_reply(self, clients):
+        asyncio.run(self._drive(clients))
+
+    async def _drive(self, clients):
+        frontend = Frontend(
+            ["/nonexistent"], FrontendConfig(coalesce=True)
+        )
+        release = asyncio.Event()
+        dispatched: list = []
+
+        async def fake_dispatch_decoded(key, frame):
+            dispatched.append(key)
+            await release.wait()
+            request = decode_payload(frame[HEADER.size:])["request"]
+            words = sorted(set(request["query"]))
+            return {
+                "type": "result",
+                "request_id": request.get("request_id"),
+                "generation": 0,
+                "result": {
+                    "query": list(request["query"]),
+                    "degraded_reason": "none",
+                    "outcome": {
+                        "reserve_micros": 1,
+                        "candidates": len(words),
+                        "awards": [
+                            {"listing_id": i, "word": w}
+                            for i, w in enumerate(words)
+                        ],
+                    },
+                },
+            }
+
+        frontend._dispatch_decoded = fake_dispatch_decoded
+
+        requests = []
+        for i, (tokens, priority) in enumerate(clients):
+            requests.append(
+                {
+                    "query": list(tokens),
+                    "priority": priority,
+                    "request_id": f"c{i}",
+                }
+            )
+
+        async def one(request):
+            frame = encode_frame({"type": "serve", "request": request})
+            key = canonical_serve_key(request)
+            shared = await frontend._serve_shared(key, frame)
+            return restamp_result(shared, request)
+
+        tasks = [asyncio.ensure_future(one(r)) for r in requests]
+        await asyncio.sleep(0)  # every task reaches the gate
+        release.set()
+        replies = await asyncio.gather(*tasks)
+
+        distinct = {canonical_serve_key(r) for r in requests}
+        # Exactly one worker round trip per canonical key.
+        assert len(dispatched) == len(distinct)
+        assert set(dispatched) == distinct
+        shared_by_key: dict = {}
+        for request, reply in zip(requests, replies):
+            # Addressed to this client, echoing this client's order.
+            assert reply["request_id"] == request["request_id"]
+            assert reply["result"]["query"] == request["query"]
+            body = dict(reply)
+            del body["request_id"]
+            body["result"] = {
+                k: v for k, v in reply["result"].items() if k != "query"
+            }
+            key = canonical_serve_key(request)
+            # Everything else is bit-identical across coalesced clients.
+            if key in shared_by_key:
+                assert shared_by_key[key] == body
+            else:
+                shared_by_key[key] = body
+        assert _counter(frontend.obs, "frontend.coalesced") == len(
+            requests
+        ) - len(distinct)
+
+
+class TestLivePipeline:
+    def test_identical_inflight_requests_coalesce(self, segment_path):
+        config = ClusterConfig(
+            segment_path=str(segment_path),
+            num_workers=1,
+            conns_per_worker=1,  # serialize worker trips: queues overlap
+            coalesce=True,
+        )
+        with ServingCluster(config) as cluster:
+            host, port = cluster.address
+            replies = []
+            lock = threading.Lock()
+
+            def hammer(tid):
+                with ServeClient(host, port) as client:
+                    for i in range(25):
+                        reply = client.request(
+                            {
+                                "type": "serve",
+                                "request": {
+                                    "query": ["books", "extra"],
+                                    "request_id": f"t{tid}-{i}",
+                                },
+                            }
+                        )
+                        with lock:
+                            replies.append((f"t{tid}-{i}", reply))
+
+            threads = [
+                threading.Thread(target=hammer, args=(tid,))
+                for tid in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            with ServeClient(host, port) as client:
+                stats = client.stats()
+        counters = stats["frontend"]["counters"]
+        assert counters["frontend.coalesced"] > 0
+        assert len(replies) == 8 * 25
+        for request_id, reply in replies:
+            assert reply["type"] == "result"
+            assert reply["request_id"] == request_id
+        assert len({_without_request_id(r) for _, r in replies}) == 1
+
+    def test_cache_hit_answers_without_a_worker_trip(self, segment_path):
+        config = ClusterConfig(
+            segment_path=str(segment_path),
+            num_workers=1,
+            cache_entries=64,
+        )
+        with ServingCluster(config) as cluster:
+            host, port = cluster.address
+            with ServeClient(host, port) as client:
+                request = {"query": ["books", "extra"]}
+                first = client.request(
+                    {"type": "serve", "request": {**request, "request_id": "a"}}
+                )
+                served_after_first = client.stats()["workers"][0]["served"]
+                second = client.request(
+                    {"type": "serve", "request": {**request, "request_id": "b"}}
+                )
+                stats = client.stats()
+        assert first["request_id"] == "a"
+        assert second["request_id"] == "b"
+        assert _without_request_id(first) == _without_request_id(second)
+        counters = stats["frontend"]["counters"]
+        assert counters["frontend.cache_hits"] == 1
+        assert counters["frontend.cache_misses"] == 1
+        # The hit never reached the worker.
+        assert stats["workers"][0]["served"] == served_after_first
+        assert stats["frontend"]["cache"]["entries"] == 1
+
+    def test_cache_invalidated_on_tiered_generation_bump(self, tmp_path):
+        directory = tmp_path / "tiered"
+        writer = TieredSegmentedIndex(
+            directory, config=TieredConfig(seal_threshold=100)
+        )
+        writer.insert(_ad("cache inval probe", listing_id=1))
+        writer.seal()
+        config = ClusterConfig(
+            segment_path=str(directory),
+            num_workers=1,
+            cache_entries=64,
+            reload_check_interval_s=0.0,  # reload eagerly: test the cache
+        )
+        try:
+            with ServingCluster(config) as cluster:
+                host, port = cluster.address
+                with ServeClient(host, port) as client:
+                    probe = {"query": ["cache", "inval", "probe"]}
+                    first = client.request(
+                        {"type": "serve", "request": dict(probe)}
+                    )
+                    assert first["result"]["outcome"]["candidates"] == 1
+                    assert first["generation"] == writer.generation
+                    cached = client.request(
+                        {"type": "serve", "request": dict(probe)}
+                    )
+                    assert cached["generation"] == first["generation"]
+
+                    writer.insert(_ad("cache inval probe", listing_id=2))
+                    writer.seal()
+                    # Fresh-keyed misses must reach the worker; one of
+                    # them observes the committed generation and flushes
+                    # the cache.
+                    deadline = time.monotonic() + 10.0
+                    n = 0
+                    while True:
+                        miss = client.request(
+                            {
+                                "type": "serve",
+                                "request": {"query": [f"miss-{n}"]},
+                            }
+                        )
+                        if miss["generation"] == writer.generation:
+                            break
+                        assert time.monotonic() < deadline, (
+                            "worker never picked up the new generation"
+                        )
+                        n += 1
+                        time.sleep(0.01)
+                    fresh = client.request(
+                        {"type": "serve", "request": dict(probe)}
+                    )
+                    assert fresh["generation"] == writer.generation
+                    assert fresh["result"]["outcome"]["candidates"] == 2
+                    stats = client.stats()
+            counters = stats["frontend"]["counters"]
+            assert counters["frontend.cache_hits"] >= 1
+            assert counters["frontend.cache_invalidations"] >= 1
+            assert (
+                stats["frontend"]["cache"]["generation"] == writer.generation
+            )
+        finally:
+            writer.close()

@@ -9,13 +9,20 @@ violates framing loses its connection (optionally after a typed
 well-formed clients.
 """
 
+import asyncio
 import socket
 
 import pytest
 
 from repro.faults.mutators import tear_tail, truncate_at
 from repro.netserve import ClusterConfig, ServeClient, ServingCluster
-from repro.netserve.wire import HEADER, encode_frame, recv_frame
+from repro.netserve.wire import (
+    HEADER,
+    TornFrame,
+    encode_frame,
+    read_raw_frame,
+    recv_frame,
+)
 from repro.serving import ServeRequest
 
 from tests.netserve.conftest import requires_af_unix
@@ -123,6 +130,75 @@ class TestTornFrames:
         assert raw_socket.recv(4096) == b""
         assert _counters(cluster)["frontend.client_timeouts"] == before + 1
         _assert_still_serving(cluster)
+
+
+#: A generation-stamped worker result frame (the PR 9 schema) — the
+#: frontend's cache invalidation keys on the ``generation`` int, so a
+#: torn result frame must fault loudly, never decode to a stale stamp.
+RESULT_FRAME = {
+    "type": "result",
+    "request_id": "fault-probe",
+    "generation": 7,
+    "result": {
+        "query": ["cheap", "used", "books", "and", "plenty", "of", "padding"],
+        "degraded_reason": "none",
+        "outcome": {"reserve_micros": 1, "candidates": 1, "awards": []},
+    },
+}
+
+
+class TestTornResultFrames:
+    """The worker→frontend direction, through both codecs."""
+
+    def _mutated(self, tmp_path, name, mutate):
+        path = tmp_path / name
+        path.write_bytes(encode_frame(RESULT_FRAME))
+        mutate(path)
+        return path.read_bytes()
+
+    def test_torn_result_frame_is_torn_on_sync_codec(self, tmp_path):
+        torn = self._mutated(
+            tmp_path, "result.frame", lambda p: tear_tail(p, keep_fraction=0.5)
+        )
+        assert len(torn) > HEADER.size, "mutation must keep a full header"
+        left, right = socket.socketpair()
+        try:
+            left.sendall(torn)
+            left.close()
+            with pytest.raises(TornFrame):
+                recv_frame(right)
+        finally:
+            right.close()
+
+    def test_torn_result_frame_is_torn_on_async_codec(self, tmp_path):
+        torn = self._mutated(
+            tmp_path,
+            "result-async.frame",
+            lambda p: tear_tail(p, keep_fraction=0.5),
+        )
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(torn)
+            reader.feed_eof()
+            return await read_raw_frame(reader)
+
+        with pytest.raises(TornFrame):
+            asyncio.run(run())
+
+    def test_result_header_stub_is_torn(self, tmp_path):
+        stub = self._mutated(
+            tmp_path, "result-header.frame", lambda p: truncate_at(p, 3)
+        )
+        assert len(stub) == 3
+        left, right = socket.socketpair()
+        try:
+            left.sendall(stub)
+            left.close()
+            with pytest.raises(TornFrame):
+                recv_frame(right)
+        finally:
+            right.close()
 
 
 class TestOversizedFrames:

@@ -74,8 +74,50 @@ class TestLoadGen:
                 LoadGenConfig(host=host, port=port, duration_s=0.1), []
             )
 
+    def test_zipf_mode_reports_duplicate_heavy_traffic(
+        self, cluster, generated_corpus
+    ):
+        host, port = cluster.address
+        report = run_loadgen(
+            LoadGenConfig(
+                host=host,
+                port=port,
+                duration_s=1.0,
+                concurrency=4,
+                deadline_ms=1_000.0,
+                zipf_s=1.1,
+                zipf_seed=7,
+            ),
+            _queries(generated_corpus),
+        )
+        assert report["errors"] == 0
+        assert report["config"]["zipf_s"] == 1.1
+        traffic = report["traffic"]
+        assert traffic["mode"] == "zipf"
+        assert traffic["zipf_s"] == 1.1
+        assert traffic["issued"] >= report["sent"] > 0
+        assert 1 <= traffic["unique_queries"] <= traffic["issued"]
+        # The whole point of the mode: the realized stream repeats
+        # queries, so downstream coalescing/caching has something to do.
+        assert 0.0 < traffic["unique_query_fraction"] < 1.0
+        # This cluster runs with coalescing and cache off: the report
+        # still carries the section, with honest zero deltas.
+        assert report["coalescing"] == {
+            "coalesced": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_invalidations": 0,
+        }
 
-def _report(counts, elapsed_s, workers_after=()):
+
+def _report(
+    counts,
+    elapsed_s,
+    workers_after=(),
+    stats_before=None,
+    stats_after=None,
+    traffic=None,
+):
     """Drive the pure report builder with canned run artifacts."""
     latency = MetricsRegistry().histogram(
         "loadgen.latency_ms", bounds=_LATENCY_BUCKETS_MS
@@ -89,8 +131,15 @@ def _report(counts, elapsed_s, workers_after=()):
         counts=counts,
         elapsed_s=elapsed_s,
         latency=latency,
-        stats_before={"workers": []},
-        stats_after={"workers": list(workers_after)},
+        stats_before=(
+            stats_before if stats_before is not None else {"workers": []}
+        ),
+        stats_after=(
+            stats_after
+            if stats_after is not None
+            else {"workers": list(workers_after)}
+        ),
+        traffic=traffic,
     )
 
 
@@ -141,6 +190,67 @@ class TestBuildReport:
         assert report["qps"] == 0.0
         assert report["within_deadline"] is None
         assert report["shed_rate"] == 0.0
+
+    def test_traffic_section_passes_through_verbatim(self):
+        counts = {
+            "sent": 4, "ok": 4, "shed": 0, "degraded": 0,
+            "errors": 0, "within_deadline": 4,
+        }
+        traffic = {
+            "mode": "zipf",
+            "zipf_s": 1.2,
+            "issued": 40,
+            "unique_queries": 9,
+            "unique_query_fraction": 0.225,
+        }
+        report = _report(counts, elapsed_s=1.0, traffic=traffic)
+        assert report["traffic"] == traffic
+
+    def test_coalescing_deltas_come_from_stats_probes(self):
+        counts = {
+            "sent": 4, "ok": 4, "shed": 0, "degraded": 0,
+            "errors": 0, "within_deadline": 4,
+        }
+
+        def stats(coalesced, hits, misses, invalidations):
+            return {
+                "workers": [],
+                "frontend": {
+                    "counters": {
+                        "frontend.coalesced": coalesced,
+                        "frontend.cache_hits": hits,
+                        "frontend.cache_misses": misses,
+                        "frontend.cache_invalidations": invalidations,
+                    }
+                },
+            }
+
+        report = _report(
+            counts,
+            elapsed_s=1.0,
+            stats_before=stats(10, 100, 50, 1),
+            stats_after=stats(17, 180, 62, 3),
+        )
+        assert report["coalescing"] == {
+            "coalesced": 7,
+            "cache_hits": 80,
+            "cache_misses": 12,
+            "cache_invalidations": 2,
+        }
+
+    def test_coalescing_deltas_survive_malformed_stats(self):
+        counts = {
+            "sent": 1, "ok": 1, "shed": 0, "degraded": 0,
+            "errors": 0, "within_deadline": 1,
+        }
+        report = _report(
+            counts,
+            elapsed_s=1.0,
+            stats_before={"workers": [], "frontend": "broken"},
+            stats_after={"workers": []},
+        )
+        assert report["coalescing"]["coalesced"] == 0
+        assert report["coalescing"]["cache_hits"] == 0
 
     def test_all_shed_run_keeps_deadline_fraction_none(self):
         counts = {

@@ -100,6 +100,66 @@ class TestSyncCodec:
         assert recv_raw_frame(right) == b'{"k":1}'
 
 
+class TestGenerationStampedResultFrames:
+    """PR 9: worker result frames carry a ``generation`` int the
+    frontend's cache invalidation keys on — it must survive every
+    codec byte-exactly."""
+
+    RESULT = {
+        "type": "result",
+        "request_id": "r-9",
+        "generation": 7,
+        "result": {
+            "query": ["cheap", "books"],
+            "degraded_reason": "none",
+            "outcome": {"reserve_micros": 1, "candidates": 1, "awards": []},
+        },
+    }
+
+    def test_sync_round_trip_preserves_generation(self, pair):
+        left, right = pair
+        send_frame(left, self.RESULT)
+        reply = recv_frame(right)
+        assert reply == self.RESULT
+        assert reply["generation"] == 7
+
+    def test_raw_relay_body_is_lossless(self, pair):
+        # The frontend relays raw frame bytes without re-encoding; the
+        # body it decodes for the cache must match what was framed.
+        left, right = pair
+        frame = encode_frame(self.RESULT)
+        left.sendall(frame)
+        body = recv_raw_frame(right)
+        assert body == frame[HEADER.size:]
+        assert decode_payload(body) == self.RESULT
+
+    def test_async_read_returns_relay_ready_frame(self):
+        frame = encode_frame(self.RESULT)
+
+        async def run():
+            reader = asyncio.StreamReader()
+            reader.feed_data(frame)
+            reader.feed_eof()
+            return await read_raw_frame(reader)
+
+        raw = asyncio.run(run())
+        assert raw == frame
+        assert decode_payload(raw[HEADER.size:])["generation"] == 7
+
+    def test_frame_without_generation_still_decodes(self, pair):
+        # Back-compat: a pre-PR-9 result frame simply lacks the key;
+        # the frontend treats that as generation 0, the codec does not
+        # invent one.
+        left, right = pair
+        stripped = {
+            k: v for k, v in self.RESULT.items() if k != "generation"
+        }
+        send_frame(left, stripped)
+        reply = recv_frame(right)
+        assert reply == stripped
+        assert "generation" not in reply
+
+
 class TestAsyncCodec:
     @staticmethod
     def _read(data: bytes, eof: bool = True):

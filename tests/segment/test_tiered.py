@@ -502,6 +502,10 @@ class TestServingIntegration:
             WorkerConfig(
                 segment_path=str(directory),
                 socket_path=str(tmp_path / "sock"),
+                # Probe the manifest before every batch: this test is
+                # about the swap itself, not the throttle (which has
+                # its own coverage in tests/netserve/test_batching.py).
+                reload_check_interval_s=0.0,
             )
         )
         try:
@@ -511,6 +515,7 @@ class TestServingIntegration:
             })
             assert reply["type"] == "result"
             assert reply["result"]["outcome"]["candidates"] == 1
+            assert reply["generation"] == writer.generation
             # Commit a new generation; the worker must pick it up
             # between requests.
             writer.insert(ad("serve w0 common", listing_id=2))
@@ -520,10 +525,11 @@ class TestServingIntegration:
                 "request": {"query": ["serve", "w0", "common"]},
             })
             assert reply["result"]["outcome"]["candidates"] == 2
+            assert reply["generation"] == writer.generation
             assert worker.manifest_reloads == 1
             stats = worker.stats_payload()
             assert stats["tiered"]["generation"] == writer.generation
             assert stats["tiered"]["manifest_reloads"] == 1
         finally:
-            worker.index.close()
+            worker.close()
             writer.close()
