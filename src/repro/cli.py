@@ -43,9 +43,13 @@ and ``stats --segment`` serve directly off a segment via
 ``serve`` boots the network tier of :mod:`repro.netserve`: forked
 worker processes sharing one mmap'd segment behind an asyncio frontend
 speaking the length-prefixed ``ServeRequest``/``ServeResult`` wire
-protocol.  ``loadgen`` drives a running tier closed-loop and prints the
-SLO report (QPS, latency percentiles, shed rate, per-worker split); see
-``docs/serving-tier.md``.
+protocol; workers are supervised by default (crash/hang detection and
+respawn — ``--no-supervise`` opts out).  ``loadgen`` drives a running
+tier closed-loop and prints the SLO report (QPS, latency percentiles,
+shed rate, per-worker split); see ``docs/serving-tier.md``.  ``chaos``
+boots a fresh supervised cluster and SIGKILLs/SIGSTOPs workers under
+load, gating on zero hangs and full recovery
+(:mod:`repro.netserve.chaos`).
 
 ``--deadline-ms`` runs queries under a :mod:`repro.resilience` budget:
 retrieval stops between hash probes when the budget expires and the
@@ -584,6 +588,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         reload_check_interval_s=args.reload_check_interval_s,
         coalesce=args.coalesce,
         cache_entries=args.cache_entries,
+        supervise=not args.no_supervise,
+        drain_timeout_s=args.drain_timeout_s,
     )
     with ServingCluster(config) as cluster:
         host, port = cluster.address
@@ -592,9 +598,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{'on' if args.coalesce else 'off'}, cache "
             f"{args.cache_entries}"
         )
+        supervision = (
+            "unsupervised" if args.no_supervise else "supervised"
+        )
         print(
             f"serving {args.segment} on {host}:{port} "
-            f"({args.workers} worker(s), {batching}, Ctrl-C to stop)"
+            f"({args.workers} worker(s), {supervision}, {batching}, "
+            "Ctrl-C to stop)"
         )
         try:
             while True:
@@ -637,6 +647,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         f"degraded {report['degraded']}  errors {report['errors']}  "
         f"shed_rate {report['shed_rate']:.3f}"
     )
+    if report["errors"]:
+        print(
+            f"  timeouts {report.get('timeouts', 0)}  "
+            f"connection_errors {report.get('connection_errors', 0)}  "
+            f"error_frames {report.get('error_frames', 0)}"
+        )
     traffic = report.get("traffic") or {}
     coalescing = report.get("coalescing") or {}
     if traffic.get("mode") == "zipf":
@@ -662,6 +678,21 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote {args.out}")
     return 0 if report["errors"] == 0 else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.netserve.chaos import main as chaos_main
+
+    argv = [
+        "--workers", str(args.workers),
+        "--kills", str(args.kills),
+        "--sigstops", str(args.sigstops),
+        "--chaos-duration-s", str(args.duration_s),
+        "--seed", str(args.seed),
+    ]
+    if args.out:
+        argv += ["--out", args.out]
+    return chaos_main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -985,6 +1016,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="frontend result-cache capacity (0 disables)",
     )
+    serve.add_argument(
+        "--no-supervise",
+        action="store_true",
+        help="disable the self-healing worker supervisor (crashed "
+        "workers then stay dead)",
+    )
+    serve.add_argument(
+        "--drain-timeout-s",
+        type=float,
+        default=5.0,
+        help="graceful-stop budget: serve already-queued requests for "
+        "up to this long before erroring them",
+    )
     serve.set_defaults(handler=_cmd_serve)
 
     loadgen = sub.add_parser(
@@ -1017,6 +1061,19 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--zipf-seed", type=int, default=0)
     loadgen.add_argument("--out", default=None, help="write report JSON")
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="kill-driven resilience drill against a fresh supervised "
+        "cluster (SIGKILL/SIGSTOP workers under load, gate on recovery)",
+    )
+    chaos.add_argument("--workers", type=int, default=3)
+    chaos.add_argument("--kills", type=int, default=2)
+    chaos.add_argument("--sigstops", type=int, default=1)
+    chaos.add_argument("--duration-s", type=float, default=6.0)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--out", default=None, help="write drill report JSON")
+    chaos.set_defaults(handler=_cmd_chaos)
     return parser
 
 

@@ -22,7 +22,16 @@ so far rather than inventing parallel ones:
   :meth:`~repro.serving.server.ServeResult.to_dict`, so the redesigned
   request/result dataclasses *are* the wire schema;
 * **cluster** (:mod:`~repro.netserve.cluster`) — boot/supervise/stop,
-  as a context manager;
+  as a context manager, with graceful drain on stop and a rolling
+  restart primitive;
+* **supervisor** (:mod:`~repro.netserve.supervisor`) — the self-healing
+  loop: liveness + heartbeat hang detection, backoff respawns with a
+  crash-loop budget, zero-copy re-verification on every respawn, and
+  frontend breaker resets so a recovered worker takes traffic again
+  immediately;
+* **chaos** (:mod:`~repro.netserve.chaos`) — the kill-driven drill
+  (SIGKILL / SIGSTOP / torn connections under closed-loop load) that
+  gates the resilience claims in CI and persists ``BENCH_PR10.json``;
 * **client** (:mod:`~repro.netserve.client`) — the blocking client
   whose ``serve(ServeRequest) -> ServeResult`` reads identically to
   the in-process call;
@@ -34,7 +43,12 @@ so far rather than inventing parallel ones:
   :mod:`~repro.netserve.smoke` gates in CI.
 """
 
-from repro.netserve.client import RemoteServeError, ServeClient
+from repro.netserve.chaos import ChaosConfig, run_chaos
+from repro.netserve.client import (
+    RemoteServeError,
+    ServeClient,
+    ServeConnectionError,
+)
 from repro.netserve.cluster import ClusterConfig, ServingCluster
 from repro.netserve.coalesce import (
     GenerationalLRUCache,
@@ -60,10 +74,17 @@ from repro.netserve.wire import (
     recv_frame,
     send_frame,
 )
+from repro.netserve.supervisor import (
+    RestartBudget,
+    SupervisorConfig,
+    WorkerStatus,
+    WorkerSupervisor,
+)
 from repro.netserve.worker import WorkerConfig, run_worker
 
 __all__ = [
     "DEFAULT_MAX_FRAME_BYTES",
+    "ChaosConfig",
     "ClusterConfig",
     "FrameFormatError",
     "FrameTooLarge",
@@ -72,11 +93,16 @@ __all__ = [
     "GenerationalLRUCache",
     "LoadGenConfig",
     "RemoteServeError",
+    "RestartBudget",
     "ServeClient",
+    "ServeConnectionError",
     "ServingCluster",
+    "SupervisorConfig",
     "TornFrame",
     "WireError",
     "WorkerConfig",
+    "WorkerStatus",
+    "WorkerSupervisor",
     "canonical_serve_key",
     "decode_payload",
     "encode_frame",
@@ -85,6 +111,7 @@ __all__ = [
     "recv_frame",
     "resident_bytes",
     "restamp_result",
+    "run_chaos",
     "run_loadgen",
     "run_worker",
     "segment_mapping_report",

@@ -22,7 +22,7 @@ from repro.netserve.wire import (
 from repro.serving.request import ServeRequest, WireSchemaError
 from repro.serving.server import ServeResult
 
-__all__ = ["RemoteServeError", "ServeClient"]
+__all__ = ["RemoteServeError", "ServeClient", "ServeConnectionError"]
 
 
 class RemoteServeError(RuntimeError):
@@ -31,6 +31,21 @@ class RemoteServeError(RuntimeError):
     def __init__(self, message: str, retryable: bool = False) -> None:
         super().__init__(message)
         self.retryable = retryable
+
+
+class ServeConnectionError(ConnectionError):
+    """The *transport* failed: refused connect, reset mid-frame, torn
+    reply.  Distinct from :class:`RemoteServeError` (the server spoke,
+    and said no) and from a plain timeout — callers counting failure
+    modes (the load generator, the chaos harness) need to tell "the
+    network/process died" apart from "the server was slow or unhappy".
+
+    The raw ``OSError``/``TornFrame`` is preserved as ``__cause__``.
+    """
+
+    def __init__(self, message: str, cause: BaseException | None = None) -> None:
+        super().__init__(message)
+        self.__cause__ = cause
 
 
 class ServeClient:
@@ -44,7 +59,16 @@ class ServeClient:
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
     ) -> None:
         self.max_frame_bytes = max_frame_bytes
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout_s
+            )
+        except TimeoutError:
+            raise
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"connect to {host}:{port} failed: {exc}", exc
+            ) from exc
 
     def __enter__(self) -> ServeClient:
         return self
@@ -58,11 +82,25 @@ class ServeClient:
     # ---------------------------------------------------------- #
 
     def request(self, payload: dict[str, Any]) -> dict[str, Any]:
-        """One raw frame round trip (payload dicts both ways)."""
-        send_frame(self._sock, payload, self.max_frame_bytes)
-        reply = recv_frame(self._sock, self.max_frame_bytes)
+        """One raw frame round trip (payload dicts both ways).
+
+        Transport faults surface as :class:`ServeConnectionError`;
+        timeouts stay ``TimeoutError`` so callers can count the two
+        failure modes separately.
+        """
+        try:
+            send_frame(self._sock, payload, self.max_frame_bytes)
+            reply = recv_frame(self._sock, self.max_frame_bytes)
+        except TimeoutError:
+            raise
+        except TornFrame as exc:
+            raise ServeConnectionError(f"torn reply frame: {exc}", exc) from exc
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"connection to frontend failed: {exc}", exc
+            ) from exc
         if reply is None:
-            raise TornFrame("frontend closed before answering")
+            raise ServeConnectionError("frontend closed before answering")
         return reply
 
     def serve(self, request: ServeRequest) -> ServeResult:

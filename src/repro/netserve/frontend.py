@@ -40,6 +40,25 @@ default so the relay path above stays byte-for-byte what PR 7 shipped:
 Requests whose canonical key is ``None`` (malformed in any way) bypass
 both layers and relay raw, so the worker's own schema errors stay
 authoritative.
+
+**Supervision integration** (PR 10): a worker transport fault no longer
+just feeds the breaker — the request is retried exactly **once**, on a
+*different* worker (counted in ``frontend.worker_failovers``).  The
+retry is always safe because the frontend buffers a worker's complete
+``result`` frame before relaying any of it: a reply torn by worker
+death mid-read has sent the client **zero** bytes, so the failover can
+never duplicate output.  (With a single worker the one retry goes back
+to that worker's other channel, which covers reconnect-after-restart.)
+The :class:`~repro.netserve.supervisor.WorkerSupervisor` feeds recovery
+state back through :meth:`Frontend.mark_worker_ready` /
+:meth:`Frontend.mark_worker_failed` (directly in thread mode, via
+``admin`` frames when the frontend runs as its own process): a respawn
+resets that worker's breaker to half-open so the first live request
+closes it, and a crash-looped worker is removed from routing entirely
+so its traffic share rebalances onto the survivors.  Per-worker breaker
+state is exported as the ``frontend.breaker_state.w<id>`` gauge
+(0 closed / 1 half-open / 2 open / 3 permanently failed) so a chaos
+drill can assert breakers actually reopen after respawns.
 """
 
 from __future__ import annotations
@@ -71,10 +90,24 @@ from repro.resilience.admission import (
     AdmissionController,
     Priority,
 )
-from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+from repro.resilience.breaker import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreaker,
+)
 from repro.resilience.deadline import DegradedReason
 
 __all__ = ["Frontend", "FrontendConfig"]
+
+#: Numeric encoding of breaker state for the per-worker gauge.
+_BREAKER_GAUGE = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
+
+#: Gauge value for a worker removed from routing (crash-looped).
+_GAUGE_FAILED = 3.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -188,19 +221,25 @@ class Frontend:
             else None
         )
         self._inflight: dict[Any, asyncio.Task[dict[str, Any] | None]] = {}
+        self._failed_workers: set[int] = set()
         for name, help_text in (
             ("frontend.requests", "Serve frames accepted from clients"),
             ("frontend.shed", "Requests shed at the frontend door"),
             ("frontend.wire_errors", "Client frames that violated framing"),
             ("frontend.worker_errors", "Worker transport faults observed"),
+            ("frontend.worker_failovers", "Requests retried on another worker"),
             ("frontend.unrouted", "Requests no worker could answer"),
             ("frontend.client_timeouts", "Clients disconnected for stalling"),
+            ("frontend.breaker_resets", "Breakers reset half-open on respawn"),
+            ("frontend.workers_failed", "Workers removed from routing"),
             ("frontend.coalesced", "Serve frames that joined an in-flight twin"),
             ("frontend.cache_hits", "Serve frames answered from the result cache"),
             ("frontend.cache_misses", "Cache lookups that went to a worker"),
             ("frontend.cache_invalidations", "Cache flushes on generation bumps"),
         ):
             self.obs.counter(name, help=help_text)
+        for worker_id in range(len(worker_sockets)):
+            self._observe_breaker(worker_id)
 
     # ---------------------------------------------------------- #
     # Lifecycle
@@ -312,6 +351,9 @@ class Frontend:
             return True
         if msg_type == "serve":
             await self._serve(frame, payload, writer)
+            return True
+        if msg_type == "admin":
+            await self._reply(writer, self._admin(payload))
             return True
         self.obs.counter("frontend.wire_errors").inc()
         await self._reply(
@@ -431,17 +473,106 @@ class Frontend:
             await writer.drain()
 
     # ---------------------------------------------------------- #
+    # Supervision hooks (called directly in thread mode, via ``admin``
+    # frames when the frontend runs as its own process)
+
+    def _observe_breaker(self, worker_id: int) -> None:
+        """Export one worker's routing health as a gauge."""
+        value = (
+            _GAUGE_FAILED
+            if worker_id in self._failed_workers
+            else _BREAKER_GAUGE[self.breakers[worker_id].state]
+        )
+        self.obs.gauge(
+            f"frontend.breaker_state.w{worker_id}",
+            help="0 closed / 1 half-open / 2 open / 3 failed",
+        ).set(value)
+
+    def mark_worker_ready(self, worker_id: int) -> None:
+        """A supervised worker respawned: put it back in routing with
+        its breaker half-open, so the first live request closes it
+        instead of waiting out the breaker's own cooling-off."""
+        if worker_id not in self.breakers:
+            raise KeyError(f"unknown worker {worker_id}")
+        self._failed_workers.discard(worker_id)
+        self.breakers[worker_id].reset_half_open()
+        self.obs.counter("frontend.breaker_resets").inc()
+        self._observe_breaker(worker_id)
+
+    def mark_worker_failed(self, worker_id: int) -> None:
+        """A worker crash-looped out of its restart budget: stop
+        routing to it at all; its share rebalances onto the survivors."""
+        if worker_id not in self.breakers:
+            raise KeyError(f"unknown worker {worker_id}")
+        if worker_id not in self._failed_workers:
+            self._failed_workers.add(worker_id)
+            self.obs.counter("frontend.workers_failed").inc()
+        self._observe_breaker(worker_id)
+
+    def _admin(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """The supervisor's control surface when the frontend runs as
+        its own process.  Worker ids are validated; unknown ops get a
+        typed error (the frames are trusted-network control plane, like
+        the worker ``shutdown`` frame)."""
+        op = payload.get("op")
+        worker_id = payload.get("worker_id")
+        if not isinstance(worker_id, int) or worker_id not in self.breakers:
+            return {
+                "type": "error",
+                "error": f"unknown worker {worker_id!r}",
+                "retryable": False,
+            }
+        if op == "worker_ready":
+            self.mark_worker_ready(worker_id)
+            return {"type": "ok"}
+        if op == "worker_failed":
+            self.mark_worker_failed(worker_id)
+            return {"type": "ok"}
+        return {
+            "type": "error",
+            "error": f"unknown admin op {op!r}",
+            "retryable": False,
+        }
+
+    # ---------------------------------------------------------- #
     # Worker side
 
     async def _dispatch(self, frame: bytes) -> bytes | None:
         """Relay ``frame`` to a healthy worker; the raw response frame,
-        or ``None`` when every attempt failed or short-circuited."""
+        or ``None`` when every attempt failed or short-circuited.
+
+        A failed attempt (worker died mid-reply, transport fault,
+        timeout) is retried exactly once, on a worker we have not yet
+        tried — counted in ``frontend.worker_failovers``.  The retry
+        can never duplicate client output: the complete response frame
+        is buffered here before a single byte is relayed back, so a
+        torn reply means the client has received nothing.  With only
+        one worker the retry may revisit it (covers the
+        reconnect-after-restart case); beyond two failed attempts the
+        caller sheds with a typed degraded result rather than storming
+        every worker.
+        """
+        attempts = 0
+        failover_counted = False
+        tried_workers: set[int] = set()
+        single_worker = len(self.worker_sockets) == 1
         for _ in range(max(self._num_channels, 1)):
             channel = await self._pool.get()
-            breaker = self.breakers[channel.worker_id]
-            if not breaker.allow():
+            worker_id = channel.worker_id
+            if worker_id in self._failed_workers:
                 self._pool.put_nowait(channel)
                 continue
+            if worker_id in tried_workers and not single_worker:
+                self._pool.put_nowait(channel)
+                continue
+            breaker = self.breakers[worker_id]
+            if not breaker.allow():
+                self._observe_breaker(worker_id)
+                self._pool.put_nowait(channel)
+                continue
+            if attempts == 1 and not failover_counted:
+                self.obs.counter("frontend.worker_failovers").inc()
+                failover_counted = True
             try:
                 await channel.ensure_connected()
                 assert channel.reader is not None
@@ -465,12 +596,18 @@ class Frontend:
             ):
                 self.obs.counter("frontend.worker_errors").inc()
                 breaker.record_failure()
+                self._observe_breaker(worker_id)
                 channel.mark_dead()
                 self._pool.put_nowait(channel)
+                tried_workers.add(worker_id)
+                attempts += 1
+                if attempts >= 2:
+                    return None
                 continue
             # The worker answered: transport is healthy regardless of
             # whether the payload is a result or a typed error.
             breaker.record_success()
+            self._observe_breaker(worker_id)
             self._pool.put_nowait(channel)
             return response
         return None
@@ -590,9 +727,14 @@ class Frontend:
                 "cache": self.cache.stats() if self.cache is not None else None,
                 "counters": counters,
                 "breakers": {
-                    str(worker_id): breaker.state.value
+                    str(worker_id): (
+                        "failed"
+                        if worker_id in self._failed_workers
+                        else breaker.state.value
+                    )
                     for worker_id, breaker in self.breakers.items()
                 },
+                "failed_workers": sorted(self._failed_workers),
             },
             "workers": workers,
         }

@@ -6,7 +6,11 @@ lands), for ``duration_s`` wall seconds, cycling a fixed query list.
 Latency lands in a :mod:`repro.obs` histogram and every response is
 classified — ``ok`` (served, undegraded), ``shed`` (admission refused
 it), ``degraded`` (served but flagged), ``errors`` (typed error frames
-and transport faults).
+and transport faults).  Errors are further bucketed into ``timeouts``
+(no reply inside ``timeout_s`` — a *hang*, the one thing a resilient
+cluster must never do), ``connection_errors`` (refused/reset/torn
+transport) and ``error_frames`` (the server answered, with an error);
+the chaos harness gates on the first bucket staying at zero.
 
 The report is the serving tier's SLO statement: sustained QPS, latency
 percentiles from the registry histogram, shed rate, the fraction of OK
@@ -173,6 +177,7 @@ async def _client_loop(
             )
         except OSError:
             counts["errors"] += 1
+            counts["connection_errors"] += 1
             await asyncio.sleep(0.05)
             continue
         try:
@@ -191,12 +196,14 @@ async def _client_loop(
                 elapsed_ms = (perf_counter() - started) * 1e3
                 if raw is None:
                     counts["errors"] += 1
+                    counts["connection_errors"] += 1
                     break
                 latency.observe(elapsed_ms)
                 counts["sent"] += 1
                 reply = json.loads(raw[HEADER.size:])
                 if reply.get("type") != "result":
                     counts["errors"] += 1
+                    counts["error_frames"] += 1
                     continue
                 reason = reply["result"].get("degraded_reason", "none")
                 if reason == "none":
@@ -210,15 +217,19 @@ async def _client_loop(
                     counts["shed"] += 1
                 else:
                     counts["degraded"] += 1
-        except (
-            WireError,
-            OSError,
-            ConnectionError,
-            asyncio.TimeoutError,
-            TimeoutError,
-            json.JSONDecodeError,
-        ):
+        except (asyncio.TimeoutError, TimeoutError):
+            # A hang: the frame went out and nothing came back inside
+            # ``timeout_s``.  The chaos gate keys on this bucket — a
+            # resilient cluster may *error* requests during a kill, but
+            # it must never leave a client hanging.
             counts["errors"] += 1
+            counts["timeouts"] += 1
+        except (WireError, OSError, ConnectionError):
+            counts["errors"] += 1
+            counts["connection_errors"] += 1
+        except json.JSONDecodeError:
+            counts["errors"] += 1
+            counts["error_frames"] += 1
         finally:
             with contextlib.suppress(OSError):
                 writer.close()
@@ -358,6 +369,9 @@ def build_report(
         "shed": counts["shed"],
         "degraded": counts["degraded"],
         "errors": counts["errors"],
+        "timeouts": counts.get("timeouts", 0),
+        "connection_errors": counts.get("connection_errors", 0),
+        "error_frames": counts.get("error_frames", 0),
         "qps": completed / safe_elapsed,
         "shed_rate": counts["shed"] / completed if completed else 0.0,
         "within_deadline": (
@@ -395,6 +409,9 @@ def run_loadgen(
         "shed": 0,
         "degraded": 0,
         "errors": 0,
+        "timeouts": 0,
+        "connection_errors": 0,
+        "error_frames": 0,
         "within_deadline": 0,
     }
     used: set[int] = set()

@@ -8,7 +8,10 @@ a few seconds, and gates on the run being *non-degenerate*:
   worker pipeline exceptions, no frontend wire errors;
 * every worker actually served traffic (routing reached them all);
 * the SLO report has real content: positive QPS, a populated latency
-  histogram, and answered stats probes.
+  histogram, and answered stats probes;
+* zero supervision activity — an uninjured run that needs a respawn
+  means a worker crashed or hung under plain load (the injured
+  counterpart of this gate lives in :mod:`repro.netserve.chaos`).
 
 ``--batched`` runs the same drill through the PR 9 pipeline instead —
 worker micro-batching + frontend singleflight + result cache, driven
@@ -91,8 +94,29 @@ def run_smoke(
                 ),
                 queries,
             )
+            supervision = (
+                cluster.supervisor.stats()
+                if cluster.supervisor is not None
+                else None
+            )
+    report["supervision"] = supervision
 
     failures: list[str] = []
+    if supervision is not None:
+        counters = supervision["counters"]
+        # Nothing was injured in this drill: any respawn means a worker
+        # actually crashed or hung under plain load.
+        for counter in (
+            "supervisor.deaths_detected",
+            "supervisor.hangs_detected",
+            "supervisor.respawns",
+            "supervisor.crash_loops",
+        ):
+            if counters.get(counter):
+                failures.append(
+                    f"{counter} = {counters[counter]} during an "
+                    "uninjured smoke run"
+                )
     if report["errors"]:
         failures.append(f"{report['errors']} client-side errors")
     if report["qps"] <= 0:

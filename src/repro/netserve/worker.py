@@ -20,7 +20,11 @@ length-prefixed JSON frames (:mod:`repro.netserve.wire`) on an
   registry, and the :mod:`repro.netserve.memory` report that powers
   the zero-copy gate.
 * ``{"type": "ping"}`` → ``{"type": "pong"}`` (the readiness probe).
-* ``{"type": "shutdown"}`` → acked, then the process exits cleanly.
+* ``{"type": "shutdown"}`` → acked, then the process **drains**: new
+  serves are refused with a retryable error, but everything already on
+  the dispatch queue is served and its reply flushed (bounded by
+  ``drain_timeout_s``) before the process exits — a planned shutdown
+  must not turn admitted requests into visible failures.
 
 Serving is **micro-batched**: connection threads decode and validate
 ``serve`` frames, then enqueue the :class:`ServeRequest` (with a reply
@@ -120,6 +124,12 @@ class WorkerConfig:
     reload_check_interval_s:
         Tiered mode: how often the dispatcher is allowed to stat the
         manifest between batches.  0 probes before every batch (tests).
+    drain_timeout_s:
+        Graceful-drain budget at shutdown: requests already accepted
+        onto the dispatch queue are *served* (their clients are blocked
+        on those replies) for up to this long; only what the budget
+        cannot cover is answered with a retryable error.  0 restores
+        the old error-everything drain.
     """
 
     segment_path: str
@@ -134,6 +144,7 @@ class WorkerConfig:
     batch_wait_us: float = 500.0
     queue_depth: int = 1024
     reload_check_interval_s: float = DEFAULT_RELOAD_CHECK_INTERVAL_S
+    drain_timeout_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -144,6 +155,8 @@ class WorkerConfig:
             raise ValueError("queue_depth must be >= 1")
         if self.reload_check_interval_s < 0:
             raise ValueError("reload_check_interval_s must be >= 0")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be >= 0")
 
 
 class _PendingServe:
@@ -199,6 +212,8 @@ class _Worker:
         self.manifest_reloads = 0
         self.batches = 0
         self.queue_rejects = 0
+        self.drained = 0
+        self.drain_errors = 0
         self._last_reload_probe = monotonic()
         self._stop = threading.Event()
         self._queue: queue.Queue[Any] = queue.Queue(maxsize=config.queue_depth)
@@ -369,7 +384,16 @@ class _Worker:
             item.resolve(response)
 
     def _drain_shutdown(self) -> None:
-        """Answer everything still queued with a retryable error."""
+        """Graceful drain: flush replies for everything already queued.
+
+        The clients behind those reply slots were *admitted* — erroring
+        them now would turn a planned shutdown into visible failures.
+        Serve them within the ``drain_timeout_s`` budget; only what the
+        budget cannot cover gets the retryable shutdown error.  New
+        work is already refused at the door (``_serve`` checks
+        ``_stop`` before enqueueing), so the queue can only shrink.
+        """
+        deadline = monotonic() + self.config.drain_timeout_s
         while True:
             try:
                 item = self._queue.get_nowait()
@@ -377,13 +401,38 @@ class _Worker:
                 return
             if item is _SHUTDOWN:
                 continue
-            item.resolve(
-                self._error_frame(
-                    "worker shutting down",
-                    item.request.request_id,
-                    retryable=True,
+            if monotonic() >= deadline:
+                self.drain_errors += 1
+                item.resolve(
+                    self._error_frame(
+                        "worker shutting down",
+                        item.request.request_id,
+                        retryable=True,
+                    )
                 )
-            )
+                continue
+            try:
+                result = self.server.serve(item.request)
+            except Exception as exc:  # noqa: BLE001 — drain never dies
+                self.errors += 1
+                item.resolve(
+                    self._error_frame(
+                        f"{type(exc).__name__}: {exc}",
+                        item.request.request_id,
+                        retryable=True,
+                    )
+                )
+                continue
+            self.served += 1
+            self.drained += 1
+            response: dict[str, Any] = {
+                "type": "result",
+                "result": result.to_dict(),
+                "generation": self._generation,
+            }
+            if item.request.request_id is not None:
+                response["request_id"] = item.request.request_id
+            item.resolve(response)
 
     # ------------------------ frame handling ------------------ #
 
@@ -499,6 +548,11 @@ class _Worker:
                     "p95": queue_wait.p95,
                     "p99": queue_wait.p99,
                 },
+            },
+            "drain": {
+                "drain_timeout_s": self.config.drain_timeout_s,
+                "drained": self.drained,
+                "drain_errors": self.drain_errors,
             },
             "segment_bytes": self.index.segment_bytes(),
         }

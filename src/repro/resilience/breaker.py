@@ -177,6 +177,20 @@ class CircuitBreaker:
         ):
             self._open()
 
+    def reset_half_open(self) -> None:
+        """External recovery signal: the guarded resource was replaced
+        (e.g. a supervised worker respawned), so the recorded window
+        describes a process that no longer exists.  Forget it and admit
+        half-open probes immediately — the first success closes the
+        breaker — instead of waiting out ``reset_after_ms`` against a
+        healthy replacement.
+        """
+        self._outcomes.clear()
+        self._failures = 0
+        self._half_open_issued = 0
+        self._opened_at_ms = self._clock()
+        self._transition(BreakerState.HALF_OPEN)
+
     # -------------------------------------------------------------- #
 
     def _push(self, success: bool) -> None:

@@ -1,0 +1,129 @@
+"""Typed transport errors: ``ServeConnectionError`` vs timeouts vs
+``RemoteServeError`` — the three failure modes the loadgen (and the
+chaos gates built on it) must count separately."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.netserve.client import (
+    RemoteServeError,
+    ServeClient,
+    ServeConnectionError,
+)
+from repro.netserve.loadgen import LoadGenConfig, build_report
+from repro.obs.registry import MetricsRegistry
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+class TestServeConnectionError:
+    def test_refused_connect_is_typed(self):
+        with pytest.raises(ServeConnectionError) as excinfo:
+            ServeClient("127.0.0.1", _free_port(), timeout_s=2.0)
+        # The raw OS error is preserved for diagnosis.
+        assert isinstance(excinfo.value.__cause__, OSError)
+
+    def test_connection_torn_before_reply_is_typed(self):
+        """A server that accepts then vanishes mid-request must surface
+        as a connection error, not a bare TornFrame or OSError."""
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        host, port = listener.getsockname()
+
+        def accept_and_slam():
+            conn, _ = listener.accept()
+            conn.recv(4)  # let the request start, then slam the door
+            conn.close()
+
+        server = threading.Thread(target=accept_and_slam, daemon=True)
+        server.start()
+        try:
+            client = ServeClient(host, port, timeout_s=5.0)
+            with pytest.raises(ServeConnectionError):
+                client.request({"type": "ping"})
+            client.close()
+        finally:
+            server.join(timeout=5.0)
+            listener.close()
+
+    def test_is_a_connection_error_subclass(self):
+        # Callers catching ConnectionError keep working.
+        assert issubclass(ServeConnectionError, ConnectionError)
+        assert not issubclass(RemoteServeError, ConnectionError)
+
+
+class TestReportClassification:
+    def _report(self, counts):
+        base = {
+            "sent": 0,
+            "issued": 0,
+            "ok": 0,
+            "shed": 0,
+            "degraded": 0,
+            "errors": 0,
+            "timeouts": 0,
+            "connection_errors": 0,
+            "error_frames": 0,
+            "within_deadline": 0,
+        }
+        base.update(counts)
+        registry = MetricsRegistry()
+        latency = registry.histogram("loadgen.latency_ms", bounds=(1.0, 10.0))
+        return build_report(
+            LoadGenConfig(host="h", port=1),
+            num_queries=1,
+            counts=base,
+            elapsed_s=1.0,
+            latency=latency,
+            stats_before={},
+            stats_after={},
+        )
+
+    def test_error_buckets_are_surfaced(self):
+        report = self._report(
+            {
+                "sent": 10,
+                "ok": 10,
+                "errors": 6,
+                "timeouts": 1,
+                "connection_errors": 2,
+                "error_frames": 3,
+            }
+        )
+        assert report["timeouts"] == 1
+        assert report["connection_errors"] == 2
+        assert report["error_frames"] == 3
+        assert report["errors"] == 6
+
+    def test_missing_buckets_default_to_zero(self):
+        # Old callers passing only the legacy counts still get a report.
+        counts = {
+            "sent": 1,
+            "issued": 1,
+            "ok": 1,
+            "shed": 0,
+            "degraded": 0,
+            "errors": 0,
+            "within_deadline": 1,
+        }
+        registry = MetricsRegistry()
+        latency = registry.histogram("loadgen.latency_ms", bounds=(1.0,))
+        report = build_report(
+            LoadGenConfig(host="h", port=1),
+            num_queries=1,
+            counts=counts,
+            elapsed_s=1.0,
+            latency=latency,
+            stats_before={},
+            stats_after={},
+        )
+        assert report["timeouts"] == 0
+        assert report["connection_errors"] == 0
+        assert report["error_frames"] == 0

@@ -1,6 +1,10 @@
 """End-to-end cluster tests: remote answers equal in-process answers,
 stats carry the memory evidence, and overload sheds by priority."""
 
+import socket
+import time
+from pathlib import Path
+
 import pytest
 
 from repro.core.queries import Query
@@ -153,3 +157,60 @@ class TestLifecycle:
         procs = list(cluster.processes)
         cluster.stop()
         assert all(not p.is_alive() for p in procs)
+
+    def test_stop_before_start_is_a_noop(self, segment_path):
+        cluster = ServingCluster(
+            ClusterConfig(segment_path=str(segment_path), num_workers=1)
+        )
+        cluster.stop()
+        assert cluster.processes == []
+
+    def test_failed_boot_raises_fast_and_leaks_nothing(self, tmp_path):
+        """A worker that dies during boot (bad segment) must fail the
+        ping gate immediately — not hang out the whole boot deadline —
+        and the partial boot must clean up after itself."""
+        config = ClusterConfig(
+            segment_path=str(tmp_path / "no-such.seg"),
+            num_workers=2,
+            boot_timeout_s=30.0,
+        )
+        cluster = ServingCluster(config)
+        started = time.monotonic()
+        with pytest.raises(RuntimeError, match="died during boot"):
+            cluster.start()
+        # Failing fast is the point: nowhere near the 30s deadline.
+        assert time.monotonic() - started < 15.0
+        assert cluster.processes == []
+        assert cluster.supervisor is None
+        # __exit__ after the failed start stays safe (double cleanup).
+        cluster.__exit__(None, None, None)
+
+    def test_context_manager_propagates_boot_failure(self, tmp_path):
+        config = ClusterConfig(
+            segment_path=str(tmp_path / "missing.seg"), num_workers=1
+        )
+        with pytest.raises(RuntimeError):
+            with ServingCluster(config):
+                pytest.fail("boot must not succeed without a segment")
+
+    def test_stale_socket_file_does_not_block_boot(self, segment_path):
+        """A crashed predecessor's socket files must not poison the next
+        boot: the cluster unlinks before forking."""
+        import tempfile
+
+        with tempfile.TemporaryDirectory(prefix="netserve-stale-") as tmp:
+            stale = Path(tmp) / "w0.sock"
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.bind(str(stale))
+            sock.close()  # the file outlives the socket — the stale case
+            assert stale.exists()
+            config = ClusterConfig(
+                segment_path=str(segment_path),
+                num_workers=1,
+                runtime_dir=tmp,
+                supervise=False,
+            )
+            with ServingCluster(config) as cluster:
+                host, port = cluster.address
+                with ServeClient(host, port) as client:
+                    assert client.ping()
